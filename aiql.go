@@ -1,0 +1,69 @@
+// Package aiql is a query system for efficient attack investigation over
+// system monitoring data, reproducing Gao et al., "AIQL: Enabling Efficient
+// Attack Investigation from System Monitoring Data" (USENIX ATC 2018).
+//
+// The package ties together the Attack Investigation Query Language parser,
+// the spatially and temporally partitioned event store, and the
+// relationship-based query scheduler:
+//
+//	db := aiql.Open(aiql.Options{})
+//	db.Ingest(dataset)
+//	res, err := db.Query(`
+//	    agentid = 2
+//	    (at "03/02/2017")
+//	    proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+//	    proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+//	    with evt1 before evt2
+//	    return distinct p1, p2, p3, f1`)
+//
+// AIQL supports three query families (paper Sec. 4): multievent queries
+// relating event patterns through attribute and temporal relationships,
+// dependency queries chaining constraints along a path of entities, and
+// anomaly queries aggregating a pattern in sliding time windows with
+// history states and moving averages.
+package aiql
+
+import (
+	"aiql/internal/engine"
+	"aiql/internal/storage"
+	"aiql/internal/types"
+)
+
+// Options configures a database. The zero value enables every optimization
+// described in the paper; the fields exist for ablation studies.
+type Options struct {
+	// Storage controls partitioning, indexing and scan parallelism.
+	Storage storage.Options
+	// Engine controls the data-query scheduler.
+	Engine engine.Options
+}
+
+// DB is an AIQL database: an optimized event store plus a query engine.
+type DB struct {
+	store *storage.Store
+	eng   *engine.Engine
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	st := storage.New(opts.Storage)
+	return &DB{store: st, eng: engine.New(st, opts.Engine)}
+}
+
+// Ingest loads a dataset into the store.
+func (db *DB) Ingest(d *types.Dataset) { db.store.Ingest(d) }
+
+// Query parses, compiles, schedules and executes one AIQL query.
+func (db *DB) Query(src string) (*engine.Result, error) { return db.eng.Query(src) }
+
+// Store exposes the underlying store (for diagnostics and benchmarks).
+func (db *DB) Store() *storage.Store { return db.store }
+
+// Engine exposes the underlying engine.
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
+// Result is the tabular result of a query.
+type Result = engine.Result
+
+// Dataset re-exports the dataset bundle type accepted by Ingest.
+type Dataset = types.Dataset

@@ -1,0 +1,107 @@
+package aiql_test
+
+import (
+	"strings"
+	"testing"
+
+	"aiql"
+	"aiql/internal/engine"
+	"aiql/internal/gen"
+	"aiql/internal/types"
+)
+
+// newDB builds a database over a tiny hand-made dataset through the public
+// API only.
+func newDB(t testing.TB) *aiql.DB {
+	t.Helper()
+	b := gen.NewBuilder(7)
+	day := gen.DayStart(1)
+	bash := b.Proc(1, "/bin/bash")
+	curl := b.ProcInstance(1, "/usr/bin/curl")
+	key := b.File(1, "/home/alice/.ssh/id_rsa")
+	c2 := b.Conn(1, "203.0.113.9", 443)
+	b.Emit(1, bash, curl, types.OpStart, day+1000, 0)
+	b.Emit(1, curl, key, types.OpRead, day+2000, 4096)
+	b.Emit(1, curl, c2, types.OpWrite, day+3000, 4096)
+
+	db := aiql.Open(aiql.Options{})
+	db.Ingest(b.Dataset())
+	return db
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	db := newDB(t)
+	res, err := db.Query(`
+		agentid = 1
+		(at "03/02/2017")
+		proc p read file f["%id_rsa"] as evt1
+		proc p write ip i as evt2
+		with evt1 before evt2
+		return p, f, i.dst_ip`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row[0] != "/usr/bin/curl" || !strings.HasSuffix(row[1], "id_rsa") || row[2] != "203.0.113.9" {
+		t.Errorf("row = %v", row)
+	}
+	if res.DataQueries < 2 {
+		t.Errorf("data queries = %d, want >= 2", res.DataQueries)
+	}
+}
+
+func TestPublicAPIParseError(t *testing.T) {
+	db := newDB(t)
+	_, err := db.Query("proc p1 frobnicate file f1 return p1")
+	if err == nil || !strings.Contains(err.Error(), "unknown operation") {
+		t.Errorf("error = %v", err)
+	}
+	// Errors carry positions for the REPL's error reporting.
+	if !strings.Contains(err.Error(), "aiql:1:") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestPublicAPIDiagnosticsAccessors(t *testing.T) {
+	db := newDB(t)
+	if db.Store() == nil || db.Engine() == nil {
+		t.Fatal("accessors returned nil")
+	}
+	if db.Store().EventCount() != 3 {
+		t.Errorf("event count = %d", db.Store().EventCount())
+	}
+}
+
+func TestPublicAPIOptionsPlumbing(t *testing.T) {
+	// The ablation options must be reachable through the façade.
+	db := aiql.Open(aiql.Options{
+		Engine: engine.Options{Strategy: engine.StrategyFetchFilter},
+	})
+	b := gen.NewBuilder(1)
+	p := b.Proc(1, "/bin/x")
+	f := b.File(1, "/f")
+	b.Emit(1, p, f, types.OpWrite, gen.DayStart(0)+5, 0)
+	db.Ingest(b.Dataset())
+	res, err := db.Query(`proc p write file f return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestResultString(t *testing.T) {
+	db := newDB(t)
+	res, err := db.Query(`proc p read file f return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if !strings.Contains(s, "(1 rows)") || !strings.Contains(s, "p") {
+		t.Errorf("rendered result:\n%s", s)
+	}
+}

@@ -1,0 +1,331 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one per table
+// and figure — see DESIGN.md's experiment index) plus ablation benchmarks
+// for the design choices the paper calls out. `go test -bench=. -benchmem`
+// runs everything on a reduced dataset; `cmd/aiqlbench` runs the same
+// experiments at full scale with the paper-style table output.
+package aiql_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"aiql/internal/concise"
+	"aiql/internal/engine"
+	"aiql/internal/gen"
+	"aiql/internal/graphstore"
+	"aiql/internal/mpp"
+	"aiql/internal/parser"
+	"aiql/internal/queries"
+	"aiql/internal/storage"
+	"aiql/internal/types"
+)
+
+// benchCfg keeps `go test -bench=.` affordable; cmd/aiqlbench uses the
+// full default scale.
+var benchCfg = gen.Config{Hosts: 12, Days: 3, BackgroundPerHostDay: 8000, Seed: 1}
+
+var (
+	dsOnce sync.Once
+	dsVal  *types.Dataset
+)
+
+func benchDataset() *types.Dataset {
+	dsOnce.Do(func() { dsVal = gen.Scenario(benchCfg) })
+	return dsVal
+}
+
+var (
+	engOnce sync.Once
+	engines map[string]*engine.Engine
+)
+
+// benchEngines builds every engine configuration once: the end-to-end
+// systems, the Fig. 6 schedulers, the Fig. 7 clusters, and the ablations.
+func benchEngines() map[string]*engine.Engine {
+	engOnce.Do(func() {
+		ds := benchDataset()
+		engines = make(map[string]*engine.Engine)
+
+		opt := storage.New(storage.Options{})
+		opt.Ingest(ds)
+		engines["aiql"] = engine.New(opt, engine.Options{})
+		engines["ff"] = engine.New(opt, engine.Options{Strategy: engine.StrategyFetchFilter})
+		engines["pg-sched"] = engine.New(opt, engine.Options{Strategy: engine.StrategyBigJoin, DisableSplitDays: true})
+		// Ablations over the same optimized store.
+		engines["no-score-sort"] = engine.New(opt, engine.Options{NoScoreSort: true})
+		engines["no-pushdown"] = engine.New(opt, engine.Options{NoPushdown: true})
+		engines["no-splitdays"] = engine.New(opt, engine.Options{DisableSplitDays: true})
+		engines["no-hashjoin"] = engine.New(opt, engine.Options{NoHashJoin: true})
+		engines["apply-join"] = engine.New(opt, engine.Options{ApplyJoin: true})
+		engines["stats-scoring"] = engine.New(opt, engine.Options{StatsScoring: true})
+
+		pgStore := storage.New(storage.Options{DisablePruning: true, Workers: 1})
+		pgStore.Ingest(ds)
+		engines["postgres"] = engine.New(pgStore, engine.Options{Strategy: engine.StrategyBigJoin, DisableSplitDays: true})
+
+		noIdx := storage.New(storage.Options{DisableIndexes: true})
+		noIdx.Ingest(ds)
+		engines["no-indexes"] = engine.New(noIdx, engine.Options{})
+
+		noPrune := storage.New(storage.Options{DisablePruning: true})
+		noPrune.Ingest(ds)
+		engines["no-pruning"] = engine.New(noPrune, engine.Options{})
+
+		g := graphstore.New()
+		g.Ingest(ds)
+		engines["neo4j"] = engine.New(g, engine.Options{Strategy: engine.StrategyBigJoin, DisableSplitDays: true, NoHashJoin: true})
+
+		gp := mpp.New(5, mpp.ArrivalOrder, storage.Options{})
+		gp.Ingest(ds)
+		engines["greenplum"] = engine.New(gp, engine.Options{Strategy: engine.StrategyBigJoin, DisableSplitDays: true})
+
+		sem := mpp.New(5, mpp.SemanticsAware, storage.Options{})
+		sem.Ingest(ds)
+		engines["mpp-aiql"] = engine.New(sem, engine.Options{})
+	})
+	return engines
+}
+
+// runCorpus executes a query list against one engine, failing the benchmark
+// on query errors (budget exhaustion by a baseline is tolerated — it is the
+// paper's "did not finish within 1 hour").
+func runCorpus(b *testing.B, e *engine.Engine, qs []queries.Query) {
+	b.Helper()
+	for _, q := range qs {
+		res, err := e.Query(q.Src)
+		if err != nil {
+			if err == engine.ErrTooLarge {
+				continue
+			}
+			b.Fatalf("%s: %v", q.ID, err)
+		}
+		_ = res
+	}
+}
+
+func caseStudyQueries() []queries.Query {
+	var out []queries.Query
+	for _, q := range queries.CaseStudy() {
+		if !q.Anomaly {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// BenchmarkTable3CaseStudy regenerates Table 3: the 26-query investigation
+// per end-to-end system.
+func BenchmarkTable3CaseStudy(b *testing.B) {
+	eng := benchEngines()
+	cs := caseStudyQueries()
+	for _, sys := range []string{"aiql", "postgres", "neo4j"} {
+		b.Run(sys, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runCorpus(b, eng[sys], cs)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5PerQuery regenerates Fig. 5's shape on three representative
+// investigation queries of growing pattern count (2, 4 and 6 patterns).
+func BenchmarkFig5PerQuery(b *testing.B) {
+	eng := benchEngines()
+	byID := make(map[string]queries.Query)
+	for _, q := range queries.CaseStudy() {
+		byID[q.ID] = q
+	}
+	for _, id := range []string{"c2-1", "c5-7", "c4-8"} {
+		for _, sys := range []string{"aiql", "postgres", "neo4j"} {
+			q := byID[id]
+			b.Run(fmt.Sprintf("%s/%s", id, sys), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runCorpus(b, eng[sys], []queries.Query{q})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Schedulers regenerates Fig. 6: the 19 behaviour queries per
+// scheduler on identical single-node optimized storage.
+func BenchmarkFig6Schedulers(b *testing.B) {
+	eng := benchEngines()
+	bq := queries.Behaviors()
+	for _, sys := range []string{"pg-sched", "ff", "aiql"} {
+		b.Run(sys, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runCorpus(b, eng[sys], bq)
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Parallel regenerates Fig. 7: Greenplum scheduling
+// (arrival-order MPP placement + big join) vs AIQL scheduling
+// (semantics-aware placement + Algorithm 1).
+func BenchmarkFig7Parallel(b *testing.B) {
+	eng := benchEngines()
+	bq := queries.Behaviors()
+	for _, sys := range []string{"greenplum", "mpp-aiql"} {
+		b.Run(sys, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runCorpus(b, eng[sys], bq)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Conciseness regenerates Fig. 8 / Table 5: translating the
+// behaviour corpus to SQL/Cypher/SPL and measuring all four languages.
+func BenchmarkFig8Conciseness(b *testing.B) {
+	bq := queries.Behaviors()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range bq {
+			if _, err := concise.Measure(q.ID, q.Src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable4MalwareQueries runs the five Table 4 malware behaviour
+// queries on the full system.
+func BenchmarkTable4MalwareQueries(b *testing.B) {
+	eng := benchEngines()
+	var vq []queries.Query
+	for _, q := range queries.Behaviors() {
+		if q.Group == "v" {
+			vq = append(vq, q)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		runCorpus(b, eng["aiql"], vq)
+	}
+}
+
+// --- Ablations (DESIGN.md Sec. 4) ---
+
+// BenchmarkAblationPruningScore disables the pruning-score relationship
+// ordering of Algorithm 1 (relationships processed in declaration order).
+func BenchmarkAblationPruningScore(b *testing.B) {
+	ablation(b, "aiql", "no-score-sort")
+}
+
+// BenchmarkAblationPushdown disables constrained execution (earlier results
+// no longer narrow later data queries).
+func BenchmarkAblationPushdown(b *testing.B) {
+	ablation(b, "aiql", "no-pushdown")
+}
+
+// BenchmarkAblationParallelWindow disables the parallel per-day splitting
+// of multi-day data queries.
+func BenchmarkAblationParallelWindow(b *testing.B) {
+	ablation(b, "aiql", "no-splitdays")
+}
+
+// BenchmarkAblationIndexes disables the entity hash indexes and posting
+// lists (full partition scans with predicate evaluation).
+func BenchmarkAblationIndexes(b *testing.B) {
+	ablation(b, "aiql", "no-indexes")
+}
+
+// BenchmarkAblationPartitioning disables spatial/temporal partition pruning
+// while keeping everything else.
+func BenchmarkAblationPartitioning(b *testing.B) {
+	ablation(b, "aiql", "no-pruning")
+}
+
+// BenchmarkAblationHashJoin forces nested-loop joins.
+func BenchmarkAblationHashJoin(b *testing.B) {
+	ablation(b, "aiql", "no-hashjoin")
+}
+
+// BenchmarkAblationApplyJoin replaces batch joins with per-row re-expansion
+// (the Cypher Apply discipline) on AIQL's own storage.
+func BenchmarkAblationApplyJoin(b *testing.B) {
+	ablation(b, "aiql", "apply-join")
+}
+
+// BenchmarkAblationStatsScoring replaces constraint-count pruning scores
+// with index-derived cardinality estimates (paper Sec. 7 future work).
+func BenchmarkAblationStatsScoring(b *testing.B) {
+	ablation(b, "aiql", "stats-scoring")
+}
+
+func ablation(b *testing.B, baseline, variant string) {
+	eng := benchEngines()
+	all := append(caseStudyQueries(), queries.Behaviors()...)
+	for _, sys := range []string{baseline, variant} {
+		b.Run(sys, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runCorpus(b, eng[sys], all)
+			}
+		})
+	}
+}
+
+// --- Microbenchmarks ---
+
+// BenchmarkParse measures parsing of the largest corpus query.
+func BenchmarkParse(b *testing.B) {
+	var largest queries.Query
+	for _, q := range queries.CaseStudy() {
+		if q.Patterns > largest.Patterns {
+			largest = q
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(largest.Src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngest measures store ingestion throughput.
+func BenchmarkIngest(b *testing.B) {
+	ds := benchDataset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := storage.New(storage.Options{})
+		st.Ingest(ds)
+	}
+	b.SetBytes(int64(len(ds.Events)))
+}
+
+// BenchmarkAnomalyWindow measures the sliding-window anomaly executor
+// (behaviour s5: 8,640 windows over a day).
+func BenchmarkAnomalyWindow(b *testing.B) {
+	eng := benchEngines()
+	var s5 queries.Query
+	for _, q := range queries.Behaviors() {
+		if q.ID == "s5" {
+			s5 = q
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		runCorpus(b, eng["aiql"], []queries.Query{s5})
+	}
+}
+
+// BenchmarkEndToEndScaling reports AIQL vs PostgreSQL on the complete c5
+// query as a pair, making the headline speedup visible in benchmark output.
+func BenchmarkEndToEndScaling(b *testing.B) {
+	eng := benchEngines()
+	var q queries.Query
+	for _, c := range queries.CaseStudy() {
+		if c.ID == "c5-7" {
+			q = c
+		}
+	}
+	for _, sys := range []string{"aiql", "postgres"} {
+		b.Run(sys, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runCorpus(b, eng[sys], []queries.Query{q})
+			}
+		})
+	}
+}

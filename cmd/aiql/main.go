@@ -1,0 +1,189 @@
+// Command aiql is the interactive attack-investigation shell: it loads a
+// dataset (a JSON-lines trace from aiqlgen, or a freshly generated
+// scenario) into the optimized store and executes AIQL queries against it.
+//
+//	aiql -data trace.jsonl                 # interactive session
+//	aiql -data trace.jsonl -q 'proc p ...' # one-shot query
+//	aiql -generate                         # skip the file, generate in-process
+//
+// In the interactive session a query may span multiple lines and is
+// executed when a blank line (or ';') ends it. The session commands are:
+//
+//	.help     show language hints
+//	.stats    show dataset statistics
+//	.corpus   list the paper's evaluation query IDs
+//	.run ID   run an evaluation query by ID (e.g. .run c5-7)
+//	.quit     exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aiql/internal/engine"
+	"aiql/internal/gen"
+	"aiql/internal/queries"
+	"aiql/internal/storage"
+	"aiql/internal/trace"
+	"aiql/internal/types"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "", "JSON-lines trace to load (from aiqlgen)")
+		generate = flag.Bool("generate", false, "generate the evaluation scenario in-process instead of loading a file")
+		hosts    = flag.Int("hosts", 15, "hosts for -generate")
+		days     = flag.Int("days", 4, "days for -generate")
+		events   = flag.Int("events", 20000, "background events per host per day for -generate")
+		seed     = flag.Int64("seed", 1, "seed for -generate")
+		query    = flag.String("q", "", "one-shot query (skips the interactive session)")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*data, *generate, gen.Config{
+		Hosts: *hosts, Days: *days, BackgroundPerHostDay: *events, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aiql: %v\n", err)
+		os.Exit(1)
+	}
+
+	st := storage.New(storage.Options{})
+	start := time.Now()
+	st.Ingest(ds)
+	stats := ds.Stats()
+	fmt.Fprintf(os.Stderr, "loaded %d events / %d entities across %d agents in %.1fs (%d partitions)\n",
+		stats.Events, stats.Entities, stats.Agents, time.Since(start).Seconds(), st.PartitionCount())
+	eng := engine.New(st, engine.Options{})
+
+	if *query != "" {
+		if !runQuery(eng, *query) {
+			os.Exit(1)
+		}
+		return
+	}
+	repl(eng, st)
+}
+
+func loadDataset(path string, generate bool, cfg gen.Config) (*types.Dataset, error) {
+	switch {
+	case generate:
+		fmt.Fprintf(os.Stderr, "generating scenario: %d hosts x %d days x %d events/host/day...\n",
+			cfg.Hosts, cfg.Days, cfg.BackgroundPerHostDay)
+		return gen.Scenario(cfg), nil
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	default:
+		return nil, fmt.Errorf("provide -data <trace.jsonl> or -generate")
+	}
+}
+
+func runQuery(eng *engine.Engine, src string) bool {
+	start := time.Now()
+	res, err := eng.Query(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return false
+	}
+	fmt.Print(res.String())
+	fmt.Printf("elapsed: %.3fs (%d data queries)\n", time.Since(start).Seconds(), res.DataQueries)
+	return true
+}
+
+func repl(eng *engine.Engine, st *storage.Store) {
+	corpus := make(map[string]queries.Query)
+	for _, q := range append(queries.CaseStudy(), queries.Behaviors()...) {
+		corpus[q.ID] = q
+	}
+	fmt.Println("AIQL interactive investigation shell — .help for help, blank line runs the query")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("aiql> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case buf.Len() == 0 && strings.HasPrefix(trimmed, "."):
+			if !command(eng, st, corpus, trimmed) {
+				return
+			}
+		case trimmed == "" || trimmed == ";":
+			if buf.Len() > 0 {
+				runQuery(eng, buf.String())
+				buf.Reset()
+			}
+		default:
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+			if strings.HasSuffix(trimmed, ";") {
+				runQuery(eng, strings.TrimSuffix(buf.String(), ";"))
+				buf.Reset()
+			}
+		}
+		prompt()
+	}
+}
+
+func command(eng *engine.Engine, st *storage.Store, corpus map[string]queries.Query, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return false
+	case ".help":
+		os.Stdout.WriteString(helpText + "\n")
+	case ".stats":
+		fmt.Printf("events: %d, partitions: %d, agents: %v, days: %v\n",
+			st.EventCount(), st.PartitionCount(), st.Agents(), st.Days())
+	case ".corpus":
+		for _, q := range append(queries.CaseStudy(), queries.Behaviors()...) {
+			kind := "multievent"
+			if q.Anomaly {
+				kind = "anomaly"
+			}
+			fmt.Printf("  %-5s %-10s %d patterns\n", q.ID, kind, q.Patterns)
+		}
+	case ".run":
+		if len(fields) < 2 {
+			fmt.Println("usage: .run <query-id>   (see .corpus)")
+			break
+		}
+		q, ok := corpus[fields[1]]
+		if !ok {
+			fmt.Printf("unknown query id %q\n", fields[1])
+			break
+		}
+		fmt.Println(strings.TrimSpace(q.Src))
+		fmt.Println()
+		runQuery(eng, q.Src)
+	default:
+		fmt.Printf("unknown command %s (try .help)\n", fields[0])
+	}
+	return true
+}
+
+const helpText = `AIQL quick reference (see README.md for the full language):
+  multievent   proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+               proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+               with evt1 before evt2
+               return distinct p1, p2, p3, f1
+  globals      agentid = 2          (at "03/02/2017")
+  dependency   forward: proc p1["%cp%"] ->[write] file f1 <-[read] proc p2 return p1, f1, p2
+  anomaly      window = 1 min, step = 10 sec ... group by p having amt > 2*(amt+amt[1]+amt[2])/3
+Commands: .help .stats .corpus .run <id> .quit`

@@ -1,0 +1,90 @@
+// Command aiqlbench regenerates the paper's evaluation tables and figures
+// against a synthetic enterprise dataset:
+//
+//	aiqlbench -exp table3   # Table 3: case-study aggregate statistics
+//	aiqlbench -exp fig5     # Fig 5: per-query end-to-end execution time
+//	aiqlbench -exp fig6     # Fig 6: scheduler comparison, single node
+//	aiqlbench -exp fig7     # Fig 7: scheduler comparison, MPP (Greenplum)
+//	aiqlbench -exp fig8     # Fig 8: conciseness per behaviour
+//	aiqlbench -exp table4   # Table 4: malware sample inventory
+//	aiqlbench -exp table5   # Table 5: conciseness improvement ratios
+//	aiqlbench -exp all      # everything, in paper order
+//
+// Dataset scale is controlled by -hosts, -days, -events (background events
+// per host per day) and -seed; the defaults regenerate in a few seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aiql/internal/bench"
+	"aiql/internal/gen"
+	"aiql/internal/types"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table3|fig5|fig6|fig7|fig8|table4|table5|all")
+		hosts  = flag.Int("hosts", 15, "number of monitored hosts (>= 10)")
+		days   = flag.Int("days", 4, "number of simulated days (>= 3)")
+		events = flag.Int("events", 20000, "background events per host per day")
+		seed   = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	cfg := gen.Config{Hosts: *hosts, Days: *days, BackgroundPerHostDay: *events, Seed: *seed}
+	needData := *exp != "fig8" && *exp != "table4" && *exp != "table5"
+
+	var ds *types.Dataset
+	if needData {
+		fmt.Printf("generating dataset: %d hosts x %d days x %d background events/host/day (seed %d)...\n",
+			cfg.Hosts, cfg.Days, cfg.BackgroundPerHostDay, cfg.Seed)
+		start := time.Now()
+		data := bench.Dataset(cfg)
+		st := data.Stats()
+		fmt.Printf("dataset ready in %.1fs: %d events, %d entities, %d agents\n\n",
+			time.Since(start).Seconds(), st.Events, st.Entities, st.Agents)
+		ds = data
+	}
+
+	w := os.Stdout
+	switch *exp {
+	case "table3":
+		bench.Table3(w, ds)
+	case "fig5":
+		bench.Fig5(w, ds)
+	case "fig6":
+		bench.Fig6(w, ds)
+	case "fig7":
+		bench.Fig7(w, ds)
+	case "fig8":
+		bench.Fig8(w)
+	case "table4":
+		bench.Table4(w)
+	case "table5":
+		cmps := bench.Fig8(w)
+		fmt.Fprintln(w)
+		bench.Table5(w, cmps)
+	case "all":
+		bench.Table3(w, ds)
+		fmt.Fprintln(w)
+		bench.Fig5(w, ds)
+		fmt.Fprintln(w)
+		bench.Fig6(w, ds)
+		fmt.Fprintln(w)
+		bench.Fig7(w, ds)
+		fmt.Fprintln(w)
+		cmps := bench.Fig8(w)
+		fmt.Fprintln(w)
+		bench.Table4(w)
+		fmt.Fprintln(w)
+		bench.Table5(w, cmps)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

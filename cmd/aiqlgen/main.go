@@ -1,0 +1,52 @@
+// Command aiqlgen generates a synthetic enterprise system-monitoring
+// dataset — background activity plus every attack behaviour the evaluation
+// queries investigate — and writes it as JSON lines:
+//
+//	aiqlgen -hosts 15 -days 4 -events 20000 -o trace.jsonl
+//
+// The output loads into the query CLI with `aiql -data trace.jsonl`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aiql/internal/gen"
+	"aiql/internal/trace"
+)
+
+func main() {
+	var (
+		hosts  = flag.Int("hosts", 15, "number of monitored hosts (>= 10)")
+		days   = flag.Int("days", 4, "number of simulated days (>= 3)")
+		events = flag.Int("events", 20000, "background events per host per day")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("o", "trace.jsonl", "output file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	cfg := gen.Config{Hosts: *hosts, Days: *days, BackgroundPerHostDay: *events, Seed: *seed}
+	ds := gen.Scenario(cfg)
+	st := ds.Stats()
+	fmt.Fprintf(os.Stderr, "generated %d events, %d entities across %d agents (days %s..%s)\n",
+		st.Events, st.Entities, st.Agents, gen.DateStr(0), gen.DateStr(cfg.Days-1))
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aiqlgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, ds); err != nil {
+		fmt.Fprintf(os.Stderr, "aiqlgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,63 @@
+// Dependency tracking: forward-tracks the ramification of a malicious
+// script across hosts (paper Query 3 / behaviour d3) and backward-tracks
+// the origin of a software update (behaviour d1).
+//
+// Dependency queries chain constraints along a path of entities — nodes are
+// entities, edges are operations — so the shared entity between consecutive
+// steps never has to be repeated, and the forward/backward keyword imposes
+// the temporal order of the events along the path.
+//
+//	go run ./examples/dependency_tracking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aiql"
+	"aiql/internal/gen"
+)
+
+func main() {
+	cfg := gen.SmallConfig()
+	fmt.Printf("generating %d-host enterprise with injected dependency chains...\n\n", cfg.Hosts)
+	db := aiql.Open(aiql.Options{})
+	db.Ingest(gen.Scenario(cfg))
+
+	day := gen.DateStr(gen.BehaviorDay)
+
+	// Forward tracking (paper Query 3): /bin/cp plants info_stealer.sh in
+	// the web root on the web server; apache serves it; wget on the dev box
+	// downloads and writes it locally. The ->[connect] step crosses hosts.
+	fwd := fmt.Sprintf(`
+(at "%s")
+forward: proc p1["%%/bin/cp%%", agentid = %d] ->[write] file f1["/var/www/%%info_stealer%%"]
+<-[read] proc p2["%%apache%%"]
+->[connect] proc p3[agentid = %d]
+->[write] file f2["%%info_stealer%%"]
+return f1, p1, p2, p3, f2`, day, gen.AgentWebServer, gen.AgentDevBox)
+	fmt.Println("=== forward: malware ramification across hosts ===")
+	fmt.Println(fwd)
+	res, err := db.Query(fwd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.String())
+	fmt.Println()
+
+	// Backward tracking (behaviour d1): where did chrome_update.exe come
+	// from? The chain runs from the written file back through the updater
+	// process to the CDN endpoint it downloaded from.
+	bwd := fmt.Sprintf(`
+(at "%s")
+agentid = %d
+backward: file f1["%%chrome_update.exe"] <-[write] proc p1["%%GoogleUpdate%%"] ->[read] ip i1[dstip = "%s"]
+return f1, p1, i1`, day, gen.AgentWinClient, gen.UpdateCDNIP)
+	fmt.Println("=== backward: origin of a software update ===")
+	fmt.Println(bwd)
+	res, err = db.Query(bwd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.String())
+}

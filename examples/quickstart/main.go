@@ -1,0 +1,50 @@
+// Quickstart: build a small monitoring dataset by hand, ingest it, and run
+// a first multievent AIQL query through the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aiql"
+	"aiql/internal/gen"
+	"aiql/internal/types"
+)
+
+func main() {
+	// A dataset is entities (files, processes, network connections) plus
+	// <subject, operation, object> events. The builder hands out stable
+	// entity IDs and per-agent event sequence numbers.
+	b := gen.NewBuilder(42)
+	const host = 1
+	day := gen.DayStart(1) // 2017-03-02 00:00 UTC
+
+	bash := b.Proc(host, "/bin/bash")
+	curl := b.ProcInstance(host, "/usr/bin/curl")
+	secret := b.File(host, "/home/alice/.ssh/id_rsa")
+	c2 := b.Conn(host, "203.0.113.9", 443)
+
+	b.Emit(host, bash, curl, types.OpStart, day+1000, 0)
+	b.Emit(host, curl, secret, types.OpRead, day+2000, 4096)
+	b.Emit(host, curl, c2, types.OpWrite, day+3000, 4096)
+
+	// Open a database (all paper optimizations on) and ingest.
+	db := aiql.Open(aiql.Options{})
+	db.Ingest(b.Dataset())
+
+	// "Which process read an SSH key and then talked to the network?" —
+	// two event patterns related by entity reuse (p) and temporal order.
+	res, err := db.Query(`
+		agentid = 1
+		(at "03/02/2017")
+		proc p read file f["%id_rsa"] as evt1
+		proc p write ip i as evt2
+		with evt1 before evt2
+		return p, f, i.dst_ip`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.String())
+}

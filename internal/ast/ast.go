@@ -1,0 +1,475 @@
+// Package ast defines the abstract syntax tree for the Attack Investigation
+// Query Language, covering the three query families of paper Sec. 4:
+// multievent queries, dependency queries, and anomaly queries (a multievent
+// query under a sliding-window global constraint with aggregation).
+// The tree mirrors the representative BNF in the paper's Grammar 1.
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a source position for error reporting.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Query is the root node: exactly one of Multi or Dep is set.
+type Query struct {
+	Globals []Global
+	Multi   *MultiEvent
+	Dep     *Dependency
+	// Source is the original query text, retained for conciseness metrics.
+	Source string
+}
+
+// Global is one <global_cstr>: an attribute constraint applying to every
+// event pattern, a time window, or a sliding-window declaration.
+type Global struct {
+	Pos    Pos
+	Cstr   AttrExpr   // e.g. agentid = 1 (nil if this global is not a constraint)
+	Window *WindowLit // (at "...") or (from "..." to "...")
+	Slide  *SlideWind // window = 1 min / step = 10 sec
+}
+
+// WindowLit is an unresolved time-window literal.
+type WindowLit struct {
+	Pos  Pos
+	At   string // `at "x"` form; empty when From/To used
+	From string
+	To   string
+}
+
+// SlideWind declares the sliding window used by anomaly queries. Length and
+// Step are in milliseconds; either may be zero if only the other keyword
+// appeared (the compiler merges the two globals).
+type SlideWind struct {
+	Pos    Pos
+	Length int64
+	Step   int64
+}
+
+// MultiEvent is an <m_query>: event patterns, relationships, and result
+// shaping clauses.
+type MultiEvent struct {
+	Patterns []*EventPattern
+	Rels     []Rel
+	Return   *ReturnClause
+	GroupBy  []ResExpr
+	Having   Expr
+	SortBy   []SortKey
+	SortDesc bool
+	Top      int // 0 = no limit
+}
+
+// EventPattern is one <evt_patt>: {subject, operation, object} with an
+// optional event id, event-attribute constraint, and pattern-local window.
+type EventPattern struct {
+	Pos     Pos
+	Subj    EntityRef
+	Op      OpExpr
+	Obj     EntityRef
+	EvtID   string
+	EvtCstr AttrExpr
+	Window  *WindowLit
+}
+
+// EntityRef is an <entity>: type keyword, optional id, optional constraint.
+type EntityRef struct {
+	Pos  Pos
+	Type string // "proc" | "file" | "ip"
+	ID   string // "" when omitted (optional-ID shortcut)
+	Cstr AttrExpr
+}
+
+// --- Attribute constraint expressions (<attr_cstr>) ---
+
+// AttrExpr is a boolean expression over entity or event attributes.
+type AttrExpr interface {
+	attrExpr()
+	String() string
+}
+
+// Cstr is an atomic <cstr>. When Attr is empty the constraint used the
+// bare-value shortcut (".viminfo") and the compiler infers the default
+// attribute. Op is one of = != < <= > >= in notin.
+type Cstr struct {
+	Pos  Pos
+	Attr string
+	Op   string
+	Val  string
+	Vals []string // for in / notin
+	// ValIsString records whether Val was a quoted literal, which matters
+	// for the bare-value shortcut.
+	ValIsString bool
+}
+
+// NotAttr negates a constraint expression.
+type NotAttr struct {
+	X AttrExpr
+}
+
+// BinAttr combines two constraint expressions with && or ||.
+type BinAttr struct {
+	Op   string // "&&" | "||"
+	L, R AttrExpr
+}
+
+func (*Cstr) attrExpr()    {}
+func (*NotAttr) attrExpr() {}
+func (*BinAttr) attrExpr() {}
+
+func (c *Cstr) String() string {
+	switch c.Op {
+	case "in", "notin":
+		op := "in"
+		if c.Op == "notin" {
+			op = "not in"
+		}
+		return fmt.Sprintf("%s %s (%s)", c.Attr, op, strings.Join(c.Vals, ", "))
+	}
+	attr := c.Attr
+	if attr == "" {
+		return fmt.Sprintf("%q", c.Val)
+	}
+	if c.ValIsString {
+		return fmt.Sprintf("%s %s %q", attr, c.Op, c.Val)
+	}
+	return fmt.Sprintf("%s %s %s", attr, c.Op, c.Val)
+}
+
+func (n *NotAttr) String() string { return "!(" + n.X.String() + ")" }
+func (b *BinAttr) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// --- Operation expressions (<op_exp>) ---
+
+// OpExpr is a boolean expression over operation names.
+type OpExpr interface {
+	opExpr()
+	String() string
+}
+
+// OpName is a single operation keyword.
+type OpName struct {
+	Pos  Pos
+	Name string
+}
+
+// NotOp negates an operation expression.
+type NotOp struct {
+	X OpExpr
+}
+
+// BinOp combines two operation expressions with && or ||.
+type BinOp struct {
+	Op   string
+	L, R OpExpr
+}
+
+func (*OpName) opExpr() {}
+func (*NotOp) opExpr()  {}
+func (*BinOp) opExpr()  {}
+
+func (o *OpName) String() string { return o.Name }
+func (n *NotOp) String() string  { return "!" + n.X.String() }
+func (b *BinOp) String() string  { return o2s(b.L) + " " + b.Op + " " + o2s(b.R) }
+
+func o2s(o OpExpr) string { return o.String() }
+
+// --- Event relationships (<evt_rel>) ---
+
+// Rel is either an attribute relationship or a temporal relationship.
+type Rel interface {
+	rel()
+	String() string
+}
+
+// AttrRel relates two event patterns through entity attributes:
+// p1.attr OP p3.attr, with the bare form p1 = p3 leaving Attrs empty for
+// the compiler's id inference.
+type AttrRel struct {
+	Pos   Pos
+	LID   string
+	LAttr string // "" → infer "id"
+	Op    string
+	RID   string
+	RAttr string
+}
+
+// TempRel orders two event patterns: evtA before|after|within [lo-hi unit] evtB.
+type TempRel struct {
+	Pos  Pos
+	LEvt string
+	Kind string // "before" | "after" | "within"
+	Lo   string // optional range bound (number literal)
+	Hi   string
+	Unit string
+	REvt string
+}
+
+func (*AttrRel) rel() {}
+func (*TempRel) rel() {}
+
+func (r *AttrRel) String() string {
+	l, rr := r.LID, r.RID
+	if r.LAttr != "" {
+		l += "." + r.LAttr
+	}
+	if r.RAttr != "" {
+		rr += "." + r.RAttr
+	}
+	return l + " " + r.Op + " " + rr
+}
+
+func (r *TempRel) String() string {
+	s := r.LEvt + " " + r.Kind
+	if r.Lo != "" {
+		s += "[" + r.Lo + "-" + r.Hi + " " + r.Unit + "]"
+	}
+	return s + " " + r.REvt
+}
+
+// --- Return clause ---
+
+// ReturnClause is <return>.
+type ReturnClause struct {
+	Pos      Pos
+	Count    bool
+	Distinct bool
+	Items    []ReturnItem
+}
+
+// ReturnItem is one <res> with an optional rename.
+type ReturnItem struct {
+	Expr ResExpr
+	As   string
+}
+
+// ResExpr is a result expression: a reference or an aggregate call.
+type ResExpr interface {
+	resExpr()
+	String() string
+}
+
+// Ref references an entity/event id with an optional attribute
+// (p1, p1.exe_name, evt1.optype).
+type Ref struct {
+	Pos  Pos
+	ID   string
+	Attr string
+}
+
+// Agg applies an aggregation function (count, avg, sum, min, max) to a
+// result expression, optionally with DISTINCT (count(distinct ipp)).
+type Agg struct {
+	Pos      Pos
+	Func     string
+	Distinct bool
+	Arg      ResExpr
+}
+
+func (*Ref) resExpr() {}
+func (*Agg) resExpr() {}
+
+func (r *Ref) String() string {
+	if r.Attr == "" {
+		return r.ID
+	}
+	return r.ID + "." + r.Attr
+}
+
+func (a *Agg) String() string {
+	inner := a.Arg.String()
+	if a.Distinct {
+		inner = "distinct " + inner
+	}
+	return a.Func + "(" + inner + ")"
+}
+
+// SortKey is one `sort by` key.
+type SortKey struct {
+	Name string
+	Attr string // optional .attr
+}
+
+func (k SortKey) String() string {
+	if k.Attr == "" {
+		return k.Name
+	}
+	return k.Name + "." + k.Attr
+}
+
+// --- Having expressions ---
+
+// Expr is an arithmetic/boolean expression over aggregate results and
+// history states (paper Sec. 4.3).
+type Expr interface {
+	expr()
+	String() string
+}
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	Pos Pos
+	Val float64
+	Raw string
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Pos Pos
+	Val string
+}
+
+// VarRef references an aggregate alias, optionally at a history offset:
+// freq is the current window, freq[1] the previous one, etc.
+type VarRef struct {
+	Pos  Pos
+	Name string
+	Hist int // 0 = current window
+}
+
+// FieldRef references id.attr inside an expression.
+type FieldRef struct {
+	Pos  Pos
+	ID   string
+	Attr string
+}
+
+// Call invokes a built-in function, e.g. EWMA(freq, 0.9) or SMA(freq, 3).
+type Call struct {
+	Pos  Pos
+	Func string
+	Args []Expr
+}
+
+// Unary applies - or ! to an expression.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary applies an arithmetic (+ - * /), comparison (= != < <= > >=) or
+// logical (&& ||) operator.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (*NumLit) expr()   {}
+func (*StrLit) expr()   {}
+func (*VarRef) expr()   {}
+func (*FieldRef) expr() {}
+func (*Call) expr()     {}
+func (*Unary) expr()    {}
+func (*Binary) expr()   {}
+
+func (n *NumLit) String() string { return n.Raw }
+func (s *StrLit) String() string { return fmt.Sprintf("%q", s.Val) }
+func (v *VarRef) String() string {
+	if v.Hist == 0 {
+		return v.Name
+	}
+	return fmt.Sprintf("%s[%d]", v.Name, v.Hist)
+}
+func (f *FieldRef) String() string { return f.ID + "." + f.Attr }
+func (c *Call) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return c.Func + "(" + strings.Join(args, ", ") + ")"
+}
+func (u *Unary) String() string  { return u.Op + u.X.String() }
+func (b *Binary) String() string { return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")" }
+
+// --- Dependency queries (<d_query>) ---
+
+// Dependency is a path of entities joined by operation edges, with an
+// optional direction prefix giving the temporal order of events along the
+// path (paper Sec. 4.2).
+type Dependency struct {
+	Pos       Pos
+	Direction string // "forward" | "backward" | ""
+	Nodes     []EntityRef
+	Edges     []DepEdge // len(Edges) == len(Nodes)-1
+	Return    *ReturnClause
+	SortBy    []SortKey
+	SortDesc  bool
+	Top       int
+}
+
+// DepEdge is one <op_edge>: direction arrow plus operation expression.
+// Dir is "->" (left entity is the subject) or "<-" (right entity is the
+// subject).
+type DepEdge struct {
+	Pos Pos
+	Dir string
+	Op  OpExpr
+}
+
+// IsAnomaly reports whether the query declares a sliding window, which is
+// what distinguishes an anomaly query from a plain multievent query.
+func (q *Query) IsAnomaly() bool {
+	for i := range q.Globals {
+		if q.Globals[i].Slide != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Walk visits every attribute-constraint node in an AttrExpr in preorder.
+func Walk(e AttrExpr, visit func(AttrExpr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch v := e.(type) {
+	case *NotAttr:
+		Walk(v.X, visit)
+	case *BinAttr:
+		Walk(v.L, visit)
+		Walk(v.R, visit)
+	}
+}
+
+// WalkOps visits every operation node in an OpExpr in preorder.
+func WalkOps(e OpExpr, visit func(OpExpr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch v := e.(type) {
+	case *NotOp:
+		WalkOps(v.X, visit)
+	case *BinOp:
+		WalkOps(v.L, visit)
+		WalkOps(v.R, visit)
+	}
+}
+
+// WalkExpr visits every node of a having expression in preorder.
+func WalkExpr(e Expr, visit func(Expr)) {
+	if e == nil {
+		return
+	}
+	visit(e)
+	switch v := e.(type) {
+	case *Unary:
+		WalkExpr(v.X, visit)
+	case *Binary:
+		WalkExpr(v.L, visit)
+		WalkExpr(v.R, visit)
+	case *Call:
+		for _, a := range v.Args {
+			WalkExpr(a, visit)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		node interface{ String() string }
+		want string
+	}{
+		{&Cstr{Attr: "exe_name", Op: "=", Val: "%cmd%", ValIsString: true}, `exe_name = "%cmd%"`},
+		{&Cstr{Attr: "dst_port", Op: "=", Val: "4444"}, "dst_port = 4444"},
+		{&Cstr{Op: "=", Val: ".viminfo", ValIsString: true}, `".viminfo"`},
+		{&Cstr{Attr: "name", Op: "in", Vals: []string{"a", "b"}}, "name in (a, b)"},
+		{&Cstr{Attr: "name", Op: "notin", Vals: []string{"a"}}, "name not in (a)"},
+		{&NotAttr{X: &Cstr{Attr: "x", Op: "=", Val: "1"}}, "!(x = 1)"},
+		{&BinAttr{Op: "||", L: &Cstr{Op: "=", Val: "a", ValIsString: true}, R: &Cstr{Op: "=", Val: "b", ValIsString: true}}, `("a" || "b")`},
+		{&OpName{Name: "read"}, "read"},
+		{&NotOp{X: &OpName{Name: "read"}}, "!read"},
+		{&BinOp{Op: "||", L: &OpName{Name: "read"}, R: &OpName{Name: "write"}}, "read || write"},
+		{&AttrRel{LID: "p1", Op: "=", RID: "p3"}, "p1 = p3"},
+		{&AttrRel{LID: "p1", LAttr: "name", Op: "=", RID: "p3", RAttr: "name"}, "p1.name = p3.name"},
+		{&TempRel{LEvt: "evt1", Kind: "before", REvt: "evt2"}, "evt1 before evt2"},
+		{&TempRel{LEvt: "evt1", Kind: "before", Lo: "1", Hi: "2", Unit: "minutes", REvt: "evt2"}, "evt1 before[1-2 minutes] evt2"},
+		{&Ref{ID: "p1"}, "p1"},
+		{&Ref{ID: "evt1", Attr: "optype"}, "evt1.optype"},
+		{&Agg{Func: "count", Distinct: true, Arg: &Ref{ID: "ipp"}}, "count(distinct ipp)"},
+		{&VarRef{Name: "freq"}, "freq"},
+		{&VarRef{Name: "freq", Hist: 2}, "freq[2]"},
+		{&FieldRef{ID: "evt", Attr: "amount"}, "evt.amount"},
+		{&Call{Func: "EWMA", Args: []Expr{&VarRef{Name: "freq"}, &NumLit{Raw: "0.9"}}}, "EWMA(freq, 0.9)"},
+		{&Unary{Op: "-", X: &VarRef{Name: "x"}}, "-x"},
+		{&Binary{Op: "+", L: &VarRef{Name: "a"}, R: &VarRef{Name: "b"}}, "(a + b)"},
+		{SortKey{Name: "p1"}, "p1"},
+		{SortKey{Name: "p1", Attr: "pid"}, "p1.pid"},
+		{Pos{Line: 3, Col: 7}, "3:7"},
+	}
+	for _, tc := range cases {
+		if got := tc.node.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestIsAnomaly(t *testing.T) {
+	q := &Query{Globals: []Global{{Cstr: &Cstr{Attr: "agentid", Op: "=", Val: "1"}}}}
+	if q.IsAnomaly() {
+		t.Error("query without slide window reported anomalous")
+	}
+	q.Globals = append(q.Globals, Global{Slide: &SlideWind{Length: 60000}})
+	if !q.IsAnomaly() {
+		t.Error("query with slide window not reported anomalous")
+	}
+}
+
+func TestWalkVisitsAllAttrNodes(t *testing.T) {
+	tree := &BinAttr{
+		Op: "&&",
+		L:  &NotAttr{X: &Cstr{Attr: "a", Op: "=", Val: "1"}},
+		R: &BinAttr{Op: "||",
+			L: &Cstr{Attr: "b", Op: "=", Val: "2"},
+			R: &Cstr{Attr: "c", Op: "=", Val: "3"}},
+	}
+	var leaves, total int
+	Walk(tree, func(e AttrExpr) {
+		total++
+		if _, ok := e.(*Cstr); ok {
+			leaves++
+		}
+	})
+	if leaves != 3 || total != 6 {
+		t.Errorf("walk visited %d leaves / %d nodes, want 3/6", leaves, total)
+	}
+	Walk(nil, func(AttrExpr) { t.Error("nil walk must not visit") })
+}
+
+func TestWalkOps(t *testing.T) {
+	tree := &BinOp{Op: "||",
+		L: &OpName{Name: "read"},
+		R: &NotOp{X: &OpName{Name: "delete"}}}
+	var names []string
+	WalkOps(tree, func(e OpExpr) {
+		if o, ok := e.(*OpName); ok {
+			names = append(names, o.Name)
+		}
+	})
+	if strings.Join(names, ",") != "read,delete" {
+		t.Errorf("visited ops = %v", names)
+	}
+	WalkOps(nil, func(OpExpr) { t.Error("nil walk must not visit") })
+}
+
+func TestWalkExpr(t *testing.T) {
+	tree := &Binary{Op: ">",
+		L: &Call{Func: "SMA", Args: []Expr{&VarRef{Name: "freq"}, &NumLit{Raw: "3"}}},
+		R: &Unary{Op: "-", X: &NumLit{Raw: "1"}}}
+	count := 0
+	WalkExpr(tree, func(Expr) { count++ })
+	// Binary, Call, VarRef, NumLit, Unary, NumLit.
+	if count != 6 {
+		t.Errorf("visited %d nodes, want 6", count)
+	}
+	WalkExpr(nil, func(Expr) { t.Error("nil walk must not visit") })
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aiql/internal/gen"
+	"aiql/internal/queries"
+	"aiql/internal/types"
+)
+
+func tinyDataset(t testing.TB) *types.Dataset {
+	t.Helper()
+	return Dataset(gen.Config{Hosts: 10, Days: 3, BackgroundPerHostDay: 300, Seed: 2})
+}
+
+// TestSystemsAgreeOnResults is the evaluation's validity condition: every
+// system under comparison must return the same number of rows for every
+// corpus query — they differ in cost only.
+func TestSystemsAgreeOnResults(t *testing.T) {
+	ds := tinyDataset(t)
+	groups := [][]Runner{EndToEnd(ds), SingleNode(ds), Parallel(ds, 5)}
+	all := append(queries.CaseStudy(), queries.Behaviors()...)
+	for gi, runners := range groups {
+		for _, q := range all {
+			var want int
+			for ri, r := range runners {
+				tm := Run(r, q)
+				if tm.Err != nil {
+					t.Fatalf("group %d %s on %s: %v", gi, q.ID, r.Name, tm.Err)
+				}
+				if ri == 0 {
+					want = tm.Rows
+					continue
+				}
+				if tm.Rows != want {
+					t.Errorf("group %d query %s: %s returned %d rows, %s returned %d",
+						gi, q.ID, runners[0].Name, want, r.Name, tm.Rows)
+				}
+			}
+		}
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	var buf bytes.Buffer
+	timings := Table3(&buf, tinyDataset(t))
+	out := buf.String()
+	for _, frag := range []string{"Table 3", "c1", "c5", "All", "Speedup"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 3 output missing %q:\n%s", frag, out)
+		}
+	}
+	// 26 multievent queries x 3 systems.
+	if len(timings) != 26*3 {
+		t.Errorf("timings = %d, want 78", len(timings))
+	}
+	if got := Systems(timings); len(got) != 3 {
+		t.Errorf("systems = %v", got)
+	}
+}
+
+func TestFig6And7Output(t *testing.T) {
+	ds := tinyDataset(t)
+	var buf bytes.Buffer
+	t6 := Fig6(&buf, ds)
+	if len(t6) != 19*3 {
+		t.Errorf("fig6 timings = %d, want 57", len(t6))
+	}
+	if !strings.Contains(buf.String(), "Fig 6") {
+		t.Error("fig6 title missing")
+	}
+	buf.Reset()
+	t7 := Fig7(&buf, ds)
+	if len(t7) != 19*2 {
+		t.Errorf("fig7 timings = %d, want 38", len(t7))
+	}
+	totals := GroupTimings(t7)
+	if len(totals) != 2 {
+		t.Errorf("fig7 systems = %v", totals)
+	}
+}
+
+func TestFig8AndTable5Output(t *testing.T) {
+	var buf bytes.Buffer
+	cmps := Fig8(&buf)
+	if len(cmps) != 19 {
+		t.Errorf("comparisons = %d, want 19", len(cmps))
+	}
+	if !strings.Contains(buf.String(), "n/a") {
+		t.Error("anomaly queries should show n/a for SQL/Cypher/SPL")
+	}
+	buf.Reset()
+	Table5(&buf, cmps)
+	out := buf.String()
+	for _, frag := range []string{"AIQL/SQL", "AIQL/Cypher", "# of constraints", "x"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 5 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable4Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table4(&buf)
+	out := buf.String()
+	for _, s := range gen.MalwareSamples {
+		if !strings.Contains(out, s.Name) || !strings.Contains(out, s.Category) {
+			t.Errorf("Table 4 missing sample %s", s.ID)
+		}
+	}
+}
+
+func TestRunMeasuresAndCounts(t *testing.T) {
+	ds := tinyDataset(t)
+	runners := EndToEnd(ds)
+	q := queries.CaseStudy()[0]
+	tm := Run(runners[0], q)
+	if tm.QueryID != q.ID || tm.System != SysAIQL {
+		t.Errorf("timing header = %+v", tm)
+	}
+	if tm.Elapsed <= 0 {
+		t.Error("elapsed not measured")
+	}
+	if tm.TimedOut {
+		t.Error("tiny query timed out")
+	}
+}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"aiql/internal/concise"
+	"aiql/internal/gen"
+	"aiql/internal/queries"
+	"aiql/internal/types"
+)
+
+// fmtSecs renders a duration in seconds with the paper's precision.
+func fmtSecs(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }
+
+func fmtTiming(t Timing) string {
+	if t.TimedOut {
+		return ">budget"
+	}
+	return fmtSecs(t.Elapsed)
+}
+
+// Table3 reproduces paper Table 3: aggregate statistics for the case-study
+// investigation — per attack step, the number of (multievent) queries, the
+// number of event patterns, and the total investigation time per system.
+func Table3(w io.Writer, ds *types.Dataset) []Timing {
+	runners := EndToEnd(ds)
+	cs := CaseStudy()
+	var all []Timing
+	fmt.Fprintf(w, "Table 3: Aggregate statistics for case study\n")
+	fmt.Fprintf(w, "%-6s %-10s %-14s %12s %15s %12s\n",
+		"Step", "# Queries", "# Evt Patterns", "AIQL (s)", "PostgreSQL (s)", "Neo4j (s)")
+	totalQ, totalP := 0, 0
+	totals := map[string]time.Duration{}
+	timeouts := map[string]int{}
+	for _, step := range queries.Steps {
+		var stepQ []queries.Query
+		for _, q := range cs {
+			if q.Group == step && !q.Anomaly {
+				stepQ = append(stepQ, q)
+			}
+		}
+		patterns := 0
+		stepTime := map[string]time.Duration{}
+		stepTimeouts := map[string]int{}
+		for _, q := range stepQ {
+			patterns += q.Patterns
+			for _, r := range runners {
+				t := Run(r, q)
+				all = append(all, t)
+				stepTime[r.Name] += t.Elapsed
+				totals[r.Name] += t.Elapsed
+				if t.TimedOut {
+					stepTimeouts[r.Name]++
+					timeouts[r.Name]++
+				}
+			}
+		}
+		totalQ += len(stepQ)
+		totalP += patterns
+		fmt.Fprintf(w, "%-6s %-10d %-14d %12s %15s %12s\n",
+			step, len(stepQ), patterns,
+			stepCell(stepTime[SysAIQL], stepTimeouts[SysAIQL]),
+			stepCell(stepTime[SysPostgres], stepTimeouts[SysPostgres]),
+			stepCell(stepTime[SysNeo4j], stepTimeouts[SysNeo4j]))
+	}
+	fmt.Fprintf(w, "%-6s %-10d %-14d %12s %15s %12s\n",
+		"All", totalQ, totalP,
+		stepCell(totals[SysAIQL], timeouts[SysAIQL]),
+		stepCell(totals[SysPostgres], timeouts[SysPostgres]),
+		stepCell(totals[SysNeo4j], timeouts[SysNeo4j]))
+	if totals[SysAIQL] > 0 {
+		fmt.Fprintf(w, "Speedup of AIQL: %.1fx over PostgreSQL, %.1fx over Neo4j\n",
+			totals[SysPostgres].Seconds()/totals[SysAIQL].Seconds(),
+			totals[SysNeo4j].Seconds()/totals[SysAIQL].Seconds())
+	}
+	return all
+}
+
+func stepCell(d time.Duration, timeouts int) string {
+	s := fmtSecs(d)
+	if timeouts > 0 {
+		s += fmt.Sprintf("(+%dTO)", timeouts)
+	}
+	return s
+}
+
+// CaseStudy returns the multievent case-study queries in investigation
+// order (c1..c5 as the paper's Fig. 5 x-axis orders them).
+func CaseStudy() []queries.Query { return queries.CaseStudy() }
+
+// Fig5 reproduces paper Fig. 5: per-query log10 execution time for the 26
+// multievent case-study queries across AIQL, PostgreSQL and Neo4j.
+func Fig5(w io.Writer, ds *types.Dataset) []Timing {
+	runners := EndToEnd(ds)
+	var all []Timing
+	fmt.Fprintf(w, "Fig 5: Log10-transformed query execution time (seconds)\n")
+	fmt.Fprintf(w, "%-7s %10s %12s %10s   %10s %12s %10s\n",
+		"Query", "AIQL(s)", "Postgres(s)", "Neo4j(s)", "log10", "log10", "log10")
+	for _, q := range CaseStudy() {
+		if q.Anomaly {
+			continue
+		}
+		row := map[string]Timing{}
+		for _, r := range runners {
+			t := Run(r, q)
+			all = append(all, t)
+			row[r.Name] = t
+		}
+		fmt.Fprintf(w, "%-7s %10s %12s %10s   %10.2f %12.2f %10.2f\n",
+			q.ID,
+			fmtTiming(row[SysAIQL]), fmtTiming(row[SysPostgres]), fmtTiming(row[SysNeo4j]),
+			log10s(row[SysAIQL]), log10s(row[SysPostgres]), log10s(row[SysNeo4j]))
+	}
+	return all
+}
+
+func log10s(t Timing) float64 {
+	s := t.Elapsed.Seconds()
+	if s <= 0 {
+		s = 1e-6
+	}
+	return math.Log10(s)
+}
+
+// Fig6 reproduces paper Fig. 6: the 19 behaviour queries under PostgreSQL
+// scheduling, AIQL fetch-and-filter, and AIQL relationship-based
+// scheduling, all on the same single-node optimized storage.
+func Fig6(w io.Writer, ds *types.Dataset) []Timing {
+	runners := SingleNode(ds)
+	return behaviorTable(w, "Fig 6: scheduling on single-node storage (seconds)", runners)
+}
+
+// Fig7 reproduces paper Fig. 7: the 19 behaviour queries under Greenplum
+// scheduling vs AIQL scheduling on 5-segment MPP storage.
+func Fig7(w io.Writer, ds *types.Dataset) []Timing {
+	runners := Parallel(ds, 5)
+	return behaviorTable(w, "Fig 7: scheduling on parallel (MPP) storage (seconds)", runners)
+}
+
+func behaviorTable(w io.Writer, title string, runners []Runner) []Timing {
+	var all []Timing
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-28s %-5s", "Behavior group", "ID")
+	for _, r := range runners {
+		fmt.Fprintf(w, " %14s", r.Name)
+	}
+	fmt.Fprintln(w)
+	totals := make(map[string]time.Duration, len(runners))
+	for _, g := range queries.BehaviorGroups {
+		for _, q := range queries.Behaviors() {
+			if q.Group != g {
+				continue
+			}
+			fmt.Fprintf(w, "%-28s %-5s", queries.GroupTitle(g), q.ID)
+			for _, r := range runners {
+				t := Run(r, q)
+				all = append(all, t)
+				totals[r.Name] += t.Elapsed
+				fmt.Fprintf(w, " %14s", fmtTiming(t))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "%-28s %-5s", "Total", "")
+	for _, r := range runners {
+		fmt.Fprintf(w, " %14s", fmtSecs(totals[r.Name]))
+	}
+	fmt.Fprintln(w)
+	base := runners[0].Name
+	last := runners[len(runners)-1].Name
+	if totals[last] > 0 {
+		fmt.Fprintf(w, "Average speedup of %s over %s: %.1fx\n",
+			last, base, totals[base].Seconds()/totals[last].Seconds())
+	}
+	return all
+}
+
+// Fig8 reproduces paper Fig. 8: conciseness metrics per behaviour for AIQL,
+// SQL, Neo4j Cypher and Splunk SPL. Anomaly queries (s5, s6) have no
+// SQL/Cypher/SPL equivalents, as in the paper.
+func Fig8(w io.Writer) []concise.Comparison {
+	var cmps []concise.Comparison
+	fmt.Fprintf(w, "Fig 8: conciseness (constraints / words / characters)\n")
+	fmt.Fprintf(w, "%-5s %18s %18s %18s %18s\n", "ID", "AIQL", "SQL", "Cypher", "SPL")
+	for _, q := range queries.Behaviors() {
+		c, err := concise.Measure(q.ID, q.Src)
+		if err != nil {
+			fmt.Fprintf(w, "%-5s measurement error: %v\n", q.ID, err)
+			continue
+		}
+		cmps = append(cmps, c)
+		fmt.Fprintf(w, "%-5s %18s %18s %18s %18s\n", q.ID,
+			metricCell(&c.AIQL), metricCell(c.SQL), metricCell(c.Cypher), metricCell(c.SPL))
+	}
+	return cmps
+}
+
+func metricCell(m *concise.Metrics) string {
+	if m == nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%d / %d / %d", m.Constraints, m.Words, m.Chars)
+}
+
+// Table5 reproduces paper Table 5: average conciseness improvement of AIQL
+// over each target language.
+func Table5(w io.Writer, cmps []concise.Comparison) {
+	fmt.Fprintf(w, "Table 5: Conciseness improvement statistics\n")
+	fmt.Fprintf(w, "%-18s %12s %14s %16s\n", "Metrics", "AIQL/SQL", "AIQL/Cypher", "AIQL/Splunk SPL")
+	sqlR := concise.Average(cmps, func(c concise.Comparison) *concise.Metrics { return c.SQL })
+	cyR := concise.Average(cmps, func(c concise.Comparison) *concise.Metrics { return c.Cypher })
+	splR := concise.Average(cmps, func(c concise.Comparison) *concise.Metrics { return c.SPL })
+	fmt.Fprintf(w, "%-18s %11.1fx %13.1fx %15.1fx\n", "# of constraints", sqlR.Constraints, cyR.Constraints, splR.Constraints)
+	fmt.Fprintf(w, "%-18s %11.1fx %13.1fx %15.1fx\n", "# of words", sqlR.Words, cyR.Words, splR.Words)
+	fmt.Fprintf(w, "%-18s %11.1fx %13.1fx %15.1fx\n", "# of characters", sqlR.Chars, cyR.Chars, splR.Chars)
+}
+
+// Table4 reproduces paper Table 4: the malware sample inventory, enriched
+// with the workstation each sample was executed on.
+func Table4(w io.Writer) {
+	fmt.Fprintf(w, "Table 4: Selected malware samples from Virussign\n")
+	fmt.Fprintf(w, "%-4s %-34s %-15s %s\n", "ID", "Name", "Category", "Agent")
+	for i, s := range gen.MalwareSamples {
+		fmt.Fprintf(w, "%-4s %-34s %-15s %d\n", s.ID, s.Name, s.Category, gen.MalwareAgent(i))
+	}
+}
+
+// GroupTimings aggregates timings per system, sorted by system name — a
+// convenience for tests and reports.
+func GroupTimings(ts []Timing) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, t := range ts {
+		out[t.System] += t.Elapsed
+	}
+	return out
+}
+
+// Systems lists the distinct systems present in a timing set, sorted.
+func Systems(ts []Timing) []string {
+	set := map[string]bool{}
+	for _, t := range ts {
+		set[t.System] = true
+	}
+	var out []string
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,100 @@
+// Package concise computes the paper's conciseness metrics (Sec. 6.4):
+// number of query constraints, number of words, and number of characters
+// excluding spaces, for an AIQL query and its SQL / Cypher / SPL
+// equivalents.
+package concise
+
+import (
+	"strings"
+	"unicode"
+
+	"aiql/internal/translate"
+)
+
+// Metrics are the three conciseness measurements for one query text.
+type Metrics struct {
+	Constraints int
+	Words       int
+	Chars       int
+}
+
+// TextMetrics computes word and character counts of a query text.
+// Characters exclude all whitespace, as in the paper.
+func TextMetrics(text string) (words, chars int) {
+	words = len(strings.Fields(text))
+	for _, r := range text {
+		if !unicode.IsSpace(r) {
+			chars++
+		}
+	}
+	return words, chars
+}
+
+// Comparison is the full conciseness record for one attack behaviour.
+type Comparison struct {
+	ID     string
+	AIQL   Metrics
+	SQL    *Metrics // nil where the language cannot express the query
+	Cypher *Metrics
+	SPL    *Metrics
+}
+
+// Measure translates an AIQL query and measures all four languages.
+func Measure(id, aiqlSrc string) (Comparison, error) {
+	cmpr := Comparison{ID: id}
+	n, err := translate.AIQLConstraints(aiqlSrc)
+	if err != nil {
+		return cmpr, err
+	}
+	w, ch := TextMetrics(aiqlSrc)
+	cmpr.AIQL = Metrics{Constraints: n, Words: w, Chars: ch}
+
+	sql, cypher, spl, err := translate.All(aiqlSrc)
+	if err != nil {
+		return cmpr, err
+	}
+	if sql != nil {
+		w, ch := TextMetrics(sql.Text)
+		cmpr.SQL = &Metrics{Constraints: sql.Constraints, Words: w, Chars: ch}
+	}
+	if cypher != nil {
+		w, ch := TextMetrics(cypher.Text)
+		cmpr.Cypher = &Metrics{Constraints: cypher.Constraints, Words: w, Chars: ch}
+	}
+	if spl != nil {
+		w, ch := TextMetrics(spl.Text)
+		cmpr.SPL = &Metrics{Constraints: spl.Constraints, Words: w, Chars: ch}
+	}
+	return cmpr, nil
+}
+
+// Ratios is the paper's Table 5: average improvement of AIQL over each
+// target language across a query corpus.
+type Ratios struct {
+	Constraints float64
+	Words       float64
+	Chars       float64
+	Queries     int
+}
+
+// Average computes per-language average ratios (other/AIQL) over the
+// comparisons in which the other language could express the query.
+func Average(cmps []Comparison, pick func(Comparison) *Metrics) Ratios {
+	var r Ratios
+	for _, c := range cmps {
+		other := pick(c)
+		if other == nil || c.AIQL.Constraints == 0 || c.AIQL.Words == 0 || c.AIQL.Chars == 0 {
+			continue
+		}
+		r.Constraints += float64(other.Constraints) / float64(c.AIQL.Constraints)
+		r.Words += float64(other.Words) / float64(c.AIQL.Words)
+		r.Chars += float64(other.Chars) / float64(c.AIQL.Chars)
+		r.Queries++
+	}
+	if r.Queries > 0 {
+		r.Constraints /= float64(r.Queries)
+		r.Words /= float64(r.Queries)
+		r.Chars /= float64(r.Queries)
+	}
+	return r
+}

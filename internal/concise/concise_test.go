@@ -1,0 +1,129 @@
+package concise
+
+import (
+	"testing"
+
+	"aiql/internal/queries"
+)
+
+func TestTextMetrics(t *testing.T) {
+	words, chars := TextMetrics("return p1, p2\nsort by p1")
+	if words != 6 {
+		t.Errorf("words = %d, want 6", words)
+	}
+	// 19 non-space characters ("returnp1,p2sortbyp1").
+	if chars != 19 {
+		t.Errorf("chars = %d, want 19", chars)
+	}
+	w, c := TextMetrics("")
+	if w != 0 || c != 0 {
+		t.Error("empty text should measure 0/0")
+	}
+}
+
+func TestMeasureMultievent(t *testing.T) {
+	src := `
+		agentid = 1
+		proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+		proc p3["%sqlservr%"] write file f1["%backup1.dmp"] as evt2
+		with evt1 before evt2
+		return distinct p1, p2, p3, f1`
+	c, err := Measure("t1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SQL == nil || c.Cypher == nil || c.SPL == nil {
+		t.Fatal("expressible query got nil translations")
+	}
+	// The paper's core claim: every translation is larger on every metric.
+	for name, m := range map[string]*Metrics{"SQL": c.SQL, "Cypher": c.Cypher, "SPL": c.SPL} {
+		if m.Constraints <= c.AIQL.Constraints {
+			t.Errorf("%s constraints %d <= AIQL %d", name, m.Constraints, c.AIQL.Constraints)
+		}
+		if m.Words <= c.AIQL.Words {
+			t.Errorf("%s words %d <= AIQL %d", name, m.Words, c.AIQL.Words)
+		}
+		if m.Chars <= c.AIQL.Chars {
+			t.Errorf("%s chars %d <= AIQL %d", name, m.Chars, c.AIQL.Chars)
+		}
+	}
+}
+
+func TestMeasureAnomalyHasNoTranslations(t *testing.T) {
+	src := `
+		agentid = 1
+		(at "01/01/2017")
+		window = 1 min, step = 10 sec
+		proc p write ip i as evt
+		return p, avg(evt.amount) as amt
+		group by p
+		having amt > 2 * (amt + amt[1]) / 3`
+	c, err := Measure("s5", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SQL != nil || c.Cypher != nil || c.SPL != nil {
+		t.Error("anomaly query should have no SQL/Cypher/SPL equivalents")
+	}
+	if c.AIQL.Words == 0 {
+		t.Error("AIQL metrics missing")
+	}
+}
+
+func TestMeasureError(t *testing.T) {
+	if _, err := Measure("bad", "proc p1 frobnicate"); err == nil {
+		t.Error("Measure accepted a broken query")
+	}
+}
+
+// TestPaperRatiosShape validates Table 5's shape over the real behaviour
+// corpus: AIQL at least 2x more concise on constraints and words against
+// every target language (the paper reports >= 2.4x / 3.1x / 4.7x).
+func TestPaperRatiosShape(t *testing.T) {
+	var cmps []Comparison
+	for _, q := range queries.Behaviors() {
+		c, err := Measure(q.ID, q.Src)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		cmps = append(cmps, c)
+	}
+	sql := Average(cmps, func(c Comparison) *Metrics { return c.SQL })
+	cy := Average(cmps, func(c Comparison) *Metrics { return c.Cypher })
+	spl := Average(cmps, func(c Comparison) *Metrics { return c.SPL })
+
+	// s5, s6 have no equivalents: 17 of 19 queries measurable.
+	if sql.Queries != 17 || cy.Queries != 17 || spl.Queries != 17 {
+		t.Errorf("measurable queries = %d/%d/%d, want 17", sql.Queries, cy.Queries, spl.Queries)
+	}
+	for name, r := range map[string]Ratios{"SQL": sql, "Cypher": cy, "SPL": spl} {
+		if r.Constraints < 2.0 {
+			t.Errorf("%s constraint ratio %.2f below 2x", name, r.Constraints)
+		}
+		if r.Words < 2.0 {
+			t.Errorf("%s word ratio %.2f below 2x", name, r.Words)
+		}
+		if r.Chars < 2.5 {
+			t.Errorf("%s char ratio %.2f below 2.5x", name, r.Chars)
+		}
+	}
+}
+
+func TestAverageSkipsUnmeasurable(t *testing.T) {
+	cmps := []Comparison{
+		{ID: "a", AIQL: Metrics{Constraints: 2, Words: 10, Chars: 50},
+			SQL: &Metrics{Constraints: 6, Words: 30, Chars: 150}},
+		{ID: "b", AIQL: Metrics{Constraints: 3, Words: 10, Chars: 50}}, // no SQL
+	}
+	r := Average(cmps, func(c Comparison) *Metrics { return c.SQL })
+	if r.Queries != 1 {
+		t.Errorf("queries = %d, want 1", r.Queries)
+	}
+	if r.Constraints != 3.0 || r.Words != 3.0 || r.Chars != 3.0 {
+		t.Errorf("ratios = %+v, want 3x everywhere", r)
+	}
+	empty := Average(nil, func(c Comparison) *Metrics { return c.SQL })
+	if empty.Queries != 0 || empty.Constraints != 0 {
+		t.Error("empty average should be zero")
+	}
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aiql/internal/storage"
+	"aiql/internal/timeutil"
+)
+
+// groupState carries the aggregate history of one group key across sliding
+// windows; series are oldest-first and include the current window as the
+// last element while that window is being evaluated. EWMA values are folded
+// incrementally per (alias, alpha) so long window sweeps stay linear.
+type groupState struct {
+	keyVals []string
+	series  map[string][]float64
+	ewma    map[ewmaKey]*ewmaState
+	present bool // had events in the current window
+}
+
+type ewmaKey struct {
+	name  string
+	alpha float64
+}
+
+type ewmaState struct {
+	val float64
+	n   int // number of series elements folded in
+}
+
+// windowEnv exposes one group's aggregate history to the having evaluator.
+// The last element of each series is the current window.
+type windowEnv struct {
+	g *groupState
+}
+
+func (e *windowEnv) Value(name string, hist int) (float64, bool) {
+	s, ok := e.g.series[name]
+	if !ok {
+		return 0, false
+	}
+	idx := len(s) - 1 - hist
+	if idx < 0 {
+		return 0, false
+	}
+	return s[idx], true
+}
+
+func (e *windowEnv) Series(name string) []float64 { return e.g.series[name] }
+
+// EWMA implements the incremental exponentially weighted moving average:
+// the state folds exactly the series prefix it has seen, so each window
+// adds O(1) work per (alias, alpha).
+func (e *windowEnv) EWMA(name string, alpha float64) (float64, bool) {
+	s, ok := e.g.series[name]
+	if !ok || len(s) == 0 {
+		return 0, false
+	}
+	k := ewmaKey{name: name, alpha: alpha}
+	st := e.g.ewma[k]
+	if st == nil {
+		st = &ewmaState{}
+		e.g.ewma[k] = st
+	}
+	for ; st.n < len(s); st.n++ {
+		if st.n == 0 {
+			st.val = s[0]
+		} else {
+			st.val = alpha*s[st.n] + (1-alpha)*st.val
+		}
+	}
+	return st.val, true
+}
+
+// runAnomaly executes an anomaly query (paper Sec. 4.3): a single event
+// pattern aggregated over a sliding time window, with per-group history
+// states (freq[1], freq[2], ...) and moving-average built-ins available to
+// the having clause. The engine "maintains the aggregate results as
+// historical states and performs the filtering based on the historical
+// states" (paper Sec. 5.1).
+func (e *Engine) runAnomaly(plan *Plan) (*Result, error) {
+	if len(plan.Patterns) != 1 {
+		return nil, fmt.Errorf("aiql: anomaly queries aggregate a single event pattern, found %d", len(plan.Patterns))
+	}
+	exec := &execution{eng: e, plan: plan, bud: &budget{maxTuples: e.opts.MaxTuples, maxPairs: e.opts.MaxPairs, noHash: e.opts.NoHashJoin}}
+	matches := exec.runPattern(0, nil)
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Event.Start < matches[j].Event.Start })
+
+	ts := newTupleSet(0, matches)
+
+	groups := make(map[string]*groupState)
+	var groupOrder []string
+
+	aggItems := make([]int, 0, len(plan.Return.Items))
+	for i := range plan.Return.Items {
+		if plan.Return.Items[i].Agg != nil {
+			aggItems = append(aggItems, i)
+		}
+	}
+
+	res := &Result{Columns: append([]string{"window"}, plan.Columns()...)}
+	res.DataQueries = exec.queries
+
+	// Group keys are precomputed once per match, not once per overlapping
+	// window.
+	keys := make([]string, len(matches))
+	keyVals := make([][]string, len(matches))
+	for i := range matches {
+		vals := make([]string, len(plan.GroupBy))
+		for k, gref := range plan.GroupBy {
+			vals[k] = colValue(ts, ts.rows[i], gref)
+		}
+		keyVals[i] = vals
+		keys[i] = strings.Join(vals, "\x00")
+	}
+
+	lo, hi := 0, 0
+	winRows := make(map[string][][]storage.Match)
+	for wStart := plan.Window.From; wStart < plan.Window.To; wStart += plan.Slide.Step {
+		wEnd := wStart + plan.Slide.Length
+		// Advance the two pointers over the time-sorted matches.
+		for lo < len(matches) && matches[lo].Event.Start < wStart {
+			lo++
+		}
+		if hi < lo {
+			hi = lo
+		}
+		for hi < len(matches) && matches[hi].Event.Start < wEnd {
+			hi++
+		}
+
+		// Partition this window's matches by group key.
+		for _, g := range groups {
+			g.present = false
+		}
+		clear(winRows)
+		for i := lo; i < hi; i++ {
+			key := keys[i]
+			if _, ok := groups[key]; !ok {
+				groups[key] = &groupState{
+					keyVals: keyVals[i],
+					series:  make(map[string][]float64),
+					ewma:    make(map[ewmaKey]*ewmaState),
+				}
+				groupOrder = append(groupOrder, key)
+			}
+			groups[key].present = true
+			winRows[key] = append(winRows[key], ts.rows[i])
+		}
+
+		// Compute aggregates for every known group (absent groups record 0,
+		// so moving averages see the quiet windows too) and evaluate the
+		// having clause for groups active in this window.
+		for _, key := range groupOrder {
+			g := groups[key]
+			env := &windowEnv{g: g}
+			for _, ii := range aggItems {
+				item := &plan.Return.Items[ii]
+				v := computeAgg(item.Agg, ts, winRows[key])
+				g.series[item.Name] = append(g.series[item.Name], v)
+			}
+			if !g.present {
+				continue
+			}
+			keep := true
+			if plan.Having != nil {
+				ok, err := evalBool(plan.Having, env)
+				if err != nil {
+					return nil, err
+				}
+				keep = ok
+			}
+			if keep {
+				out := make([]string, 0, len(plan.Return.Items)+1)
+				out = append(out, timeutil.FormatMillis(wStart))
+				for i := range plan.Return.Items {
+					item := &plan.Return.Items[i]
+					if item.Agg != nil {
+						s := g.series[item.Name]
+						out = append(out, formatNum(s[len(s)-1]))
+					} else {
+						out = append(out, colValue(ts, winRows[key][0], item.Ref))
+					}
+				}
+				res.Rows = append(res.Rows, out)
+			}
+		}
+	}
+	if plan.Top > 0 && len(res.Rows) > plan.Top {
+		res.Rows = res.Rows[:plan.Top]
+	}
+	return res, nil
+}

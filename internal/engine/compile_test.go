@@ -1,0 +1,321 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"aiql/internal/ast"
+	"aiql/internal/parser"
+	"aiql/internal/pred"
+	"aiql/internal/types"
+)
+
+func mustCompile(t *testing.T, src string) *Plan {
+	t.Helper()
+	q, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func compileErr(t *testing.T, src, want string) {
+	t.Helper()
+	q, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse failed before compile: %v", err)
+	}
+	_, err = Compile(q)
+	if err == nil {
+		t.Fatalf("Compile accepted:\n%s", src)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not contain %q", err, want)
+	}
+}
+
+func TestCompileGlobals(t *testing.T) {
+	plan := mustCompile(t, `
+		agentid = 3
+		(at "03/02/2017")
+		proc p1 start proc p2 return p1`)
+	if len(plan.Agents) != 1 || plan.Agents[0] != 3 {
+		t.Errorf("agents = %v", plan.Agents)
+	}
+	if plan.Window.Unbounded() {
+		t.Error("window not resolved")
+	}
+	if plan.Patterns[0].Window != plan.Window {
+		t.Error("pattern window must inherit the global window")
+	}
+}
+
+func TestCompileAgentInList(t *testing.T) {
+	plan := mustCompile(t, `
+		agentid in (1, 2, 5)
+		proc p1 start proc p2 return p1`)
+	if len(plan.Agents) != 3 {
+		t.Errorf("agents = %v", plan.Agents)
+	}
+}
+
+func TestDefaultAttributeInference(t *testing.T) {
+	plan := mustCompile(t, `
+		proc p1["%cmd%"] write file f1["/tmp/x"] as evt
+		proc p1 write ip i1["10.0.0.9"] as evt2
+		return p1, f1, i1`)
+	// Bare values infer the per-type default attribute.
+	subj := plan.Patterns[0].Subj.Pred.(*pred.Cond)
+	if subj.Attr != types.AttrExeName {
+		t.Errorf("proc default attr = %q", subj.Attr)
+	}
+	obj := plan.Patterns[0].Obj.Pred.(*pred.Cond)
+	if obj.Attr != types.AttrName {
+		t.Errorf("file default attr = %q", obj.Attr)
+	}
+	ipPred := plan.Patterns[1].Obj.Pred.(*pred.Cond)
+	if ipPred.Attr != types.AttrDstIP {
+		t.Errorf("ip default attr = %q", ipPred.Attr)
+	}
+	// Return refs infer default attributes too.
+	if plan.Return.Items[0].Ref.Attr != types.AttrExeName {
+		t.Errorf("return p1 resolved to %q", plan.Return.Items[0].Ref.Attr)
+	}
+	if plan.Return.Items[2].Ref.Attr != types.AttrDstIP {
+		t.Errorf("return i1 resolved to %q", plan.Return.Items[2].Ref.Attr)
+	}
+}
+
+func TestBareAttrRelInfersID(t *testing.T) {
+	plan := mustCompile(t, `
+		proc p1 start proc p2 as evt1
+		proc p3 write file f1 as evt2
+		with p2 = p3
+		return p1, f1`)
+	var attrJoin *Join
+	for i := range plan.Joins {
+		if plan.Joins[i].Kind == JoinAttr {
+			attrJoin = &plan.Joins[i]
+		}
+	}
+	if attrJoin == nil {
+		t.Fatal("no attribute join compiled")
+	}
+	if attrJoin.AAttr != types.AttrID || attrJoin.BAttr != types.AttrID {
+		t.Errorf("bare relationship compiled to %s = %s, want id = id", attrJoin.AAttr, attrJoin.BAttr)
+	}
+}
+
+func TestEntityReuseCreatesImplicitJoins(t *testing.T) {
+	plan := mustCompile(t, `
+		proc p1 start proc p2 as evt1
+		proc p2 write file f1 as evt2
+		proc p2 read file f2 as evt3
+		return p1, f1, f2`)
+	// p2 appears in three patterns: two implicit id joins chain them.
+	joins := 0
+	for _, j := range plan.Joins {
+		if j.Kind == JoinAttr && j.AAttr == types.AttrID {
+			joins++
+		}
+	}
+	if joins != 2 {
+		t.Errorf("implicit joins = %d, want 2", joins)
+	}
+}
+
+func TestOpExprCompilation(t *testing.T) {
+	cases := []struct {
+		src  string
+		want types.OpSet
+	}{
+		{`proc p read || write file f return p`, types.NewOpSet(types.OpRead, types.OpWrite)},
+		{`proc p !read file f return p`, types.AllOps().Complement().Complement() &^ types.OpSet(1<<types.OpRead)},
+		{`proc p (read || write) && !write file f return p`, types.NewOpSet(types.OpRead)},
+	}
+	for _, tc := range cases {
+		plan := mustCompile(t, tc.src)
+		if plan.Patterns[0].Ops != tc.want {
+			t.Errorf("%s: ops = %v, want %v", tc.src, plan.Patterns[0].Ops, tc.want)
+		}
+	}
+}
+
+func TestPruningScores(t *testing.T) {
+	plan := mustCompile(t, `
+		agentid = 1
+		(at "03/02/2017")
+		proc p1 start proc p2 as evt1
+		proc p3["%a%" && user = "root"] read file f1["%b%"] as evt2
+		return p1, f1`)
+	p0, p1 := plan.Patterns[0], plan.Patterns[1]
+	// Pattern 1 carries 3 more attribute atoms than pattern 0.
+	if p1.Score != p0.Score+3 {
+		t.Errorf("scores = %d vs %d, want difference of 3", p0.Score, p1.Score)
+	}
+	// Both get credit for op, window and agent constraints.
+	if p0.Score != 3 {
+		t.Errorf("base score = %d, want 3 (op+window+agent)", p0.Score)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`file f1 write file f2 return f1`, "subjects must be processes"},
+		{`proc p1 start proc p2 as e1 proc p1 write file f as e1 return p1`, "already names pattern"},
+		{`proc p1 read && write file f return p1`, "matches no operation"},
+		{`proc p1 write file f as e1 with nosuch = p1 return p1`, "unknown entity id"},
+		{`proc p1 write file f as e1 with e9 before e1 return p1`, "unknown event id"},
+		{`proc p1 write file f return nosuchvar`, "unknown reference"},
+		{`proc p1 write file f return p1 sort by zz`, "does not match any returned column"},
+		{`proc p1 write file f as e1 proc p2 start proc p3 as e2 with e1 before[5-2 minutes] e2 return p1`, "inverted"},
+		{`window = 1 min proc p write file f return p`, "returns no aggregate"},
+		{`step = 10 sec proc p write file f return p, count(f) as n group by p`, "no window length"},
+		{`proc p write file f return p having 1 > 0`, "requires aggregation"},
+		{`proc f1 write file f1 return f1`, "used as both"},
+	}
+	for _, tc := range cases {
+		compileErr(t, tc.src, tc.want)
+	}
+}
+
+func TestAnomalyRequiresBoundedWindow(t *testing.T) {
+	compileErr(t, `
+		window = 1 min, step = 10 sec
+		proc p write ip i as evt
+		return p, avg(evt.amount) as amt
+		group by p`, "bounded time window")
+}
+
+func TestSlideDefaults(t *testing.T) {
+	plan := mustCompile(t, `
+		(at "03/02/2017")
+		window = 5 min
+		proc p write ip i as evt
+		return p, count(i) as n
+		group by p`)
+	if plan.Slide == nil {
+		t.Fatal("slide window missing")
+	}
+	if plan.Slide.Step != plan.Slide.Length {
+		t.Errorf("step defaults to window length; got %d/%d", plan.Slide.Step, plan.Slide.Length)
+	}
+}
+
+func TestTemporalNormalization(t *testing.T) {
+	plan := mustCompile(t, `
+		proc p1 write file f1 as e1
+		proc p2 write file f2 as e2
+		with e2 after e1
+		return p1, p2`)
+	j := plan.Joins[0]
+	// "e2 after e1" must normalize to "e1 before e2".
+	if j.TempKind != "before" || j.A != 0 || j.B != 1 {
+		t.Errorf("normalized join = %+v", j)
+	}
+}
+
+func TestEventAttrGlobalsGoToEvents(t *testing.T) {
+	plan := mustCompile(t, `
+		amount > 1000
+		proc p1 write file f1 return p1`)
+	if plan.Patterns[0].EvtPred == nil {
+		t.Fatal("event-attribute global constraint not applied to events")
+	}
+	if plan.Patterns[0].Subj.Pred != nil {
+		t.Error("event constraint leaked to subject")
+	}
+}
+
+func TestSubjectAttrGlobalsGoToSubjects(t *testing.T) {
+	plan := mustCompile(t, `
+		user = "root"
+		proc p1 write file f1 return p1`)
+	if plan.Patterns[0].Subj.Pred == nil {
+		t.Fatal("entity-attribute global constraint not applied to subjects")
+	}
+}
+
+func TestColumnsAndPlanString(t *testing.T) {
+	plan := mustCompile(t, `
+		proc p1 write file f1 as evt1
+		return p1, f1.owner, evt1.optype`)
+	cols := plan.Columns()
+	if len(cols) != 3 || cols[1] != "f1.owner" || cols[2] != "evt1.optype" {
+		t.Errorf("columns = %v", cols)
+	}
+	if !strings.Contains(plan.String(), "1 patterns") {
+		t.Errorf("plan string = %q", plan.String())
+	}
+	countPlan := mustCompile(t, `proc p1 write file f1 return count p1`)
+	if cols := countPlan.Columns(); len(cols) != 1 || cols[0] != "count" {
+		t.Errorf("count columns = %v", cols)
+	}
+}
+
+func TestDependencyRewriteShape(t *testing.T) {
+	q, err := parser.Parse(`
+		forward: proc p1["%cp%"] ->[write] file f1["%x%"] <-[read] proc p2 ->[connect] proc p3
+		return p1, f1, p2, p3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RewriteDependency(q.Dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Patterns) != 3 {
+		t.Fatalf("patterns = %d, want 3", len(m.Patterns))
+	}
+	// Edge 2 is <-[read]: subject must be the right node (p2).
+	if m.Patterns[1].Subj.ID != "p2" || m.Patterns[1].Obj.ID != "f1" {
+		t.Errorf("reversed edge compiled as %s -> %s", m.Patterns[1].Subj.ID, m.Patterns[1].Obj.ID)
+	}
+	// f1's constraint appears only once (first occurrence).
+	if m.Patterns[0].Obj.Cstr == nil {
+		t.Error("first occurrence lost its constraint")
+	}
+	if m.Patterns[1].Obj.Cstr != nil {
+		t.Error("second occurrence kept a redundant constraint")
+	}
+	// Forward direction: 2 temporal relationships.
+	temp := 0
+	for _, r := range m.Rels {
+		if _, ok := r.(*ast.TempRel); ok {
+			temp++
+		}
+	}
+	if temp != 2 {
+		t.Errorf("temporal rels = %d, want 2", temp)
+	}
+}
+
+func TestDependencyRewriteErrors(t *testing.T) {
+	q, err := parser.Parse(`
+		forward: file f1 ->[write] file f2
+		return f1, f2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rerr := RewriteDependency(q.Dep); rerr == nil ||
+		!strings.Contains(rerr.Error(), "only processes perform operations") {
+		t.Errorf("file-subject edge accepted: %v", rerr)
+	}
+}
+
+func TestPatternByEvtID(t *testing.T) {
+	plan := mustCompile(t, `
+		proc p1 write file f1 as first
+		proc p2 read file f2 as second
+		return p1, p2`)
+	if i, ok := plan.PatternByEvtID("second"); !ok || i != 1 {
+		t.Errorf("PatternByEvtID(second) = %d, %v", i, ok)
+	}
+	if _, ok := plan.PatternByEvtID("missing"); ok {
+		t.Error("unknown event id resolved")
+	}
+}

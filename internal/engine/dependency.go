@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+
+	"aiql/internal/ast"
+	"aiql/internal/types"
+)
+
+// RewriteDependency compiles a dependency query into an equivalent
+// multievent query (paper Sec. 5.1: "For an input dependency query, the
+// engine compiles it to an equivalent multievent query for execution").
+//
+// Each <entity op_edge entity> step becomes one event pattern. The arrow
+// direction selects the subject: "a ->[op] b" means a performs op on b,
+// while "a <-[op] b" means b performs op on a. Adjacent steps share their
+// middle entity, so the rewrite assigns every node a variable name (either
+// the user's or a synthesized one) and relies on entity-ID reuse to produce
+// the chain joins. The forward (backward) keyword adds before (after)
+// temporal relationships between consecutive events on the path.
+func RewriteDependency(d *ast.Dependency) (*ast.MultiEvent, error) {
+	if len(d.Nodes) != len(d.Edges)+1 {
+		return nil, fmt.Errorf("aiql: malformed dependency path: %d nodes, %d edges", len(d.Nodes), len(d.Edges))
+	}
+	// Name every node so adjacent patterns can share entities.
+	nodes := make([]ast.EntityRef, len(d.Nodes))
+	copy(nodes, d.Nodes)
+	for i := range nodes {
+		if nodes[i].ID == "" {
+			nodes[i].ID = fmt.Sprintf("_dep%d", i)
+		}
+	}
+
+	m := &ast.MultiEvent{Return: d.Return, SortBy: d.SortBy, SortDesc: d.SortDesc, Top: d.Top}
+	evtIDs := make([]string, len(d.Edges))
+	emitted := make(map[string]bool, len(nodes))
+	for i, edge := range d.Edges {
+		left, right := nodes[i], nodes[i+1]
+		// Only a node's first occurrence carries its attribute constraint;
+		// later occurrences join by entity ID, so repeating the constraint
+		// is redundant (a left node always reappears from the previous
+		// step; reused IDs form cycles).
+		left = stripEmittedCstr(left, emitted)
+		right = stripEmittedCstr(right, emitted)
+		emitted[left.ID], emitted[right.ID] = true, true
+		var subj, obj ast.EntityRef
+		switch edge.Dir {
+		case "->":
+			subj, obj = left, right
+		case "<-":
+			subj, obj = right, left
+		default:
+			return nil, fmt.Errorf("aiql: unknown dependency edge direction %q", edge.Dir)
+		}
+		if st, _ := types.ParseEntityType(subj.Type); st != types.EntityProcess {
+			return nil, fmt.Errorf("aiql: dependency edge %d: subject %q is a %s; only processes perform operations (check the arrow direction)",
+				i+1, subj.ID, subj.Type)
+		}
+		evtID := fmt.Sprintf("_depevt%d", i)
+		evtIDs[i] = evtID
+		m.Patterns = append(m.Patterns, &ast.EventPattern{
+			Pos:   edge.Pos,
+			Subj:  subj,
+			Op:    edge.Op,
+			Obj:   obj,
+			EvtID: evtID,
+		})
+	}
+
+	// Temporal order along the path.
+	switch d.Direction {
+	case "forward":
+		for i := 0; i+1 < len(evtIDs); i++ {
+			m.Rels = append(m.Rels, &ast.TempRel{LEvt: evtIDs[i], Kind: "before", REvt: evtIDs[i+1]})
+		}
+	case "backward":
+		for i := 0; i+1 < len(evtIDs); i++ {
+			m.Rels = append(m.Rels, &ast.TempRel{LEvt: evtIDs[i], Kind: "after", REvt: evtIDs[i+1]})
+		}
+	case "":
+		// Unordered dependency: only the entity chain constrains results.
+	default:
+		return nil, fmt.Errorf("aiql: unknown dependency direction %q", d.Direction)
+	}
+	return m, nil
+}
+
+// stripEmittedCstr clears the attribute constraint of a node whose ID
+// already appeared in an earlier pattern. The entity keeps its ID and thus
+// its join role.
+func stripEmittedCstr(ref ast.EntityRef, emitted map[string]bool) ast.EntityRef {
+	if ref.Cstr != nil && emitted[ref.ID] {
+		ref.Cstr = nil
+	}
+	return ref
+}

@@ -1,0 +1,421 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"aiql/internal/ast"
+	"aiql/internal/parser"
+	"aiql/internal/pred"
+	"aiql/internal/storage"
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+// Backend executes synthesized data queries. storage.Store, the MPP cluster
+// and the baseline stores all satisfy it.
+type Backend interface {
+	Run(q *storage.DataQuery) []storage.Match
+}
+
+// Estimator is the optional Backend extension behind Options.StatsScoring:
+// a cardinality estimate for a data query, answered from index statistics
+// without scanning (paper Sec. 7's statistical pruning model).
+type Estimator interface {
+	Estimate(q *storage.DataQuery) int
+}
+
+// Strategy selects the data-query scheduler (paper Sec. 5.2).
+type Strategy uint8
+
+const (
+	// StrategyRelationship is Algorithm 1: pruning-score ordering with
+	// constrained execution of later data queries.
+	StrategyRelationship Strategy = iota
+	// StrategyFetchFilter executes every data query independently, then
+	// filters tuples by the relationships (the AIQL FF baseline).
+	StrategyFetchFilter
+	// StrategyBigJoin emulates a semantics-agnostic RDBMS: per-row
+	// predicate evaluation without entity pre-resolution, joined in
+	// declaration order with late relationship filtering.
+	StrategyBigJoin
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyRelationship:
+		return "relationship"
+	case StrategyFetchFilter:
+		return "fetch-and-filter"
+	case StrategyBigJoin:
+		return "big-join"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tune the engine; the zero value is the paper's full AIQL
+// configuration.
+type Options struct {
+	Strategy Strategy
+	// MaxTuples bounds any intermediate tuple set (default 2,000,000).
+	MaxTuples int
+	// MaxPairs bounds the total number of join pairs examined
+	// (default 500,000,000) — the stand-in for the paper's 1h timeout.
+	MaxPairs int64
+	// PushdownLimit caps how many distinct values constrained execution
+	// pushes into a data query (default 65536).
+	PushdownLimit int
+	// NoScoreSort disables the pruning-score ordering of relationships
+	// (ablation; relationships are processed in declaration order).
+	NoScoreSort bool
+	// NoPushdown disables constrained execution (ablation).
+	NoPushdown bool
+	// StatsScoring ranks event patterns by index-derived cardinality
+	// estimates instead of constraint counts (paper Sec. 7 future work).
+	// Requires a Backend that implements Estimator; silently falls back to
+	// constraint counts otherwise.
+	StatsScoring bool
+	// SplitDays executes multi-day data queries as parallel per-day
+	// sub-queries (the paper's time window partition optimization).
+	// Disabled only for ablation benchmarks.
+	DisableSplitDays bool
+	// NoHashJoin forces nested-loop joins, emulating query layers without
+	// efficient join support (the paper's Neo4j observation).
+	NoHashJoin bool
+	// ApplyJoin replaces fetch-once-and-join with per-row re-expansion of
+	// each subsequent pattern (Cypher's Apply operator) — the Neo4j
+	// emulation's join discipline. Overrides Strategy's join behaviour.
+	ApplyJoin bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTuples == 0 {
+		o.MaxTuples = 2_000_000
+	}
+	if o.MaxPairs == 0 {
+		o.MaxPairs = 500_000_000
+	}
+	if o.PushdownLimit == 0 {
+		o.PushdownLimit = 65536
+	}
+	return o
+}
+
+// Engine executes compiled plans against a backend.
+type Engine struct {
+	backend Backend
+	opts    Options
+}
+
+// New creates an engine.
+func New(b Backend, opts Options) *Engine {
+	return &Engine{backend: b, opts: opts.withDefaults()}
+}
+
+// Result is the tabular output of a query.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	// Diagnostics
+	DataQueries int // number of data queries issued
+	TuplesMax   int // largest intermediate tuple set
+}
+
+// Query parses, compiles and executes AIQL source.
+func (e *Engine) Query(src string) (*Result, error) {
+	q, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q)
+}
+
+// Execute compiles and runs a parsed query.
+func (e *Engine) Execute(q *ast.Query) (*Result, error) {
+	plan, err := Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(plan)
+}
+
+// Run executes a compiled plan.
+func (e *Engine) Run(plan *Plan) (*Result, error) {
+	if plan.Slide != nil {
+		return e.runAnomaly(plan)
+	}
+	exec := &execution{eng: e, plan: plan, bud: &budget{maxTuples: e.opts.MaxTuples, maxPairs: e.opts.MaxPairs, noHash: e.opts.NoHashJoin}}
+	ts, err := exec.run()
+	if err != nil {
+		return nil, err
+	}
+	res, err := project(plan, ts)
+	if err != nil {
+		return nil, err
+	}
+	res.DataQueries = exec.queries
+	res.TuplesMax = exec.tuplesMax
+	return res, nil
+}
+
+// execution carries per-run state.
+type execution struct {
+	eng       *Engine
+	plan      *Plan
+	bud       *budget
+	queries   int
+	tuplesMax int
+	estimates []int // lazily filled pattern cardinality estimates
+}
+
+// score returns the pruning score of a pattern: with StatsScoring and an
+// estimating backend, the negated cardinality estimate (fewer expected
+// rows = more pruning power); otherwise the compile-time constraint count.
+func (x *execution) score(idx int) int {
+	est, ok := x.eng.backend.(Estimator)
+	if !x.eng.opts.StatsScoring || !ok {
+		return x.plan.Patterns[idx].Score
+	}
+	if x.estimates == nil {
+		x.estimates = make([]int, len(x.plan.Patterns))
+		for i := range x.estimates {
+			x.estimates[i] = -1
+		}
+	}
+	if x.estimates[idx] < 0 {
+		pp := x.plan.Patterns[idx]
+		x.estimates[idx] = est.Estimate(&storage.DataQuery{
+			Agents:   pp.Agents,
+			Window:   pp.Window,
+			SubjType: pp.Subj.Type,
+			ObjType:  pp.Obj.Type,
+			SubjPred: pp.Subj.Pred,
+			ObjPred:  pp.Obj.Pred,
+			Ops:      pp.Ops,
+			EvtPred:  pp.EvtPred,
+		})
+	}
+	return -x.estimates[idx]
+}
+
+// patternConstraint is what constrained execution pushes into a later data
+// query: entity-id allow-sets and/or extra attribute predicates, plus a
+// narrowed time window derived from temporal relationships.
+type patternConstraint struct {
+	subjAllowed map[types.EntityID]struct{}
+	objAllowed  map[types.EntityID]struct{}
+	subjExtra   pred.Pred
+	objExtra    pred.Pred
+	window      *timeutil.Window
+}
+
+// runPattern synthesizes and executes the data query for one pattern.
+func (x *execution) runPattern(idx int, pc *patternConstraint) []storage.Match {
+	pp := x.plan.Patterns[idx]
+	q := &storage.DataQuery{
+		Agents:    pp.Agents,
+		Window:    pp.Window,
+		SubjType:  pp.Subj.Type,
+		ObjType:   pp.Obj.Type,
+		SubjPred:  pp.Subj.Pred,
+		ObjPred:   pp.Obj.Pred,
+		Ops:       pp.Ops,
+		EvtPred:   pp.EvtPred,
+		ForceScan: x.eng.opts.Strategy == StrategyBigJoin,
+	}
+	if pc != nil {
+		q.SubjAllowed = pc.subjAllowed
+		q.ObjAllowed = pc.objAllowed
+		if pc.subjExtra != nil {
+			q.SubjPred = pred.AndOf(q.SubjPred, pc.subjExtra)
+		}
+		if pc.objExtra != nil {
+			q.ObjPred = pred.AndOf(q.ObjPred, pc.objExtra)
+		}
+		if pc.window != nil {
+			q.Window = q.Window.Intersect(*pc.window)
+		}
+	}
+	x.queries++
+	return x.runDataQuery(q)
+}
+
+// runDataQuery executes one data query, splitting multi-day windows into
+// parallel per-day sub-queries when enabled (paper Sec. 5.2, "Time Window
+// Partition").
+func (x *execution) runDataQuery(q *storage.DataQuery) []storage.Match {
+	if x.eng.opts.DisableSplitDays || q.Window.Unbounded() {
+		return x.eng.backend.Run(q)
+	}
+	days := timeutil.SplitByDay(q.Window)
+	if len(days) <= 1 {
+		return x.eng.backend.Run(q)
+	}
+	parts := make([][]storage.Match, len(days))
+	var wg sync.WaitGroup
+	for i := range days {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := *q
+			sub.Window = days[i]
+			parts[i] = x.eng.backend.Run(&sub)
+		}(i)
+	}
+	wg.Wait()
+	var out []storage.Match
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// run dispatches to the configured scheduler and guarantees the returned
+// tuple set covers every pattern.
+func (x *execution) run() (*tupleSet, error) {
+	var (
+		ts  *tupleSet
+		err error
+	)
+	if x.eng.opts.ApplyJoin {
+		ts, err = x.applyJoin()
+		if err != nil {
+			return nil, err
+		}
+		if len(ts.cols) != len(x.plan.Patterns) {
+			return nil, fmt.Errorf("aiql: internal error: apply join covered %d of %d patterns", len(ts.cols), len(x.plan.Patterns))
+		}
+		return ts, nil
+	}
+	switch x.eng.opts.Strategy {
+	case StrategyRelationship:
+		ts, err = x.relationshipSchedule()
+	case StrategyFetchFilter:
+		ts, err = x.fetchAndFilter()
+	case StrategyBigJoin:
+		ts, err = x.bigJoin()
+	default:
+		return nil, fmt.Errorf("aiql: unknown strategy %v", x.eng.opts.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(ts.cols) != len(x.plan.Patterns) {
+		return nil, fmt.Errorf("aiql: internal error: schedule covered %d of %d patterns", len(ts.cols), len(x.plan.Patterns))
+	}
+	return ts, nil
+}
+
+func (x *execution) note(ts *tupleSet) *tupleSet {
+	if len(ts.rows) > x.tuplesMax {
+		x.tuplesMax = len(ts.rows)
+	}
+	return ts
+}
+
+// constraintFromMatches derives the pushdown constraint for the pattern on
+// the far side of join j, given n concrete matches for the near (known)
+// side accessed through get.
+func (x *execution) constraintFromMatches(j *Join, knownPattern int, n int, get func(i int) *storage.Match) *patternConstraint {
+	if x.eng.opts.NoPushdown {
+		return nil
+	}
+	pc := &patternConstraint{}
+	known := j.A
+	knownSide, targetSide := j.ASide, j.BSide
+	knownAttr, targetAttr := j.AAttr, j.BAttr
+	if knownPattern == j.B {
+		known = j.B
+		knownSide, targetSide = j.BSide, j.ASide
+		knownAttr, targetAttr = j.BAttr, j.AAttr
+	}
+	switch j.Kind {
+	case JoinAttr:
+		if j.Op != pred.CmpEq {
+			return nil
+		}
+		vals := make(map[string]struct{})
+		for i := 0; i < n; i++ {
+			m := get(i)
+			if v, ok := sideValue(m, knownSide, knownAttr); ok {
+				vals[v] = struct{}{}
+				if len(vals) > x.eng.opts.PushdownLimit {
+					return nil // too many distinct values to push
+				}
+			}
+		}
+		if targetAttr == types.AttrID {
+			ids := make(map[types.EntityID]struct{}, len(vals))
+			for v := range vals {
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					return nil
+				}
+				ids[types.EntityID(n)] = struct{}{}
+			}
+			if targetSide == SideSubject {
+				pc.subjAllowed = ids
+			} else {
+				pc.objAllowed = ids
+			}
+			return pc
+		}
+		list := make([]string, 0, len(vals))
+		for v := range vals {
+			list = append(list, v)
+		}
+		sort.Strings(list)
+		c := pred.NewCond(targetAttr, pred.CmpIn, "", list...)
+		if targetSide == SideSubject {
+			pc.subjExtra = c
+		} else {
+			pc.objExtra = c
+		}
+		return pc
+	case JoinTemporal:
+		// Narrow the target's time window from the known side's extremes.
+		var minT, maxT int64
+		for i := 0; i < n; i++ {
+			t := get(i).Event.Start
+			if i == 0 || t < minT {
+				minT = t
+			}
+			if i == 0 || t > maxT {
+				maxT = t
+			}
+		}
+		if n == 0 {
+			// No known events: the join can never be satisfied; an empty
+			// window makes the target query trivially empty.
+			pc.window = &timeutil.Window{From: 1, To: 1}
+			return pc
+		}
+		if j.TempKind != "before" {
+			return nil
+		}
+		if known == j.A {
+			// target is B: tB >= minA (+lo), tB <= maxA + hi if bounded.
+			w := timeutil.Window{From: minT + j.LoMs}
+			if j.HiMs > 0 {
+				w.To = maxT + j.HiMs + 1
+			} else {
+				w.To = int64(1) << 62
+			}
+			pc.window = &w
+		} else {
+			// target is A: tA <= maxB, tA >= minB - hi if bounded.
+			w := timeutil.Window{To: maxT + 1}
+			if j.HiMs > 0 {
+				w.From = minT - j.HiMs
+			} else {
+				w.From = 1
+			}
+			pc.window = &w
+		}
+		return pc
+	}
+	return nil
+}

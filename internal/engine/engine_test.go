@@ -1,0 +1,369 @@
+package engine_test
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"aiql/internal/engine"
+	"aiql/internal/gen"
+	"aiql/internal/storage"
+	"aiql/internal/types"
+)
+
+// The integration dataset is generated once; the engine never mutates it.
+var (
+	dsOnce sync.Once
+	dsVal  *types.Dataset
+)
+
+func testDataset() *types.Dataset {
+	dsOnce.Do(func() { dsVal = gen.Scenario(gen.SmallConfig()) })
+	return dsVal
+}
+
+func newEngine(t testing.TB, opts engine.Options) *engine.Engine {
+	t.Helper()
+	st := storage.New(storage.Options{})
+	st.Ingest(testDataset())
+	return engine.New(st, opts)
+}
+
+// cellSet collects one column of a result into a set.
+func cellSet(r *engine.Result, col string) map[string]bool {
+	idx := -1
+	for i, c := range r.Columns {
+		if c == col {
+			idx = i
+		}
+	}
+	out := make(map[string]bool)
+	if idx < 0 {
+		return out
+	}
+	for _, row := range r.Rows {
+		out[row[idx]] = true
+	}
+	return out
+}
+
+func containsMatch(set map[string]bool, substr string) bool {
+	for v := range set {
+		if strings.Contains(v, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQuery7CompleteC5(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		agentid = 2
+		(at "03/02/2017")
+		proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+		proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+		proc p4["%sbblv.exe"] read file f1 as evt3
+		proc p4 read || write ip i1[dstip = "` + gen.AttackerIP + `"] as evt4
+		with evt1 before evt2, evt2 before evt3, evt3 before evt4
+		return distinct p1, p2, p3, f1, p4, i1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("complete c5 query found nothing; injection and query are out of sync")
+	}
+	if !containsMatch(cellSet(res, "p4"), "sbblv.exe") {
+		t.Errorf("expected sbblv.exe in p4 column, got %v", cellSet(res, "p4"))
+	}
+	if !containsMatch(cellSet(res, "f1"), "backup1.dmp") {
+		t.Errorf("expected backup1.dmp in f1 column, got %v", cellSet(res, "f1"))
+	}
+}
+
+func TestQuery7AllStrategiesAgree(t *testing.T) {
+	src := `
+		agentid = 2
+		(at "03/02/2017")
+		proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+		proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+		proc p4["%sbblv.exe"] read file f1 as evt3
+		with evt1 before evt2, evt2 before evt3
+		return distinct p1, p2, p3, f1, p4
+		sort by p4`
+	var want [][]string
+	for _, strat := range []engine.Strategy{engine.StrategyRelationship, engine.StrategyFetchFilter, engine.StrategyBigJoin} {
+		e := newEngine(t, engine.Options{Strategy: strat})
+		res, err := e.Query(src)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if want == nil {
+			want = res.Rows
+			if len(want) == 0 {
+				t.Fatal("no rows from relationship strategy")
+			}
+			continue
+		}
+		if len(res.Rows) != len(want) {
+			t.Fatalf("%v: %d rows, want %d", strat, len(res.Rows), len(want))
+		}
+		for i := range want {
+			if strings.Join(res.Rows[i], "|") != strings.Join(want[i], "|") {
+				t.Fatalf("%v: row %d = %v, want %v", strat, i, res.Rows[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQuery2CommandHistoryProbing(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		agentid = 4
+		(at "03/03/2017")
+		proc p2 start proc p1 as evt1
+		proc p3 read file[".viminfo" || ".bash_history"] as evt2
+		with p1 = p3, evt1 before evt2
+		return p2, p1
+		sort by p2, p1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query 2's bare-value shortcut infers name = ".viminfo" (exact); the
+	// generator stores full paths, so the exact form matches nothing —
+	// which also proves the shortcut compiled to equality, not LIKE.
+	if len(res.Rows) != 0 {
+		t.Errorf("exact-name query matched %d rows; bare values must compile to equality", len(res.Rows))
+	}
+	res2, err := e.Query(`
+		agentid = 4
+		(at "03/03/2017")
+		proc p2 start proc p1 as evt1
+		proc p3 read file["%.viminfo" || "%.bash_history"] as evt2
+		with p1 = p3, evt1 before evt2
+		return distinct p2, p1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) == 0 {
+		t.Fatal("wildcard history probe query found nothing")
+	}
+	if !containsMatch(cellSet(res2, "p1"), ".probe") {
+		t.Errorf("expected the injected probe process, got %v", cellSet(res2, "p1"))
+	}
+}
+
+func TestQuery3ForwardTracking(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		(at "03/03/2017")
+		forward: proc p1["%/bin/cp%", agentid = 3] ->[write] file f1["/var/www/%info_stealer%"]
+		<-[read] proc p2["%apache%"]
+		->[connect] proc p3[agentid = 4]
+		->[write] file f2["%info_stealer%"]
+		return f1, p1, p2, p3, f2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("forward tracking found nothing")
+	}
+	if !containsMatch(cellSet(res, "p3"), "wget") {
+		t.Errorf("expected wget as the downloader, got %v", cellSet(res, "p3"))
+	}
+	if !containsMatch(cellSet(res, "f2"), "info_stealer") {
+		t.Errorf("expected info_stealer ramification file, got %v", cellSet(res, "f2"))
+	}
+}
+
+func TestQuery5AnomalySpike(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		(at "03/02/2017")
+		agentid = 2
+		window = 1 min, step = 10 sec
+		proc p write ip i[dstip = "` + gen.AttackerIP + `"] as evt
+		return p, avg(evt.amount) as amt
+		group by p
+		having (amt > 2 * (amt + amt[1] + amt[2]) / 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("anomaly query found no spike")
+	}
+	if !containsMatch(cellSet(res, "p"), "sbblv.exe") {
+		t.Errorf("expected sbblv.exe as the spiking process, got %v", cellSet(res, "p"))
+	}
+	// The steady-state trickle must NOT trip the detector in every window:
+	// the spike should be a small fraction of all windows.
+	if len(res.Rows) > 60 {
+		t.Errorf("detector fired in %d windows; expected a localized spike", len(res.Rows))
+	}
+}
+
+func TestBackwardDependency(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		(at "03/03/2017")
+		agentid = 1
+		backward: file f1["%chrome_update.exe"] <-[write] proc p1["%GoogleUpdate%"] ->[read] ip i1[dstip = "` + gen.UpdateCDNIP + `"]
+		return f1, p1, i1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("backward dependency query found nothing")
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		agentid = 1
+		(at "03/03/2017")
+		proc p["%updchk.exe"] read ip i[dstip = "` + gen.BeaconIP + `"] as evt
+		return count distinct p, i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "1" {
+		t.Fatalf("count distinct = %v, want [[1]]", res.Rows)
+	}
+}
+
+func TestGroupByAggregation(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		agentid = 1
+		(at "03/03/2017")
+		proc p["%updchk.exe"] read ip i as evt
+		return p, count(i) as n
+		group by p
+		having n > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (the beacon)", len(res.Rows))
+	}
+}
+
+func TestTemporalRangeRelationship(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	// outlook starts excel, excel reads the invoice 10s later: a 1-2 minute
+	// range must exclude it, a 0-1 minute range must include it.
+	base := `
+		agentid = 1
+		(at "03/02/2017")
+		proc p1["%outlook.exe"] start proc p2["%excel.exe"] as evt1
+		proc p2 read file f1["%invoice.xls"] as evt2
+		with evt1 before%s evt2
+		return p1, p2, f1`
+	res, err := e.Query(strings.Replace(base, "%s", "[0-1 minutes]", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("0-1 minute range should match the macro opening the attachment")
+	}
+	res, err = e.Query(strings.Replace(base, "%s", "[1-2 minutes]", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("1-2 minute range should exclude the 10s gap, got %d rows", len(res.Rows))
+	}
+}
+
+func TestEntityReuseImplicitJoin(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	// Reusing p2 in both patterns must give the same result as the
+	// explicit p2 = p3 relationship.
+	explicit, err := e.Query(`
+		agentid = 2
+		(at "03/02/2017")
+		proc p1["%wscript.exe"] write file f1["%sbblv.exe"] as evt1
+		proc p2 start proc p3["%sbblv.exe"] as evt2
+		with p1 = p2, evt1 before evt2
+		return distinct p1, p3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := e.Query(`
+		agentid = 2
+		(at "03/02/2017")
+		proc p1["%wscript.exe"] write file f1["%sbblv.exe"] as evt1
+		proc p1 start proc p3["%sbblv.exe"] as evt2
+		with evt1 before evt2
+		return distinct p1, p3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(explicit.Rows) == 0 || len(explicit.Rows) != len(reused.Rows) {
+		t.Fatalf("explicit %d rows vs reused %d rows", len(explicit.Rows), len(reused.Rows))
+	}
+}
+
+func TestTopAndSort(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		agentid = 2
+		(at "03/02/2017")
+		proc p write ip i[dstip = "` + gen.AttackerIP + `"] as evt
+		return distinct p, evt.amount
+		sort by evt.amount desc
+		top 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("top 5 returned %d rows", len(res.Rows))
+	}
+	// Descending order by numeric amount.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i-1][1] < res.Rows[i][1] && len(res.Rows[i-1][1]) <= len(res.Rows[i][1]) {
+			t.Errorf("rows not descending: %v then %v", res.Rows[i-1], res.Rows[i])
+		}
+	}
+}
+
+func TestEmptyResultNotError(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		agentid = 1
+		proc p1["%no_such_binary_anywhere%"] write file f1 as evt1
+		return p1, f1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("expected empty result, got %d rows", len(res.Rows))
+	}
+}
+
+func TestMalwareBehaviorQueries(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	for i, s := range gen.MalwareSamples {
+		agent := gen.MalwareAgent(i)
+		res, err := e.Query(`
+			agentid = ` + itoa(agent) + `
+			(at "03/03/2017")
+			proc p1 start proc p2["%` + s.Name + `%"] as evt1
+			proc p2 read || write || connect ip i1[dstip = "` + gen.MalwareC2IP + `"] as evt2
+			with evt1 before evt2
+			return distinct p1, p2, i1`)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if s.Category == "Virus.Autorun" {
+			continue // autorun has no C2 channel by design
+		}
+		if len(res.Rows) == 0 {
+			t.Errorf("%s (%s): C2 behaviour not found on agent %d", s.ID, s.Category, agent)
+		}
+	}
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,287 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"aiql/internal/ast"
+)
+
+// ewmaEnv is the optional extension environments implement to serve EWMA
+// incrementally instead of folding the whole series per call.
+type ewmaEnv interface {
+	EWMA(name string, alpha float64) (float64, bool)
+}
+
+// evalEnv resolves variable references and history series inside having
+// expressions.
+type evalEnv interface {
+	// Value returns the value of a named aggregate, hist windows back
+	// (0 = current window).
+	Value(name string, hist int) (float64, bool)
+	// Series returns the full history of a named aggregate, oldest first,
+	// including the current window; nil when unknown.
+	Series(name string) []float64
+}
+
+// staticEnv is the trivial environment for non-windowed aggregation: only
+// current values, no history.
+type staticEnv map[string]float64
+
+func (e staticEnv) Value(name string, hist int) (float64, bool) {
+	if hist != 0 {
+		return 0, false
+	}
+	v, ok := e[name]
+	return v, ok
+}
+
+func (e staticEnv) Series(name string) []float64 {
+	if v, ok := e[name]; ok {
+		return []float64{v}
+	}
+	return nil
+}
+
+// evalBool evaluates a having expression to a boolean; nonzero is true.
+func evalBool(e ast.Expr, env evalEnv) (bool, error) {
+	v, err := evalNum(e, env)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+// evalNum evaluates a having expression numerically; booleans are 1/0.
+func evalNum(e ast.Expr, env evalEnv) (float64, error) {
+	switch v := e.(type) {
+	case *ast.NumLit:
+		return v.Val, nil
+	case *ast.StrLit:
+		return 0, fmt.Errorf("aiql: string literal %q in numeric expression", v.Val)
+	case *ast.VarRef:
+		val, ok := env.Value(v.Name, v.Hist)
+		if !ok {
+			// A missing history window contributes zero, matching the
+			// semantics of a detector that has not yet seen enough windows.
+			return 0, nil
+		}
+		return val, nil
+	case *ast.FieldRef:
+		val, ok := env.Value(v.ID+"."+v.Attr, 0)
+		if !ok {
+			return 0, fmt.Errorf("aiql: unknown field %s.%s in having clause", v.ID, v.Attr)
+		}
+		return val, nil
+	case *ast.Unary:
+		x, err := evalNum(v.X, env)
+		if err != nil {
+			return 0, err
+		}
+		if v.Op == "-" {
+			return -x, nil
+		}
+		if x == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case *ast.Binary:
+		return evalBinary(v, env)
+	case *ast.Call:
+		return evalCall(v, env)
+	}
+	return 0, fmt.Errorf("aiql: unsupported expression node %T", e)
+}
+
+func evalBinary(b *ast.Binary, env evalEnv) (float64, error) {
+	l, err := evalNum(b.L, env)
+	if err != nil {
+		return 0, err
+	}
+	// Short-circuit logical operators.
+	switch b.Op {
+	case "&&":
+		if l == 0 {
+			return 0, nil
+		}
+		r, err := evalNum(b.R, env)
+		if err != nil {
+			return 0, err
+		}
+		return b2f(r != 0), nil
+	case "||":
+		if l != 0 {
+			return 1, nil
+		}
+		r, err := evalNum(b.R, env)
+		if err != nil {
+			return 0, err
+		}
+		return b2f(r != 0), nil
+	}
+	r, err := evalNum(b.R, env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.Op {
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			return 0, nil // SQL-like: division by zero yields no signal
+		}
+		return l / r, nil
+	case "=":
+		return b2f(l == r), nil
+	case "!=":
+		return b2f(l != r), nil
+	case "<":
+		return b2f(l < r), nil
+	case "<=":
+		return b2f(l <= r), nil
+	case ">":
+		return b2f(l > r), nil
+	case ">=":
+		return b2f(l >= r), nil
+	}
+	return 0, fmt.Errorf("aiql: unsupported operator %q", b.Op)
+}
+
+// evalCall implements the built-in moving averages of paper Sec. 4.3 (SMA,
+// CMA, WMA, EWMA) plus ABS. Each moving-average call takes the aggregate's
+// history series — oldest first, current window last — from the
+// environment.
+func evalCall(c *ast.Call, env evalEnv) (float64, error) {
+	seriesOf := func() ([]float64, error) {
+		if len(c.Args) == 0 {
+			return nil, fmt.Errorf("aiql: %s requires a series argument", c.Func)
+		}
+		ref, ok := c.Args[0].(*ast.VarRef)
+		if !ok {
+			return nil, fmt.Errorf("aiql: %s requires an aggregate name as its first argument", c.Func)
+		}
+		s := env.Series(ref.Name)
+		if s == nil {
+			return nil, fmt.Errorf("aiql: unknown aggregate %q in %s", ref.Name, c.Func)
+		}
+		return s, nil
+	}
+	argNum := func(i int) (float64, error) {
+		if i >= len(c.Args) {
+			return 0, fmt.Errorf("aiql: %s missing argument %d", c.Func, i+1)
+		}
+		return evalNum(c.Args[i], env)
+	}
+	switch c.Func {
+	case "ABS":
+		v, err := argNum(0)
+		if err != nil {
+			return 0, err
+		}
+		return math.Abs(v), nil
+	case "SMA":
+		s, err := seriesOf()
+		if err != nil {
+			return 0, err
+		}
+		n, err := argNum(1)
+		if err != nil {
+			n = 3 // SMA3 is the paper's default usage
+		}
+		return sma(s, int(n)), nil
+	case "CMA":
+		s, err := seriesOf()
+		if err != nil {
+			return 0, err
+		}
+		return sma(s, len(s)), nil
+	case "WMA":
+		s, err := seriesOf()
+		if err != nil {
+			return 0, err
+		}
+		n, err := argNum(1)
+		if err != nil {
+			n = 3
+		}
+		return wma(s, int(n)), nil
+	case "EWMA":
+		alpha, err := argNum(1)
+		if err != nil {
+			return 0, err
+		}
+		// Environments that maintain incremental EWMA state (the anomaly
+		// executor) answer in O(1) per window; otherwise fold the series.
+		if inc, ok := env.(ewmaEnv); ok && len(c.Args) > 0 {
+			if ref, isRef := c.Args[0].(*ast.VarRef); isRef {
+				if v, found := inc.EWMA(ref.Name, alpha); found {
+					return v, nil
+				}
+			}
+		}
+		s, err := seriesOf()
+		if err != nil {
+			return 0, err
+		}
+		return ewma(s, alpha), nil
+	}
+	return 0, fmt.Errorf("aiql: unknown function %q", c.Func)
+}
+
+// sma is the simple moving average of the last n values.
+func sma(s []float64, n int) float64 {
+	if n <= 0 || len(s) == 0 {
+		return 0
+	}
+	if n > len(s) {
+		n = len(s)
+	}
+	sum := 0.0
+	for _, v := range s[len(s)-n:] {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+// wma is the linearly weighted moving average of the last n values, the
+// most recent value carrying weight n.
+func wma(s []float64, n int) float64 {
+	if n <= 0 || len(s) == 0 {
+		return 0
+	}
+	if n > len(s) {
+		n = len(s)
+	}
+	var sum, wsum float64
+	tail := s[len(s)-n:]
+	for i, v := range tail {
+		w := float64(i + 1)
+		sum += w * v
+		wsum += w
+	}
+	return sum / wsum
+}
+
+// ewma is the exponentially weighted moving average with smoothing factor
+// alpha: e_0 = s_0, e_t = alpha*s_t + (1-alpha)*e_{t-1}.
+func ewma(s []float64, alpha float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	e := s[0]
+	for _, v := range s[1:] {
+		e = alpha*v + (1-alpha)*e
+	}
+	return e
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,192 @@
+package engine_test
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aiql/internal/engine"
+	"aiql/internal/gen"
+	"aiql/internal/pred"
+	"aiql/internal/storage"
+	"aiql/internal/types"
+)
+
+func TestStatsScoringAgreesWithDefault(t *testing.T) {
+	st := storage.New(storage.Options{})
+	st.Ingest(testDataset())
+	def := engine.New(st, engine.Options{})
+	stats := engine.New(st, engine.Options{StatsScoring: true})
+	srcs := []string{
+		`agentid = 2
+		 (at "03/02/2017")
+		 proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+		 proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+		 proc p4["%sbblv.exe"] read file f1 as evt3
+		 with evt1 before evt2, evt2 before evt3
+		 return distinct p1, p2, p3, f1, p4 sort by p4`,
+		`agentid = 4
+		 (at "03/03/2017")
+		 proc p2 start proc p1 as evt1
+		 proc p1 read file f1["%.viminfo" || "%.bash_history"] as evt2
+		 with evt1 before evt2
+		 return distinct p2, p1 sort by p2, p1`,
+	}
+	for _, src := range srcs {
+		a, err := def.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := stats.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("stats scoring changed results: %d vs %d rows", len(a.Rows), len(b.Rows))
+		}
+		for i := range a.Rows {
+			if strings.Join(a.Rows[i], "|") != strings.Join(b.Rows[i], "|") {
+				t.Fatalf("row %d differs under stats scoring", i)
+			}
+		}
+	}
+}
+
+func TestStorageEstimateTracksSelectivity(t *testing.T) {
+	st := storage.New(storage.Options{})
+	st.Ingest(testDataset())
+	// A highly selective pattern must estimate far fewer rows than an
+	// unconstrained one, and estimates must upper-bound actual matches for
+	// candidate-driven queries.
+	selective := &storage.DataQuery{
+		Agents:   []int{gen.AgentDBServer},
+		SubjType: procType(), ObjType: fileType(),
+		SubjPred: exeLike("%sbblv.exe"),
+		Ops:      allOps(),
+	}
+	broad := &storage.DataQuery{
+		Agents:   []int{gen.AgentDBServer},
+		SubjType: procType(),
+		Ops:      allOps(),
+	}
+	selEst, broadEst := st.Estimate(selective), st.Estimate(broad)
+	if selEst >= broadEst {
+		t.Errorf("estimates: selective %d >= broad %d", selEst, broadEst)
+	}
+	if actual := len(st.Execute(selective)); selEst < actual {
+		t.Errorf("estimate %d below actual %d", selEst, actual)
+	}
+}
+
+func TestBudgetExhaustionSurfacesErrTooLarge(t *testing.T) {
+	st := storage.New(storage.Options{})
+	st.Ingest(testDataset())
+	// An unconstrained cartesian self-join over background events blows the
+	// tiny pair budget immediately.
+	e := engine.New(st, engine.Options{
+		Strategy: engine.StrategyFetchFilter,
+		MaxPairs: 10,
+	})
+	_, err := e.Query(`
+		agentid = 1
+		proc p1 read file f1 as evt1
+		proc p2 write file f2 as evt2
+		with evt1 before evt2
+		return count p1`)
+	if !errors.Is(err, engine.ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	// The tuple cap trips the same way.
+	e2 := engine.New(st, engine.Options{
+		Strategy:  engine.StrategyFetchFilter,
+		MaxTuples: 3,
+	})
+	_, err = e2.Query(`
+		agentid = 1
+		proc p1 read file f1 as evt1
+		proc p2 write file f2 as evt2
+		with evt1 before evt2
+		return count p1`)
+	if !errors.Is(err, engine.ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge (tuple cap)", err)
+	}
+}
+
+func TestCountReturnsSingleCell(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		agentid = 2
+		(at "03/02/2017")
+		proc p write ip i[dstip = "` + gen.AttackerIP + `"] as evt
+		return count distinct p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "count" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	n, err := strconv.Atoi(res.Rows[0][0])
+	if err != nil || n < 1 {
+		t.Errorf("count = %q", res.Rows[0][0])
+	}
+}
+
+func TestSortNumericAwareness(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		agentid = 2
+		(at "03/02/2017")
+		proc p["%sbblv.exe"] write ip i as evt
+		return distinct evt.amount
+		sort by evt.amount`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	for _, row := range res.Rows {
+		v, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			t.Fatalf("non-numeric amount %q", row[0])
+		}
+		if v < prev {
+			t.Fatalf("amounts not numerically sorted: %d after %d", v, prev)
+		}
+		prev = v
+	}
+	if len(res.Rows) < 2 {
+		t.Fatal("not enough rows to verify ordering")
+	}
+}
+
+func TestAnomalyWindowColumnPrefixed(t *testing.T) {
+	e := newEngine(t, engine.Options{})
+	res, err := e.Query(`
+		(at "03/02/2017")
+		agentid = 2
+		window = 1 min, step = 10 sec
+		proc p write ip i[dstip = "` + gen.AttackerIP + `"] as evt
+		return p, avg(evt.amount) as amt
+		group by p
+		having amt > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Columns[0] != "window" {
+		t.Errorf("first column = %q, want window", res.Columns[0])
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no windows matched")
+	}
+	if !strings.HasPrefix(res.Rows[0][0], "2017-03-02") {
+		t.Errorf("window cell = %q", res.Rows[0][0])
+	}
+}
+
+// Small helpers keeping the storage query literals readable.
+func procType() types.EntityType { return types.EntityProcess }
+func fileType() types.EntityType { return types.EntityFile }
+func allOps() types.OpSet        { return types.AllOps() }
+func exeLike(pattern string) pred.Pred {
+	return pred.NewCond(types.AttrExeName, pred.CmpEq, pattern)
+}

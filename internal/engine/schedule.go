@@ -1,0 +1,265 @@
+package engine
+
+import (
+	"sort"
+
+	"aiql/internal/storage"
+	"aiql/internal/types"
+)
+
+// relationshipSchedule implements Algorithm 1 (paper Sec. 5.2).
+//
+//  1. Every pattern carries a pruning score (computed at compile time from
+//     its constraint count).
+//  2. Relationships are sorted by type (process and network events ahead of
+//     file events) and by the sum of the involved patterns' scores;
+//     attribute relationships come before temporal ones at equal rank, so
+//     equality joins prune tuple sets before order predicates multiply them.
+//  3. The main loop walks the sorted relationships, executing the
+//     higher-scoring pattern of each first and using its results to
+//     constrain the other side's data query; tuple sets are created,
+//     updated, filtered and merged through the map M. Whenever two tuple
+//     sets combine, every not-yet-applied relationship covered by the
+//     union is applied in the same pass, so intermediate results never
+//     outlive the constraints that could prune them.
+//  4. Patterns untouched by any relationship are then executed.
+//  5. Remaining distinct tuple sets are merged into one.
+func (x *execution) relationshipSchedule() (*tupleSet, error) {
+	plan := x.plan
+	n := len(plan.Patterns)
+	executed := make([]bool, n)
+	results := make([][]storage.Match, n)
+	M := make([]*tupleSet, n)
+	applied := make([]bool, len(plan.Joins))
+
+	order := x.sortedJoins()
+
+	// coveredRels gathers every unapplied relationship whose two patterns
+	// are both inside the given coverage, and marks them applied.
+	coveredRels := func(has func(int) bool) []int {
+		rels := applicableJoins(plan.Joins, has, applied)
+		for _, ri := range rels {
+			applied[ri] = true
+		}
+		return rels
+	}
+
+	for _, ji := range order {
+		if applied[ji] {
+			continue
+		}
+		j := &plan.Joins[ji]
+		a, b := j.A, j.B
+		if a == b {
+			if !executed[a] {
+				results[a] = x.runPattern(a, nil)
+				executed[a] = true
+				M[a] = x.note(newTupleSet(a, results[a]))
+			}
+			rels := coveredRels(M[a].has)
+			replaceVals(M, M[a], x.note(filterTuples(M[a], plan, rels)))
+			continue
+		}
+		switch {
+		case !executed[a] && !executed[b]:
+			// Execute the pattern with the higher pruning score first.
+			first, second := a, b
+			if x.score(b) > x.score(a) {
+				first, second = b, a
+			}
+			results[first] = x.runPattern(first, nil)
+			executed[first] = true
+			pc := x.constraintFromMatches(j, first, len(results[first]), func(i int) *storage.Match {
+				return &results[first][i]
+			})
+			results[second] = x.runPattern(second, pc)
+			executed[second] = true
+			ta, tb := newTupleSet(first, results[first]), newTupleSet(second, results[second])
+			rels := coveredRels(func(p int) bool { return p == a || p == b })
+			ts, err := joinTuples(ta, tb, plan, rels, x.bud)
+			if err != nil {
+				return nil, err
+			}
+			x.note(ts)
+			M[first], M[second] = ts, ts
+		case executed[a] != executed[b]:
+			done, todo := a, b
+			if executed[b] {
+				done, todo = b, a
+			}
+			src := M[done]
+			pc := x.constraintFromMatches(j, done, len(src.rows), func(i int) *storage.Match {
+				return src.match(src.rows[i], done)
+			})
+			results[todo] = x.runPattern(todo, pc)
+			executed[todo] = true
+			rels := coveredRels(func(p int) bool { return src.has(p) || p == todo })
+			ts, err := joinTuples(src, newTupleSet(todo, results[todo]), plan, rels, x.bud)
+			if err != nil {
+				return nil, err
+			}
+			x.note(ts)
+			replaceVals(M, src, ts)
+			M[todo] = ts
+		default:
+			ta, tb := M[a], M[b]
+			if ta == tb {
+				rels := coveredRels(ta.has)
+				ts := x.note(filterTuples(ta, plan, rels))
+				replaceVals(M, ta, ts)
+			} else {
+				rels := coveredRels(func(p int) bool { return ta.has(p) || tb.has(p) })
+				ts, err := joinTuples(ta, tb, plan, rels, x.bud)
+				if err != nil {
+					return nil, err
+				}
+				x.note(ts)
+				replaceVals(M, ta, ts)
+				replaceVals(M, tb, ts)
+			}
+		}
+	}
+
+	// Step 4: patterns not involved in any relationship.
+	for i := 0; i < n; i++ {
+		if !executed[i] {
+			results[i] = x.runPattern(i, nil)
+			executed[i] = true
+			M[i] = x.note(newTupleSet(i, results[i]))
+		}
+	}
+
+	// Step 5: merge remaining distinct tuple sets (cartesian product; no
+	// unapplied relationships connect them by construction).
+	return x.mergeAll(M)
+}
+
+// sortedJoins orders relationship indexes per Algorithm 1 step 2: by event
+// type (process, network, then file — using the most selective category of
+// the two involved patterns), then by descending pruning-score sum, then
+// attribute relationships ahead of temporal ones. With NoScoreSort
+// (ablation) the declaration order is kept.
+func (x *execution) sortedJoins() []int {
+	plan := x.plan
+	order := make([]int, len(plan.Joins))
+	for i := range order {
+		order[i] = i
+	}
+	if x.eng.opts.NoScoreSort {
+		return order
+	}
+	category := func(ji int) int {
+		j := &plan.Joins[ji]
+		ca := types.ObjectTypeCategory(plan.Patterns[j.A].Obj.Type)
+		cb := types.ObjectTypeCategory(plan.Patterns[j.B].Obj.Type)
+		if cb < ca {
+			return cb
+		}
+		return ca
+	}
+	scoreSum := func(ji int) int {
+		j := &plan.Joins[ji]
+		return x.score(j.A) + x.score(j.B)
+	}
+	kindRank := func(ji int) int {
+		if plan.Joins[ji].Kind == JoinAttr {
+			return 0
+		}
+		return 1
+	}
+	sort.SliceStable(order, func(u, v int) bool {
+		cu, cv := category(order[u]), category(order[v])
+		if cu != cv {
+			return cu < cv
+		}
+		su, sv := scoreSum(order[u]), scoreSum(order[v])
+		if su != sv {
+			return su > sv
+		}
+		return kindRank(order[u]) < kindRank(order[v])
+	})
+	return order
+}
+
+// mergeAll reduces the pattern→tupleSet map to a single set covering every
+// pattern.
+func (x *execution) mergeAll(M []*tupleSet) (*tupleSet, error) {
+	var acc *tupleSet
+	seen := make(map[*tupleSet]bool)
+	for _, ts := range M {
+		if ts == nil || seen[ts] {
+			continue
+		}
+		seen[ts] = true
+		if acc == nil {
+			acc = ts
+			continue
+		}
+		merged, err := joinTuples(acc, ts, x.plan, nil, x.bud)
+		if err != nil {
+			return nil, err
+		}
+		acc = x.note(merged)
+	}
+	return acc, nil
+}
+
+// replaceVals implements Algorithm 1's replaceVals(M, T, T'): every pattern
+// mapped to the old tuple set now maps to the new one.
+func replaceVals(M []*tupleSet, old, new_ *tupleSet) {
+	for i := range M {
+		if M[i] == old {
+			M[i] = new_
+		}
+	}
+}
+
+// fetchAndFilter is the FF baseline (paper Sec. 5.2): execute every data
+// query independently with its own constraints, hold all results in memory,
+// then assemble tuples in declaration order, filtering by each relationship
+// as soon as both of its patterns are present. No pruning-score ordering,
+// no constrained execution.
+func (x *execution) fetchAndFilter() (*tupleSet, error) {
+	plan := x.plan
+	n := len(plan.Patterns)
+	results := make([][]storage.Match, n)
+	for i := 0; i < n; i++ {
+		results[i] = x.runPattern(i, nil)
+	}
+	return x.assembleInOrder(results)
+}
+
+// bigJoin emulates the semantics-agnostic relational executor: identical
+// join order to FF, but every data query is forced to evaluate predicates
+// per event row (no entity pre-resolution, no posting lists), the way a
+// row store joins its event table against entity tables inside one large
+// SQL statement. runPattern applies ForceScan based on the strategy.
+func (x *execution) bigJoin() (*tupleSet, error) {
+	return x.fetchAndFilter()
+}
+
+// assembleInOrder joins per-pattern results in declaration order.
+func (x *execution) assembleInOrder(results [][]storage.Match) (*tupleSet, error) {
+	plan := x.plan
+	applied := make([]bool, len(plan.Joins))
+	acc := x.note(newTupleSet(0, results[0]))
+	// Apply any self-relationships on pattern 0.
+	for _, ji := range applicableJoins(plan.Joins, acc.has, applied) {
+		acc = x.note(filterTuples(acc, plan, []int{ji}))
+		applied[ji] = true
+	}
+	for i := 1; i < len(results); i++ {
+		next := newTupleSet(i, results[i])
+		cover := func(p int) bool { return acc.has(p) || p == i }
+		rels := applicableJoins(plan.Joins, cover, applied)
+		merged, err := joinTuples(acc, next, plan, rels, x.bud)
+		if err != nil {
+			return nil, err
+		}
+		for _, ji := range rels {
+			applied[ji] = true
+		}
+		acc = x.note(merged)
+	}
+	return acc, nil
+}

@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+
+	"aiql/internal/pred"
+	"aiql/internal/storage"
+	"aiql/internal/types"
+)
+
+// ErrTooLarge is returned when an execution exceeds the engine's tuple or
+// join-pair budget — the analogue of the baselines' one-hour timeouts in
+// the paper's evaluation.
+var ErrTooLarge = errors.New("aiql: intermediate result exceeds the configured budget")
+
+// tupleSet is the engine's intermediate result representation (the values
+// of Algorithm 1's map M): rows of event matches covering a subset of the
+// plan's patterns.
+type tupleSet struct {
+	// cols maps pattern index -> column position in each row.
+	cols map[int]int
+	rows [][]storage.Match
+}
+
+func newTupleSet(patternIdx int, matches []storage.Match) *tupleSet {
+	ts := &tupleSet{cols: map[int]int{patternIdx: 0}, rows: make([][]storage.Match, len(matches))}
+	for i := range matches {
+		ts.rows[i] = []storage.Match{matches[i]}
+	}
+	return ts
+}
+
+func (ts *tupleSet) has(pattern int) bool {
+	_, ok := ts.cols[pattern]
+	return ok
+}
+
+func (ts *tupleSet) match(row []storage.Match, pattern int) *storage.Match {
+	return &row[ts.cols[pattern]]
+}
+
+// sideValue extracts the join value of a match for one side/attr pair.
+func sideValue(m *storage.Match, side Side, attr string) (string, bool) {
+	var ent *types.Entity
+	if side == SideSubject {
+		ent = m.Subj
+	} else {
+		ent = m.Obj
+	}
+	if ent == nil {
+		return "", false
+	}
+	return ent.Attr(attr)
+}
+
+// evalJoin evaluates a compiled relationship between two concrete matches.
+func evalJoin(j *Join, ma, mb *storage.Match) bool {
+	switch j.Kind {
+	case JoinAttr:
+		av, aok := sideValue(ma, j.ASide, j.AAttr)
+		bv, bok := sideValue(mb, j.BSide, j.BAttr)
+		if !aok || !bok {
+			return false
+		}
+		return compareValues(av, bv, j.Op)
+	case JoinTemporal:
+		ta, tb := ma.Event, mb.Event
+		switch j.TempKind {
+		case "before":
+			if !ta.Before(tb) {
+				return false
+			}
+			if j.HiMs > 0 {
+				d := tb.Start - ta.Start
+				return d >= j.LoMs && d <= j.HiMs
+			}
+			return true
+		case "within":
+			if j.HiMs <= 0 {
+				return true
+			}
+			d := tb.Start - ta.Start
+			if d < 0 {
+				d = -d
+			}
+			return d >= j.LoMs && d <= j.HiMs
+		}
+	}
+	return false
+}
+
+func compareValues(a, b string, op pred.CmpOp) bool {
+	if op == pred.CmpEq {
+		return a == b
+	}
+	if op == pred.CmpNe {
+		return a != b
+	}
+	var cmp int
+	an, aerr := strconv.ParseFloat(a, 64)
+	bn, berr := strconv.ParseFloat(b, 64)
+	if aerr == nil && berr == nil {
+		switch {
+		case an < bn:
+			cmp = -1
+		case an > bn:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(a, b)
+	}
+	switch op {
+	case pred.CmpLt:
+		return cmp < 0
+	case pred.CmpLe:
+		return cmp <= 0
+	case pred.CmpGt:
+		return cmp > 0
+	case pred.CmpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// budget tracks tuple growth across an execution so that runaway joins
+// fail fast instead of exhausting memory.
+type budget struct {
+	maxTuples int
+	maxPairs  int64
+	pairs     int64
+	noHash    bool
+}
+
+func (b *budget) chargePairs(n int64) error {
+	b.pairs += n
+	if b.maxPairs > 0 && b.pairs > b.maxPairs {
+		return ErrTooLarge
+	}
+	return nil
+}
+
+func (b *budget) checkRows(n int) error {
+	if b.maxTuples > 0 && n > b.maxTuples {
+		return ErrTooLarge
+	}
+	return nil
+}
+
+// applicableJoins returns the joins whose two patterns are both covered by
+// the column sets (used by the baselines' late filtering).
+func applicableJoins(joins []Join, has func(int) bool, applied []bool) []int {
+	var out []int
+	for i := range joins {
+		if applied[i] {
+			continue
+		}
+		if has(joins[i].A) && has(joins[i].B) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// joinTuples combines two disjoint tuple sets, filtering by the given
+// relationships (indexes into plan.Joins). Equality attribute joins use a
+// hash join; everything else falls back to a nested loop.
+func joinTuples(ta, tb *tupleSet, plan *Plan, relIdx []int, bud *budget) (*tupleSet, error) {
+	out := &tupleSet{cols: make(map[int]int, len(ta.cols)+len(tb.cols))}
+	for p, c := range ta.cols {
+		out.cols[p] = c
+	}
+	width := len(ta.cols)
+	for p, c := range tb.cols {
+		out.cols[p] = width + c
+	}
+
+	// Pick one equality join as the hash key if available.
+	hashRel := -1
+	if !bud.noHash {
+		for _, ri := range relIdx {
+			j := &plan.Joins[ri]
+			if j.Kind == JoinAttr && j.Op == pred.CmpEq {
+				hashRel = ri
+				break
+			}
+		}
+	}
+
+	check := func(rowA, rowB []storage.Match) bool {
+		for _, ri := range relIdx {
+			j := &plan.Joins[ri]
+			ma := pickMatch(ta, tb, rowA, rowB, j.A)
+			mb := pickMatch(ta, tb, rowA, rowB, j.B)
+			if !evalJoin(j, ma, mb) {
+				return false
+			}
+		}
+		return true
+	}
+
+	emit := func(rowA, rowB []storage.Match) error {
+		row := make([]storage.Match, 0, len(rowA)+len(rowB))
+		row = append(row, rowA...)
+		row = append(row, rowB...)
+		out.rows = append(out.rows, row)
+		return bud.checkRows(len(out.rows))
+	}
+
+	if hashRel >= 0 {
+		j := &plan.Joins[hashRel]
+		// Determine which input holds side A of the hash relationship.
+		aInA := ta.has(j.A)
+		keyOf := func(set *tupleSet, row []storage.Match, patt int, side Side, attr string) (string, bool) {
+			return sideValue(set.match(row, patt), side, attr)
+		}
+		index := make(map[string][]int, len(tb.rows))
+		for i, row := range tb.rows {
+			var k string
+			var ok bool
+			if aInA {
+				k, ok = keyOf(tb, row, j.B, j.BSide, j.BAttr)
+			} else {
+				k, ok = keyOf(tb, row, j.A, j.ASide, j.AAttr)
+			}
+			if ok {
+				index[k] = append(index[k], i)
+			}
+		}
+		for _, rowA := range ta.rows {
+			var k string
+			var ok bool
+			if aInA {
+				k, ok = keyOf(ta, rowA, j.A, j.ASide, j.AAttr)
+			} else {
+				k, ok = keyOf(ta, rowA, j.B, j.BSide, j.BAttr)
+			}
+			if !ok {
+				continue
+			}
+			hits := index[k]
+			if err := bud.chargePairs(int64(len(hits))); err != nil {
+				return nil, err
+			}
+			for _, bi := range hits {
+				if check(rowA, tb.rows[bi]) {
+					if err := emit(rowA, tb.rows[bi]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Nested loop.
+	if err := bud.chargePairs(int64(len(ta.rows)) * int64(len(tb.rows))); err != nil {
+		return nil, err
+	}
+	for _, rowA := range ta.rows {
+		for _, rowB := range tb.rows {
+			if check(rowA, rowB) {
+				if err := emit(rowA, rowB); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func pickMatch(ta, tb *tupleSet, rowA, rowB []storage.Match, pattern int) *storage.Match {
+	if ta.has(pattern) {
+		return ta.match(rowA, pattern)
+	}
+	return tb.match(rowB, pattern)
+}
+
+// filterTuples keeps the rows of a tuple set satisfying the given
+// relationships (both patterns of each relationship must be in the set).
+func filterTuples(ts *tupleSet, plan *Plan, relIdx []int) *tupleSet {
+	out := &tupleSet{cols: ts.cols, rows: ts.rows[:0:0]}
+	for _, row := range ts.rows {
+		ok := true
+		for _, ri := range relIdx {
+			j := &plan.Joins[ri]
+			if !evalJoin(j, ts.match(row, j.A), ts.match(row, j.B)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out
+}

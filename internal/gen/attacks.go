@@ -1,0 +1,455 @@
+package gen
+
+import (
+	"fmt"
+
+	"aiql/internal/types"
+)
+
+// Attack scheduling: the APT case study runs on day 1, every other
+// evaluated behaviour on day 2. Configs must have Days >= 3.
+const (
+	APT1Day     = 1
+	BehaviorDay = 2
+)
+
+// Artifacts of the APT case study (paper Sec. 6.2, steps c1–c5). The query
+// corpus references these names, so injector and queries cannot drift.
+const (
+	ExeOutlook  = `C:\Program Files\Microsoft Office\outlook.exe`
+	ExeExcel    = `C:\Program Files\Microsoft Office\excel.exe`
+	ExeCmd      = `C:\Windows\System32\cmd.exe`
+	ExeOsql     = `C:\Windows\System32\osql.exe`
+	ExeSqlservr = `C:\Program Files\Microsoft SQL Server\sqlservr.exe`
+	ExeWscript  = `C:\Windows\System32\wscript.exe`
+	ExeMal      = `C:\Users\alice\AppData\Roaming\invupd.exe`
+	ExeGsecdump = `C:\Users\alice\AppData\Local\Temp\gsecdump.exe`
+	ExeSbblv    = `C:\Windows\Temp\sbblv.exe`
+	FileInvoice = `C:\Users\alice\Downloads\invoice.xls`
+	FileCreds   = `C:\Users\alice\AppData\Local\Temp\creds.txt`
+	FileDropper = `C:\Windows\Temp\dropper.vbs`
+	FileDump    = `C:\SQLData\backup1.dmp`
+)
+
+// Artifacts of the second APT (behaviours a1–a5).
+const (
+	ExeApache    = "/usr/sbin/apache2"
+	ExeBash      = "/bin/bash"
+	ExePython    = "/usr/bin/python"
+	ExeSudo      = "/usr/bin/sudo"
+	ExeSSH       = "/usr/bin/ssh"
+	ExeSSHD      = "/usr/sbin/sshd"
+	ExeTar       = "/usr/bin/tar"
+	ExeCurl      = "/usr/bin/curl"
+	FileWebshell = "/var/www/html/uploads/shell.php"
+	FilePwnSo    = "/tmp/.pwn.so"
+	FileShadow   = "/etc/shadow"
+	FileAuthKeys = "/home/dev/.ssh/authorized_keys"
+	FileSrcTgz   = "/tmp/.src.tgz"
+)
+
+// Artifacts of the dependency-tracking behaviours d1–d3.
+const (
+	ExeGoogleUpdate = `C:\Program Files\Google\Update\GoogleUpdate.exe`
+	ExeJucheck      = `C:\Program Files\Java\jucheck.exe`
+	FileChromeUpd   = `C:\Program Files\Google\Update\chrome_update.exe`
+	FileJavaUpd     = `C:\Program Files\Java\jre_update.exe`
+	ExeCp           = "/bin/cp"
+	ExeWget         = "/usr/bin/wget"
+	FileStealerSrv  = "/var/www/html/info_stealer.sh"
+	FileStealerDst  = "/tmp/info_stealer.sh"
+)
+
+// Artifacts of the abnormal system behaviours s1–s6.
+const (
+	ExeProbe     = "/tmp/.probe"
+	FileViminfo  = "/home/dev/.viminfo"
+	FileBashHist = "/home/dev/.bash_history"
+	ExeNetcat    = "/usr/bin/nc"
+	ExeBeacon    = `C:\Users\alice\AppData\Roaming\updchk.exe`
+	ExeBackup    = `C:\Program Files\Backup\bkup.exe`
+	ExeIndexer   = `C:\Users\alice\AppData\Roaming\searchidx.exe`
+	BeaconIP     = "203.0.113.55"
+	BackupSrvIP  = "10.10.0.250"
+)
+
+// MalwareSample describes one Table 4 malware execution (paper Sec. 6.3.1).
+type MalwareSample struct {
+	ID       string // v1..v5
+	Name     string // MD5 name from VirusSign
+	Category string
+}
+
+// MalwareSamples reproduces paper Table 4.
+var MalwareSamples = []MalwareSample{
+	{"v1", "7dd95111e9e100b6243ca96b9b322120", "Trojan.Sysbot"},
+	{"v2", "425327783e88bb6492753849bc43b7a0", "Trojan.Hooker"},
+	{"v3", "ee111901739531d6963ab1ee3ecaf280", "Virus.Autorun"},
+	{"v4", "4e720458c357310da684018f4a254dd0", "Virus.Sysbot"},
+	{"v5", "7dd95111e9e100b6243ca96b9b322120", "Trojan.Hooker"},
+}
+
+// MalwareC2IP is the command-and-control endpoint of all malware samples.
+const MalwareC2IP = "203.0.113.200"
+
+// MalwareAgent returns the workstation sample i runs on: the fixed
+// workstations 6..10, so query corpus and injector agree across dataset
+// scales (configs must have Hosts >= 10).
+func MalwareAgent(i int) int { return AgentMailSrv + 1 + i }
+
+// MalwareExe returns the dropped executable path for a sample.
+func MalwareExe(s MalwareSample) string {
+	return `C:\Users\alice\Downloads\` + s.Name + `.exe`
+}
+
+const minute = int64(60 * 1000)
+const second = int64(1000)
+
+// InjectAPT1 plants the paper's case-study APT (c1–c5) on day 1:
+// spear-phishing Excel macro on the Windows client, backdoor, credential
+// dump, penetration into the database server, and data exfiltration to the
+// attacker's host (paper Fig. 4 and Sec. 6.2).
+func InjectAPT1(b *Builder, cfg Config) {
+	t := DayStart(APT1Day) + 9*60*minute // 09:00
+
+	// --- c1: initial compromise: the crafted email's attachment is saved
+	// by the Outlook client.
+	outlook := b.Proc(AgentWinClient, ExeOutlook)
+	invoice := b.File(AgentWinClient, FileInvoice)
+	b.Emit(AgentWinClient, outlook, invoice, types.OpWrite, t, 214016)
+
+	// --- c2: malware infection: the victim opens the Excel file through
+	// Outlook; the macro drops and runs the malware (CVE-2008-0081), which
+	// opens a backdoor.
+	t += 3 * minute
+	excel := b.ProcInstance(AgentWinClient, ExeExcel)
+	b.Emit(AgentWinClient, outlook, excel, types.OpStart, t, 0)
+	b.Emit(AgentWinClient, excel, invoice, types.OpRead, t+10*second, 214016)
+	mal := b.File(AgentWinClient, ExeMal)
+	b.Emit(AgentWinClient, excel, mal, types.OpWrite, t+20*second, 88064)
+	malProc := b.ProcInstance(AgentWinClient, ExeMal)
+	b.Emit(AgentWinClient, excel, malProc, types.OpStart, t+30*second, 0)
+	backdoor := b.Conn(AgentWinClient, AttackerIP, 4444)
+	b.Emit(AgentWinClient, malProc, backdoor, types.OpConnect, t+40*second, 0)
+	b.Emit(AgentWinClient, malProc, backdoor, types.OpWrite, t+50*second, 4096)
+
+	// --- c3: privilege escalation: port scan for the database, then the
+	// credential-dumping tool.
+	t += 20 * minute
+	for i := 0; i < 12; i++ {
+		scan := b.Conn(AgentWinClient, fmt.Sprintf("10.10.0.%d", 1+i%cfg.Hosts), 1433)
+		b.Emit(AgentWinClient, malProc, scan, types.OpConnect, t+int64(i)*2*second, 0)
+	}
+	cmd1 := b.ProcInstance(AgentWinClient, ExeCmd)
+	b.Emit(AgentWinClient, malProc, cmd1, types.OpStart, t+1*minute, 0)
+	gsec := b.File(AgentWinClient, ExeGsecdump)
+	b.Emit(AgentWinClient, cmd1, gsec, types.OpWrite, t+2*minute, 51200)
+	gsecProc := b.ProcInstance(AgentWinClient, ExeGsecdump)
+	b.Emit(AgentWinClient, cmd1, gsecProc, types.OpStart, t+3*minute, 0)
+	sam := b.File(AgentWinClient, `C:\Windows\System32\config\SAM`)
+	b.Emit(AgentWinClient, gsecProc, sam, types.OpRead, t+3*minute+20*second, 65536)
+	creds := b.File(AgentWinClient, FileCreds)
+	b.Emit(AgentWinClient, gsecProc, creds, types.OpWrite, t+4*minute, 2048)
+	b.Emit(AgentWinClient, malProc, creds, types.OpRead, t+5*minute, 2048)
+	b.Emit(AgentWinClient, malProc, backdoor, types.OpWrite, t+5*minute+30*second, 2048)
+
+	// --- c4: penetration into the database server: with the credentials,
+	// the attacker delivers a VBScript that drops a second backdoor.
+	t += 30 * minute
+	dbCmd := b.ProcInstance(AgentDBServer, ExeCmd)
+	b.CrossHostConnect(AgentWinClient, malProc, AgentDBServer, dbCmd, 1433, t)
+	dropper := b.File(AgentDBServer, FileDropper)
+	b.Emit(AgentDBServer, dbCmd, dropper, types.OpWrite, t+1*minute, 12288)
+	wscript := b.ProcInstance(AgentDBServer, ExeWscript)
+	b.Emit(AgentDBServer, dbCmd, wscript, types.OpStart, t+2*minute, 0)
+	b.Emit(AgentDBServer, wscript, dropper, types.OpRead, t+2*minute+10*second, 12288)
+	sbblvFile := b.File(AgentDBServer, ExeSbblv)
+	b.Emit(AgentDBServer, wscript, sbblvFile, types.OpWrite, t+3*minute, 149504)
+	sbblv := b.ProcInstance(AgentDBServer, ExeSbblv)
+	b.Emit(AgentDBServer, wscript, sbblv, types.OpStart, t+4*minute, 0)
+	backdoor2 := b.Conn(AgentDBServer, AttackerIP, 4444)
+	b.Emit(AgentDBServer, sbblv, backdoor2, types.OpConnect, t+5*minute, 0)
+
+	// --- c5: data exfiltration: osql dumps the database, sbblv sends the
+	// dump back to the attacker.
+	t += 40 * minute
+	osql := b.ProcInstance(AgentDBServer, ExeOsql)
+	b.Emit(AgentDBServer, dbCmd, osql, types.OpStart, t, 0)
+	sqlservr := b.Proc(AgentDBServer, ExeSqlservr)
+	b.Emit(AgentDBServer, osql, sqlservr, types.OpConnect, t+30*second, 0)
+	dump := b.File(AgentDBServer, FileDump)
+	b.Emit(AgentDBServer, sqlservr, dump, types.OpWrite, t+2*minute, 734003200)
+	// Normal-looking DLL reads around the dump read, as in the paper's
+	// Query 6 narrative ("out of the other normal DLL files").
+	for i, dll := range []string{`C:\Windows\System32\sqlncli.dll`, `C:\Windows\System32\kernel32.dll`} {
+		d := b.File(AgentDBServer, dll)
+		b.Emit(AgentDBServer, sbblv, d, types.OpRead, t+3*minute+int64(i)*second, 90112)
+	}
+	b.Emit(AgentDBServer, sbblv, dump, types.OpRead, t+4*minute, 734003200)
+
+	// Exfiltration traffic to the attacker: ~30 minutes of low-rate
+	// keep-alive, then the large burst the anomaly detector flags
+	// (Query 5's moving-average spike).
+	exfil := b.Conn(AgentDBServer, AttackerIP, 443)
+	base := t + 5*minute
+	for i := int64(0); i < 180; i++ {
+		b.Emit(AgentDBServer, sbblv, exfil, types.OpWrite, base+i*10*second, 1024+b.rng.Int63n(512))
+	}
+	burst := base + 180*10*second
+	for i := int64(0); i < 18; i++ {
+		b.Emit(AgentDBServer, sbblv, exfil, types.OpWrite, burst+i*10*second, 40*1024*1024+b.rng.Int63n(1<<20))
+	}
+	// Contrast traffic so the anomaly query's group-by has company.
+	sqlagent := b.Proc(AgentDBServer, `C:\Program Files\Microsoft SQL Server\sqlagent.exe`)
+	mon := b.Conn(AgentDBServer, "10.10.0.251", 443)
+	for i := int64(0); i < 120; i++ {
+		b.Emit(AgentDBServer, sqlagent, mon, types.OpWrite, base+i*15*second, 2048+b.rng.Int63n(1024))
+	}
+}
+
+// InjectAPT2 plants the second APT (behaviours a1–a5) on day 2: webshell
+// upload on the web server, reconnaissance, local privilege escalation,
+// lateral movement to the developer box, and source-tree exfiltration.
+func InjectAPT2(b *Builder, cfg Config) {
+	_ = cfg
+	t := DayStart(BehaviorDay) + 14*60*minute // 14:00
+
+	// --- a1: initial exploit: webshell upload, apache spawns a shell.
+	apache := b.Proc(AgentWebServer, ExeApache)
+	shell := b.File(AgentWebServer, FileWebshell)
+	b.Emit(AgentWebServer, apache, shell, types.OpWrite, t, 3072)
+	bash := b.ProcInstance(AgentWebServer, ExeBash)
+	b.Emit(AgentWebServer, apache, bash, types.OpStart, t+30*second, 0)
+
+	// --- a2: reconnaissance and C2 channel.
+	t += 5 * minute
+	for i, f := range []string{"/etc/passwd", "/etc/hosts", "/var/log/auth.log"} {
+		fe := b.File(AgentWebServer, f)
+		b.Emit(AgentWebServer, bash, fe, types.OpRead, t+int64(i)*10*second, 4096)
+	}
+	py := b.ProcInstance(AgentWebServer, ExePython)
+	b.Emit(AgentWebServer, bash, py, types.OpStart, t+1*minute, 0)
+	c2 := b.Conn(AgentWebServer, AttackerIP2, 8080)
+	b.Emit(AgentWebServer, py, c2, types.OpConnect, t+90*second, 0)
+	b.Emit(AgentWebServer, py, c2, types.OpWrite, t+100*second, 8192)
+
+	// --- a3: privilege escalation.
+	t += 10 * minute
+	pwn := b.File(AgentWebServer, FilePwnSo)
+	b.Emit(AgentWebServer, py, pwn, types.OpWrite, t, 24576)
+	sudo := b.ProcInstance(AgentWebServer, ExeSudo)
+	b.Emit(AgentWebServer, py, sudo, types.OpStart, t+30*second, 0)
+	shadow := b.File(AgentWebServer, FileShadow)
+	b.Emit(AgentWebServer, sudo, shadow, types.OpRead, t+1*minute, 2048)
+	rootsh := b.ProcInstance(AgentWebServer, ExeBash)
+	b.Emit(AgentWebServer, sudo, rootsh, types.OpStart, t+90*second, 0)
+
+	// --- a4: lateral movement to the developer box, with persistence.
+	t += 15 * minute
+	ssh := b.ProcInstance(AgentWebServer, ExeSSH)
+	b.Emit(AgentWebServer, rootsh, ssh, types.OpStart, t, 0)
+	sshd := b.Proc(AgentDevBox, ExeSSHD)
+	b.CrossHostConnect(AgentWebServer, ssh, AgentDevBox, sshd, 22, t+30*second)
+	devsh := b.ProcInstance(AgentDevBox, ExeBash)
+	b.Emit(AgentDevBox, sshd, devsh, types.OpStart, t+1*minute, 0)
+	keys := b.File(AgentDevBox, FileAuthKeys)
+	b.Emit(AgentDevBox, devsh, keys, types.OpWrite, t+2*minute, 1024)
+
+	// --- a5: exfiltration of the source tree.
+	t += 10 * minute
+	tar := b.ProcInstance(AgentDevBox, ExeTar)
+	b.Emit(AgentDevBox, devsh, tar, types.OpStart, t, 0)
+	for i, f := range []string{"/home/dev/project/main.go", "/home/dev/project/db.go", "/home/dev/project/api.go"} {
+		fe := b.File(AgentDevBox, f)
+		b.Emit(AgentDevBox, tar, fe, types.OpRead, t+int64(i+1)*10*second, 131072)
+	}
+	tgz := b.File(AgentDevBox, FileSrcTgz)
+	b.Emit(AgentDevBox, tar, tgz, types.OpWrite, t+1*minute, 9437184)
+	curl := b.ProcInstance(AgentDevBox, ExeCurl)
+	b.Emit(AgentDevBox, devsh, curl, types.OpStart, t+2*minute, 0)
+	b.Emit(AgentDevBox, curl, tgz, types.OpRead, t+2*minute+20*second, 9437184)
+	out := b.Conn(AgentDevBox, AttackerIP2, 443)
+	b.Emit(AgentDevBox, curl, out, types.OpWrite, t+3*minute, 9437184)
+}
+
+// InjectDeps plants the dependency-tracking behaviours d1–d3 on day 2.
+func InjectDeps(b *Builder, cfg Config) {
+	t := DayStart(BehaviorDay) + 8*60*minute // 08:00
+
+	// --- d1: Chrome update chain (backward-tracking target).
+	for _, agent := range []int{AgentWinClient, AgentMailSrv} {
+		if agent > cfg.Hosts {
+			continue
+		}
+		gu := b.Proc(agent, ExeGoogleUpdate)
+		cdn := b.Conn(agent, UpdateCDNIP, 443)
+		b.Emit(agent, gu, cdn, types.OpRead, t, 52428800)
+		upd := b.File(agent, FileChromeUpd)
+		b.Emit(agent, gu, upd, types.OpWrite, t+1*minute, 52428800)
+		chrome := b.ProcInstance(agent, `C:\Program Files\Google\Chrome\chrome.exe`)
+		b.Emit(agent, gu, chrome, types.OpStart, t+2*minute, 0)
+		t += 3 * minute
+	}
+
+	// --- d2: Java update chain.
+	ju := b.Proc(AgentWinClient, ExeJucheck)
+	cdn := b.Conn(AgentWinClient, UpdateCDNIP, 443)
+	b.Emit(AgentWinClient, ju, cdn, types.OpRead, t, 73400320)
+	upd := b.File(AgentWinClient, FileJavaUpd)
+	b.Emit(AgentWinClient, ju, upd, types.OpWrite, t+1*minute, 73400320)
+	javaw := b.ProcInstance(AgentWinClient, `C:\Program Files\Java\javaw.exe`)
+	b.Emit(AgentWinClient, ju, javaw, types.OpStart, t+2*minute, 0)
+
+	// --- d3: info_stealer ramification (paper Query 3): cp writes the
+	// script into the web root on the web server, apache reads and serves
+	// it, wget on the developer box downloads and writes it locally.
+	t += 30 * minute
+	cp := b.ProcInstance(AgentWebServer, ExeCp)
+	stealer := b.File(AgentWebServer, FileStealerSrv)
+	b.Emit(AgentWebServer, cp, stealer, types.OpWrite, t, 16384)
+	apache := b.Proc(AgentWebServer, ExeApache)
+	b.Emit(AgentWebServer, apache, stealer, types.OpRead, t+2*minute, 16384)
+	wget := b.ProcInstance(AgentDevBox, ExeWget)
+	b.CrossHostConnect(AgentWebServer, apache, AgentDevBox, wget, 80, t+3*minute)
+	local := b.File(AgentDevBox, FileStealerDst)
+	b.Emit(AgentDevBox, wget, local, types.OpWrite, t+4*minute, 16384)
+}
+
+// InjectMalware executes the Table 4 samples (v1–v5) on workstations on
+// day 2, each with its category's characteristic behaviour.
+func InjectMalware(b *Builder, cfg Config) {
+	t := DayStart(BehaviorDay) + 11*60*minute // 11:00
+	_ = cfg
+	for i, s := range MalwareSamples {
+		agent := MalwareAgent(i)
+		tt := t + int64(i)*10*minute
+		exePath := MalwareExe(s)
+		dropped := b.File(agent, exePath)
+		browser := b.Proc(agent, `C:\Program Files\Google\Chrome\chrome.exe`)
+		b.Emit(agent, browser, dropped, types.OpWrite, tt, 204800)
+		explorer := b.Proc(agent, `C:\Windows\explorer.exe`)
+		proc := b.ProcInstance(agent, exePath)
+		b.Emit(agent, explorer, proc, types.OpStart, tt+1*minute, 0)
+		c2 := b.Conn(agent, MalwareC2IP, 6667)
+		switch s.Category {
+		case "Trojan.Sysbot", "Virus.Sysbot":
+			// Bot: C2 channel, command polling, payload drop, re-spawn.
+			b.Emit(agent, proc, c2, types.OpConnect, tt+2*minute, 0)
+			for k := int64(0); k < 20; k++ {
+				b.Emit(agent, proc, c2, types.OpRead, tt+3*minute+k*30*second, 512)
+			}
+			payload := b.File(agent, `C:\Windows\Temp\sysbot.dll`)
+			b.Emit(agent, proc, payload, types.OpWrite, tt+4*minute, 65536)
+			if s.Category == "Virus.Sysbot" {
+				// Virus: infects an installed binary.
+				host := b.File(agent, `C:\Program Files\7-Zip\7z.exe`)
+				b.Emit(agent, proc, host, types.OpRead, tt+5*minute, 1048576)
+				b.Emit(agent, proc, host, types.OpWrite, tt+5*minute+30*second, 1048576)
+			}
+			svchost := b.ProcInstance(agent, `C:\Windows\System32\svchost.exe`)
+			b.Emit(agent, proc, svchost, types.OpStart, tt+6*minute, 0)
+		case "Trojan.Hooker":
+			// Keylogger: hook DLL, periodic keystroke log writes, exfil.
+			hook := b.File(agent, `C:\Windows\Temp\hooker.dll`)
+			b.Emit(agent, proc, hook, types.OpWrite, tt+2*minute, 32768)
+			klog := b.File(agent, `C:\Users\alice\AppData\Roaming\keylog.txt`)
+			for k := int64(0); k < 15; k++ {
+				b.Emit(agent, proc, klog, types.OpWrite, tt+3*minute+k*minute, 1024)
+			}
+			b.Emit(agent, proc, c2, types.OpConnect, tt+18*minute, 0)
+			b.Emit(agent, proc, c2, types.OpWrite, tt+19*minute, 15360)
+		case "Virus.Autorun":
+			// Autorun: drops autorun.inf plus a copy of itself on every
+			// volume, patches the hosts file.
+			for _, drive := range []string{`D:`, `E:`, `F:`} {
+				inf := b.File(agent, drive+`\autorun.inf`)
+				b.Emit(agent, proc, inf, types.OpWrite, tt+2*minute, 256)
+				cp := b.File(agent, drive+`\setup.exe`)
+				b.Emit(agent, proc, cp, types.OpWrite, tt+2*minute+30*second, 204800)
+			}
+			hosts := b.File(agent, `C:\Windows\System32\drivers\etc\hosts`)
+			b.Emit(agent, proc, hosts, types.OpWrite, tt+4*minute, 1024)
+		}
+	}
+}
+
+// InjectAbnormal plants the six abnormal system behaviours s1–s6 on day 2.
+func InjectAbnormal(b *Builder, cfg Config) {
+	day := DayStart(BehaviorDay)
+
+	// --- s1: command history probing (paper Query 2's behaviour).
+	t := day + 16*60*minute
+	bash := b.Proc(AgentDevBox, ExeBash)
+	probe := b.ProcInstance(AgentDevBox, ExeProbe)
+	b.Emit(AgentDevBox, bash, probe, types.OpStart, t, 0)
+	vim := b.File(AgentDevBox, FileViminfo)
+	hist := b.File(AgentDevBox, FileBashHist)
+	b.Emit(AgentDevBox, probe, vim, types.OpRead, t+30*second, 8192)
+	b.Emit(AgentDevBox, probe, hist, types.OpRead, t+45*second, 16384)
+
+	// --- s2: suspicious web service: apache spawning a reverse shell.
+	t = day + 17*60*minute
+	apache := b.Proc(AgentWebServer, ExeApache)
+	nc := b.ProcInstance(AgentWebServer, ExeNetcat)
+	b.Emit(AgentWebServer, apache, nc, types.OpStart, t, 0)
+	rev := b.Conn(AgentWebServer, AttackerIP2, 9001)
+	b.Emit(AgentWebServer, nc, rev, types.OpConnect, t+10*second, 0)
+
+	// --- s3: frequent network access: a beacon polling its C2 all day.
+	beacon := b.ProcInstance(AgentWinClient, ExeBeacon)
+	c2 := b.Conn(AgentWinClient, BeaconIP, 443)
+	for k := int64(0); k < 200; k++ {
+		b.Emit(AgentWinClient, beacon, c2, types.OpRead, day+9*60*minute+k*90*second, 256)
+	}
+
+	// --- s4: erasing traces from system files.
+	t = day + 18*60*minute
+	wiper := b.ProcInstance(AgentWebServer, ExeBash)
+	b.Emit(AgentWebServer, b.Proc(AgentWebServer, ExeSSHD), wiper, types.OpStart, t-minute, 0)
+	for i, f := range []string{"/var/log/auth.log", "/var/log/syslog", "/var/log/apache2/access.log"} {
+		fe := b.File(AgentWebServer, f)
+		b.Emit(AgentWebServer, wiper, fe, types.OpWrite, t+int64(i)*10*second, 0)
+		b.Emit(AgentWebServer, wiper, fe, types.OpDelete, t+int64(i)*10*second+5*second, 0)
+	}
+
+	// --- s5: network access spike: a backup agent's steady trickle, then
+	// a burst (sliding-window anomaly target).
+	bk := b.ProcInstance(AgentMailSrv, ExeBackup)
+	dst := b.Conn(AgentMailSrv, BackupSrvIP, 8443)
+	base := day + 13*60*minute
+	for k := int64(0); k < 150; k++ {
+		b.Emit(AgentMailSrv, bk, dst, types.OpWrite, base+k*12*second, 4096+b.rng.Int63n(2048))
+	}
+	spike := base + 150*12*second
+	for k := int64(0); k < 15; k++ {
+		b.Emit(AgentMailSrv, bk, dst, types.OpWrite, spike+k*10*second, 64*1024*1024)
+	}
+
+	// --- s6: abnormal file access: a dropper enumerating the user's
+	// documents far faster than any interactive program.
+	t = day + 15*60*minute
+	idx := b.ProcInstance(AgentWinClient, ExeIndexer)
+	for k := 0; k < 40; k++ {
+		doc := b.File(AgentWinClient, fmt.Sprintf(`C:\Users\alice\Documents\doc%03d.docx`, k))
+		b.Emit(AgentWinClient, idx, doc, types.OpRead, t+int64(k)*3*second, 262144)
+	}
+}
+
+// Scenario builds the full evaluation dataset: background noise plus every
+// injected behaviour.
+func Scenario(cfg Config) *types.Dataset {
+	if cfg.Days < 3 {
+		panic("gen: Scenario requires at least 3 days (background, APT day, behaviour day)")
+	}
+	if cfg.Hosts < 10 {
+		panic("gen: Scenario requires at least 10 hosts (roles 1-5 plus malware workstations 6-10)")
+	}
+	b := NewBuilder(cfg.Seed)
+	b.Background(cfg)
+	InjectAPT1(b, cfg)
+	InjectAPT2(b, cfg)
+	InjectDeps(b, cfg)
+	InjectMalware(b, cfg)
+	InjectAbnormal(b, cfg)
+	return b.Dataset()
+}

@@ -1,0 +1,253 @@
+package gen
+
+import (
+	"testing"
+
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Hosts: 10, Days: 3, BackgroundPerHostDay: 300, Seed: 123}
+	a := Scenario(cfg)
+	b := Scenario(cfg)
+	if len(a.Events) != len(b.Events) || len(a.Entities) != len(b.Entities) {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d",
+			len(a.Events), len(a.Entities), len(b.Events), len(b.Entities))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs between identical seeds", i)
+		}
+	}
+	// A different seed must produce different background noise.
+	cfg.Seed = 124
+	c := Scenario(cfg)
+	same := 0
+	limit := len(a.Events)
+	if len(c.Events) < limit {
+		limit = len(c.Events)
+	}
+	for i := 0; i < limit; i++ {
+		if a.Events[i] == c.Events[i] {
+			same++
+		}
+	}
+	if same == limit {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestScenarioGuards(t *testing.T) {
+	assertPanics(t, "too few days", func() {
+		Scenario(Config{Hosts: 10, Days: 2, BackgroundPerHostDay: 1, Seed: 1})
+	})
+	assertPanics(t, "too few hosts", func() {
+		Scenario(Config{Hosts: 5, Days: 3, BackgroundPerHostDay: 1, Seed: 1})
+	})
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestBackgroundScale(t *testing.T) {
+	cfg := Config{Hosts: 10, Days: 3, BackgroundPerHostDay: 200, Seed: 1}
+	b := NewBuilder(cfg.Seed)
+	b.Background(cfg)
+	ds := b.Dataset()
+	want := cfg.Hosts * cfg.Days * cfg.BackgroundPerHostDay
+	// Background emits exactly the configured count plus the low-rate
+	// state-file accesses (< 0.5%).
+	if len(ds.Events) < want || len(ds.Events) > want+want/100 {
+		t.Errorf("background events = %d, want ~%d", len(ds.Events), want)
+	}
+	st := ds.Stats()
+	if st.Agents != cfg.Hosts {
+		t.Errorf("agents = %d, want %d", st.Agents, cfg.Hosts)
+	}
+	// Events stay within the configured day range.
+	if timeutil.DayIndex(st.FirstTime) < timeutil.DayIndex(DayStart(0)) ||
+		timeutil.DayIndex(st.LastTime) > timeutil.DayIndex(DayStart(cfg.Days-1)) {
+		t.Error("background events outside the configured days")
+	}
+}
+
+func TestEntityCaching(t *testing.T) {
+	b := NewBuilder(1)
+	p1 := b.Proc(1, "/bin/sh")
+	p2 := b.Proc(1, "/bin/sh")
+	if p1 != p2 {
+		t.Error("Proc must cache by (agent, exe)")
+	}
+	p3 := b.Proc(2, "/bin/sh")
+	if p1 == p3 {
+		t.Error("Proc must separate agents")
+	}
+	i1 := b.ProcInstance(1, "/bin/sh")
+	i2 := b.ProcInstance(1, "/bin/sh")
+	if i1 == i2 || i1 == p1 {
+		t.Error("ProcInstance must mint fresh entities")
+	}
+	f1, f2 := b.File(1, "/x"), b.File(1, "/x")
+	if f1 != f2 {
+		t.Error("File must cache by (agent, path)")
+	}
+	c1 := b.Conn(1, "10.0.0.1", 443)
+	c2 := b.Conn(1, "10.0.0.1", 443)
+	c3 := b.Conn(1, "10.0.0.1", 80)
+	if c1 != c2 || c1 == c3 {
+		t.Error("Conn caching by (agent, ip, port) broken")
+	}
+}
+
+func TestSequenceNumbersPerAgentMonotone(t *testing.T) {
+	cfg := SmallConfig()
+	ds := Scenario(cfg)
+	last := map[int]uint64{}
+	// Events are time sorted; per-agent Seq must be unique (strictly
+	// increasing in emission order, which may differ from time order, so
+	// only uniqueness is checked here).
+	seen := map[int]map[uint64]bool{}
+	for i := range ds.Events {
+		ev := &ds.Events[i]
+		if seen[ev.AgentID] == nil {
+			seen[ev.AgentID] = map[uint64]bool{}
+		}
+		if seen[ev.AgentID][ev.Seq] {
+			t.Fatalf("duplicate seq %d on agent %d", ev.Seq, ev.AgentID)
+		}
+		seen[ev.AgentID][ev.Seq] = true
+		if ev.Seq > last[ev.AgentID] {
+			last[ev.AgentID] = ev.Seq
+		}
+	}
+}
+
+func TestEventsReferenceKnownEntities(t *testing.T) {
+	ds := Scenario(SmallConfig())
+	for i := range ds.Events {
+		ev := &ds.Events[i]
+		subj := ds.Entity(ev.Subject)
+		obj := ds.Entity(ev.Object)
+		if subj == nil || obj == nil {
+			t.Fatalf("event %d references unknown entities", ev.ID)
+		}
+		if subj.Type != types.EntityProcess {
+			t.Fatalf("event %d subject is a %v, not a process", ev.ID, subj.Type)
+		}
+	}
+}
+
+func TestInjectedArtifactsPresent(t *testing.T) {
+	ds := Scenario(SmallConfig())
+	wantFiles := []string{FileDump, FileInvoice, FileDropper, FileWebshell,
+		FileChromeUpd, FileStealerSrv, FileStealerDst, FileViminfo}
+	wantProcs := []string{ExeSbblv, ExeMal, ExeGsecdump, ExeOsql, ExeProbe,
+		ExeBeacon, ExeIndexer, ExeBackup}
+	names := map[string]bool{}
+	exes := map[string]bool{}
+	for i := range ds.Entities {
+		e := &ds.Entities[i]
+		if v, ok := e.Attrs[types.AttrName]; ok {
+			names[v] = true
+		}
+		if v, ok := e.Attrs[types.AttrExeName]; ok {
+			exes[v] = true
+		}
+	}
+	for _, f := range wantFiles {
+		if !names[f] {
+			t.Errorf("artifact file %q missing from scenario", f)
+		}
+	}
+	for _, p := range wantProcs {
+		if !exes[p] {
+			t.Errorf("artifact process %q missing from scenario", p)
+		}
+	}
+	// All five malware droppers too.
+	for _, s := range MalwareSamples {
+		if !exes[MalwareExe(s)] {
+			t.Errorf("malware %s executable missing", s.ID)
+		}
+	}
+}
+
+func TestAttackTimingOnDeclaredDays(t *testing.T) {
+	ds := Scenario(SmallConfig())
+	apt1 := timeutil.DayIndex(DayStart(APT1Day))
+	// The exfiltration burst (writes > 32 MiB to the attacker) must be on
+	// the APT day.
+	var found bool
+	for i := range ds.Events {
+		ev := &ds.Events[i]
+		if ev.Amount > 32<<20 && ev.Op == types.OpWrite {
+			obj := ds.Entity(ev.Object)
+			if obj.Type == types.EntityNetwork && obj.Attrs[types.AttrDstIP] == AttackerIP {
+				found = true
+				if timeutil.DayIndex(ev.Start) != apt1 {
+					t.Fatalf("exfil burst on day %d, want %d", timeutil.DayIndex(ev.Start), apt1)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no exfiltration burst found")
+	}
+}
+
+func TestCrossHostConnectShape(t *testing.T) {
+	b := NewBuilder(1)
+	pa := b.Proc(1, "/bin/a")
+	pb := b.Proc(2, "/bin/b")
+	b.CrossHostConnect(1, pa, 2, pb, 22, DayStart(0)+1000)
+	ds := b.Dataset()
+	var procToProc, connects, accepts int
+	for i := range ds.Events {
+		ev := &ds.Events[i]
+		obj := ds.Entity(ev.Object)
+		switch {
+		case ev.Op == types.OpConnect && obj.Type == types.EntityProcess:
+			procToProc++
+			if ev.AgentID != 1 {
+				t.Error("cross-host edge must be attributed to the initiator")
+			}
+		case ev.Op == types.OpConnect:
+			connects++
+		case ev.Op == types.OpAccept:
+			accepts++
+		}
+	}
+	if procToProc != 1 || connects != 1 || accepts != 1 {
+		t.Errorf("cross-host connect emitted %d/%d/%d events", procToProc, connects, accepts)
+	}
+}
+
+func TestDateHelpers(t *testing.T) {
+	if DateStr(0) != "03/01/2017" || DateStr(1) != "03/02/2017" {
+		t.Errorf("DateStr = %q, %q", DateStr(0), DateStr(1))
+	}
+	if DayStart(1)-DayStart(0) != timeutil.DayMillis {
+		t.Error("DayStart not day-aligned")
+	}
+}
+
+func TestSignatures(t *testing.T) {
+	b := NewBuilder(1)
+	signed := b.Proc(1, ExeSqlservr)
+	unsigned := b.Proc(1, ExeSbblv)
+	ds := b.Dataset()
+	if ds.Entity(signed).Attrs[types.AttrSignature] != "verified" {
+		t.Error("sqlservr should carry a verified signature")
+	}
+	if ds.Entity(unsigned).Attrs[types.AttrSignature] != "unsigned" {
+		t.Error("dropped malware should be unsigned")
+	}
+}

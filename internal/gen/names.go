@@ -1,0 +1,143 @@
+package gen
+
+// Name pools for background activity, split by host role. Windows hosts run
+// the usual desktop stack; Linux servers run daemons and shell tools.
+
+var winProcs = []string{
+	`C:\Windows\System32\svchost.exe`,
+	`C:\Windows\explorer.exe`,
+	`C:\Program Files\Google\Chrome\chrome.exe`,
+	`C:\Program Files\Mozilla Firefox\firefox.exe`,
+	`C:\Program Files\Microsoft Office\outlook.exe`,
+	`C:\Program Files\Microsoft Office\winword.exe`,
+	`C:\Program Files\Microsoft Office\excel.exe`,
+	`C:\Windows\System32\cmd.exe`,
+	`C:\Windows\System32\notepad.exe`,
+	`C:\Windows\System32\lsass.exe`,
+	`C:\Windows\System32\wininit.exe`,
+	`C:\Program Files\7-Zip\7z.exe`,
+	`C:\Program Files\Java\javaw.exe`,
+}
+
+var winFiles = []string{
+	`C:\Windows\System32\kernel32.dll`,
+	`C:\Windows\System32\ntdll.dll`,
+	`C:\Windows\System32\user32.dll`,
+	`C:\Users\alice\Documents\report.docx`,
+	`C:\Users\alice\Documents\budget.xlsx`,
+	`C:\Users\alice\Downloads\setup.exe`,
+	`C:\Users\alice\AppData\Local\Temp\tmp0001.tmp`,
+	`C:\Windows\Temp\MpCmdRun.log`,
+	`C:\ProgramData\config.ini`,
+	`C:\Users\alice\NTUSER.DAT`,
+}
+
+var dbProcs = []string{
+	`C:\Program Files\Microsoft SQL Server\sqlservr.exe`,
+	`C:\Windows\System32\svchost.exe`,
+	`C:\Windows\System32\cmd.exe`,
+	`C:\Windows\System32\lsass.exe`,
+	`C:\Program Files\Microsoft SQL Server\sqlagent.exe`,
+}
+
+var dbFiles = []string{
+	`C:\SQLData\master.mdf`,
+	`C:\SQLData\userdb.mdf`,
+	`C:\SQLData\userdb_log.ldf`,
+	`C:\SQLData\tempdb.mdf`,
+	`C:\Windows\System32\sqlncli.dll`,
+	`C:\SQLBackup\nightly.bak`,
+}
+
+var linuxProcs = []string{
+	"/usr/sbin/apache2",
+	"/usr/sbin/sshd",
+	"/bin/bash",
+	"/usr/bin/vim",
+	"/bin/cp",
+	"/usr/bin/wget",
+	"/usr/bin/curl",
+	"/usr/bin/python",
+	"/usr/sbin/cron",
+	"/usr/bin/git",
+	"/usr/sbin/rsyslogd",
+}
+
+var linuxFiles = []string{
+	"/var/www/html/index.html",
+	"/var/www/html/app.php",
+	"/var/log/apache2/access.log",
+	"/var/log/syslog",
+	"/var/log/auth.log",
+	"/etc/passwd",
+	"/etc/hosts",
+	"/home/dev/project/main.go",
+	"/home/dev/project/db.go",
+	"/tmp/build.out",
+	"/usr/lib/libc.so.6",
+}
+
+var mailProcs = []string{
+	"/usr/sbin/postfix",
+	"/usr/sbin/dovecot",
+	"/usr/sbin/sshd",
+	"/bin/bash",
+	"/usr/sbin/rsyslogd",
+}
+
+var mailFiles = []string{
+	"/var/mail/alice",
+	"/var/mail/bob",
+	"/var/log/mail.log",
+	"/etc/postfix/main.cf",
+	"/var/spool/postfix/incoming/1.eml",
+}
+
+// signedBinaries carry a "verified" binary signature attribute; queries use
+// this to separate vendor software from dropped malware.
+var signedBinaries = []string{
+	`C:\Windows\System32\svchost.exe`,
+	`C:\Windows\explorer.exe`,
+	`C:\Program Files\Google\Chrome\chrome.exe`,
+	`C:\Program Files\Mozilla Firefox\firefox.exe`,
+	`C:\Program Files\Microsoft Office\outlook.exe`,
+	`C:\Program Files\Microsoft Office\winword.exe`,
+	`C:\Program Files\Microsoft Office\excel.exe`,
+	`C:\Windows\System32\cmd.exe`,
+	`C:\Windows\System32\notepad.exe`,
+	`C:\Windows\System32\lsass.exe`,
+	`C:\Windows\System32\wininit.exe`,
+	`C:\Program Files\Microsoft SQL Server\sqlservr.exe`,
+	`C:\Program Files\Microsoft SQL Server\sqlagent.exe`,
+	`C:\Windows\System32\osql.exe`,
+	`C:\Program Files\Google\Update\GoogleUpdate.exe`,
+	`C:\Program Files\Java\jucheck.exe`,
+}
+
+// procPoolFor returns the background process pool for a host role.
+func procPoolFor(agent int) []string {
+	switch agent {
+	case AgentDBServer:
+		return dbProcs
+	case AgentWebServer, AgentDevBox:
+		return linuxProcs
+	case AgentMailSrv:
+		return mailProcs
+	default:
+		return winProcs
+	}
+}
+
+// filePoolFor returns the background file pool for a host role.
+func filePoolFor(agent int) []string {
+	switch agent {
+	case AgentDBServer:
+		return dbFiles
+	case AgentWebServer, AgentDevBox:
+		return linuxFiles
+	case AgentMailSrv:
+		return mailFiles
+	default:
+		return winFiles
+	}
+}

@@ -1,0 +1,161 @@
+package graphstore
+
+import (
+	"sort"
+	"testing"
+
+	"aiql/internal/gen"
+	"aiql/internal/pred"
+	"aiql/internal/storage"
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+func smallDataset() *types.Dataset {
+	return gen.Scenario(gen.Config{Hosts: 10, Days: 3, BackgroundPerHostDay: 500, Seed: 5})
+}
+
+func TestIngestCounts(t *testing.T) {
+	ds := smallDataset()
+	g := New()
+	g.Ingest(ds)
+	if g.EventCount() != len(ds.Events) {
+		t.Errorf("edges = %d, want %d", g.EventCount(), len(ds.Events))
+	}
+	if g.NodeCount() != len(ds.Entities) {
+		t.Errorf("nodes = %d, want %d", g.NodeCount(), len(ds.Entities))
+	}
+}
+
+// TestAgreesWithStore is the graph backend's core correctness property: for
+// any data query, traversal must return exactly the same events as the
+// partitioned store.
+func TestAgreesWithStore(t *testing.T) {
+	ds := smallDataset()
+	g := New()
+	g.Ingest(ds)
+	st := storage.New(storage.Options{})
+	st.Ingest(ds)
+
+	queries := []*storage.DataQuery{
+		{SubjType: types.EntityProcess, ObjType: types.EntityFile, Ops: types.NewOpSet(types.OpWrite)},
+		{Agents: []int{gen.AgentDBServer}, SubjType: types.EntityProcess,
+			ObjType: types.EntityNetwork, Ops: types.AllOps()},
+		{Window: timeutil.Window{From: gen.DayStart(1), To: gen.DayStart(2)},
+			SubjType: types.EntityProcess,
+			SubjPred: pred.NewCond(types.AttrExeName, pred.CmpEq, "%sbblv.exe"),
+			Ops:      types.AllOps()},
+		{SubjType: types.EntityProcess,
+			ObjType: types.EntityFile,
+			ObjPred: pred.NewCond(types.AttrName, pred.CmpEq, "%backup1.dmp"),
+			Ops:     types.AllOps()},
+		{SubjType: types.EntityProcess,
+			ObjType: types.EntityNetwork,
+			ObjPred: pred.NewCond(types.AttrDstIP, pred.CmpEq, gen.AttackerIP),
+			Ops:     types.NewOpSet(types.OpWrite, types.OpConnect)},
+		{SubjType: types.EntityProcess,
+			EvtPred: pred.NewCond(types.EvtAttrAmount, pred.CmpGt, "10000000"),
+			Ops:     types.AllOps()},
+	}
+	for i, q := range queries {
+		a := ids(g.Run(q))
+		b := ids(st.Execute(q))
+		if !equal(a, b) {
+			t.Errorf("query %d: graph %d events, store %d events", i, len(a), len(b))
+		}
+	}
+}
+
+func ids(ms []storage.Match) []types.EventID {
+	out := make([]types.EventID, len(ms))
+	for i, m := range ms {
+		out[i] = m.Event.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal(a, b []types.EventID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAllowedSets(t *testing.T) {
+	ds := smallDataset()
+	g := New()
+	g.Ingest(ds)
+	// Resolve sbblv's entity id, then query via the allowed set.
+	var sbblv types.EntityID
+	for i := range ds.Entities {
+		if ds.Entities[i].Attrs[types.AttrExeName] == gen.ExeSbblv {
+			sbblv = ds.Entities[i].ID
+		}
+	}
+	if sbblv == 0 {
+		t.Fatal("sbblv entity not found in scenario")
+	}
+	out := g.Run(&storage.DataQuery{
+		SubjType:    types.EntityProcess,
+		SubjAllowed: map[types.EntityID]struct{}{sbblv: {}},
+		Ops:         types.AllOps(),
+	})
+	if len(out) == 0 {
+		t.Fatal("allowed-set expansion found nothing")
+	}
+	for _, m := range out {
+		if m.Event.Subject != sbblv {
+			t.Fatal("allowed set leaked")
+		}
+	}
+}
+
+func TestResultsAreTimeSorted(t *testing.T) {
+	ds := smallDataset()
+	g := New()
+	g.Ingest(ds)
+	out := g.Run(&storage.DataQuery{
+		SubjType: types.EntityProcess,
+		ObjType:  types.EntityFile,
+		Ops:      types.NewOpSet(types.OpRead),
+	})
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Event.Start > out[i].Event.Start {
+			t.Fatal("graph results not in temporal order")
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	ds := smallDataset()
+	g := New()
+	g.Ingest(ds)
+	out := g.Run(&storage.DataQuery{
+		SubjType: types.EntityProcess,
+		Ops:      types.AllOps(),
+		Limit:    5,
+	})
+	if len(out) != 5 {
+		t.Errorf("limit returned %d", len(out))
+	}
+}
+
+func TestEmptyCandidates(t *testing.T) {
+	ds := smallDataset()
+	g := New()
+	g.Ingest(ds)
+	out := g.Run(&storage.DataQuery{
+		SubjType: types.EntityProcess,
+		SubjPred: pred.NewCond(types.AttrExeName, pred.CmpEq, "/no/such/binary"),
+		Ops:      types.AllOps(),
+	})
+	if len(out) != 0 {
+		t.Errorf("impossible predicate matched %d events", len(out))
+	}
+}

@@ -1,0 +1,310 @@
+// Package lexer tokenizes AIQL source text. The language is small: bare
+// identifiers, double-quoted string literals (which may carry SQL-LIKE '%'
+// wildcards), numbers, comparison and boolean operators, dependency arrows,
+// and comment-to-end-of-line with //.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies tokens.
+type Kind uint8
+
+const (
+	EOF Kind = iota
+	Ident
+	Number
+	String
+	// Punctuation / operators
+	LParen    // (
+	RParen    // )
+	LBracket  // [
+	RBracket  // ]
+	Comma     // ,
+	Dot       // .
+	Colon     // :
+	Eq        // =
+	Ne        // !=
+	Lt        // <
+	Le        // <=
+	Gt        // >
+	Ge        // >=
+	AndAnd    // &&
+	OrOr      // ||
+	Bang      // !
+	Arrow     // ->
+	BackArrow // <-
+	Plus      // +
+	Minus     // -
+	Star      // *
+	Slash     // /
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", Ident: "identifier", Number: "number", String: "string",
+	LParen: "'('", RParen: "')'", LBracket: "'['", RBracket: "']'",
+	Comma: "','", Dot: "'.'", Colon: "':'", Eq: "'='", Ne: "'!='",
+	Lt: "'<'", Le: "'<='", Gt: "'>'", Ge: "'>='", AndAnd: "'&&'",
+	OrOr: "'||'", Bang: "'!'", Arrow: "'->'", BackArrow: "'<-'",
+	Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'",
+}
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+// Is reports whether the token is an identifier equal (case-insensitively)
+// to the given keyword.
+func (t Token) Is(keyword string) bool {
+	return t.Kind == Ident && strings.EqualFold(t.Text, keyword)
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("aiql:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes src, returning the full token stream terminated by an EOF
+// token.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	mk := func(k Kind, text string) Token {
+		return Token{Kind: k, Text: text, Line: line, Col: col}
+	}
+	if l.pos >= len(l.src) {
+		return mk(EOF, ""), nil
+	}
+	c := l.peek()
+	switch {
+	case c == '"':
+		s, err := l.lexString()
+		if err != nil {
+			return Token{}, err
+		}
+		return mk(String, s), nil
+	case unicode.IsDigit(rune(c)):
+		return mk(Number, l.lexNumber()), nil
+	case isIdentStart(c):
+		return mk(Ident, l.lexIdent()), nil
+	}
+	l.advance()
+	switch c {
+	case '(':
+		return mk(LParen, "("), nil
+	case ')':
+		return mk(RParen, ")"), nil
+	case '[':
+		return mk(LBracket, "["), nil
+	case ']':
+		return mk(RBracket, "]"), nil
+	case ',':
+		return mk(Comma, ","), nil
+	case '.':
+		return mk(Dot, "."), nil
+	case ':':
+		return mk(Colon, ":"), nil
+	case '=':
+		if l.peek() == '=' { // tolerate ==
+			l.advance()
+		}
+		return mk(Eq, "="), nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(Ne, "!="), nil
+		}
+		return mk(Bang, "!"), nil
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return mk(Le, "<="), nil
+		case '-':
+			l.advance()
+			return mk(BackArrow, "<-"), nil
+		case '>':
+			l.advance()
+			return mk(Ne, "!="), nil
+		}
+		return mk(Lt, "<"), nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(Ge, ">="), nil
+		}
+		return mk(Gt, ">"), nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return mk(AndAnd, "&&"), nil
+		}
+		return Token{}, l.errf("unexpected '&' (did you mean '&&'?)")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return mk(OrOr, "||"), nil
+		}
+		return Token{}, l.errf("unexpected '|' (did you mean '||'?)")
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			return mk(Arrow, "->"), nil
+		}
+		return mk(Minus, "-"), nil
+	case '+':
+		return mk(Plus, "+"), nil
+	case '*':
+		return mk(Star, "*"), nil
+	case '/':
+		return mk(Slash, "/"), nil
+	}
+	return Token{}, l.errf("unexpected character %q", string(rune(c)))
+}
+
+func (l *lexer) lexString() (string, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.advance()
+		switch c {
+		case '"':
+			return b.String(), nil
+		case '\\':
+			if l.pos >= len(l.src) {
+				return "", l.errf("unterminated escape in string literal")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(e)
+			}
+		case '\n':
+			return "", l.errf("newline in string literal")
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", l.errf("unterminated string literal")
+}
+
+func (l *lexer) lexNumber() string {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.peek())) || l.peek() == '.') {
+		// A trailing dot followed by a non-digit belongs to the next token.
+		if l.peek() == '.' && !(l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))) {
+			break
+		}
+		l.advance()
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.peek()) {
+		l.advance()
+	}
+	return l.src[start:l.pos]
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,200 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func lexOK(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := lexOK(t, `proc p1["%cmd.exe"] start proc p2 as evt1`)
+	want := []Kind{Ident, Ident, LBracket, String, RBracket, Ident, Ident, Ident, Ident, Ident, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v (%q)", i, got[i], want[i], toks[i].Text)
+		}
+	}
+	if toks[3].Text != "%cmd.exe" {
+		t.Errorf("string text = %q", toks[3].Text)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks := lexOK(t, `= != < <= > >= && || ! -> <- + - * / ( ) [ ] , . :`)
+	want := []Kind{Eq, Ne, Lt, Le, Gt, Ge, AndAnd, OrOr, Bang, Arrow, BackArrow,
+		Plus, Minus, Star, Slash, LParen, RParen, LBracket, RBracket, Comma, Dot, Colon, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperatorAliases(t *testing.T) {
+	toks := lexOK(t, `a == b <> c`)
+	if toks[1].Kind != Eq {
+		t.Errorf("== lexed as %v", toks[1].Kind)
+	}
+	if toks[3].Kind != Ne {
+		t.Errorf("<> lexed as %v", toks[3].Kind)
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := lexOK(t, "agentid = 1 // host id; spatial constraints\nproc p")
+	want := []Kind{Ident, Eq, Number, Ident, Ident, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("comment not skipped: %v", toks)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := lexOK(t, `0.9 4444 1.5`)
+	for i, want := range []string{"0.9", "4444", "1.5"} {
+		if toks[i].Kind != Number || toks[i].Text != want {
+			t.Errorf("number %d = %v %q", i, toks[i].Kind, toks[i].Text)
+		}
+	}
+	// A dot not followed by a digit belongs to the next token
+	// (freq[1].attr style chains).
+	toks = lexOK(t, `3.x`)
+	if toks[0].Text != "3" || toks[1].Kind != Dot || toks[2].Text != "x" {
+		t.Errorf("trailing dot handling: %v", toks)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks := lexOK(t, `"a\"b" "tab\tx" "back\\slash"`)
+	if toks[0].Text != `a"b` {
+		t.Errorf("escaped quote = %q", toks[0].Text)
+	}
+	if toks[1].Text != "tab\tx" {
+		t.Errorf("escaped tab = %q", toks[1].Text)
+	}
+	if toks[2].Text != `back\slash` {
+		t.Errorf("escaped backslash = %q", toks[2].Text)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := lexOK(t, "a = 1\n  proc p")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[3].Line != 2 || toks[3].Col != 3 {
+		t.Errorf("proc at %d:%d, want 2:3", toks[3].Line, toks[3].Col)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`"unterminated`, "unterminated string"},
+		{"\"newline\nin string\"", "newline in string"},
+		{`a & b`, "did you mean '&&'"},
+		{`a | b`, "did you mean '||'"},
+		{`a $ b`, "unexpected character"},
+	}
+	for _, tc := range cases {
+		_, err := Lex(tc.src)
+		if err == nil {
+			t.Errorf("Lex(%q) accepted", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Lex(%q) error %q does not contain %q", tc.src, err, tc.want)
+		}
+		var le *Error
+		if !asLexError(err, &le) {
+			t.Errorf("Lex(%q) error is %T, want *Error", tc.src, err)
+		} else if le.Line < 1 || le.Col < 1 {
+			t.Errorf("Lex(%q) error has no position: %v", tc.src, err)
+		}
+	}
+}
+
+func asLexError(err error, out **Error) bool {
+	le, ok := err.(*Error)
+	if ok {
+		*out = le
+	}
+	return ok
+}
+
+func TestTokenIs(t *testing.T) {
+	toks := lexOK(t, `FORWARD forward Return`)
+	for _, tok := range toks[:3] {
+		if tok.Kind != Ident {
+			continue
+		}
+		switch tok.Text {
+		case "FORWARD", "forward":
+			if !tok.Is("forward") {
+				t.Errorf("Is(forward) false for %q", tok.Text)
+			}
+		case "Return":
+			if !tok.Is("return") {
+				t.Errorf("Is(return) false for %q", tok.Text)
+			}
+		}
+	}
+	if toks[0].Is("backward") {
+		t.Error("Is matched wrong keyword")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := EOF; k <= Slash; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestEmptyAndWhitespaceOnly(t *testing.T) {
+	for _, src := range []string{"", "   ", "\n\t\n", "// only a comment"} {
+		toks := lexOK(t, src)
+		if len(toks) != 1 || toks[0].Kind != EOF {
+			t.Errorf("Lex(%q) = %v, want only EOF", src, toks)
+		}
+	}
+}
+
+func TestFullQueryTokenizes(t *testing.T) {
+	src := `
+	agentid = 1
+	(at "01/01/2017")
+	proc p1 start proc p2["%telnet%"] as evt1
+	proc p3 start ip ipp[dstport = 4444] as evt2
+	with p2 = p3, evt1 before[1-2 minutes] evt2
+	return p1, p2
+	having freq > 2 * (freq + freq[1]) / 3`
+	toks := lexOK(t, src)
+	if len(toks) < 40 {
+		t.Errorf("full query produced only %d tokens", len(toks))
+	}
+}

@@ -1,0 +1,129 @@
+// Package mpp emulates the paper's Greenplum deployment: an MPP database of
+// N segment nodes, each holding a shard of the event data and scanned in
+// parallel (paper Sec. 3.2 "Hypertable" and Sec. 6.3.3).
+//
+// The experiment in paper Fig. 7 varies two things at once: the placement
+// policy — Greenplum's default distributes events by arrival order, which
+// is arbitrary, while AIQL's semantics-aware model distributes by the
+// (agent, day) spatial/temporal key — and the scheduling (Greenplum runs
+// the one-big-join SQL, AIQL runs Algorithm 1 on top). This package
+// provides both placements over identical segment stores; the bench
+// harness pairs them with the corresponding engine strategies.
+package mpp
+
+import (
+	"sync"
+
+	"aiql/internal/storage"
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+// Placement selects the event distribution policy.
+type Placement uint8
+
+const (
+	// ArrivalOrder round-robins events across segments in ingest order —
+	// Greenplum's default, arbitrary with respect to query semantics.
+	ArrivalOrder Placement = iota
+	// SemanticsAware hashes events by (agent, day), AIQL's data model, so
+	// each segment holds whole spatial/temporal partitions and spatial or
+	// temporal constraints eliminate entire segments.
+	SemanticsAware
+)
+
+func (p Placement) String() string {
+	if p == ArrivalOrder {
+		return "arrival-order"
+	}
+	return "semantics-aware"
+}
+
+// Cluster is a set of segment stores behind a scatter/gather Run.
+type Cluster struct {
+	placement Placement
+	segs      []*storage.Store
+}
+
+// New creates a cluster of n segments (the paper's deployment used 5).
+func New(n int, placement Placement, segOpts storage.Options) *Cluster {
+	if n <= 0 {
+		n = 5
+	}
+	c := &Cluster{placement: placement}
+	for i := 0; i < n; i++ {
+		c.segs = append(c.segs, storage.New(segOpts))
+	}
+	return c
+}
+
+// Segments returns the number of segment nodes.
+func (c *Cluster) Segments() int { return len(c.segs) }
+
+// Placement returns the cluster's distribution policy.
+func (c *Cluster) Placement() Placement { return c.placement }
+
+// Ingest distributes a dataset across the segments. Entities are
+// dimension-table-like and replicated to every segment, matching how MPP
+// systems broadcast small dimension tables.
+func (c *Cluster) Ingest(d *types.Dataset) {
+	n := len(c.segs)
+	shards := make([][]types.Event, n)
+	for i := range d.Events {
+		ev := &d.Events[i]
+		var seg int
+		switch c.placement {
+		case ArrivalOrder:
+			seg = i % n
+		case SemanticsAware:
+			day := timeutil.DayIndex(ev.Start)
+			seg = (ev.AgentID*31 + day) % n
+			if seg < 0 {
+				seg += n
+			}
+		}
+		shards[seg] = append(shards[seg], *ev)
+	}
+	var wg sync.WaitGroup
+	for i := range c.segs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.segs[i].Ingest(types.NewDataset(d.Entities, shards[i]))
+		}(i)
+	}
+	wg.Wait()
+}
+
+// EventCount returns the total number of events across segments.
+func (c *Cluster) EventCount() int {
+	total := 0
+	for _, s := range c.segs {
+		total += s.EventCount()
+	}
+	return total
+}
+
+// Run implements the engine Backend: the data query is scattered to every
+// segment in parallel and the partial results gathered. Under
+// SemanticsAware placement each segment prunes its local partitions using
+// the query's spatial/temporal constraints, so most segments answer
+// instantly; under ArrivalOrder every segment holds a slice of every
+// partition and must search.
+func (c *Cluster) Run(q *storage.DataQuery) []storage.Match {
+	parts := make([][]storage.Match, len(c.segs))
+	var wg sync.WaitGroup
+	for i := range c.segs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i] = c.segs[i].Execute(q)
+		}(i)
+	}
+	wg.Wait()
+	var out []storage.Match
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

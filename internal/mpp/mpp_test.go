@@ -1,0 +1,141 @@
+package mpp
+
+import (
+	"sort"
+	"testing"
+
+	"aiql/internal/gen"
+	"aiql/internal/pred"
+	"aiql/internal/storage"
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+func smallDataset() *types.Dataset {
+	return gen.Scenario(gen.Config{Hosts: 10, Days: 3, BackgroundPerHostDay: 400, Seed: 9})
+}
+
+func TestIngestDistributesEverything(t *testing.T) {
+	ds := smallDataset()
+	for _, placement := range []Placement{ArrivalOrder, SemanticsAware} {
+		c := New(5, placement, storage.Options{})
+		c.Ingest(ds)
+		if c.EventCount() != len(ds.Events) {
+			t.Errorf("%v: cluster holds %d events, want %d", placement, c.EventCount(), len(ds.Events))
+		}
+		if c.Segments() != 5 {
+			t.Errorf("segments = %d", c.Segments())
+		}
+	}
+}
+
+func TestDefaultSegments(t *testing.T) {
+	if New(0, ArrivalOrder, storage.Options{}).Segments() != 5 {
+		t.Error("default segment count should be 5 (paper deployment)")
+	}
+}
+
+// TestPlacementsAgree: both placements must answer every query identically;
+// only cost may differ.
+func TestPlacementsAgree(t *testing.T) {
+	ds := smallDataset()
+	arrival := New(5, ArrivalOrder, storage.Options{})
+	arrival.Ingest(ds)
+	semantic := New(5, SemanticsAware, storage.Options{})
+	semantic.Ingest(ds)
+	single := storage.New(storage.Options{})
+	single.Ingest(ds)
+
+	queries := []*storage.DataQuery{
+		{SubjType: types.EntityProcess, ObjType: types.EntityFile, Ops: types.NewOpSet(types.OpWrite)},
+		{Agents: []int{gen.AgentDBServer}, SubjType: types.EntityProcess, Ops: types.AllOps()},
+		{Window: timeutil.Window{From: gen.DayStart(1), To: gen.DayStart(2)},
+			SubjType: types.EntityProcess,
+			ObjPred:  pred.NewCond(types.AttrName, pred.CmpEq, "%backup1.dmp"),
+			ObjType:  types.EntityFile,
+			Ops:      types.AllOps()},
+	}
+	for i, q := range queries {
+		a := ids(arrival.Run(q))
+		b := ids(semantic.Run(q))
+		c := ids(single.Execute(q))
+		if !equal(a, c) {
+			t.Errorf("query %d: arrival-order differs from single store (%d vs %d)", i, len(a), len(c))
+		}
+		if !equal(b, c) {
+			t.Errorf("query %d: semantics-aware differs from single store (%d vs %d)", i, len(b), len(c))
+		}
+	}
+}
+
+// TestSemanticsAwarePlacementLocality: with (agent, day) hashing, all
+// events of one (agent, day) land on one segment.
+func TestSemanticsAwarePlacementLocality(t *testing.T) {
+	ds := smallDataset()
+	c := New(5, SemanticsAware, storage.Options{})
+	c.Ingest(ds)
+	for agent := 1; agent <= 3; agent++ {
+		for day := 0; day < 3; day++ {
+			q := &storage.DataQuery{
+				Agents:   []int{agent},
+				Window:   timeutil.DayWindow(timeutil.DayIndex(gen.DayStart(day))),
+				SubjType: types.EntityProcess,
+				Ops:      types.AllOps(),
+			}
+			withData := 0
+			for _, seg := range c.segs {
+				if len(seg.Execute(q)) > 0 {
+					withData++
+				}
+			}
+			if withData > 1 {
+				t.Errorf("agent %d day %d spread across %d segments under semantics-aware placement",
+					agent, day, withData)
+			}
+		}
+	}
+}
+
+// TestArrivalOrderScatters: round-robin placement spreads one (agent, day)
+// across essentially every segment — the paper's "arbitrary" distribution.
+func TestArrivalOrderScatters(t *testing.T) {
+	ds := smallDataset()
+	c := New(5, ArrivalOrder, storage.Options{})
+	c.Ingest(ds)
+	q := &storage.DataQuery{
+		Agents:   []int{1},
+		Window:   timeutil.DayWindow(timeutil.DayIndex(gen.DayStart(0))),
+		SubjType: types.EntityProcess,
+		Ops:      types.AllOps(),
+	}
+	withData := 0
+	for _, seg := range c.segs {
+		if len(seg.Execute(q)) > 0 {
+			withData++
+		}
+	}
+	if withData < 2 {
+		t.Errorf("arrival-order placement kept agent 1 day 0 on %d segment(s)", withData)
+	}
+}
+
+func ids(ms []storage.Match) []types.EventID {
+	out := make([]types.EventID, len(ms))
+	for i, m := range ms {
+		out[i] = m.Event.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equal(a, b []types.EventID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,1122 @@
+// Package parser implements a recursive-descent parser for AIQL
+// (paper Grammar 1). It produces ast.Query values and reports errors with
+// source positions, standing in for the ANTLR 4 grammar the paper used.
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"aiql/internal/ast"
+	"aiql/internal/lexer"
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+// Error is a parse error carrying a source position.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("aiql:%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// reserved words that can never serve as entity/event identifiers.
+var reserved = map[string]bool{
+	"proc": true, "file": true, "ip": true, "process": true, "network": true,
+	"as": true, "with": true, "return": true, "group": true, "by": true,
+	"having": true, "sort": true, "top": true, "before": true, "after": true,
+	"within": true, "from": true, "to": true, "at": true, "window": true,
+	"step": true, "forward": true, "backward": true, "count": true,
+	"distinct": true, "in": true, "not": true, "asc": true, "desc": true,
+}
+
+func isReserved(s string) bool {
+	if reserved[strings.ToLower(s)] {
+		return true
+	}
+	_, isOp := types.ParseOp(s)
+	return isOp
+}
+
+func isEntityType(s string) bool {
+	_, ok := types.ParseEntityType(s)
+	return ok
+}
+
+// Parse parses one AIQL query.
+func Parse(src string) (*ast.Query, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(lexer.EOF) {
+		return nil, p.errHere("unexpected %s after end of query", p.cur().Kind)
+	}
+	return q, nil
+}
+
+// MustParse parses a query and panics on error; intended for the embedded
+// evaluation query corpus and tests.
+func MustParse(src string) *ast.Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+	src  string
+}
+
+func (p *parser) cur() lexer.Token { return p.toks[p.pos] }
+func (p *parser) peek() lexer.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) at(k lexer.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) atKw(kw string) bool { return p.cur().Is(kw) }
+
+func (p *parser) advance() lexer.Token {
+	t := p.cur()
+	if t.Kind != lexer.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k lexer.Kind) (lexer.Token, bool) {
+	if p.at(k) {
+		return p.advance(), true
+	}
+	return lexer.Token{}, false
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.atKw(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	if p.at(k) {
+		return p.advance(), nil
+	}
+	return lexer.Token{}, p.errHere("expected %s, found %s %q", k, p.cur().Kind, p.cur().Text)
+}
+
+func (p *parser) expectKw(kw string) error {
+	if p.acceptKw(kw) {
+		return nil
+	}
+	return p.errHere("expected %q, found %q", kw, p.cur().Text)
+}
+
+func (p *parser) posOf(t lexer.Token) ast.Pos { return ast.Pos{Line: t.Line, Col: t.Col} }
+
+func (p *parser) errHere(format string, args ...any) error {
+	t := p.cur()
+	return &Error{Pos: ast.Pos{Line: t.Line, Col: t.Col}, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) errAt(t lexer.Token, format string, args ...any) error {
+	return &Error{Pos: ast.Pos{Line: t.Line, Col: t.Col}, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseQuery ::= (global_cstr)* (multievent | dependency)
+func (p *parser) parseQuery() (*ast.Query, error) {
+	q := &ast.Query{Source: p.src}
+	globals, err := p.parseGlobals()
+	if err != nil {
+		return nil, err
+	}
+	q.Globals = globals
+
+	switch {
+	case p.atKw("forward") || p.atKw("backward"):
+		dep, err := p.parseDependency()
+		if err != nil {
+			return nil, err
+		}
+		q.Dep = dep
+	case p.at(lexer.Ident) && isEntityType(p.cur().Text):
+		// Look ahead past the first entity to decide multievent vs
+		// dependency: a dependency edge begins with -> or <-.
+		save := p.pos
+		if _, err := p.parseEntity(); err != nil {
+			return nil, err
+		}
+		isDep := p.at(lexer.Arrow) || p.at(lexer.BackArrow)
+		p.pos = save
+		if isDep {
+			dep, err := p.parseDependency()
+			if err != nil {
+				return nil, err
+			}
+			q.Dep = dep
+		} else {
+			m, err := p.parseMultiEvent()
+			if err != nil {
+				return nil, err
+			}
+			q.Multi = m
+		}
+	default:
+		return nil, p.errHere("expected an event pattern or dependency path, found %q", p.cur().Text)
+	}
+	return q, nil
+}
+
+// parseGlobals consumes global constraints until the first event pattern or
+// dependency direction keyword.
+func (p *parser) parseGlobals() ([]ast.Global, error) {
+	var out []ast.Global
+	for {
+		// Optional comma separators between globals
+		// (e.g. "window = 1 min, step = 10 sec").
+		for p.at(lexer.Comma) {
+			p.advance()
+		}
+		t := p.cur()
+		switch {
+		case t.Kind == lexer.LParen:
+			w, err := p.parseParenWindow()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ast.Global{Pos: p.posOf(t), Window: w})
+		case t.Is("window") && p.peek().Kind == lexer.Eq:
+			p.advance()
+			p.advance()
+			ms, err := p.parseDuration()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ast.Global{Pos: p.posOf(t), Slide: &ast.SlideWind{Pos: p.posOf(t), Length: ms}})
+		case t.Is("step") && p.peek().Kind == lexer.Eq:
+			p.advance()
+			p.advance()
+			ms, err := p.parseDuration()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ast.Global{Pos: p.posOf(t), Slide: &ast.SlideWind{Pos: p.posOf(t), Step: ms}})
+		case t.Kind == lexer.Ident && !isEntityType(t.Text) && !t.Is("forward") && !t.Is("backward") &&
+			(isCstrStart(p.peek().Kind) || p.peek().Is("in") || p.peek().Is("not")):
+			c, err := p.parseCstrAtom()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ast.Global{Pos: p.posOf(t), Cstr: c})
+		default:
+			return out, nil
+		}
+	}
+}
+
+func isCstrStart(k lexer.Kind) bool {
+	switch k {
+	case lexer.Eq, lexer.Ne, lexer.Lt, lexer.Le, lexer.Gt, lexer.Ge:
+		return true
+	}
+	return false
+}
+
+// parseParenWindow ::= '(' ('at' dt | 'from' dt 'to' dt) ')'
+func (p *parser) parseParenWindow() (*ast.WindowLit, error) {
+	open, err := p.expect(lexer.LParen)
+	if err != nil {
+		return nil, err
+	}
+	w := &ast.WindowLit{Pos: p.posOf(open)}
+	switch {
+	case p.acceptKw("at"):
+		s, err := p.expect(lexer.String)
+		if err != nil {
+			return nil, err
+		}
+		w.At = s.Text
+	case p.acceptKw("from"):
+		s, err := p.expect(lexer.String)
+		if err != nil {
+			return nil, err
+		}
+		w.From = s.Text
+		if err := p.expectKw("to"); err != nil {
+			return nil, err
+		}
+		e, err := p.expect(lexer.String)
+		if err != nil {
+			return nil, err
+		}
+		w.To = e.Text
+	default:
+		return nil, p.errHere("expected 'at' or 'from' in time window")
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	// Validate eagerly so bad literals are reported at parse time.
+	if w.At != "" {
+		if _, err := timeutil.AtWindow(w.At); err != nil {
+			return nil, p.errAt(open, "%v", err)
+		}
+	} else {
+		if _, err := timeutil.FromToWindow(w.From, w.To); err != nil {
+			return nil, p.errAt(open, "%v", err)
+		}
+	}
+	return w, nil
+}
+
+// parseDuration ::= NUMBER IDENT(unit)
+func (p *parser) parseDuration() (int64, error) {
+	n, err := p.expect(lexer.Number)
+	if err != nil {
+		return 0, err
+	}
+	u, err := p.expect(lexer.Ident)
+	if err != nil {
+		return 0, err
+	}
+	ms, derr := timeutil.ParseDuration(n.Text, u.Text)
+	if derr != nil {
+		return 0, p.errAt(u, "%v", derr)
+	}
+	return ms, nil
+}
+
+// --- Multievent queries ---
+
+func (p *parser) parseMultiEvent() (*ast.MultiEvent, error) {
+	m := &ast.MultiEvent{}
+	for p.at(lexer.Ident) && isEntityType(p.cur().Text) {
+		patt, err := p.parseEventPattern()
+		if err != nil {
+			return nil, err
+		}
+		m.Patterns = append(m.Patterns, patt)
+	}
+	if len(m.Patterns) == 0 {
+		return nil, p.errHere("expected at least one event pattern")
+	}
+	if p.acceptKw("with") {
+		for {
+			r, err := p.parseRel()
+			if err != nil {
+				return nil, err
+			}
+			m.Rels = append(m.Rels, r)
+			if _, ok := p.accept(lexer.Comma); !ok {
+				break
+			}
+		}
+	}
+	ret, err := p.parseReturn()
+	if err != nil {
+		return nil, err
+	}
+	m.Return = ret
+	if err := p.parseTrailing(&m.GroupBy, &m.Having, &m.SortBy, &m.SortDesc, &m.Top); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseEventPattern ::= entity op_exp entity ('as' evt_id ('[' attr_cstr ']')?)? ('(' twind ')')?
+func (p *parser) parseEventPattern() (*ast.EventPattern, error) {
+	start := p.cur()
+	subj, err := p.parseEntity()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.parseOpExpr()
+	if err != nil {
+		return nil, err
+	}
+	obj, err := p.parseEntity()
+	if err != nil {
+		return nil, err
+	}
+	patt := &ast.EventPattern{Pos: p.posOf(start), Subj: subj, Op: op, Obj: obj}
+	if p.acceptKw("as") {
+		id, err := p.expect(lexer.Ident)
+		if err != nil {
+			return nil, err
+		}
+		if isReserved(id.Text) {
+			return nil, p.errAt(id, "%q is a reserved word and cannot name an event", id.Text)
+		}
+		patt.EvtID = id.Text
+		if _, ok := p.accept(lexer.LBracket); ok {
+			c, err := p.parseAttrExpr()
+			if err != nil {
+				return nil, err
+			}
+			patt.EvtCstr = c
+			if _, err := p.expect(lexer.RBracket); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.at(lexer.LParen) {
+		w, err := p.parseParenWindow()
+		if err != nil {
+			return nil, err
+		}
+		patt.Window = w
+	}
+	return patt, nil
+}
+
+// parseEntity ::= entity_type e_id? ('[' attr_cstr ']')?
+func (p *parser) parseEntity() (ast.EntityRef, error) {
+	t, err := p.expect(lexer.Ident)
+	if err != nil {
+		return ast.EntityRef{}, err
+	}
+	if !isEntityType(t.Text) {
+		return ast.EntityRef{}, p.errAt(t, "expected entity type (proc, file, ip), found %q", t.Text)
+	}
+	ref := ast.EntityRef{Pos: p.posOf(t), Type: strings.ToLower(t.Text)}
+	if p.at(lexer.Ident) && !isReserved(p.cur().Text) {
+		ref.ID = p.advance().Text
+	}
+	if _, ok := p.accept(lexer.LBracket); ok {
+		c, err := p.parseAttrExpr()
+		if err != nil {
+			return ast.EntityRef{}, err
+		}
+		ref.Cstr = c
+		if _, err := p.expect(lexer.RBracket); err != nil {
+			return ast.EntityRef{}, err
+		}
+	}
+	return ref, nil
+}
+
+// --- Operation expressions ---
+
+func (p *parser) parseOpExpr() (ast.OpExpr, error) {
+	return p.parseOpOr()
+}
+
+func (p *parser) parseOpOr() (ast.OpExpr, error) {
+	l, err := p.parseOpAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.OrOr) {
+		p.advance()
+		r, err := p.parseOpAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinOp{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseOpAnd() (ast.OpExpr, error) {
+	l, err := p.parseOpUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.AndAnd) {
+		p.advance()
+		r, err := p.parseOpUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinOp{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseOpUnary() (ast.OpExpr, error) {
+	if _, ok := p.accept(lexer.Bang); ok {
+		x, err := p.parseOpUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.NotOp{X: x}, nil
+	}
+	if _, ok := p.accept(lexer.LParen); ok {
+		x, err := p.parseOpExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	t, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := types.ParseOp(t.Text); !ok {
+		return nil, p.errAt(t, "unknown operation %q", t.Text)
+	}
+	return &ast.OpName{Pos: p.posOf(t), Name: strings.ToLower(t.Text)}, nil
+}
+
+// --- Attribute constraint expressions ---
+
+// parseAttrExpr parses the contents of a [...] constraint. A comma inside
+// brackets acts as a conjunction (Query 3: ["%/bin/cp%", agentid = 2]).
+func (p *parser) parseAttrExpr() (ast.AttrExpr, error) {
+	l, err := p.parseAttrOr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.Comma) {
+		p.advance()
+		r, err := p.parseAttrOr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinAttr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAttrOr() (ast.AttrExpr, error) {
+	l, err := p.parseAttrAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.OrOr) {
+		p.advance()
+		r, err := p.parseAttrAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinAttr{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAttrAnd() (ast.AttrExpr, error) {
+	l, err := p.parseAttrUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.AndAnd) {
+		p.advance()
+		r, err := p.parseAttrUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinAttr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAttrUnary() (ast.AttrExpr, error) {
+	if _, ok := p.accept(lexer.Bang); ok {
+		x, err := p.parseAttrUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.NotAttr{X: x}, nil
+	}
+	if p.at(lexer.LParen) {
+		p.advance()
+		x, err := p.parseAttrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return p.parseCstrAtom()
+}
+
+// parseCstrAtom ::= attr bop val | val | attr 'not'? 'in' '(' vals ')'
+func (p *parser) parseCstrAtom() (ast.AttrExpr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case lexer.String:
+		p.advance()
+		return &ast.Cstr{Pos: p.posOf(t), Op: "=", Val: t.Text, ValIsString: true}, nil
+	case lexer.Number:
+		p.advance()
+		return &ast.Cstr{Pos: p.posOf(t), Op: "=", Val: t.Text}, nil
+	case lexer.Ident:
+		attrTok := p.advance()
+		attr := normalizeAttr(attrTok.Text)
+		switch {
+		case p.atKw("not") && p.peek().Is("in"):
+			p.advance()
+			p.advance()
+			vals, err := p.parseValList()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Cstr{Pos: p.posOf(attrTok), Attr: attr, Op: "notin", Vals: vals}, nil
+		case p.atKw("in"):
+			p.advance()
+			vals, err := p.parseValList()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Cstr{Pos: p.posOf(attrTok), Attr: attr, Op: "in", Vals: vals}, nil
+		case isCstrStart(p.cur().Kind):
+			opTok := p.advance()
+			val, isStr, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Cstr{Pos: p.posOf(attrTok), Attr: attr, Op: opTok.Text, Val: val, ValIsString: isStr}, nil
+		default:
+			// A bare identifier is a bare-value shortcut (rare but legal,
+			// e.g. file[viminfo]).
+			return &ast.Cstr{Pos: p.posOf(attrTok), Op: "=", Val: attrTok.Text}, nil
+		}
+	}
+	return nil, p.errHere("expected attribute constraint, found %q", t.Text)
+}
+
+func (p *parser) parseValue() (string, bool, error) {
+	t := p.cur()
+	switch t.Kind {
+	case lexer.String:
+		p.advance()
+		return t.Text, true, nil
+	case lexer.Number:
+		p.advance()
+		return t.Text, false, nil
+	case lexer.Ident:
+		p.advance()
+		return t.Text, false, nil
+	case lexer.Minus:
+		p.advance()
+		n, err := p.expect(lexer.Number)
+		if err != nil {
+			return "", false, err
+		}
+		return "-" + n.Text, false, nil
+	}
+	return "", false, p.errHere("expected value, found %q", t.Text)
+}
+
+func (p *parser) parseValList() ([]string, error) {
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	var vals []string
+	for {
+		v, _, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		if _, ok := p.accept(lexer.Comma); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// normalizeAttr canonicalizes surface attribute spellings: the paper writes
+// both dstip and dst_ip.
+func normalizeAttr(a string) string {
+	switch strings.ToLower(a) {
+	case "dstip":
+		return types.AttrDstIP
+	case "srcip":
+		return types.AttrSrcIP
+	case "dstport":
+		return types.AttrDstPort
+	case "srcport":
+		return types.AttrSrcPort
+	case "exename", "exe":
+		return types.AttrExeName
+	default:
+		return strings.ToLower(a)
+	}
+}
+
+// --- Relationships ---
+
+func (p *parser) parseRel() (ast.Rel, error) {
+	l, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if isReserved(l.Text) {
+		return nil, p.errAt(l, "expected entity or event id, found reserved word %q", l.Text)
+	}
+	// Temporal relationship?
+	if p.atKw("before") || p.atKw("after") || p.atKw("within") {
+		kind := strings.ToLower(p.advance().Text)
+		tr := &ast.TempRel{Pos: p.posOf(l), LEvt: l.Text, Kind: kind}
+		if _, ok := p.accept(lexer.LBracket); ok {
+			lo, err := p.expect(lexer.Number)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(lexer.Minus); err != nil {
+				return nil, err
+			}
+			hi, err := p.expect(lexer.Number)
+			if err != nil {
+				return nil, err
+			}
+			unit, err := p.expect(lexer.Ident)
+			if err != nil {
+				return nil, err
+			}
+			if _, uerr := timeutil.UnitMillis(unit.Text); uerr != nil {
+				return nil, p.errAt(unit, "%v", uerr)
+			}
+			tr.Lo, tr.Hi, tr.Unit = lo.Text, hi.Text, unit.Text
+			if _, err := p.expect(lexer.RBracket); err != nil {
+				return nil, err
+			}
+		}
+		r, err := p.expect(lexer.Ident)
+		if err != nil {
+			return nil, err
+		}
+		tr.REvt = r.Text
+		return tr, nil
+	}
+	// Attribute relationship.
+	ar := &ast.AttrRel{Pos: p.posOf(l), LID: l.Text}
+	if _, ok := p.accept(lexer.Dot); ok {
+		a, err := p.expect(lexer.Ident)
+		if err != nil {
+			return nil, err
+		}
+		ar.LAttr = normalizeAttr(a.Text)
+	}
+	if !isCstrStart(p.cur().Kind) {
+		return nil, p.errHere("expected comparison operator in relationship, found %q", p.cur().Text)
+	}
+	ar.Op = p.advance().Text
+	r, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	ar.RID = r.Text
+	if _, ok := p.accept(lexer.Dot); ok {
+		a, err := p.expect(lexer.Ident)
+		if err != nil {
+			return nil, err
+		}
+		ar.RAttr = normalizeAttr(a.Text)
+	}
+	return ar, nil
+}
+
+// --- Return and trailing clauses ---
+
+func (p *parser) parseReturn() (*ast.ReturnClause, error) {
+	t := p.cur()
+	if err := p.expectKw("return"); err != nil {
+		return nil, err
+	}
+	rc := &ast.ReturnClause{Pos: p.posOf(t)}
+	if p.atKw("count") && !(p.peek().Kind == lexer.LParen) {
+		p.advance()
+		rc.Count = true
+	}
+	if p.acceptKw("distinct") {
+		rc.Distinct = true
+	}
+	for {
+		item, err := p.parseReturnItem()
+		if err != nil {
+			return nil, err
+		}
+		rc.Items = append(rc.Items, item)
+		if _, ok := p.accept(lexer.Comma); !ok {
+			break
+		}
+	}
+	return rc, nil
+}
+
+var aggFuncs = map[string]bool{
+	"count": true, "avg": true, "sum": true, "min": true, "max": true,
+}
+
+func (p *parser) parseReturnItem() (ast.ReturnItem, error) {
+	expr, err := p.parseResExpr()
+	if err != nil {
+		return ast.ReturnItem{}, err
+	}
+	item := ast.ReturnItem{Expr: expr}
+	if p.acceptKw("as") {
+		id, err := p.expect(lexer.Ident)
+		if err != nil {
+			return ast.ReturnItem{}, err
+		}
+		item.As = id.Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseResExpr() (ast.ResExpr, error) {
+	t, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.ToLower(t.Text)
+	if aggFuncs[name] && p.at(lexer.LParen) {
+		p.advance()
+		agg := &ast.Agg{Pos: p.posOf(t), Func: name}
+		if p.acceptKw("distinct") {
+			agg.Distinct = true
+		}
+		arg, err := p.parseResExpr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = arg
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return agg, nil
+	}
+	if isReserved(t.Text) {
+		return nil, p.errAt(t, "expected result reference, found reserved word %q", t.Text)
+	}
+	ref := &ast.Ref{Pos: p.posOf(t), ID: t.Text}
+	if _, ok := p.accept(lexer.Dot); ok {
+		a, err := p.expect(lexer.Ident)
+		if err != nil {
+			return nil, err
+		}
+		ref.Attr = normalizeAttr(a.Text)
+	}
+	return ref, nil
+}
+
+// parseTrailing accepts {group by, having, sort by, top} in any order.
+func (p *parser) parseTrailing(groupBy *[]ast.ResExpr, having *ast.Expr, sortBy *[]ast.SortKey, sortDesc *bool, top *int) error {
+	for {
+		switch {
+		case p.atKw("group"):
+			p.advance()
+			if err := p.expectKw("by"); err != nil {
+				return err
+			}
+			for {
+				r, err := p.parseResExpr()
+				if err != nil {
+					return err
+				}
+				*groupBy = append(*groupBy, r)
+				if _, ok := p.accept(lexer.Comma); !ok {
+					break
+				}
+			}
+		case p.atKw("having"):
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			*having = e
+		case p.atKw("sort"):
+			p.advance()
+			if err := p.expectKw("by"); err != nil {
+				return err
+			}
+			for {
+				id, err := p.expect(lexer.Ident)
+				if err != nil {
+					return err
+				}
+				key := ast.SortKey{Name: id.Text}
+				if _, ok := p.accept(lexer.Dot); ok {
+					a, err := p.expect(lexer.Ident)
+					if err != nil {
+						return err
+					}
+					key.Attr = normalizeAttr(a.Text)
+				}
+				*sortBy = append(*sortBy, key)
+				if _, ok := p.accept(lexer.Comma); !ok {
+					break
+				}
+			}
+			if p.acceptKw("desc") {
+				*sortDesc = true
+			} else {
+				p.acceptKw("asc")
+			}
+		case p.atKw("top"):
+			p.advance()
+			n, err := p.expect(lexer.Number)
+			if err != nil {
+				return err
+			}
+			v := 0
+			if _, serr := fmt.Sscanf(n.Text, "%d", &v); serr != nil || v <= 0 {
+				return p.errAt(n, "top expects a positive integer, found %q", n.Text)
+			}
+			*top = v
+		default:
+			return nil
+		}
+	}
+}
+
+// --- Having expressions ---
+
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseExprOr() }
+
+func (p *parser) parseExprOr() (ast.Expr, error) {
+	l, err := p.parseExprAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.OrOr) {
+		p.advance()
+		r, err := p.parseExprAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseExprAnd() (ast.Expr, error) {
+	l, err := p.parseExprCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.AndAnd) {
+		p.advance()
+		r, err := p.parseExprCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseExprCmp() (ast.Expr, error) {
+	l, err := p.parseExprAdd()
+	if err != nil {
+		return nil, err
+	}
+	if isCstrStart(p.cur().Kind) {
+		op := p.advance().Text
+		r, err := p.parseExprAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Binary{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseExprAdd() (ast.Expr, error) {
+	l, err := p.parseExprMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.Plus) || p.at(lexer.Minus) {
+		op := p.advance().Text
+		r, err := p.parseExprMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseExprMul() (ast.Expr, error) {
+	l, err := p.parseExprUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.Star) || p.at(lexer.Slash) {
+		op := p.advance().Text
+		r, err := p.parseExprUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseExprUnary() (ast.Expr, error) {
+	switch {
+	case p.at(lexer.Minus):
+		p.advance()
+		x, err := p.parseExprUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: "-", X: x}, nil
+	case p.at(lexer.Bang):
+		p.advance()
+		x, err := p.parseExprUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Op: "!", X: x}, nil
+	}
+	return p.parseExprPrimary()
+}
+
+func (p *parser) parseExprPrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case lexer.Number:
+		p.advance()
+		var v float64
+		if _, err := fmt.Sscanf(t.Text, "%g", &v); err != nil {
+			return nil, p.errAt(t, "bad number %q", t.Text)
+		}
+		return &ast.NumLit{Pos: p.posOf(t), Val: v, Raw: t.Text}, nil
+	case lexer.String:
+		p.advance()
+		return &ast.StrLit{Pos: p.posOf(t), Val: t.Text}, nil
+	case lexer.LParen:
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case lexer.Ident:
+		p.advance()
+		// Function call: EWMA(freq, 0.9), SMA(freq, 3), abs(x), ...
+		if p.at(lexer.LParen) {
+			p.advance()
+			call := &ast.Call{Pos: p.posOf(t), Func: strings.ToUpper(t.Text)}
+			if !p.at(lexer.RParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if _, ok := p.accept(lexer.Comma); !ok {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// History state: freq[1].
+		if p.at(lexer.LBracket) {
+			p.advance()
+			n, err := p.expect(lexer.Number)
+			if err != nil {
+				return nil, err
+			}
+			var idx int
+			if _, serr := fmt.Sscanf(n.Text, "%d", &idx); serr != nil || idx < 0 {
+				return nil, p.errAt(n, "history index must be a non-negative integer")
+			}
+			if _, err := p.expect(lexer.RBracket); err != nil {
+				return nil, err
+			}
+			return &ast.VarRef{Pos: p.posOf(t), Name: t.Text, Hist: idx}, nil
+		}
+		// Field reference: evt.amount.
+		if p.at(lexer.Dot) {
+			p.advance()
+			a, err := p.expect(lexer.Ident)
+			if err != nil {
+				return nil, err
+			}
+			return &ast.FieldRef{Pos: p.posOf(t), ID: t.Text, Attr: normalizeAttr(a.Text)}, nil
+		}
+		return &ast.VarRef{Pos: p.posOf(t), Name: t.Text}, nil
+	}
+	return nil, p.errHere("expected expression, found %q", t.Text)
+}
+
+// --- Dependency queries ---
+
+func (p *parser) parseDependency() (*ast.Dependency, error) {
+	start := p.cur()
+	dep := &ast.Dependency{Pos: p.posOf(start)}
+	if p.atKw("forward") || p.atKw("backward") {
+		dep.Direction = strings.ToLower(p.advance().Text)
+		if _, err := p.expect(lexer.Colon); err != nil {
+			return nil, err
+		}
+	}
+	first, err := p.parseEntity()
+	if err != nil {
+		return nil, err
+	}
+	dep.Nodes = append(dep.Nodes, first)
+	for p.at(lexer.Arrow) || p.at(lexer.BackArrow) {
+		arrow := p.advance()
+		if _, err := p.expect(lexer.LBracket); err != nil {
+			return nil, err
+		}
+		op, err := p.parseOpExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RBracket); err != nil {
+			return nil, err
+		}
+		node, err := p.parseEntity()
+		if err != nil {
+			return nil, err
+		}
+		dep.Edges = append(dep.Edges, ast.DepEdge{Pos: p.posOf(arrow), Dir: arrow.Text, Op: op})
+		dep.Nodes = append(dep.Nodes, node)
+	}
+	if len(dep.Nodes) < 2 {
+		return nil, p.errAt(start, "dependency query needs at least one edge")
+	}
+	ret, err := p.parseReturn()
+	if err != nil {
+		return nil, err
+	}
+	dep.Return = ret
+	var groupBy []ast.ResExpr
+	var having ast.Expr
+	if err := p.parseTrailing(&groupBy, &having, &dep.SortBy, &dep.SortDesc, &dep.Top); err != nil {
+		return nil, err
+	}
+	if len(groupBy) > 0 || having != nil {
+		return nil, p.errAt(start, "dependency queries do not support group by / having")
+	}
+	return dep, nil
+}

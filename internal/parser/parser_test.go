@@ -1,0 +1,290 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"aiql/internal/ast"
+)
+
+// The inline queries from the paper, verbatim modulo whitespace.
+var paperQueries = map[string]string{
+	"query1_cve": `
+		agentid = 1 // host id; spatial constraints
+		(at "01/01/2017") // temporal constraints
+		proc p1 start proc p2["%telnet%"] as evt1
+		proc p3 start ip ipp[dstport = 4444] as evt2
+		proc p4["%apache%"] read file f1["/var/www%"] as evt3
+		with p2 = p3, // attribute relationship
+		evt1 before evt2, evt3 after evt2 // temporal relationships
+		return p1, p2, p4, f1`,
+	"query2_history_probe": `
+		agentid = 1
+		(at "01/01/2017")
+		proc p2 start proc p1 as evt1
+		proc p3 read file[".viminfo" || ".bash_history"] as evt2
+		with p1 = p3, evt1 before evt2
+		return p2, p1
+		sort by p2, p1`,
+	"query3_forward_tracking": `
+		(at "01/01/2017")
+		forward: proc p1["%/bin/cp%", agentid = 2] ->[write] file f1["/var/www/%info_stealer%"]
+		<-[read] proc p2["%apache%"]
+		->[connect] proc p3[agentid = 3]
+		->[write] file f2["%info_stealer%"]
+		return f1, p1, p2, p3, f2`,
+	"query4_sma_anomaly": `
+		(at "01/01/2017")
+		window = 1 min
+		step = 10 sec
+		proc p read ip ipp
+		return p, count(distinct ipp) as freq
+		group by p
+		having freq > 2 * (freq + freq[1] + freq[2]) / 3`,
+	"query5_large_transfer": `
+		(at "03/20/2017")
+		agentid = 5
+		window = 1 min, step = 10 sec
+		proc p write ip i[dstip = "10.10.1.129"] as evt
+		return p, avg(evt.amount) as amt
+		group by p
+		having (amt > 2 * (amt + amt[1] + amt[2]) / 3)`,
+	"query6_starter_c5": `
+		(at "03/20/2017")
+		agentid = 5
+		proc p1["%sbblv.exe"] read || write file f1 as evt1
+		proc p1 read || write ip i1[dstip = "10.10.1.129"] as evt2
+		with evt1 before evt2
+		return distinct p1, f1, i1, evt1.optype, evt1.access`,
+	"query7_complete_c5": `
+		(at "03/20/2017")
+		agentid = 5
+		proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+		proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+		proc p4["%sbblv.exe"] read file f1 as evt3
+		proc p4 read || write ip i1[dstip = "10.10.1.129"] as evt4
+		with evt1 before evt2, evt2 before evt3, evt3 before evt4
+		return distinct p1, p2, p3, f1, p4, i1`,
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	for name, src := range paperQueries {
+		t.Run(name, func(t *testing.T) {
+			q, err := Parse(src)
+			if err != nil {
+				t.Fatalf("parse failed: %v", err)
+			}
+			if q.Multi == nil && q.Dep == nil {
+				t.Fatal("parsed query has neither multievent nor dependency body")
+			}
+		})
+	}
+}
+
+func TestParseQuery1Shape(t *testing.T) {
+	q := MustParse(paperQueries["query1_cve"])
+	m := q.Multi
+	if m == nil {
+		t.Fatal("expected multievent query")
+	}
+	if got := len(m.Patterns); got != 3 {
+		t.Fatalf("patterns = %d, want 3", got)
+	}
+	if got := len(m.Rels); got != 3 {
+		t.Fatalf("rels = %d, want 3", got)
+	}
+	if got := len(m.Return.Items); got != 4 {
+		t.Fatalf("return items = %d, want 4", got)
+	}
+	if len(q.Globals) != 2 {
+		t.Fatalf("globals = %d, want 2", len(q.Globals))
+	}
+	if q.Globals[0].Cstr == nil {
+		t.Error("first global should be the agentid constraint")
+	}
+	if q.Globals[1].Window == nil {
+		t.Error("second global should be the time window")
+	}
+	// Pattern 2's object carries a dstport constraint with attr
+	// normalization applied.
+	obj := m.Patterns[1].Obj
+	c, ok := obj.Cstr.(*ast.Cstr)
+	if !ok {
+		t.Fatalf("pattern 2 object constraint type %T", obj.Cstr)
+	}
+	if c.Attr != "dst_port" || c.Val != "4444" {
+		t.Errorf("pattern 2 object constraint = %s %s %s", c.Attr, c.Op, c.Val)
+	}
+}
+
+func TestParseDependencyShape(t *testing.T) {
+	q := MustParse(paperQueries["query3_forward_tracking"])
+	d := q.Dep
+	if d == nil {
+		t.Fatal("expected dependency query")
+	}
+	if d.Direction != "forward" {
+		t.Errorf("direction = %q, want forward", d.Direction)
+	}
+	if len(d.Nodes) != 5 || len(d.Edges) != 4 {
+		t.Fatalf("nodes=%d edges=%d, want 5/4", len(d.Nodes), len(d.Edges))
+	}
+	if d.Edges[1].Dir != "<-" {
+		t.Errorf("edge 1 dir = %q, want <-", d.Edges[1].Dir)
+	}
+	if len(d.Return.Items) != 5 {
+		t.Errorf("return items = %d, want 5", len(d.Return.Items))
+	}
+}
+
+func TestParseAnomalyShape(t *testing.T) {
+	q := MustParse(paperQueries["query4_sma_anomaly"])
+	if !q.IsAnomaly() {
+		t.Fatal("query 4 should be an anomaly query")
+	}
+	m := q.Multi
+	if len(m.GroupBy) != 1 {
+		t.Fatalf("group by = %d items, want 1", len(m.GroupBy))
+	}
+	if m.Having == nil {
+		t.Fatal("missing having clause")
+	}
+	// Having must reference history states freq[1], freq[2].
+	hist := 0
+	ast.WalkExpr(m.Having, func(e ast.Expr) {
+		if v, ok := e.(*ast.VarRef); ok && v.Hist > 0 {
+			hist++
+		}
+	})
+	if hist != 2 {
+		t.Errorf("history refs in having = %d, want 2", hist)
+	}
+	// Return aliases count(distinct ipp) as freq.
+	item := m.Return.Items[1]
+	if item.As != "freq" {
+		t.Errorf("alias = %q, want freq", item.As)
+	}
+	agg, ok := item.Expr.(*ast.Agg)
+	if !ok || agg.Func != "count" || !agg.Distinct {
+		t.Errorf("expected count(distinct ...), got %v", item.Expr)
+	}
+}
+
+func TestParseTemporalRange(t *testing.T) {
+	q := MustParse(`
+		(at "01/01/2017")
+		proc p1 start proc p2 as evt1
+		proc p3 write file f1 as evt2
+		with p2 = p3, evt1 before[1-2 minutes] evt2
+		return p1, f1`)
+	var tr *ast.TempRel
+	for _, r := range q.Multi.Rels {
+		if v, ok := r.(*ast.TempRel); ok {
+			tr = v
+		}
+	}
+	if tr == nil {
+		t.Fatal("no temporal relationship parsed")
+	}
+	if tr.Lo != "1" || tr.Hi != "2" || tr.Unit != "minutes" {
+		t.Errorf("range = %s-%s %s, want 1-2 minutes", tr.Lo, tr.Hi, tr.Unit)
+	}
+}
+
+func TestParseEWMAHaving(t *testing.T) {
+	q := MustParse(`
+		window = 1 min, step = 10 sec
+		proc p read ip ipp
+		return p, count(distinct ipp) as freq
+		group by p
+		having (freq - EWMA(freq, 0.9)) / EWMA(freq, 0.9) > 0.2`)
+	calls := 0
+	ast.WalkExpr(q.Multi.Having, func(e ast.Expr) {
+		if c, ok := e.(*ast.Call); ok && c.Func == "EWMA" {
+			calls++
+			if len(c.Args) != 2 {
+				t.Errorf("EWMA arity = %d, want 2", len(c.Args))
+			}
+		}
+	})
+	if calls != 2 {
+		t.Errorf("EWMA calls = %d, want 2", calls)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"empty", ``, "expected an event pattern"},
+		{"bad op", `proc p1 frobnicate proc p2 return p1`, "unknown operation"},
+		{"missing return", `proc p1 start proc p2`, `expected "return"`},
+		{"unterminated string", `proc p1["%cmd`, "unterminated string"},
+		{"reserved event id", `proc p1 start proc p2 as return return p1`, "reserved word"},
+		{"bad date", `(at "13/45/2017") proc p1 start proc p2 return p1`, "unrecognized date"},
+		{"bad unit", `proc p1 start proc p2 as e1 proc p2 write file f as e2 with e1 before[1-2 fortnights] e2 return p1`, "unknown time unit"},
+		{"top zero", `proc p1 start proc p2 return p1 top 0`, "positive integer"},
+		{"dep group by", `proc p1 ->[write] file f1 return p1 group by p1`, "do not support group by"},
+		{"trailing garbage", `proc p1 start proc p2 return p1 bogus extra`, "unexpected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("expected error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseOpExprForms(t *testing.T) {
+	cases := []string{
+		`proc p1 read || write file f1 return p1`,
+		`proc p1 !read file f1 return p1`,
+		`proc p1 (read || write) && !delete file f1 return p1`,
+		`proc p1 read||write||execute file f1 return p1`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q) failed: %v", src, err)
+		}
+	}
+}
+
+func TestParseGlobalsOrderIndependent(t *testing.T) {
+	a := MustParse(`agentid = 1 (at "01/01/2017") proc p1 start proc p2 return p1`)
+	b := MustParse(`(at "01/01/2017") agentid = 1 proc p1 start proc p2 return p1`)
+	if len(a.Globals) != 2 || len(b.Globals) != 2 {
+		t.Fatalf("globals = %d/%d, want 2/2", len(a.Globals), len(b.Globals))
+	}
+}
+
+func TestEntityIDReuse(t *testing.T) {
+	// Query 2 variant: reusing p1 in evt2 and omitting p1 = p3.
+	q := MustParse(`
+		agentid = 1
+		proc p2 start proc p1 as evt1
+		proc p1 read file[".viminfo"] as evt2
+		with evt1 before evt2
+		return p2, p1`)
+	if q.Multi.Patterns[1].Subj.ID != "p1" {
+		t.Errorf("subject id = %q, want p1", q.Multi.Patterns[1].Subj.ID)
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	q := MustParse(`proc p1[exe_name in ("a.exe", "b.exe")] write file f1[name not in ("x", "y")] return p1, f1`)
+	c := q.Multi.Patterns[0].Subj.Cstr.(*ast.Cstr)
+	if c.Op != "in" || len(c.Vals) != 2 {
+		t.Errorf("subject cstr = %+v", c)
+	}
+	oc := q.Multi.Patterns[0].Obj.Cstr.(*ast.Cstr)
+	if oc.Op != "notin" || len(oc.Vals) != 2 {
+		t.Errorf("object cstr = %+v", oc)
+	}
+}

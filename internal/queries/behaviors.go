@@ -1,0 +1,179 @@
+package queries
+
+import (
+	"fmt"
+
+	"aiql/internal/gen"
+)
+
+// Behaviors returns the 19 attack-behaviour queries of the performance and
+// conciseness evaluations (paper Sec. 6.3.1): 5 multi-step attack
+// behaviours (a1–a5), 3 dependency-tracking behaviours (d1–d3), 5
+// real-world malware behaviours (v1–v5), and 6 abnormal system behaviours
+// (s1–s6; s5 and s6 are anomaly queries with no SQL/Cypher/SPL
+// equivalents, exactly as in the paper).
+func Behaviors() []Query {
+	day := "(at \"" + gen.DateStr(gen.BehaviorDay) + "\")"
+	web := agent(gen.AgentWebServer)
+	dev := agent(gen.AgentDevBox)
+	client := agent(gen.AgentWinClient)
+	mail := agent(gen.AgentMailSrv)
+
+	var qs []Query
+	add := func(id, group string, patterns int, anomaly bool, src string) {
+		qs = append(qs, Query{ID: id, Group: group, Patterns: patterns, Anomaly: anomaly, Src: src})
+	}
+
+	// --- Multi-step attack behaviours (second APT, a1–a5).
+	add("a1", "a", 2, false, day+`
+`+web+`
+proc p1["%apache%"] write file f1["%shell.php"] as evt1
+proc p1 start proc p2["%bash"] as evt2
+with evt1 before evt2
+return distinct p1, f1, p2`)
+	add("a2", "a", 3, false, day+`
+`+web+`
+proc p1["%bash"] read file f1["/etc/passwd"] as evt1
+proc p1 start proc p2["%python"] as evt2
+proc p2 connect ip i1[dstip = "`+gen.AttackerIP2+`"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, f1, p2, i1`)
+	add("a3", "a", 3, false, day+`
+`+web+`
+proc p1["%python"] write file f1["%.pwn.so"] as evt1
+proc p1 start proc p2["%sudo"] as evt2
+proc p2 read file f2["/etc/shadow"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, f1, p2, f2`)
+	add("a4", "a", 4, false, day+`
+proc p1["%sudo", agentid = `+fmt.Sprint(gen.AgentWebServer)+`] start proc p2["%bash"] as evt1
+proc p2 start proc p3["%ssh"] as evt2
+proc p3 connect proc p4[agentid = `+fmt.Sprint(gen.AgentDevBox)+`] as evt3
+proc p4 start proc p5["%bash"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, p2, p3, p4, p5`)
+	add("a5", "a", 4, false, day+`
+`+dev+`
+proc p1["%tar"] read file f1["/home/dev/project%"] as evt1
+proc p1 write file f2["%.src.tgz"] as evt2
+proc p2["%curl"] read file f2 as evt3
+proc p2 write ip i1[dstip = "`+gen.AttackerIP2+`"] as evt4
+with evt1 before evt2, evt2 before evt3, evt3 before evt4
+return distinct p1, f1, f2, p2, i1`)
+
+	// --- Dependency tracking behaviours (d1–d3).
+	add("d1", "d", 2, false, day+`
+`+client+`
+backward: file f1["%chrome_update.exe"] <-[write] proc p1["%GoogleUpdate%"] ->[read] ip i1[dstip = "`+gen.UpdateCDNIP+`"]
+return f1, p1, i1`)
+	add("d2", "d", 2, false, day+`
+`+client+`
+backward: file f1["%jre_update.exe"] <-[write] proc p1["%jucheck%"] ->[read] ip i1[dstip = "`+gen.UpdateCDNIP+`"]
+return f1, p1, i1`)
+	add("d3", "d", 4, false, day+`
+forward: proc p1["%/bin/cp%", agentid = `+fmt.Sprint(gen.AgentWebServer)+`] ->[write] file f1["/var/www/%info_stealer%"]
+<-[read] proc p2["%apache%"]
+->[connect] proc p3[agentid = `+fmt.Sprint(gen.AgentDevBox)+`]
+->[write] file f2["%info_stealer%"]
+return f1, p1, p2, p3, f2`)
+
+	// --- Real-world malware behaviours (v1–v5, Table 4 samples).
+	vAgent := func(i int) string { return agent(gen.MalwareAgent(i)) }
+	add("v1", "v", 3, false, day+`
+`+vAgent(0)+`
+proc p1 start proc p2["%`+gen.MalwareSamples[0].Name+`%"] as evt1
+proc p2 connect ip i1[dstip = "`+gen.MalwareC2IP+`"] as evt2
+proc p2 write file f1["%sysbot.dll"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, p2, i1, f1`)
+	add("v2", "v", 3, false, day+`
+`+vAgent(1)+`
+proc p1 start proc p2["%`+gen.MalwareSamples[1].Name+`%"] as evt1
+proc p2 write file f1["%hooker.dll"] as evt2
+proc p2 write file f2["%keylog.txt"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, p2, f1, f2`)
+	add("v3", "v", 3, false, day+`
+`+vAgent(2)+`
+proc p1 start proc p2["%`+gen.MalwareSamples[2].Name+`%"] as evt1
+proc p2 write file f1["%autorun.inf"] as evt2
+proc p2 write file f2["%etc%hosts"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, p2, f1, f2`)
+	add("v4", "v", 3, false, day+`
+`+vAgent(3)+`
+proc p1["%`+gen.MalwareSamples[3].Name+`%"] read file f1["%7z.exe"] as evt1
+proc p1 write file f1 as evt2
+proc p1 connect ip i1[dstip = "`+gen.MalwareC2IP+`"] as evt3
+with evt1 before evt2
+return distinct p1, f1, i1`)
+	add("v5", "v", 3, false, day+`
+`+vAgent(4)+`
+proc p1 start proc p2["%`+gen.MalwareSamples[4].Name+`%"] as evt1
+proc p2 write file f1["%keylog.txt"] as evt2
+proc p2 connect ip i1[dstip = "`+gen.MalwareC2IP+`"] as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, p2, f1, i1`)
+
+	// --- Abnormal system behaviours (s1–s6).
+	add("s1", "s", 2, false, day+`
+`+dev+`
+proc p2 start proc p1 as evt1
+proc p1 read file f1["%.viminfo" || "%.bash_history"] as evt2
+with evt1 before evt2
+return distinct p2, p1, f1
+sort by p2, p1`)
+	add("s2", "s", 2, false, day+`
+`+web+`
+proc p1["%apache%"] start proc p2 as evt1
+proc p2 connect ip i1[dstport = 9001] as evt2
+with evt1 before evt2
+return distinct p1, p2, i1`)
+	add("s3", "s", 1, false, day+`
+`+client+`
+proc p read ip i[dstip = "`+gen.BeaconIP+`"] as evt
+return p, count(i) as n
+group by p
+having n > 100`)
+	add("s4", "s", 2, false, day+`
+`+web+`
+proc p1 write file f1["/var/log%"] as evt1
+proc p1 delete file f1 as evt2
+with evt1 before evt2
+return distinct p1, f1`)
+	add("s5", "s", 1, true, day+`
+`+mail+`
+window = 1 min, step = 10 sec
+proc p write ip i[dstip = "`+gen.BackupSrvIP+`"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having (amt > 2 * (amt + amt[1] + amt[2]) / 3)`)
+	add("s6", "s", 1, true, day+`
+`+client+`
+window = 1 min, step = 10 sec
+proc p read file f["%Documents%"] as evt
+return p, count(distinct f) as freq
+group by p
+having freq > 5 && (freq - EWMA(freq, 0.5)) / EWMA(freq, 0.5) > 0.2`)
+
+	return qs
+}
+
+// BehaviorGroups is the reporting order of the paper's Figs. 6–8.
+var BehaviorGroups = []string{"a", "d", "v", "s"}
+
+// GroupTitle names a behaviour family as in the paper's figure captions.
+func GroupTitle(g string) string {
+	switch g {
+	case "a":
+		return "Multi-step attack behaviors"
+	case "d":
+		return "Dependency tracking behaviors"
+	case "v":
+		return "Real-world malware behaviors"
+	case "s":
+		return "Abnormal system behaviors"
+	default:
+		return g
+	}
+}

@@ -1,0 +1,121 @@
+package queries
+
+import (
+	"sync"
+	"testing"
+
+	"aiql/internal/engine"
+	"aiql/internal/gen"
+	"aiql/internal/parser"
+	"aiql/internal/storage"
+	"aiql/internal/types"
+)
+
+var (
+	dsOnce sync.Once
+	dsVal  *types.Dataset
+)
+
+func scenario() *types.Dataset {
+	dsOnce.Do(func() { dsVal = gen.Scenario(gen.SmallConfig()) })
+	return dsVal
+}
+
+func newEngine(tb testing.TB) *engine.Engine {
+	tb.Helper()
+	st := storage.New(storage.Options{})
+	st.Ingest(scenario())
+	return engine.New(st, engine.Options{})
+}
+
+// Paper Table 3: multievent queries and event patterns per attack step
+// (the anomaly query c5-a is reported separately in the paper).
+var table3 = map[string]struct{ queries, patterns int }{
+	"c1": {1, 3},
+	"c2": {8, 27},
+	"c3": {2, 4},
+	"c4": {8, 35},
+	"c5": {7, 18},
+}
+
+func TestCaseStudyMatchesTable3(t *testing.T) {
+	byStep := ByStep(CaseStudy())
+	for _, step := range Steps {
+		want := table3[step]
+		var qs []Query
+		for _, q := range byStep[step] {
+			if !q.Anomaly {
+				qs = append(qs, q)
+			}
+		}
+		if len(qs) != want.queries {
+			t.Errorf("%s: %d queries, want %d", step, len(qs), want.queries)
+		}
+		patterns := 0
+		for _, q := range qs {
+			patterns += q.Patterns
+		}
+		if patterns != want.patterns {
+			t.Errorf("%s: %d patterns, want %d", step, patterns, want.patterns)
+		}
+	}
+}
+
+func TestCorpusParsesAndDeclaredShape(t *testing.T) {
+	all := append(CaseStudy(), Behaviors()...)
+	seen := make(map[string]bool)
+	for _, q := range all {
+		if seen[q.ID] {
+			t.Errorf("duplicate query id %s", q.ID)
+		}
+		seen[q.ID] = true
+		parsed, err := parser.Parse(q.Src)
+		if err != nil {
+			t.Errorf("%s: parse: %v", q.ID, err)
+			continue
+		}
+		if parsed.IsAnomaly() != q.Anomaly {
+			t.Errorf("%s: anomaly flag = %v, declared %v", q.ID, parsed.IsAnomaly(), q.Anomaly)
+		}
+		plan, err := engine.Compile(parsed)
+		if err != nil {
+			t.Errorf("%s: compile: %v", q.ID, err)
+			continue
+		}
+		if len(plan.Patterns) != q.Patterns {
+			t.Errorf("%s: %d compiled patterns, declared %d", q.ID, len(plan.Patterns), q.Patterns)
+		}
+	}
+	if len(all) != 27+19 {
+		t.Errorf("corpus has %d queries, want 46 (26 multievent + 1 anomaly + 19 behaviours)", len(all))
+	}
+}
+
+func TestCorpusFindsInjectedBehaviors(t *testing.T) {
+	e := newEngine(t)
+	for _, q := range append(CaseStudy(), Behaviors()...) {
+		q := q
+		t.Run(q.ID, func(t *testing.T) {
+			res, err := e.Query(q.Src)
+			if err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("query %s found nothing; the injected artifacts and the query drifted apart", q.ID)
+			}
+		})
+	}
+}
+
+func TestBehaviorsCoverAllGroups(t *testing.T) {
+	counts := map[string]int{}
+	for _, q := range Behaviors() {
+		counts[q.Group]++
+	}
+	want := map[string]int{"a": 5, "d": 3, "v": 5, "s": 6}
+	for g, n := range want {
+		if counts[g] != n {
+			t.Errorf("group %s: %d queries, want %d", g, counts[g], n)
+		}
+	}
+}

@@ -1,0 +1,583 @@
+// Package storage implements AIQL's domain-specific data store
+// (paper Sec. 3.2). System monitoring data exhibits strong spatial and
+// temporal properties: data from different agents is independent, and
+// timestamps increase monotonically. The store therefore partitions events
+// along both dimensions — one partition per (agent, UTC day) — and builds
+// hash indexes on the attributes queries touch most (process exe_name, file
+// name, network src/dst IP). Partition pruning by the query's spatial and
+// temporal constraints plus parallel partition scans give the speedups the
+// paper attributes to its storage layer.
+package storage
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"aiql/internal/pred"
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+// Options control the optimizations individual benchmarks toggle for
+// ablation studies. The zero value enables everything.
+type Options struct {
+	// DisableIndexes forces full entity scans instead of hash-index probes.
+	DisableIndexes bool
+	// DisablePruning scans every partition regardless of the query's
+	// spatial/temporal constraints (the partitions still exist; only the
+	// pruning is turned off).
+	DisablePruning bool
+	// Workers bounds scan parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// partKey identifies a spatial × temporal partition.
+type partKey struct {
+	agent int
+	day   int
+}
+
+// partition holds one (agent, day)'s events in ascending (Start, Seq) order
+// together with posting lists from entity id to event positions.
+type partition struct {
+	key       partKey
+	events    []types.Event
+	bySubject map[types.EntityID][]int32
+	byObject  map[types.EntityID][]int32
+}
+
+// entityKey addresses the global entity attribute hash index.
+type entityKey struct {
+	typ  types.EntityType
+	attr string
+	val  string
+}
+
+// indexedAttrs lists, per entity type, the attributes served by hash
+// indexes — the attributes the paper says are queried frequently.
+var indexedAttrs = map[types.EntityType][]string{
+	types.EntityFile:    {types.AttrName},
+	types.EntityProcess: {types.AttrExeName, types.AttrPID},
+	types.EntityNetwork: {types.AttrDstIP, types.AttrSrcIP, types.AttrDstPort},
+}
+
+// Store is the AIQL-optimized event store.
+type Store struct {
+	opts Options
+
+	mu         sync.RWMutex
+	entities   map[types.EntityID]*types.Entity
+	byType     map[types.EntityType][]types.EntityID
+	entityIdx  map[entityKey][]types.EntityID
+	parts      map[partKey]*partition
+	partList   []*partition // stable iteration order
+	eventCount int
+}
+
+// New creates an empty store with the given options.
+func New(opts Options) *Store {
+	return &Store{
+		opts:      opts,
+		entities:  make(map[types.EntityID]*types.Entity),
+		byType:    make(map[types.EntityType][]types.EntityID),
+		entityIdx: make(map[entityKey][]types.EntityID),
+		parts:     make(map[partKey]*partition),
+	}
+}
+
+// Ingest loads a dataset. Events must already be time sorted (Dataset
+// guarantees this); ingestion appends to per-partition logs in order, so
+// each partition remains sorted.
+func (s *Store) Ingest(d *types.Dataset) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range d.Entities {
+		s.addEntityLocked(&d.Entities[i])
+	}
+	for i := range d.Events {
+		s.addEventLocked(&d.Events[i])
+	}
+	s.sortPartsLocked()
+}
+
+// AddEntity registers a single entity.
+func (s *Store) AddEntity(e *types.Entity) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addEntityLocked(e)
+}
+
+// AddEvent appends a single event (out-of-order ingestion is tolerated; the
+// partition is re-sorted lazily at the next query).
+func (s *Store) AddEvent(ev *types.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addEventLocked(ev)
+	s.sortPartsLocked()
+}
+
+func (s *Store) addEntityLocked(e *types.Entity) {
+	if _, dup := s.entities[e.ID]; dup {
+		return
+	}
+	s.entities[e.ID] = e
+	s.byType[e.Type] = append(s.byType[e.Type], e.ID)
+	for _, attr := range indexedAttrs[e.Type] {
+		if v, ok := e.Attrs[attr]; ok {
+			k := entityKey{typ: e.Type, attr: attr, val: v}
+			s.entityIdx[k] = append(s.entityIdx[k], e.ID)
+		}
+	}
+}
+
+func (s *Store) addEventLocked(ev *types.Event) {
+	key := partKey{agent: ev.AgentID, day: timeutil.DayIndex(ev.Start)}
+	p, ok := s.parts[key]
+	if !ok {
+		p = &partition{
+			key:       key,
+			bySubject: make(map[types.EntityID][]int32),
+			byObject:  make(map[types.EntityID][]int32),
+		}
+		s.parts[key] = p
+		s.partList = append(s.partList, p)
+	}
+	pos := int32(len(p.events))
+	p.events = append(p.events, *ev)
+	p.bySubject[ev.Subject] = append(p.bySubject[ev.Subject], pos)
+	p.byObject[ev.Object] = append(p.byObject[ev.Object], pos)
+	s.eventCount++
+}
+
+// sortPartsLocked restores per-partition temporal order and rebuilds
+// posting lists where ingestion arrived out of order.
+func (s *Store) sortPartsLocked() {
+	for _, p := range s.partList {
+		if sort.SliceIsSorted(p.events, func(i, j int) bool {
+			return eventLess(&p.events[i], &p.events[j])
+		}) {
+			continue
+		}
+		sort.Slice(p.events, func(i, j int) bool {
+			return eventLess(&p.events[i], &p.events[j])
+		})
+		p.bySubject = make(map[types.EntityID][]int32, len(p.bySubject))
+		p.byObject = make(map[types.EntityID][]int32, len(p.byObject))
+		for i := range p.events {
+			ev := &p.events[i]
+			p.bySubject[ev.Subject] = append(p.bySubject[ev.Subject], int32(i))
+			p.byObject[ev.Object] = append(p.byObject[ev.Object], int32(i))
+		}
+	}
+	sort.Slice(s.partList, func(i, j int) bool {
+		a, b := s.partList[i].key, s.partList[j].key
+		if a.day != b.day {
+			return a.day < b.day
+		}
+		return a.agent < b.agent
+	})
+}
+
+// EventCount returns the number of ingested events.
+func (s *Store) EventCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eventCount
+}
+
+// PartitionCount returns the number of (agent, day) partitions.
+func (s *Store) PartitionCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.partList)
+}
+
+// Entity returns the entity with the given id, or nil.
+func (s *Store) Entity(id types.EntityID) *types.Entity {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.entities[id]
+}
+
+// DataQuery is the storage-level query synthesized from one AIQL event
+// pattern (paper Fig. 3). All fields are conjunctive; zero values mean
+// "unconstrained".
+type DataQuery struct {
+	// Agents restricts the spatial dimension; empty means all agents.
+	Agents []int
+	// Window restricts the temporal dimension.
+	Window timeutil.Window
+	// SubjType/ObjType restrict entity types (subjects are processes in
+	// well-formed AIQL, but the engine passes the type through regardless).
+	SubjType types.EntityType
+	ObjType  types.EntityType
+	// SubjPred/ObjPred are entity attribute predicates.
+	SubjPred pred.Pred
+	ObjPred  pred.Pred
+	// Ops is the operation set from the pattern's <op_exp>.
+	Ops types.OpSet
+	// EvtPred constrains event attributes (amount, failcode, ...).
+	EvtPred pred.Pred
+	// SubjAllowed/ObjAllowed, when non-nil, restrict the subject/object to
+	// previously discovered entities — this is how the relationship-based
+	// scheduler pushes earlier results into later data queries
+	// (Algorithm 1's "execute q_j under S_i").
+	SubjAllowed map[types.EntityID]struct{}
+	ObjAllowed  map[types.EntityID]struct{}
+	// Limit stops the scan after this many matches (0 = unlimited).
+	Limit int
+	// ForceScan bypasses candidate-set resolution and posting lists,
+	// evaluating every predicate per event row. The baseline emulations use
+	// it to model semantics-agnostic executors that join event and entity
+	// tables without AIQL's entity pre-resolution.
+	ForceScan bool
+}
+
+// Match is one event matching a DataQuery, with resolved entities.
+type Match struct {
+	Event *types.Event
+	Subj  *types.Entity
+	Obj   *types.Entity
+}
+
+// Run implements the engine's Backend interface.
+func (s *Store) Run(q *DataQuery) []Match { return s.Execute(q) }
+
+// Execute runs a data query against the store, scanning the surviving
+// partitions in parallel.
+func (s *Store) Execute(q *DataQuery) []Match {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var subjCand, objCand map[types.EntityID]struct{}
+	if !q.ForceScan {
+		subjCand = s.candidateSet(q.SubjType, q.SubjPred, q.SubjAllowed)
+		objCand = s.candidateSet(q.ObjType, q.ObjPred, q.ObjAllowed)
+	} else {
+		// Even under ForceScan the scheduler-imposed allowed sets must be
+		// honoured for correctness; only the index shortcuts are skipped.
+		subjCand, objCand = q.SubjAllowed, q.ObjAllowed
+	}
+	if (subjCand != nil && len(subjCand) == 0) || (objCand != nil && len(objCand) == 0) {
+		return nil
+	}
+
+	parts := s.selectPartitions(q)
+	if len(parts) == 0 {
+		return nil
+	}
+
+	// Partition pruning normally enforces the spatial constraint; when it
+	// is disabled (ablation) the scan must filter agents itself.
+	var agentSet map[int]struct{}
+	if s.opts.DisablePruning && len(q.Agents) > 0 {
+		agentSet = make(map[int]struct{}, len(q.Agents))
+		for _, a := range q.Agents {
+			agentSet[a] = struct{}{}
+		}
+	}
+
+	results := make([][]Match, len(parts))
+	workers := s.opts.workers()
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	if workers <= 1 {
+		for i, p := range parts {
+			results[i] = s.scanPartition(p, q, subjCand, objCand, agentSet)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = s.scanPartition(parts[i], q, subjCand, objCand, agentSet)
+				}
+			}()
+		}
+		for i := range parts {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]Match, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			return out[:q.Limit]
+		}
+	}
+	return out
+}
+
+// candidateSet resolves the set of entity ids that can satisfy the
+// pattern's entity constraints, using the hash indexes where an exact-match
+// key exists and falling back to a typed entity scan for wildcard patterns.
+// It returns nil when the set cannot be bounded more cheaply than checking
+// the predicate per event during the scan.
+func (s *Store) candidateSet(t types.EntityType, p pred.Pred, allowed map[types.EntityID]struct{}) map[types.EntityID]struct{} {
+	if allowed != nil {
+		// Intersect the scheduler-imposed set with the predicate.
+		out := make(map[types.EntityID]struct{}, len(allowed))
+		for id := range allowed {
+			e := s.entities[id]
+			if e == nil || (t != types.EntityInvalid && e.Type != t) {
+				continue
+			}
+			if p == nil || p.Eval(e) {
+				out[id] = struct{}{}
+			}
+		}
+		return out
+	}
+	if p == nil || p.ConstraintCount() == 0 {
+		return nil // unconstrained: cheapest to check type during scan
+	}
+	if !s.opts.DisableIndexes {
+		if set, ok := s.probeIndex(t, p); ok {
+			return set
+		}
+	}
+	// Wildcard or non-indexed attribute: evaluate the predicate over the
+	// typed entity table once, which is far smaller than the event log.
+	out := make(map[types.EntityID]struct{})
+	for _, id := range s.byType[t] {
+		if p.Eval(s.entities[id]) {
+			out[id] = struct{}{}
+		}
+	}
+	return out
+}
+
+// probeIndex serves an exact-equality predicate from the entity hash index.
+// The candidate set from the index is a superset; the full predicate is
+// re-checked on each hit so composite predicates stay correct.
+func (s *Store) probeIndex(t types.EntityType, p pred.Pred) (map[types.EntityID]struct{}, bool) {
+	keys := pred.IndexableKeys(p)
+	for _, k := range keys {
+		if !attrIndexed(t, k.Attr) {
+			continue
+		}
+		out := make(map[types.EntityID]struct{})
+		for _, val := range k.Vals {
+			for _, id := range s.entityIdx[entityKey{typ: t, attr: k.Attr, val: val}] {
+				if p.Eval(s.entities[id]) {
+					out[id] = struct{}{}
+				}
+			}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+func attrIndexed(t types.EntityType, attr string) bool {
+	for _, a := range indexedAttrs[t] {
+		if a == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// selectPartitions applies spatial and temporal partition pruning.
+func (s *Store) selectPartitions(q *DataQuery) []*partition {
+	if s.opts.DisablePruning {
+		return s.partList
+	}
+	var agentSet map[int]struct{}
+	if len(q.Agents) > 0 {
+		agentSet = make(map[int]struct{}, len(q.Agents))
+		for _, a := range q.Agents {
+			agentSet[a] = struct{}{}
+		}
+	}
+	minDay, maxDay := -1, -1
+	if !q.Window.Unbounded() {
+		minDay = timeutil.DayIndex(q.Window.From)
+		maxDay = timeutil.DayIndex(q.Window.To - 1)
+	}
+	var out []*partition
+	for _, p := range s.partList {
+		if agentSet != nil {
+			if _, ok := agentSet[p.key.agent]; !ok {
+				continue
+			}
+		}
+		if minDay >= 0 && (p.key.day < minDay || p.key.day > maxDay) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// scanPartition matches a data query against one partition. When candidate
+// entity sets are small, posting lists replace the range scan.
+func (s *Store) scanPartition(p *partition, q *DataQuery, subjCand, objCand map[types.EntityID]struct{}, agentSet map[int]struct{}) []Match {
+	if agentSet != nil {
+		if _, ok := agentSet[p.key.agent]; !ok {
+			return nil
+		}
+	}
+	lo, hi := p.timeRange(q.Window)
+	if lo >= hi {
+		return nil
+	}
+
+	// Posting-list strategy: pick the smaller candidate set if one is
+	// small enough that walking its postings beats scanning the range.
+	const postingThreshold = 128
+	usePostings, fromSubject := false, false
+	if !s.opts.DisableIndexes && !q.ForceScan {
+		switch {
+		case subjCand != nil && len(subjCand) <= postingThreshold &&
+			(objCand == nil || len(subjCand) <= len(objCand)):
+			usePostings, fromSubject = true, true
+		case objCand != nil && len(objCand) <= postingThreshold:
+			usePostings, fromSubject = true, false
+		}
+	}
+
+	var out []Match
+	emit := func(pos int) bool {
+		ev := &p.events[pos]
+		if !q.Ops.Contains(ev.Op) {
+			return true
+		}
+		subj := s.entities[ev.Subject]
+		obj := s.entities[ev.Object]
+		if subj == nil || obj == nil {
+			return true
+		}
+		if q.SubjType != types.EntityInvalid && subj.Type != q.SubjType {
+			return true
+		}
+		if q.ObjType != types.EntityInvalid && obj.Type != q.ObjType {
+			return true
+		}
+		if subjCand != nil {
+			if _, ok := subjCand[ev.Subject]; !ok {
+				return true
+			}
+		} else if q.SubjPred != nil && !q.SubjPred.Eval(subj) {
+			return true
+		}
+		if objCand != nil {
+			if _, ok := objCand[ev.Object]; !ok {
+				return true
+			}
+		} else if q.ObjPred != nil && !q.ObjPred.Eval(obj) {
+			return true
+		}
+		if q.EvtPred != nil && !q.EvtPred.Eval(ev) {
+			return true
+		}
+		out = append(out, Match{Event: ev, Subj: subj, Obj: obj})
+		return q.Limit == 0 || len(out) < q.Limit
+	}
+
+	if usePostings {
+		positions := p.postingsInRange(subjCand, objCand, fromSubject, lo, hi)
+		for _, pos := range positions {
+			if !emit(int(pos)) {
+				break
+			}
+		}
+		return out
+	}
+	for pos := lo; pos < hi; pos++ {
+		if !emit(pos) {
+			break
+		}
+	}
+	return out
+}
+
+// timeRange binary-searches the sorted event log for the window bounds.
+func (p *partition) timeRange(w timeutil.Window) (lo, hi int) {
+	if w.Unbounded() {
+		return 0, len(p.events)
+	}
+	lo = sort.Search(len(p.events), func(i int) bool { return p.events[i].Start >= w.From })
+	hi = sort.Search(len(p.events), func(i int) bool { return p.events[i].Start >= w.To })
+	return lo, hi
+}
+
+// postingsInRange gathers posting-list positions for the candidate set,
+// clipped to [lo, hi) and returned sorted so results keep temporal order.
+func (p *partition) postingsInRange(subjCand, objCand map[types.EntityID]struct{}, fromSubject bool, lo, hi int) []int32 {
+	var cand map[types.EntityID]struct{}
+	var lists map[types.EntityID][]int32
+	if fromSubject {
+		cand, lists = subjCand, p.bySubject
+	} else {
+		cand, lists = objCand, p.byObject
+	}
+	var positions []int32
+	for id := range cand {
+		for _, pos := range lists[id] {
+			if int(pos) >= lo && int(pos) < hi {
+				positions = append(positions, pos)
+			}
+		}
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	return positions
+}
+
+// Agents returns the distinct agent ids present in the store, sorted.
+func (s *Store) Agents() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := make(map[int]struct{})
+	for _, p := range s.partList {
+		set[p.key.agent] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Days returns the distinct day indexes present in the store, sorted.
+func (s *Store) Days() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := make(map[int]struct{})
+	for _, p := range s.partList {
+		set[p.key.day] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func eventLess(a, b *types.Event) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.Seq < b.Seq
+}

@@ -1,0 +1,233 @@
+package timeutil
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestParseDateTimeFormats(t *testing.T) {
+	want := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+	cases := []struct {
+		in          string
+		start       int64
+		granularity int64
+	}{
+		{"01/01/2017", want, DayMillis},
+		{"2017-01-01", want, DayMillis},
+		{"01/01/2017 09:30", want + (9*60+30)*60*1000, 60 * 1000},
+		{"01/01/2017 09:30:15", want + ((9*60+30)*60+15)*1000, 1000},
+		{"2017-01-01T09:30:15", want + ((9*60+30)*60+15)*1000, 1000},
+		{"2017-01-01 09:30", want + (9*60+30)*60*1000, 60 * 1000},
+		{"01/01/2017 9:30 PM", want + (21*60+30)*60*1000, 60 * 1000},
+	}
+	for _, tc := range cases {
+		start, g, err := ParseDateTime(tc.in)
+		if err != nil {
+			t.Errorf("ParseDateTime(%q): %v", tc.in, err)
+			continue
+		}
+		if start != tc.start || g != tc.granularity {
+			t.Errorf("ParseDateTime(%q) = %d/%d, want %d/%d", tc.in, start, g, tc.start, tc.granularity)
+		}
+	}
+}
+
+func TestParseDateTimeErrors(t *testing.T) {
+	for _, in := range []string{"", "13/45/2017", "yesterday", "2017-13-40", "01-01-2017"} {
+		if _, _, err := ParseDateTime(in); err == nil {
+			t.Errorf("ParseDateTime(%q) accepted", in)
+		}
+	}
+}
+
+func TestAtWindowCoversGranularity(t *testing.T) {
+	w, err := AtWindow("03/02/2017")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Duration() != DayMillis {
+		t.Errorf("day window duration = %d", w.Duration())
+	}
+	day := time.Date(2017, 3, 2, 0, 0, 0, 0, time.UTC).UnixMilli()
+	if !w.Contains(day) || !w.Contains(day+DayMillis-1) || w.Contains(day+DayMillis) {
+		t.Error("day window boundaries wrong (must be half-open)")
+	}
+
+	m, err := AtWindow("03/02/2017 10:15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Duration() != 60*1000 {
+		t.Errorf("minute window duration = %d", m.Duration())
+	}
+}
+
+func TestFromToWindow(t *testing.T) {
+	w, err := FromToWindow("03/01/2017", "03/03/2017")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End literal is inclusive of its granularity: 3 full days.
+	if w.Duration() != 3*DayMillis {
+		t.Errorf("duration = %d, want 3 days", w.Duration())
+	}
+	if _, err := FromToWindow("03/03/2017", "03/01/2017"); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := FromToWindow("bogus", "03/01/2017"); err == nil {
+		t.Error("bad from literal accepted")
+	}
+	if _, err := FromToWindow("03/01/2017", "bogus"); err == nil {
+		t.Error("bad to literal accepted")
+	}
+}
+
+func TestWindowIntersect(t *testing.T) {
+	a := Window{From: 100, To: 200}
+	b := Window{From: 150, To: 300}
+	got := a.Intersect(b)
+	if got.From != 150 || got.To != 200 {
+		t.Errorf("intersect = %+v", got)
+	}
+	// Disjoint windows intersect to empty.
+	c := Window{From: 500, To: 600}
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint intersection not empty")
+	}
+	// Unbounded is the identity.
+	var unb Window
+	if a.Intersect(unb) != a || unb.Intersect(a) != a {
+		t.Error("unbounded identity broken")
+	}
+}
+
+func TestWindowIntersectProperties(t *testing.T) {
+	// Property: intersection is commutative and never grows either side.
+	f := func(a0, a1, b0, b1 uint32) bool {
+		a := Window{From: int64(a0 % 1000), To: int64(a0%1000) + int64(a1%1000)}
+		b := Window{From: int64(b0 % 1000), To: int64(b0%1000) + int64(b1%1000)}
+		if a.Unbounded() || b.Unbounded() {
+			return true
+		}
+		x, y := a.Intersect(b), b.Intersect(a)
+		if x != y {
+			return false
+		}
+		return x.Duration() <= a.Duration() && x.Duration() <= b.Duration()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitByDay(t *testing.T) {
+	day0 := int64(0)
+	w := Window{From: day0 + 1000, To: day0 + 2*DayMillis + 5000}
+	parts := SplitByDay(w)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(parts))
+	}
+	// Parts tile the window exactly.
+	if parts[0].From != w.From || parts[len(parts)-1].To != w.To {
+		t.Error("split does not cover the window ends")
+	}
+	for i := 1; i < len(parts); i++ {
+		if parts[i].From != parts[i-1].To {
+			t.Errorf("gap between parts %d and %d", i-1, i)
+		}
+		if parts[i-1].To%DayMillis != 0 {
+			t.Errorf("interior boundary %d not at a day boundary", i-1)
+		}
+	}
+}
+
+func TestSplitByDayProperties(t *testing.T) {
+	// Property: sub-windows tile the window, each within one UTC day.
+	f := func(fromRaw, lenRaw uint32) bool {
+		from := int64(fromRaw) % (30 * DayMillis)
+		length := int64(lenRaw)%(10*DayMillis) + 1
+		w := Window{From: from, To: from + length}
+		parts := SplitByDay(w)
+		if parts[0].From != w.From || parts[len(parts)-1].To != w.To {
+			return false
+		}
+		total := int64(0)
+		for i, p := range parts {
+			if i > 0 && p.From != parts[i-1].To {
+				return false
+			}
+			if DayIndex(p.From) != DayIndex(p.To-1) {
+				return false // a part crosses a day boundary
+			}
+			total += p.Duration()
+		}
+		return total == w.Duration()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitByDayDegenerate(t *testing.T) {
+	var unb Window
+	parts := SplitByDay(unb)
+	if len(parts) != 1 || !parts[0].Unbounded() {
+		t.Error("unbounded window must split to itself")
+	}
+	empty := Window{From: 100, To: 100}
+	parts = SplitByDay(empty)
+	if len(parts) != 1 {
+		t.Error("empty window must split to itself")
+	}
+}
+
+func TestDayIndexAndWindow(t *testing.T) {
+	for _, day := range []int{0, 1, 17155, 20000} {
+		w := DayWindow(day)
+		if DayIndex(w.From) != day || DayIndex(w.To-1) != day {
+			t.Errorf("day %d window %v index mismatch", day, w)
+		}
+		if w.Duration() != DayMillis {
+			t.Errorf("day window duration = %d", w.Duration())
+		}
+	}
+}
+
+func TestUnitMillis(t *testing.T) {
+	cases := map[string]int64{
+		"ms": 1, "sec": 1000, "seconds": 1000, "min": 60000,
+		"minutes": 60000, "hour": 3600000, "day": DayMillis, "MIN": 60000,
+	}
+	for unit, want := range cases {
+		got, err := UnitMillis(unit)
+		if err != nil || got != want {
+			t.Errorf("UnitMillis(%q) = %d, %v; want %d", unit, got, err, want)
+		}
+	}
+	if _, err := UnitMillis("fortnight"); err == nil {
+		t.Error("unknown unit accepted")
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	if ms, err := ParseDuration("2", "minutes"); err != nil || ms != 120000 {
+		t.Errorf("ParseDuration(2 minutes) = %d, %v", ms, err)
+	}
+	if ms, err := ParseDuration("1.5", "sec"); err != nil || ms != 1500 {
+		t.Errorf("ParseDuration(1.5 sec) = %d, %v", ms, err)
+	}
+	if _, err := ParseDuration("x", "sec"); err == nil {
+		t.Error("bad count accepted")
+	}
+	if _, err := ParseDuration("1", "parsec"); err == nil {
+		t.Error("bad unit accepted")
+	}
+}
+
+func TestFormatMillis(t *testing.T) {
+	ts := time.Date(2017, 3, 2, 9, 0, 30, 0, time.UTC).UnixMilli()
+	if got := FormatMillis(ts); got != "2017-03-02 09:00:30.000" {
+		t.Errorf("FormatMillis = %q", got)
+	}
+}

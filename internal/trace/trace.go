@@ -1,0 +1,127 @@
+// Package trace serializes datasets as JSON-lines, the interchange format
+// between the generator tool (cmd/aiqlgen) and the query CLI (cmd/aiql) —
+// the stand-in for the paper's agent-to-server event stream.
+//
+// Each line is one record: entity records first, then event records, both
+// tagged with a "kind" discriminator so streams are self-describing and can
+// be concatenated.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"aiql/internal/types"
+)
+
+// entityRec is the wire form of an entity.
+type entityRec struct {
+	Kind    string            `json:"kind"`
+	ID      uint64            `json:"id"`
+	Type    string            `json:"type"`
+	AgentID int               `json:"agentid"`
+	Attrs   map[string]string `json:"attrs"`
+}
+
+// eventRec is the wire form of an event.
+type eventRec struct {
+	Kind     string `json:"kind"`
+	ID       uint64 `json:"id"`
+	AgentID  int    `json:"agentid"`
+	Subject  uint64 `json:"subject"`
+	Object   uint64 `json:"object"`
+	Op       string `json:"op"`
+	Start    int64  `json:"start"`
+	End      int64  `json:"end"`
+	Seq      uint64 `json:"seq"`
+	Amount   int64  `json:"amount,omitempty"`
+	FailCode int    `json:"failcode,omitempty"`
+}
+
+// Write streams a dataset as JSON lines.
+func Write(w io.Writer, d *types.Dataset) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	for i := range d.Entities {
+		e := &d.Entities[i]
+		rec := entityRec{
+			Kind: "entity", ID: uint64(e.ID), Type: e.Type.String(),
+			AgentID: e.AgentID, Attrs: e.Attrs,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("trace: write entity %d: %w", e.ID, err)
+		}
+	}
+	for i := range d.Events {
+		ev := &d.Events[i]
+		rec := eventRec{
+			Kind: "event", ID: uint64(ev.ID), AgentID: ev.AgentID,
+			Subject: uint64(ev.Subject), Object: uint64(ev.Object),
+			Op: ev.Op.String(), Start: ev.Start, End: ev.End,
+			Seq: ev.Seq, Amount: ev.Amount, FailCode: ev.FailCode,
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("trace: write event %d: %w", ev.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a JSON-lines stream back into a dataset.
+func Read(r io.Reader) (*types.Dataset, error) {
+	var entities []types.Entity
+	var events []types.Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		switch kind.Kind {
+		case "entity":
+			var rec entityRec
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			t, ok := types.ParseEntityType(rec.Type)
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown entity type %q", line, rec.Type)
+			}
+			entities = append(entities, types.Entity{
+				ID: types.EntityID(rec.ID), Type: t, AgentID: rec.AgentID, Attrs: rec.Attrs,
+			})
+		case "event":
+			var rec eventRec
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			op, ok := types.ParseOp(rec.Op)
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown operation %q", line, rec.Op)
+			}
+			events = append(events, types.Event{
+				ID: types.EventID(rec.ID), AgentID: rec.AgentID,
+				Subject: types.EntityID(rec.Subject), Object: types.EntityID(rec.Object),
+				Op: op, Start: rec.Start, End: rec.End, Seq: rec.Seq,
+				Amount: rec.Amount, FailCode: rec.FailCode,
+			})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record kind %q", line, kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return types.NewDataset(entities, events), nil
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aiql/internal/gen"
+	"aiql/internal/types"
+)
+
+func TestRoundTrip(t *testing.T) {
+	ds := gen.Scenario(gen.Config{Hosts: 10, Days: 3, BackgroundPerHostDay: 200, Seed: 3})
+	var buf bytes.Buffer
+	if err := Write(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entities) != len(ds.Entities) {
+		t.Errorf("entities = %d, want %d", len(got.Entities), len(ds.Entities))
+	}
+	if len(got.Events) != len(ds.Events) {
+		t.Fatalf("events = %d, want %d", len(got.Events), len(ds.Events))
+	}
+	// Events are stored sorted; the round trip must preserve every field.
+	for i := range ds.Events {
+		a, b := ds.Events[i], got.Events[i]
+		if a != b {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	// Entity attributes survive.
+	for i := range ds.Entities {
+		want := &ds.Entities[i]
+		have := got.Entity(want.ID)
+		if have == nil {
+			t.Fatalf("entity %d lost", want.ID)
+		}
+		if have.Type != want.Type || have.AgentID != want.AgentID {
+			t.Fatalf("entity %d header differs", want.ID)
+		}
+		for k, v := range want.Attrs {
+			if have.Attrs[k] != v {
+				t.Fatalf("entity %d attr %q = %q, want %q", want.ID, k, have.Attrs[k], v)
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"garbage", "not json\n", "line 1"},
+		{"unknown kind", `{"kind":"widget"}` + "\n", "unknown record kind"},
+		{"bad entity type", `{"kind":"entity","id":1,"type":"registry"}` + "\n", "unknown entity type"},
+		{"bad op", `{"kind":"event","id":1,"op":"frobnicate"}` + "\n", "unknown operation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("accepted malformed input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := `{"kind":"entity","id":1,"type":"file","agentid":1,"attrs":{"name":"/x"}}
+
+{"kind":"event","id":1,"agentid":1,"subject":1,"object":1,"op":"read","start":5,"end":6,"seq":1}
+`
+	ds, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Entities) != 1 || len(ds.Events) != 1 {
+		t.Errorf("parsed %d entities, %d events", len(ds.Entities), len(ds.Events))
+	}
+}
+
+func TestReadUnsortedEventsGetSorted(t *testing.T) {
+	in := `{"kind":"event","id":1,"agentid":1,"subject":1,"object":2,"op":"read","start":500,"seq":2}
+{"kind":"event","id":2,"agentid":1,"subject":1,"object":2,"op":"read","start":100,"seq":1}
+`
+	ds, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Events[0].ID != 2 {
+		t.Error("Read must deliver a time-sorted dataset")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, types.NewDataset(nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Entities) != 0 || len(ds.Events) != 0 {
+		t.Error("empty round trip not empty")
+	}
+}

@@ -1,0 +1,254 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"aiql/internal/engine"
+	"aiql/internal/pred"
+	"aiql/internal/types"
+)
+
+// SPL renders a plan as a Splunk SPL pipeline. Splunk stores flat events,
+// so entity attributes appear as prefixed event fields (subj_exe_name,
+// obj_name, ...). Multi-pattern queries become subsearch joins — the
+// construct whose limited support the paper cites as making SPL unfit for
+// multi-step behaviours — followed by `where` clauses for the temporal and
+// cross-pattern attribute relationships and `dedup`/`table`/`sort` for
+// result shaping.
+func SPL(plan *engine.Plan) (*Translation, error) {
+	if plan.Slide != nil {
+		return nil, &ErrInexpressible{Lang: "SPL", Why: "sliding windows with history states"}
+	}
+	c := &counter{}
+
+	searchFor := func(pp *engine.PatternPlan) string {
+		var parts []string
+		parts = append(parts, "search index=sysmon")
+		if pp.Ops != types.AllOps() {
+			ops := pp.Ops.Ops()
+			if len(ops) == 1 {
+				parts = append(parts, fmt.Sprintf("optype=%s", ops[0]))
+			} else {
+				alts := make([]string, len(ops))
+				for i, o := range ops {
+					alts[i] = fmt.Sprintf("optype=%s", o)
+				}
+				parts = append(parts, "("+strings.Join(alts, " OR ")+")")
+			}
+			c.add(1)
+		}
+		for _, a := range pp.Agents {
+			parts = append(parts, fmt.Sprintf("agent_id=%d", a))
+			c.add(1)
+		}
+		if !pp.Window.Unbounded() {
+			from, to := windowString(pp.Window)
+			parts = append(parts, fmt.Sprintf("earliest=%q latest=%q", from, to))
+			c.add(2)
+		}
+		parts = append(parts, fmt.Sprintf("subj_type=%s obj_type=%s", pp.Subj.Type, pp.Obj.Type))
+		c.add(2)
+		if pp.Subj.Pred != nil {
+			parts = append(parts, renderPredSPL(pp.Subj.Pred, "subj_", c))
+		}
+		if pp.Obj.Pred != nil {
+			parts = append(parts, renderPredSPL(pp.Obj.Pred, "obj_", c))
+		}
+		if pp.EvtPred != nil {
+			parts = append(parts, renderPredSPL(pp.EvtPred, "", c))
+		}
+		return strings.Join(parts, " ")
+	}
+
+	var b strings.Builder
+	b.WriteString(searchFor(plan.Patterns[0]))
+	b.WriteString(renameFields(plan.Patterns[0].Idx))
+
+	// Each further pattern joins through a shared key when an equality
+	// relationship exists, else through append + eventstats (Splunk's
+	// workaround for join-less correlation).
+	joined := map[int]bool{0: true}
+	for _, pp := range plan.Patterns[1:] {
+		key := joinKeySPL(plan, pp.Idx, joined, c)
+		b.WriteString(fmt.Sprintf("\n| join type=inner %s [ %s%s ]", key, searchFor(pp), renameFields(pp.Idx)))
+		joined[pp.Idx] = true
+	}
+
+	// Temporal and non-equality relationships become where clauses.
+	for i := range plan.Joins {
+		j := &plan.Joins[i]
+		switch j.Kind {
+		case engine.JoinTemporal:
+			if j.TempKind == "within" {
+				b.WriteString(fmt.Sprintf("\n| where abs(start_time_%d - start_time_%d) <= %d", j.B, j.A, j.HiMs))
+				c.add(1)
+			} else if j.HiMs > 0 {
+				b.WriteString(fmt.Sprintf("\n| where start_time_%d - start_time_%d >= %d AND start_time_%d - start_time_%d <= %d",
+					j.B, j.A, j.LoMs, j.B, j.A, j.HiMs))
+				c.add(2)
+			} else {
+				b.WriteString(fmt.Sprintf("\n| where start_time_%d < start_time_%d", j.A, j.B))
+				c.add(1)
+			}
+		case engine.JoinAttr:
+			if j.Op != pred.CmpEq {
+				b.WriteString(fmt.Sprintf("\n| where %s %s %s", splJoinField(j.A, j.ASide, j.AAttr), j.Op, splJoinField(j.B, j.BSide, j.BAttr)))
+				c.add(1)
+			}
+		}
+	}
+
+	// Result shaping.
+	cols := make([]string, 0, len(plan.Return.Items))
+	var aggs []string
+	for i := range plan.Return.Items {
+		item := &plan.Return.Items[i]
+		switch {
+		case item.Ref != nil:
+			cols = append(cols, splColRef(item.Ref))
+		case item.Agg != nil:
+			fn := item.Agg.Func
+			if item.Agg.Distinct && fn == "count" {
+				fn = "dc"
+			}
+			inner := "*"
+			if item.Agg.Arg != nil {
+				inner = splColRef(item.Agg.Arg)
+			}
+			aggs = append(aggs, fmt.Sprintf("%s(%s) AS %s", fn, inner, cypherName(item.Name)))
+		}
+	}
+	if len(aggs) > 0 {
+		by := ""
+		if len(plan.GroupBy) > 0 {
+			keys := make([]string, len(plan.GroupBy))
+			for i, g := range plan.GroupBy {
+				keys[i] = splColRef(g)
+			}
+			by = " by " + strings.Join(keys, ", ")
+		}
+		b.WriteString("\n| stats " + strings.Join(aggs, ", ") + by)
+		if plan.Having != nil {
+			b.WriteString("\n| where " + plan.Having.String())
+			c.add(1)
+		}
+	} else {
+		if plan.Return.Distinct {
+			b.WriteString("\n| dedup " + strings.Join(cols, " "))
+		}
+		b.WriteString("\n| table " + strings.Join(cols, " "))
+	}
+	if plan.Return.Count {
+		b.WriteString("\n| stats count")
+	}
+	if len(plan.SortBy) > 0 {
+		keys := make([]string, len(plan.SortBy))
+		for i, k := range plan.SortBy {
+			item := &plan.Return.Items[k]
+			if item.Ref != nil {
+				keys[i] = splColRef(item.Ref)
+			} else {
+				keys[i] = cypherName(item.Name)
+			}
+			if plan.SortDesc {
+				keys[i] = "-" + keys[i]
+			}
+		}
+		b.WriteString("\n| sort " + strings.Join(keys, ", "))
+	}
+	if plan.Top > 0 {
+		b.WriteString(fmt.Sprintf("\n| head %d", plan.Top))
+	}
+	return &Translation{Lang: "SPL", Text: b.String(), Constraints: c.n}, nil
+}
+
+// renameFields suffixes every field of a subsearch with the pattern index
+// so joined patterns do not clobber each other.
+func renameFields(idx int) string {
+	return fmt.Sprintf(" | rename subj_id AS subj_id_%d, obj_id AS obj_id_%d, start_time AS start_time_%d, subj_exe_name AS subj_exe_name_%d, obj_name AS obj_name_%d, obj_dst_ip AS obj_dst_ip_%d",
+		idx, idx, idx, idx, idx, idx)
+}
+
+// joinKeySPL picks the join field connecting a new pattern to the already
+// joined ones, from the plan's equality relationships.
+func joinKeySPL(plan *engine.Plan, next int, joined map[int]bool, c *counter) string {
+	for i := range plan.Joins {
+		j := &plan.Joins[i]
+		if j.Kind != engine.JoinAttr || j.Op != pred.CmpEq {
+			continue
+		}
+		if (j.A == next && joined[j.B]) || (j.B == next && joined[j.A]) {
+			c.add(1)
+			side, attr := j.ASide, j.AAttr
+			if j.B == next {
+				side, attr = j.BSide, j.BAttr
+			}
+			return splSideField(side, attr)
+		}
+	}
+	c.add(1)
+	return "agent_id"
+}
+
+func splSideField(side engine.Side, attr string) string {
+	prefix := "subj_"
+	if side == engine.SideObject {
+		prefix = "obj_"
+	}
+	return prefix + attr
+}
+
+func splJoinField(pattern int, side engine.Side, attr string) string {
+	return fmt.Sprintf("%s_%d", splSideField(side, attr), pattern)
+}
+
+func splColRef(r *engine.ColRef) string {
+	if r.IsEvent {
+		return fmt.Sprintf("%s_%d", r.Attr, r.Pattern)
+	}
+	return splJoinField(r.Pattern, r.Side, r.Attr)
+}
+
+// renderPredSPL renders a predicate in SPL search syntax: field=value with
+// * wildcards, OR/NOT combinators.
+func renderPredSPL(p pred.Pred, prefix string, c *counter) string {
+	switch v := p.(type) {
+	case *pred.Cond:
+		c.add(1)
+		field := prefix + v.Attr
+		switch v.Op {
+		case pred.CmpEq:
+			return fmt.Sprintf("%s=%q", field, strings.ReplaceAll(v.Val, "%", "*"))
+		case pred.CmpNe:
+			return fmt.Sprintf("NOT %s=%q", field, strings.ReplaceAll(v.Val, "%", "*"))
+		case pred.CmpIn, pred.CmpNotIn:
+			alts := make([]string, len(v.Vals))
+			for i, x := range v.Vals {
+				alts[i] = fmt.Sprintf("%s=%q", field, strings.ReplaceAll(x, "%", "*"))
+			}
+			s := "(" + strings.Join(alts, " OR ") + ")"
+			if v.Op == pred.CmpNotIn {
+				return "NOT " + s
+			}
+			return s
+		default:
+			return fmt.Sprintf("%s%s%s", field, v.Op, v.Val)
+		}
+	case *pred.Not:
+		return "NOT (" + renderPredSPL(v.X, prefix, c) + ")"
+	case *pred.And:
+		parts := make([]string, len(v.Xs))
+		for i, x := range v.Xs {
+			parts[i] = renderPredSPL(x, prefix, c)
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	case *pred.Or:
+		parts := make([]string, len(v.Xs))
+		for i, x := range v.Xs {
+			parts[i] = renderPredSPL(x, prefix, c)
+		}
+		return "(" + strings.Join(parts, " OR ") + ")"
+	}
+	return ""
+}

@@ -1,0 +1,406 @@
+// Package translate compiles AIQL queries into semantically equivalent SQL,
+// Neo4j Cypher, and Splunk SPL text. The paper's conciseness evaluation
+// (Sec. 6.4, Fig. 8, Table 5) hand-wrote these equivalents; generating them
+// from the compiled plan makes the comparison mechanical and auditable:
+// every AIQL construct (event patterns, spatial/temporal constraints,
+// attribute/temporal relationships, result shaping) lowers into the shape
+// each target language forces — explicit event/entity joins in SQL, node
+// and relationship variables plus WHERE chains in Cypher, and subsearch
+// joins in SPL.
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"aiql/internal/ast"
+	"aiql/internal/engine"
+	"aiql/internal/parser"
+	"aiql/internal/pred"
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+// ErrInexpressible marks queries the target languages cannot express —
+// the paper's anomaly queries with sliding windows and history states
+// (Sec. 6.1: "Due to the limited expressiveness of SQL and Cypher, we
+// cannot compare the anomaly queries").
+type ErrInexpressible struct {
+	Lang string
+	Why  string
+}
+
+func (e *ErrInexpressible) Error() string {
+	return fmt.Sprintf("translate: %s cannot express %s", e.Lang, e.Why)
+}
+
+// Translation bundles one query's text in one target language together
+// with its structural constraint count.
+type Translation struct {
+	Lang        string
+	Text        string
+	Constraints int
+}
+
+// counter tallies atomic constraints during rendering.
+type counter struct{ n int }
+
+func (c *counter) add(k int) { c.n += k }
+
+// All translates AIQL source into all three target languages. Entries are
+// nil where the language cannot express the query.
+func All(src string) (sql, cypher, spl *Translation, err error) {
+	q, perr := parser.Parse(src)
+	if perr != nil {
+		return nil, nil, nil, perr
+	}
+	plan, cerr := engine.Compile(q)
+	if cerr != nil {
+		return nil, nil, nil, cerr
+	}
+	if s, e := SQL(plan); e == nil {
+		sql = s
+	}
+	if c, e := Cypher(plan); e == nil {
+		cypher = c
+	}
+	if s, e := SPL(plan); e == nil {
+		spl = s
+	}
+	return sql, cypher, spl, nil
+}
+
+// entityTable maps an entity type to its SQL table name.
+func entityTable(t types.EntityType) string {
+	switch t {
+	case types.EntityFile:
+		return "files"
+	case types.EntityProcess:
+		return "processes"
+	case types.EntityNetwork:
+		return "netconns"
+	default:
+		return "entities"
+	}
+}
+
+// entityLabel maps an entity type to its Cypher node label.
+func entityLabel(t types.EntityType) string {
+	switch t {
+	case types.EntityFile:
+		return "File"
+	case types.EntityProcess:
+		return "Process"
+	case types.EntityNetwork:
+		return "NetConn"
+	default:
+		return "Entity"
+	}
+}
+
+func sqlQuote(v string) string { return "'" + strings.ReplaceAll(v, "'", "''") + "'" }
+
+// renderPredSQL renders a compiled predicate against a table alias,
+// counting atomic constraints.
+func renderPredSQL(p pred.Pred, alias string, c *counter) string {
+	switch v := p.(type) {
+	case *pred.Cond:
+		c.add(1)
+		col := alias + "." + v.Attr
+		switch v.Op {
+		case pred.CmpEq:
+			if strings.ContainsRune(v.Val, '%') {
+				return col + " LIKE " + sqlQuote(v.Val)
+			}
+			return col + " = " + sqlQuote(v.Val)
+		case pred.CmpNe:
+			if strings.ContainsRune(v.Val, '%') {
+				return col + " NOT LIKE " + sqlQuote(v.Val)
+			}
+			return col + " <> " + sqlQuote(v.Val)
+		case pred.CmpIn, pred.CmpNotIn:
+			vals := make([]string, len(v.Vals))
+			for i, x := range v.Vals {
+				vals[i] = sqlQuote(x)
+			}
+			kw := "IN"
+			if v.Op == pred.CmpNotIn {
+				kw = "NOT IN"
+			}
+			return fmt.Sprintf("%s %s (%s)", col, kw, strings.Join(vals, ", "))
+		default:
+			return fmt.Sprintf("%s %s %s", col, v.Op, sqlQuote(v.Val))
+		}
+	case *pred.Not:
+		return "NOT (" + renderPredSQL(v.X, alias, c) + ")"
+	case *pred.And:
+		parts := make([]string, len(v.Xs))
+		for i, x := range v.Xs {
+			parts[i] = renderPredSQL(x, alias, c)
+		}
+		return "(" + strings.Join(parts, " AND ") + ")"
+	case *pred.Or:
+		parts := make([]string, len(v.Xs))
+		for i, x := range v.Xs {
+			parts[i] = renderPredSQL(x, alias, c)
+		}
+		return "(" + strings.Join(parts, " OR ") + ")"
+	}
+	return "TRUE"
+}
+
+// aliases for pattern i.
+func evAlias(i int) string   { return fmt.Sprintf("e%d", i) }
+func subjAlias(i int) string { return fmt.Sprintf("s%d", i) }
+func objAlias(i int) string  { return fmt.Sprintf("o%d", i) }
+
+func sideAlias(p int, side engine.Side) string {
+	if side == engine.SideSubject {
+		return subjAlias(p)
+	}
+	return objAlias(p)
+}
+
+// opsSQL renders an operation set constraint.
+func opsSQL(alias string, ops types.OpSet, c *counter) string {
+	if ops == types.AllOps() {
+		return ""
+	}
+	c.add(1)
+	list := ops.Ops()
+	if len(list) == 1 {
+		return fmt.Sprintf("%s.optype = %s", alias, sqlQuote(list[0].String()))
+	}
+	vals := make([]string, len(list))
+	for i, o := range list {
+		vals[i] = sqlQuote(o.String())
+	}
+	return fmt.Sprintf("%s.optype IN (%s)", alias, strings.Join(vals, ", "))
+}
+
+// SQL renders a plan as one PostgreSQL-style SELECT joining the events
+// table (once per pattern) with its subject and object entity tables.
+func SQL(plan *engine.Plan) (*Translation, error) {
+	if plan.Slide != nil {
+		return nil, &ErrInexpressible{Lang: "SQL", Why: "sliding windows with history states"}
+	}
+	c := &counter{}
+	var from, where []string
+	for _, pp := range plan.Patterns {
+		i := pp.Idx
+		from = append(from,
+			fmt.Sprintf("events %s", evAlias(i)),
+			fmt.Sprintf("%s %s", entityTable(pp.Subj.Type), subjAlias(i)),
+			fmt.Sprintf("%s %s", entityTable(pp.Obj.Type), objAlias(i)),
+		)
+		// Event-to-entity join conditions.
+		where = append(where,
+			fmt.Sprintf("%s.subject_id = %s.id", evAlias(i), subjAlias(i)),
+			fmt.Sprintf("%s.object_id = %s.id", evAlias(i), objAlias(i)),
+		)
+		c.add(2)
+		if s := opsSQL(evAlias(i), pp.Ops, c); s != "" {
+			where = append(where, s)
+		}
+		for _, a := range pp.Agents {
+			where = append(where, fmt.Sprintf("%s.agent_id = %d", evAlias(i), a))
+			c.add(1)
+		}
+		if !pp.Window.Unbounded() {
+			where = append(where, fmt.Sprintf("%s.start_time >= %d AND %s.start_time < %d",
+				evAlias(i), pp.Window.From, evAlias(i), pp.Window.To))
+			c.add(2)
+		}
+		if pp.Subj.Pred != nil {
+			where = append(where, renderPredSQL(pp.Subj.Pred, subjAlias(i), c))
+		}
+		if pp.Obj.Pred != nil {
+			where = append(where, renderPredSQL(pp.Obj.Pred, objAlias(i), c))
+		}
+		if pp.EvtPred != nil {
+			where = append(where, renderPredSQL(pp.EvtPred, evAlias(i), c))
+		}
+	}
+	for i := range plan.Joins {
+		j := &plan.Joins[i]
+		switch j.Kind {
+		case engine.JoinAttr:
+			where = append(where, fmt.Sprintf("%s.%s %s %s.%s",
+				sideAlias(j.A, j.ASide), j.AAttr, sqlCmp(j.Op), sideAlias(j.B, j.BSide), j.BAttr))
+			c.add(1)
+		case engine.JoinTemporal:
+			if j.TempKind == "within" {
+				where = append(where, fmt.Sprintf("ABS(%s.start_time - %s.start_time) <= %d",
+					evAlias(j.B), evAlias(j.A), j.HiMs))
+				c.add(1)
+			} else if j.HiMs > 0 {
+				where = append(where, fmt.Sprintf("%s.start_time - %s.start_time BETWEEN %d AND %d",
+					evAlias(j.B), evAlias(j.A), j.LoMs, j.HiMs))
+				c.add(2)
+			} else {
+				where = append(where, fmt.Sprintf("%s.start_time < %s.start_time",
+					evAlias(j.A), evAlias(j.B)))
+				c.add(1)
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if plan.Return.Count {
+		b.WriteString("COUNT(")
+		if plan.Return.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		b.WriteString(selectCols(plan))
+		b.WriteString(")")
+	} else {
+		if plan.Return.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		b.WriteString(selectCols(plan))
+	}
+	b.WriteString("\nFROM " + strings.Join(from, ", "))
+	if len(where) > 0 {
+		b.WriteString("\nWHERE " + strings.Join(where, "\n  AND "))
+	}
+	if len(plan.GroupBy) > 0 {
+		cols := make([]string, len(plan.GroupBy))
+		for i, g := range plan.GroupBy {
+			cols[i] = sqlColRef(g)
+		}
+		b.WriteString("\nGROUP BY " + strings.Join(cols, ", "))
+	}
+	if plan.Having != nil {
+		b.WriteString("\nHAVING " + plan.Having.String())
+		c.add(1)
+	}
+	if len(plan.SortBy) > 0 {
+		keys := make([]string, len(plan.SortBy))
+		for i, k := range plan.SortBy {
+			keys[i] = fmt.Sprintf("%d", k+1)
+		}
+		b.WriteString("\nORDER BY " + strings.Join(keys, ", "))
+		if plan.SortDesc {
+			b.WriteString(" DESC")
+		}
+	}
+	if plan.Top > 0 {
+		b.WriteString(fmt.Sprintf("\nLIMIT %d", plan.Top))
+	}
+	b.WriteString(";")
+	return &Translation{Lang: "SQL", Text: b.String(), Constraints: c.n}, nil
+}
+
+func sqlCmp(op pred.CmpOp) string {
+	if op == pred.CmpNe {
+		return "<>"
+	}
+	return op.String()
+}
+
+func sqlColRef(r *engine.ColRef) string {
+	if r.IsEvent {
+		return evAlias(r.Pattern) + "." + r.Attr
+	}
+	return sideAlias(r.Pattern, r.Side) + "." + r.Attr
+}
+
+func selectCols(plan *engine.Plan) string {
+	cols := make([]string, len(plan.Return.Items))
+	for i := range plan.Return.Items {
+		item := &plan.Return.Items[i]
+		switch {
+		case item.Ref != nil:
+			cols[i] = sqlColRef(item.Ref)
+		case item.Agg != nil:
+			inner := "*"
+			if item.Agg.Arg != nil {
+				inner = sqlColRef(item.Agg.Arg)
+			}
+			if item.Agg.Distinct {
+				inner = "DISTINCT " + inner
+			}
+			cols[i] = fmt.Sprintf("%s(%s) AS %s", strings.ToUpper(item.Agg.Func), inner, item.Name)
+		}
+	}
+	return strings.Join(cols, ", ")
+}
+
+// windowString renders a window in readable form for SPL.
+func windowString(w timeutil.Window) (string, string) {
+	return timeutil.FormatMillis(w.From), timeutil.FormatMillis(w.To)
+}
+
+// Expressible reports whether a parsed AIQL query can be expressed in the
+// join-based target languages at all.
+func Expressible(src string) bool {
+	q, err := parser.Parse(src)
+	if err != nil {
+		return false
+	}
+	return !q.IsAnomaly()
+}
+
+// AIQLConstraints counts the atomic constraints of an AIQL query itself:
+// global constraints, entity/event constraint atoms, operation expressions,
+// relationships, and having clauses. This is the AIQL side of the paper's
+// "number of query constraints" metric.
+func AIQLConstraints(src string) (int, error) {
+	q, err := parser.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for i := range q.Globals {
+		g := &q.Globals[i]
+		switch {
+		case g.Cstr != nil:
+			n += countAttrAtoms(g.Cstr)
+		case g.Window != nil:
+			n++
+		case g.Slide != nil:
+			n++
+		}
+	}
+	// Operations and arrow edges are part of AIQL's pattern syntax, not
+	// constraints the analyst writes separately — they only become explicit
+	// predicates after translation, which is precisely the conciseness gap
+	// the paper measures.
+	countPattern := func(p *ast.EventPattern) {
+		n += countAttrAtoms(p.Subj.Cstr)
+		n += countAttrAtoms(p.Obj.Cstr)
+		n += countAttrAtoms(p.EvtCstr)
+		if p.Window != nil {
+			n++
+		}
+	}
+	switch {
+	case q.Multi != nil:
+		for _, p := range q.Multi.Patterns {
+			countPattern(p)
+		}
+		n += len(q.Multi.Rels)
+		if q.Multi.Having != nil {
+			n++
+		}
+	case q.Dep != nil:
+		for i := range q.Dep.Nodes {
+			n += countAttrAtoms(q.Dep.Nodes[i].Cstr)
+		}
+	}
+	return n, nil
+}
+
+func countAttrAtoms(e ast.AttrExpr) int {
+	if e == nil {
+		return 0
+	}
+	n := 0
+	ast.Walk(e, func(x ast.AttrExpr) {
+		if _, ok := x.(*ast.Cstr); ok {
+			n++
+		}
+	})
+	return n
+}

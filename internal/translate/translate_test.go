@@ -1,0 +1,257 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"aiql/internal/engine"
+	"aiql/internal/parser"
+)
+
+const query7 = `
+agentid = 2
+(at "03/02/2017")
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+with evt1 before evt2, evt2 before evt3
+return distinct p1, p2, p3, f1, p4`
+
+const anomalyQuery = `
+(at "03/02/2017")
+agentid = 2
+window = 1 min, step = 10 sec
+proc p write ip i[dstip = "203.0.113.129"] as evt
+return p, avg(evt.amount) as amt
+group by p
+having (amt > 2 * (amt + amt[1] + amt[2]) / 3)`
+
+func mustPlan(t *testing.T, src string) *engine.Plan {
+	t.Helper()
+	q, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := engine.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestSQLShape(t *testing.T) {
+	sql, err := SQL(mustPlan(t, query7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := sql.Text
+	// One events alias plus subject/object entity tables per pattern.
+	for _, frag := range []string{
+		"events e0", "events e1", "events e2",
+		"processes s0", "processes o0", "files o1",
+		"SELECT DISTINCT",
+		"e0.subject_id = s0.id",
+		"LIKE '%cmd.exe'",
+		"e0.start_time < e1.start_time",
+		"e0.agent_id = 2",
+	} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("SQL missing %q:\n%s", frag, text)
+		}
+	}
+	// Entity-ID reuse (f1 in patterns 2 and 3) must become an id join.
+	if !strings.Contains(text, "o1.id = o2.id") && !strings.Contains(text, "o2.id = o1.id") {
+		t.Errorf("SQL missing shared-file join:\n%s", text)
+	}
+	if sql.Constraints < 15 {
+		t.Errorf("SQL constraint count %d suspiciously low", sql.Constraints)
+	}
+}
+
+func TestCypherShape(t *testing.T) {
+	cy, err := Cypher(mustPlan(t, query7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"MATCH", "(s0:Process)-[e0:EVENT]->(o0:Process)",
+		"(s1:Process)-[e1:EVENT]->(o1:File)",
+		"ENDS WITH 'cmd.exe'",
+		"RETURN DISTINCT",
+		"e0.start_time < e1.start_time",
+	} {
+		if !strings.Contains(cy.Text, frag) {
+			t.Errorf("Cypher missing %q:\n%s", frag, cy.Text)
+		}
+	}
+}
+
+func TestSPLShape(t *testing.T) {
+	spl, err := SPL(mustPlan(t, query7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"search index=sysmon",
+		"| join",
+		"optype=start",
+		`subj_exe_name="*cmd.exe"`,
+		"| where start_time_0 < start_time_1",
+		"| dedup",
+		"| table",
+	} {
+		if !strings.Contains(spl.Text, frag) {
+			t.Errorf("SPL missing %q:\n%s", frag, spl.Text)
+		}
+	}
+}
+
+func TestAnomalyInexpressible(t *testing.T) {
+	plan := mustPlan(t, anomalyQuery)
+	if _, err := SQL(plan); err == nil {
+		t.Error("SQL accepted a sliding-window query")
+	}
+	if _, err := Cypher(plan); err == nil {
+		t.Error("Cypher accepted a sliding-window query")
+	}
+	if _, err := SPL(plan); err == nil {
+		t.Error("SPL accepted a sliding-window query")
+	}
+	var ierr *ErrInexpressible
+	_, err := SQL(plan)
+	if e, ok := err.(*ErrInexpressible); ok {
+		ierr = e
+	}
+	if ierr == nil || ierr.Lang != "SQL" {
+		t.Errorf("error = %v, want ErrInexpressible for SQL", err)
+	}
+	if !Expressible(query7) {
+		t.Error("plain multievent query reported inexpressible")
+	}
+	if Expressible(anomalyQuery) {
+		t.Error("anomaly query reported expressible")
+	}
+}
+
+func TestAllTranslations(t *testing.T) {
+	sql, cy, spl, err := All(query7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql == nil || cy == nil || spl == nil {
+		t.Fatal("All returned nil translations for an expressible query")
+	}
+	// The structural verbosity ordering the paper reports: each target is
+	// strictly more verbose than the AIQL original.
+	aiqlN, err := AIQLConstraints(query7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []*Translation{sql, cy, spl} {
+		if tr.Constraints <= aiqlN {
+			t.Errorf("%s constraints %d not larger than AIQL's %d", tr.Lang, tr.Constraints, aiqlN)
+		}
+		if len(tr.Text) <= len(query7)/2 {
+			t.Errorf("%s text suspiciously short", tr.Lang)
+		}
+	}
+	_, _, _, err = All("not a query at all (")
+	if err == nil {
+		t.Error("All accepted garbage")
+	}
+}
+
+func TestAIQLConstraintCounting(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		// 1 agent + 1 global window + 2 entity constraints + 1 explicit
+		// relationship (entity-ID reuse is a shortcut, not a constraint).
+		{`agentid = 1
+		  (at "01/01/2017")
+		  proc p1["%a%"] start proc p2 as evt1
+		  proc p2 write file f1["%b%"] as evt2
+		  with evt1 before evt2
+		  return p1, f1`, 5},
+		// Bare pattern with in-list (2 atoms... in-list is one atom).
+		{`proc p1[exe_name in ("a", "b")] write file f1 return p1`, 1},
+		// Dependency: window + 3 node constraints.
+		{`(at "01/01/2017")
+		  backward: file f1["%u.exe"] <-[write] proc p1["%up%"] ->[read] ip i1[dstip = "1.2.3.4"]
+		  return f1, p1, i1`, 4},
+	}
+	for _, tc := range cases {
+		got, err := AIQLConstraints(tc.src)
+		if err != nil {
+			t.Errorf("AIQLConstraints error: %v", err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("AIQLConstraints = %d, want %d for:\n%s", got, tc.want, tc.src)
+		}
+	}
+}
+
+func TestCypherStringMatchForms(t *testing.T) {
+	cases := []struct {
+		val  string
+		want string
+	}{
+		{"exact", "col = 'exact'"},
+		{"%mid%", "col CONTAINS 'mid'"},
+		{"%suffix", "col ENDS WITH 'suffix'"},
+		{"prefix%", "col STARTS WITH 'prefix'"},
+		{"pre%post", "col STARTS WITH 'pre' AND col ENDS WITH 'post'"},
+	}
+	for _, tc := range cases {
+		got := cypherStringMatch("col", tc.val, false)
+		if got != tc.want {
+			t.Errorf("cypherStringMatch(%q) = %q, want %q", tc.val, got, tc.want)
+		}
+	}
+}
+
+func TestSQLOrderingAndTop(t *testing.T) {
+	sql, err := SQL(mustPlan(t, `
+		agentid = 1
+		proc p1["%x%"] write file f1 as evt1
+		return distinct p1, f1
+		sort by p1 desc
+		top 10`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql.Text, "ORDER BY") || !strings.Contains(sql.Text, "DESC") {
+		t.Errorf("missing ORDER BY DESC:\n%s", sql.Text)
+	}
+	if !strings.Contains(sql.Text, "LIMIT 10") {
+		t.Errorf("missing LIMIT:\n%s", sql.Text)
+	}
+}
+
+func TestGroupByHavingTranslations(t *testing.T) {
+	src := `
+		agentid = 1
+		proc p read ip i as evt
+		return p, count(i) as n
+		group by p
+		having n > 100`
+	sql, err := SQL(mustPlan(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql.Text, "GROUP BY") || !strings.Contains(sql.Text, "HAVING") {
+		t.Errorf("SQL group-by missing:\n%s", sql.Text)
+	}
+	if !strings.Contains(sql.Text, "COUNT(") {
+		t.Errorf("SQL aggregate missing:\n%s", sql.Text)
+	}
+	spl, err := SPL(mustPlan(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(spl.Text, "| stats count(") {
+		t.Errorf("SPL stats missing:\n%s", spl.Text)
+	}
+}

@@ -1,0 +1,440 @@
+// Package types defines the AIQL system monitoring data model (paper Sec. 3.1):
+// system entities (files, processes, network connections), system events
+// expressed as <subject, operation, object> triples, and their security
+// relevant attributes (paper Tables 1 and 2).
+//
+// Every event occurs on a particular host (agent) at a particular time, so
+// events carry both spatial (AgentID) and temporal (Start/End) properties.
+// The storage layer exploits exactly these two properties for partitioning.
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EntityType classifies system entities. On modern operating systems the
+// security-relevant system resources are, in most cases, files, processes
+// and network connections; AIQL models exactly these three.
+type EntityType uint8
+
+const (
+	// EntityInvalid is the zero value; it never appears in stored data.
+	EntityInvalid EntityType = iota
+	// EntityFile is a filesystem object.
+	EntityFile
+	// EntityProcess is an OS process (the only valid event subject).
+	EntityProcess
+	// EntityNetwork is a network connection endpoint.
+	EntityNetwork
+)
+
+// String returns the AIQL surface keyword for the entity type
+// ("file", "proc", "ip").
+func (t EntityType) String() string {
+	switch t {
+	case EntityFile:
+		return "file"
+	case EntityProcess:
+		return "proc"
+	case EntityNetwork:
+		return "ip"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseEntityType maps an AIQL keyword to an EntityType.
+func ParseEntityType(s string) (EntityType, bool) {
+	switch strings.ToLower(s) {
+	case "file":
+		return EntityFile, true
+	case "proc", "process":
+		return EntityProcess, true
+	case "ip", "network", "conn":
+		return EntityNetwork, true
+	}
+	return EntityInvalid, false
+}
+
+// DefaultAttr returns the default attribute used by AIQL's context-aware
+// attribute inference (paper Sec. 4.1): name for files, exe_name for
+// processes, and dst_ip for network connections.
+func (t EntityType) DefaultAttr() string {
+	switch t {
+	case EntityFile:
+		return AttrName
+	case EntityProcess:
+		return AttrExeName
+	case EntityNetwork:
+		return AttrDstIP
+	default:
+		return AttrName
+	}
+}
+
+// Well-known attribute keys (paper Table 1). Attributes are stored as
+// strings; numeric comparisons parse on demand.
+const (
+	AttrID        = "id"
+	AttrName      = "name"      // file name (path)
+	AttrOwner     = "owner"     // file owner
+	AttrGroup     = "group"     // file group
+	AttrVolID     = "volid"     // file volume id
+	AttrDataID    = "dataid"    // file data id
+	AttrPID       = "pid"       // process id
+	AttrExeName   = "exe_name"  // process executable path
+	AttrUser      = "user"      // process user
+	AttrCmd       = "cmd"       // process command line
+	AttrSignature = "signature" // process binary signature
+	AttrSrcIP     = "src_ip"    // network source address
+	AttrDstIP     = "dst_ip"    // network destination address
+	AttrSrcPort   = "src_port"  // network source port
+	AttrDstPort   = "dst_port"  // network destination port
+	AttrProtocol  = "protocol"  // network protocol
+	AttrAgentID   = "agentid"   // host id (spatial property)
+)
+
+// Event attribute keys (paper Table 2) addressable in event constraints,
+// e.g. evt[amount > 4096].
+const (
+	EvtAttrAmount   = "amount"    // bytes transferred
+	EvtAttrFailCode = "failcode"  // failure code (0 = success)
+	EvtAttrOpType   = "optype"    // operation name
+	EvtAttrAccess   = "access"    // access mode string
+	EvtAttrSeq      = "sequence"  // monotone per-agent sequence number
+	EvtAttrStart    = "starttime" // start timestamp, ms
+	EvtAttrEnd      = "endtime"   // end timestamp, ms
+)
+
+// EntityID uniquely identifies an entity in a dataset.
+type EntityID uint64
+
+// EventID uniquely identifies an event in a dataset.
+type EventID uint64
+
+// Entity is a system entity: a file, process, or network connection,
+// together with its security-related attributes.
+type Entity struct {
+	ID      EntityID
+	Type    EntityType
+	AgentID int
+	Attrs   map[string]string
+}
+
+// Attr returns the value of a named attribute. The pseudo-attributes "id",
+// "agentid" and "type" are synthesized from the struct fields so that
+// predicates can reference them uniformly.
+func (e *Entity) Attr(key string) (string, bool) {
+	switch key {
+	case AttrID:
+		return strconv.FormatUint(uint64(e.ID), 10), true
+	case AttrAgentID:
+		return strconv.Itoa(e.AgentID), true
+	case "type":
+		return e.Type.String(), true
+	}
+	v, ok := e.Attrs[key]
+	return v, ok
+}
+
+// Display returns the human-facing identification of the entity: the value
+// of its default attribute, falling back to the numeric id.
+func (e *Entity) Display() string {
+	if v, ok := e.Attrs[e.Type.DefaultAttr()]; ok {
+		return v
+	}
+	return fmt.Sprintf("%s#%d", e.Type, e.ID)
+}
+
+// Op enumerates event operation types (paper Table 2).
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+	OpRead
+	OpWrite
+	OpExecute
+	OpStart
+	OpEnd
+	OpRename
+	OpDelete
+	OpConnect
+	OpAccept
+	OpSend
+	OpRecv
+	opMax // sentinel; keep last
+)
+
+// NumOps is the number of valid operations (excluding OpInvalid).
+const NumOps = int(opMax) - 1
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpRead:    "read",
+	OpWrite:   "write",
+	OpExecute: "execute",
+	OpStart:   "start",
+	OpEnd:     "end",
+	OpRename:  "rename",
+	OpDelete:  "delete",
+	OpConnect: "connect",
+	OpAccept:  "accept",
+	OpSend:    "send",
+	OpRecv:    "recv",
+}
+
+// String returns the lowercase operation name used in AIQL source.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "invalid"
+}
+
+// ParseOp maps an AIQL operation keyword to an Op.
+func ParseOp(s string) (Op, bool) {
+	switch strings.ToLower(s) {
+	case "read":
+		return OpRead, true
+	case "write":
+		return OpWrite, true
+	case "execute", "exec":
+		return OpExecute, true
+	case "start":
+		return OpStart, true
+	case "end", "exit":
+		return OpEnd, true
+	case "rename":
+		return OpRename, true
+	case "delete", "unlink":
+		return OpDelete, true
+	case "connect":
+		return OpConnect, true
+	case "accept":
+		return OpAccept, true
+	case "send":
+		return OpSend, true
+	case "recv", "receive":
+		return OpRecv, true
+	}
+	return OpInvalid, false
+}
+
+// OpSet is a bitmask over operations, used to evaluate operation
+// expressions ("read || write", "!start") in O(1) per event.
+type OpSet uint16
+
+// NewOpSet builds an OpSet containing the given operations.
+func NewOpSet(ops ...Op) OpSet {
+	var s OpSet
+	for _, o := range ops {
+		s = s.Add(o)
+	}
+	return s
+}
+
+// AllOps is the OpSet containing every valid operation.
+func AllOps() OpSet {
+	var s OpSet
+	for o := OpRead; o < opMax; o++ {
+		s = s.Add(o)
+	}
+	return s
+}
+
+// Add returns the set with op included.
+func (s OpSet) Add(o Op) OpSet { return s | 1<<o }
+
+// Contains reports whether op is in the set.
+func (s OpSet) Contains(o Op) bool { return s&(1<<o) != 0 }
+
+// Union returns the union of two sets.
+func (s OpSet) Union(t OpSet) OpSet { return s | t }
+
+// Intersect returns the intersection of two sets.
+func (s OpSet) Intersect(t OpSet) OpSet { return s & t }
+
+// Complement returns AllOps minus the set.
+func (s OpSet) Complement() OpSet { return AllOps() &^ s }
+
+// Empty reports whether no operation is in the set.
+func (s OpSet) Empty() bool { return s&OpSet(AllOps()) == 0 }
+
+// Ops returns the member operations in ascending order.
+func (s OpSet) Ops() []Op {
+	var out []Op
+	for o := OpRead; o < opMax; o++ {
+		if s.Contains(o) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// String renders the set as "read||write" style AIQL syntax.
+func (s OpSet) String() string {
+	ops := s.Ops()
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, "||")
+}
+
+// Event is a system event: the interaction of a subject entity (always a
+// process) with an object entity (file, process or network connection).
+// Times are unix milliseconds. Seq is a per-agent monotone sequence number
+// used to break ties between events with identical timestamps.
+type Event struct {
+	ID       EventID
+	AgentID  int
+	Subject  EntityID
+	Object   EntityID
+	Op       Op
+	Start    int64
+	End      int64
+	Seq      uint64
+	Amount   int64
+	FailCode int
+}
+
+// Attr returns a named event attribute as a string, mirroring Entity.Attr.
+func (ev *Event) Attr(key string) (string, bool) {
+	switch key {
+	case EvtAttrAmount:
+		return strconv.FormatInt(ev.Amount, 10), true
+	case EvtAttrFailCode:
+		return strconv.Itoa(ev.FailCode), true
+	case EvtAttrOpType:
+		return ev.Op.String(), true
+	case EvtAttrAccess:
+		return accessModeFor(ev.Op), true
+	case EvtAttrSeq:
+		return strconv.FormatUint(ev.Seq, 10), true
+	case EvtAttrStart:
+		return strconv.FormatInt(ev.Start, 10), true
+	case EvtAttrEnd:
+		return strconv.FormatInt(ev.End, 10), true
+	case AttrAgentID:
+		return strconv.Itoa(ev.AgentID), true
+	case AttrID:
+		return strconv.FormatUint(uint64(ev.ID), 10), true
+	}
+	return "", false
+}
+
+// Before reports whether ev strictly precedes other in time, using the
+// per-agent sequence number to order same-timestamp events on one host.
+func (ev *Event) Before(other *Event) bool {
+	if ev.Start != other.Start {
+		return ev.Start < other.Start
+	}
+	if ev.AgentID == other.AgentID {
+		return ev.Seq < other.Seq
+	}
+	return false
+}
+
+func accessModeFor(o Op) string {
+	switch o {
+	case OpRead, OpRecv, OpAccept:
+		return "r"
+	case OpWrite, OpSend, OpRename, OpDelete:
+		return "w"
+	case OpExecute, OpStart:
+		return "x"
+	default:
+		return "-"
+	}
+}
+
+// ObjectTypeCategory classifies an event by its object entity type
+// (paper Sec. 3.1: file events, process events, network events).
+// Used by the scheduler's relationship sorting, which places process and
+// network events in front of file events.
+func ObjectTypeCategory(objType EntityType) int {
+	switch objType {
+	case EntityProcess:
+		return 0
+	case EntityNetwork:
+		return 1
+	case EntityFile:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Dataset is an immutable bundle of entities and events produced by the
+// workload generator or loaded from disk, ready for ingestion into one of
+// the storage engines. Events are sorted by (Start, AgentID, Seq).
+type Dataset struct {
+	Entities []Entity
+	Events   []Event
+
+	byID map[EntityID]int
+}
+
+// NewDataset builds a dataset, sorting events into global temporal order
+// and indexing entities by ID.
+func NewDataset(entities []Entity, events []Event) *Dataset {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		if events[i].AgentID != events[j].AgentID {
+			return events[i].AgentID < events[j].AgentID
+		}
+		return events[i].Seq < events[j].Seq
+	})
+	d := &Dataset{Entities: entities, Events: events, byID: make(map[EntityID]int, len(entities))}
+	for i := range entities {
+		d.byID[entities[i].ID] = i
+	}
+	return d
+}
+
+// Entity returns the entity with the given id, or nil.
+func (d *Dataset) Entity(id EntityID) *Entity {
+	if i, ok := d.byID[id]; ok {
+		return &d.Entities[i]
+	}
+	return nil
+}
+
+// TimeRange returns the [min, max] event start times in the dataset,
+// or (0, 0) for an empty dataset.
+func (d *Dataset) TimeRange() (int64, int64) {
+	if len(d.Events) == 0 {
+		return 0, 0
+	}
+	return d.Events[0].Start, d.Events[len(d.Events)-1].Start
+}
+
+// Stats summarizes a dataset for reporting.
+type Stats struct {
+	Entities  int
+	Events    int
+	Agents    int
+	FirstTime int64
+	LastTime  int64
+}
+
+// Stats computes summary statistics.
+func (d *Dataset) Stats() Stats {
+	agents := make(map[int]struct{})
+	for i := range d.Events {
+		agents[d.Events[i].AgentID] = struct{}{}
+	}
+	first, last := d.TimeRange()
+	return Stats{
+		Entities:  len(d.Entities),
+		Events:    len(d.Events),
+		Agents:    len(agents),
+		FirstTime: first,
+		LastTime:  last,
+	}
+}

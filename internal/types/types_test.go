@@ -1,0 +1,356 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntityTypeRoundTrip(t *testing.T) {
+	for _, et := range []EntityType{EntityFile, EntityProcess, EntityNetwork} {
+		got, ok := ParseEntityType(et.String())
+		if !ok || got != et {
+			t.Errorf("ParseEntityType(%q) = %v, %v", et.String(), got, ok)
+		}
+	}
+	if _, ok := ParseEntityType("registry"); ok {
+		t.Error("ParseEntityType accepted an unknown type")
+	}
+	if EntityInvalid.String() != "invalid" {
+		t.Errorf("EntityInvalid.String() = %q", EntityInvalid.String())
+	}
+}
+
+func TestEntityTypeAliases(t *testing.T) {
+	cases := map[string]EntityType{
+		"proc": EntityProcess, "process": EntityProcess, "PROC": EntityProcess,
+		"file": EntityFile, "ip": EntityNetwork, "network": EntityNetwork,
+		"conn": EntityNetwork,
+	}
+	for in, want := range cases {
+		got, ok := ParseEntityType(in)
+		if !ok || got != want {
+			t.Errorf("ParseEntityType(%q) = %v, %v; want %v", in, got, ok, want)
+		}
+	}
+}
+
+func TestDefaultAttr(t *testing.T) {
+	cases := map[EntityType]string{
+		EntityFile:    AttrName,
+		EntityProcess: AttrExeName,
+		EntityNetwork: AttrDstIP,
+	}
+	for et, want := range cases {
+		if got := et.DefaultAttr(); got != want {
+			t.Errorf("%v.DefaultAttr() = %q, want %q", et, got, want)
+		}
+	}
+}
+
+func TestOpRoundTrip(t *testing.T) {
+	for o := OpRead; o < opMax; o++ {
+		got, ok := ParseOp(o.String())
+		if !ok || got != o {
+			t.Errorf("ParseOp(%q) = %v, %v", o.String(), got, ok)
+		}
+	}
+	if _, ok := ParseOp("frobnicate"); ok {
+		t.Error("ParseOp accepted an unknown operation")
+	}
+}
+
+func TestOpAliases(t *testing.T) {
+	cases := map[string]Op{
+		"exec": OpExecute, "exit": OpEnd, "unlink": OpDelete,
+		"receive": OpRecv, "READ": OpRead,
+	}
+	for in, want := range cases {
+		got, ok := ParseOp(in)
+		if !ok || got != want {
+			t.Errorf("ParseOp(%q) = %v, %v; want %v", in, got, ok, want)
+		}
+	}
+}
+
+func TestOpSetBasics(t *testing.T) {
+	s := NewOpSet(OpRead, OpWrite)
+	if !s.Contains(OpRead) || !s.Contains(OpWrite) || s.Contains(OpStart) {
+		t.Errorf("membership wrong: %v", s)
+	}
+	if s.String() != "read||write" {
+		t.Errorf("String() = %q", s.String())
+	}
+	if got := len(AllOps().Ops()); got != NumOps {
+		t.Errorf("AllOps has %d ops, want %d", got, NumOps)
+	}
+	if !NewOpSet().Empty() {
+		t.Error("empty set should be Empty")
+	}
+	if AllOps().Empty() {
+		t.Error("AllOps should not be Empty")
+	}
+}
+
+func TestOpSetAlgebra(t *testing.T) {
+	// Property: complement of complement is identity; union with
+	// complement is everything; intersection with complement is empty.
+	f := func(raw uint16) bool {
+		s := OpSet(raw) & OpSet(AllOps())
+		if s.Complement().Complement() != s {
+			return false
+		}
+		if s.Union(s.Complement()) != AllOps() {
+			return false
+		}
+		return s.Intersect(s.Complement()).Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpSetOpsSorted(t *testing.T) {
+	f := func(raw uint16) bool {
+		s := OpSet(raw) & OpSet(AllOps())
+		ops := s.Ops()
+		for i := 1; i < len(ops); i++ {
+			if ops[i-1] >= ops[i] {
+				return false
+			}
+		}
+		// Round trip through NewOpSet.
+		return NewOpSet(ops...) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntityAttrSynthesized(t *testing.T) {
+	e := Entity{ID: 42, Type: EntityProcess, AgentID: 7, Attrs: map[string]string{AttrExeName: "/bin/sh"}}
+	if v, ok := e.Attr(AttrID); !ok || v != "42" {
+		t.Errorf("Attr(id) = %q, %v", v, ok)
+	}
+	if v, ok := e.Attr(AttrAgentID); !ok || v != "7" {
+		t.Errorf("Attr(agentid) = %q, %v", v, ok)
+	}
+	if v, ok := e.Attr("type"); !ok || v != "proc" {
+		t.Errorf("Attr(type) = %q, %v", v, ok)
+	}
+	if v, ok := e.Attr(AttrExeName); !ok || v != "/bin/sh" {
+		t.Errorf("Attr(exe_name) = %q, %v", v, ok)
+	}
+	if _, ok := e.Attr("nope"); ok {
+		t.Error("unknown attribute should not be found")
+	}
+}
+
+func TestEntityDisplay(t *testing.T) {
+	e := Entity{ID: 1, Type: EntityFile, Attrs: map[string]string{AttrName: "/etc/passwd"}}
+	if e.Display() != "/etc/passwd" {
+		t.Errorf("Display() = %q", e.Display())
+	}
+	anon := Entity{ID: 9, Type: EntityNetwork, Attrs: map[string]string{}}
+	if anon.Display() != "ip#9" {
+		t.Errorf("Display() = %q", anon.Display())
+	}
+}
+
+func TestEventAttr(t *testing.T) {
+	ev := Event{ID: 5, AgentID: 3, Op: OpWrite, Start: 1000, End: 1010, Seq: 77, Amount: 4096, FailCode: 2}
+	cases := map[string]string{
+		EvtAttrAmount:   "4096",
+		EvtAttrFailCode: "2",
+		EvtAttrOpType:   "write",
+		EvtAttrAccess:   "w",
+		EvtAttrSeq:      "77",
+		EvtAttrStart:    "1000",
+		EvtAttrEnd:      "1010",
+		AttrAgentID:     "3",
+		AttrID:          "5",
+	}
+	for attr, want := range cases {
+		if got, ok := ev.Attr(attr); !ok || got != want {
+			t.Errorf("Attr(%q) = %q, %v; want %q", attr, got, ok, want)
+		}
+	}
+	if _, ok := ev.Attr("bogus"); ok {
+		t.Error("unknown event attribute should not be found")
+	}
+}
+
+func TestAccessModes(t *testing.T) {
+	reads := []Op{OpRead, OpRecv, OpAccept}
+	writes := []Op{OpWrite, OpSend, OpRename, OpDelete}
+	execs := []Op{OpExecute, OpStart}
+	for _, o := range reads {
+		if accessModeFor(o) != "r" {
+			t.Errorf("%v access = %q, want r", o, accessModeFor(o))
+		}
+	}
+	for _, o := range writes {
+		if accessModeFor(o) != "w" {
+			t.Errorf("%v access = %q, want w", o, accessModeFor(o))
+		}
+	}
+	for _, o := range execs {
+		if accessModeFor(o) != "x" {
+			t.Errorf("%v access = %q, want x", o, accessModeFor(o))
+		}
+	}
+}
+
+func TestEventBefore(t *testing.T) {
+	a := Event{AgentID: 1, Start: 100, Seq: 1}
+	b := Event{AgentID: 1, Start: 200, Seq: 2}
+	if !a.Before(&b) || b.Before(&a) {
+		t.Error("temporal order by Start broken")
+	}
+	// Same timestamp, same agent: sequence breaks the tie.
+	c := Event{AgentID: 1, Start: 100, Seq: 2}
+	if !a.Before(&c) || c.Before(&a) {
+		t.Error("tie break by sequence broken")
+	}
+	// Same timestamp, different agents: not ordered.
+	d := Event{AgentID: 2, Start: 100, Seq: 0}
+	if a.Before(&d) || d.Before(&a) {
+		t.Error("cross-agent same-timestamp events must be unordered")
+	}
+}
+
+func TestEventBeforeIsStrictPartialOrder(t *testing.T) {
+	// Property: Before is irreflexive and asymmetric.
+	gen := func(r *rand.Rand) Event {
+		return Event{
+			AgentID: r.Intn(3),
+			Start:   int64(r.Intn(5)),
+			Seq:     uint64(r.Intn(5)),
+		}
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b := gen(r), gen(r)
+		if a.Before(&a) {
+			t.Fatalf("irreflexivity violated: %+v", a)
+		}
+		if a.Before(&b) && b.Before(&a) {
+			t.Fatalf("asymmetry violated: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestNewDatasetSortsEvents(t *testing.T) {
+	events := []Event{
+		{ID: 1, AgentID: 2, Start: 300, Seq: 5},
+		{ID: 2, AgentID: 1, Start: 100, Seq: 9},
+		{ID: 3, AgentID: 1, Start: 300, Seq: 1},
+		{ID: 4, AgentID: 3, Start: 200, Seq: 2},
+	}
+	d := NewDataset(nil, events)
+	wantOrder := []EventID{2, 4, 3, 1}
+	var got []EventID
+	for i := range d.Events {
+		got = append(got, d.Events[i].ID)
+	}
+	if !reflect.DeepEqual(got, wantOrder) {
+		t.Errorf("sorted order = %v, want %v", got, wantOrder)
+	}
+}
+
+func TestDatasetSortIsTotal(t *testing.T) {
+	// Property: after NewDataset, events are non-decreasing in
+	// (Start, AgentID, Seq).
+	f := func(seeds []uint32) bool {
+		events := make([]Event, 0, len(seeds))
+		for i, s := range seeds {
+			events = append(events, Event{
+				ID:      EventID(i + 1),
+				AgentID: int(s % 4),
+				Start:   int64(s % 16),
+				Seq:     uint64(s % 8),
+			})
+		}
+		d := NewDataset(nil, events)
+		for i := 1; i < len(d.Events); i++ {
+			a, b := &d.Events[i-1], &d.Events[i]
+			if a.Start > b.Start {
+				return false
+			}
+			if a.Start == b.Start && a.AgentID > b.AgentID {
+				return false
+			}
+			if a.Start == b.Start && a.AgentID == b.AgentID && a.Seq > b.Seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatasetEntityLookup(t *testing.T) {
+	entities := []Entity{
+		{ID: 10, Type: EntityFile, Attrs: map[string]string{AttrName: "/a"}},
+		{ID: 20, Type: EntityProcess, Attrs: map[string]string{AttrExeName: "/b"}},
+	}
+	d := NewDataset(entities, nil)
+	if e := d.Entity(10); e == nil || e.Attrs[AttrName] != "/a" {
+		t.Errorf("Entity(10) = %+v", e)
+	}
+	if e := d.Entity(999); e != nil {
+		t.Errorf("Entity(999) = %+v, want nil", e)
+	}
+}
+
+func TestDatasetStats(t *testing.T) {
+	d := NewDataset(
+		[]Entity{{ID: 1, Type: EntityFile}},
+		[]Event{
+			{ID: 1, AgentID: 1, Start: 50},
+			{ID: 2, AgentID: 2, Start: 150},
+			{ID: 3, AgentID: 1, Start: 100},
+		},
+	)
+	st := d.Stats()
+	if st.Entities != 1 || st.Events != 3 || st.Agents != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.FirstTime != 50 || st.LastTime != 150 {
+		t.Errorf("time range = %d..%d", st.FirstTime, st.LastTime)
+	}
+	empty := NewDataset(nil, nil)
+	if f, l := empty.TimeRange(); f != 0 || l != 0 {
+		t.Errorf("empty TimeRange = %d, %d", f, l)
+	}
+}
+
+func TestObjectTypeCategory(t *testing.T) {
+	// Scheduler sorting relies on process < network < file.
+	if !(ObjectTypeCategory(EntityProcess) < ObjectTypeCategory(EntityNetwork) &&
+		ObjectTypeCategory(EntityNetwork) < ObjectTypeCategory(EntityFile)) {
+		t.Error("object type categories out of order")
+	}
+	if ObjectTypeCategory(EntityInvalid) <= ObjectTypeCategory(EntityFile) {
+		t.Error("invalid type must sort last")
+	}
+}
+
+func TestEntityIDStringIsDecimal(t *testing.T) {
+	f := func(id uint64) bool {
+		e := Entity{ID: EntityID(id), Type: EntityFile}
+		v, ok := e.Attr(AttrID)
+		if !ok {
+			return false
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		return err == nil && n == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
