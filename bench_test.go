@@ -17,6 +17,7 @@ import (
 	"aiql/internal/mpp"
 	"aiql/internal/parser"
 	"aiql/internal/queries"
+	"aiql/internal/server"
 	"aiql/internal/storage"
 	"aiql/internal/types"
 )
@@ -309,6 +310,61 @@ func BenchmarkAnomalyWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		runCorpus(b, eng["aiql"], []queries.Query{s5})
 	}
+}
+
+// BenchmarkPreparedVsCold quantifies the repeated-query fast paths the
+// aiqld service is built on. "cold" pays lex/parse/compile/schedule on
+// every execution (what the one-shot CLIs do); "prepared" reuses the
+// compiled plan (engine.PreparedQuery, the plan cache's steady state);
+// "cached" serves the materialized result keyed by (plan, store generation)
+// without touching the store (the result cache's steady state).
+func BenchmarkPreparedVsCold(b *testing.B) {
+	eng := benchEngines()
+	e := eng["aiql"]
+	var q queries.Query
+	for _, c := range queries.CaseStudy() {
+		if c.ID == "c5-7" {
+			q = c
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Query(q.Src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		pq, err := e.Prepare(q.Src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pq.Execute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		pq, err := e.Prepare(q.Src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc := server.NewResultCache(8)
+		const gen = 1 // the benchmark store is never mutated
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, ok := rc.Get(pq.Src(), gen)
+			if !ok {
+				if res, err = pq.Execute(); err != nil {
+					b.Fatal(err)
+				}
+				rc.Put(pq.Src(), gen, res)
+			}
+			_ = res
+		}
+	})
 }
 
 // BenchmarkEndToEndScaling reports AIQL vs PostgreSQL on the complete c5

@@ -1,0 +1,113 @@
+// Command aiqld is the resident AIQL query service: it loads (or generates)
+// a dataset once, then serves concurrent investigations over HTTP/JSON with
+// compiled-plan and result caching.
+//
+//	aiqld -data trace.jsonl              # serve a generated trace on :7381
+//	aiqld -generate -addr :8080          # generate the scenario in-process
+//
+//	curl -s localhost:7381/healthz
+//	curl -s localhost:7381/stats | jq .
+//	curl -s localhost:7381/query -d '
+//	    agentid = 1
+//	    proc p read file f["%id_rsa"] as evt
+//	    return p, f'
+//	curl -s localhost:7381/query -H 'Content-Type: application/json' \
+//	    -d '{"query": "proc p read file f return distinct p"}'
+//	aiqlgen -hosts 2 -days 1 -o more.jsonl &&
+//	    curl -s -X POST localhost:7381/ingest --data-binary @more.jsonl
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aiql/internal/engine"
+	"aiql/internal/gen"
+	"aiql/internal/server"
+	"aiql/internal/storage"
+	"aiql/internal/trace"
+	"aiql/internal/types"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7381", "listen address")
+		data      = flag.String("data", "", "JSON-lines trace to load (from aiqlgen)")
+		generate  = flag.Bool("generate", false, "generate the evaluation scenario in-process instead of loading a file")
+		hosts     = flag.Int("hosts", 15, "hosts for -generate")
+		days      = flag.Int("days", 4, "days for -generate")
+		events    = flag.Int("events", 20000, "background events per host per day for -generate")
+		seed      = flag.Int64("seed", 1, "seed for -generate")
+		planCache = flag.Int("plan-cache", 0, "compiled-plan cache capacity (0 = default 256, negative = off)")
+		resCache  = flag.Int("result-cache", 0, "result cache capacity (0 = default 128, negative = off)")
+	)
+	flag.Parse()
+
+	ds, err := loadDataset(*data, *generate, gen.Config{
+		Hosts: *hosts, Days: *days, BackgroundPerHostDay: *events, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aiqld: %v\n", err)
+		os.Exit(1)
+	}
+
+	st := storage.New(storage.Options{})
+	start := time.Now()
+	st.Ingest(ds)
+	stats := ds.Stats()
+	fmt.Fprintf(os.Stderr, "loaded %d events / %d entities across %d agents in %.1fs (%d partitions)\n",
+		stats.Events, stats.Entities, stats.Agents, time.Since(start).Seconds(), st.PartitionCount())
+
+	eng := engine.New(st, engine.Options{})
+	srv := server.New(st, eng, server.Options{PlanCacheSize: *planCache, ResultCacheSize: *resCache})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "aiqld listening on %s (POST /query, POST /ingest, GET /stats, GET /healthz)\n", *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "aiqld: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "aiqld: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}
+}
+
+func loadDataset(path string, generate bool, cfg gen.Config) (*types.Dataset, error) {
+	switch {
+	case generate:
+		fmt.Fprintf(os.Stderr, "generating scenario: %d hosts x %d days x %d events/host/day...\n",
+			cfg.Hosts, cfg.Days, cfg.BackgroundPerHostDay)
+		return gen.Scenario(cfg), nil
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trace.Read(f)
+	default:
+		return nil, fmt.Errorf("provide -data <trace.jsonl> or -generate")
+	}
+}

@@ -1,0 +1,3 @@
+module aiql
+
+go 1.24

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"strings"
+
+	"aiql/internal/parser"
+)
+
+// PreparedQuery is a query that has been parsed, compiled and bound to an
+// engine once, ready to be executed many times. Repeated investigations —
+// the paper's analysts iterating on the same suspicious pattern, or a query
+// service replaying popular queries — skip the lex/parse/compile/schedule
+// front end entirely and go straight to plan execution.
+//
+// A PreparedQuery is immutable after Prepare and safe for concurrent use;
+// each Execute builds fresh per-run state, so it always observes the
+// backend's current contents (events ingested after Prepare are seen).
+type PreparedQuery struct {
+	eng  *Engine
+	plan *Plan
+	src  string // normalized source, the cache key
+}
+
+// Prepare parses and compiles AIQL source into a reusable PreparedQuery.
+func (e *Engine) Prepare(src string) (*PreparedQuery, error) {
+	q, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{eng: e, plan: plan, src: Normalize(src)}, nil
+}
+
+// Execute runs the compiled plan against the engine's backend.
+func (p *PreparedQuery) Execute() (*Result, error) { return p.eng.Run(p.plan) }
+
+// Src returns the normalized source the query was prepared from.
+func (p *PreparedQuery) Src() string { return p.src }
+
+// Patterns returns the number of event patterns in the compiled plan.
+func (p *PreparedQuery) Patterns() int { return len(p.plan.Patterns) }
+
+// Normalize canonicalizes AIQL source for use as a cache key: // comments
+// are dropped and runs of whitespace outside string literals collapse to a
+// single space, so reformatting or re-commenting a query does not defeat
+// plan caching. Quoted strings are preserved byte-for-byte — including
+// backslash escapes, mirroring the lexer — because "%Program Files%" must
+// not equal "%Program  Files%" and an escaped \" must not end the literal.
+func Normalize(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr {
+			b.WriteByte(c)
+			switch c {
+			case '\\': // escape: the next byte cannot close the literal
+				if i+1 < len(src) {
+					i++
+					b.WriteByte(src[i])
+				}
+			case '"', '\n': // the lexer ends the literal at either
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			pendingSpace = b.Len() > 0
+		case '/':
+			if i+1 < len(src) && src[i+1] == '/' {
+				for i < len(src) && src[i] != '\n' {
+					i++
+				}
+				pendingSpace = b.Len() > 0
+				continue
+			}
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			b.WriteByte(c)
+		case '"':
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			b.WriteByte(c)
+			inStr = true
+		default:
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}

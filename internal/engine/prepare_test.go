@@ -1,0 +1,103 @@
+package engine_test
+
+import (
+	"testing"
+
+	"aiql/internal/engine"
+	"aiql/internal/gen"
+	"aiql/internal/storage"
+	"aiql/internal/types"
+)
+
+// TestPreparedQuerySeesIngestedEvents verifies that a PreparedQuery is a
+// compiled plan, not a snapshot: re-executing it after an ingest must
+// observe the new events.
+func TestPreparedQuerySeesIngestedEvents(t *testing.T) {
+	const host = 1
+	day := gen.DayStart(1)
+
+	b := gen.NewBuilder(7)
+	bash := b.Proc(host, "/bin/bash")
+	secret := b.File(host, "/home/alice/.ssh/id_rsa")
+	b.Emit(host, bash, secret, types.OpRead, day+1000, 4096)
+
+	st := storage.New(storage.Options{})
+	st.Ingest(b.Dataset())
+	e := engine.New(st, engine.Options{})
+
+	pq, err := e.Prepare(`
+		agentid = 1
+		proc p read file f["%id_rsa"] as evt
+		return p, f`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("before ingest: got %d rows, want 1", len(res.Rows))
+	}
+
+	// A second process reads the key; the prepared plan must pick it up.
+	scp := types.Entity{
+		ID: 1000, Type: types.EntityProcess, AgentID: host,
+		Attrs: map[string]string{types.AttrExeName: "/usr/bin/scp", types.AttrPID: "4242"},
+	}
+	extra := types.NewDataset(
+		[]types.Entity{scp},
+		[]types.Event{{
+			ID: 5000, AgentID: host, Subject: scp.ID, Object: secret,
+			Op: types.OpRead, Start: day + 2000, End: day + 2000, Seq: 100, Amount: 4096,
+		}},
+	)
+	gen0 := st.Generation()
+	st.Ingest(extra)
+	if st.Generation() == gen0 {
+		t.Fatal("Ingest did not bump the store generation")
+	}
+
+	res, err = pq.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("after ingest: got %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"proc p read file f\n\treturn p", "proc p read file f return p"},
+		{"  proc   p  ", "proc p"},
+		// Whitespace inside string literals is significant.
+		{`file f["%Program  Files%"]  return f`, `file f["%Program  Files%"] return f`},
+		// An escaped quote does not end the literal (lexer supports \").
+		{`file f["a\" b"]  return f`, `file f["a\" b"] return f`},
+		{`file f["a\\"]  return f`, `file f["a\\"] return f`},
+		// Comments are dropped; a quote inside a comment is not a literal.
+		{"proc p // see \"TODO\nread file f return p", "proc p read file f return p"},
+		{"// leading comment\nproc p read file f return p", "proc p read file f return p"},
+		{"a\r\nb", "a b"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := engine.Normalize(tt.in); got != tt.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+	a := engine.Normalize("proc p read file f\n  return p, f")
+	bNorm := engine.Normalize("proc p read file f return p, f")
+	if a != bNorm {
+		t.Errorf("reformatted query normalized differently: %q vs %q", a, bNorm)
+	}
+	// Queries whose string literals differ must never share a cache key.
+	x := engine.Normalize(`proc p read file f["a\" b"] return p`)
+	y := engine.Normalize(`proc p read file f["a\"   b"] return p`)
+	if x == y {
+		t.Errorf("distinct escaped literals collided on one key: %q", x)
+	}
+}

@@ -1,0 +1,291 @@
+// Package server exposes an AIQL database as a resident HTTP/JSON query
+// service. One process loads (or generates) a dataset once, then serves
+// concurrent investigations over it — amortizing ingest and query
+// compilation across many analysts, where the one-shot CLIs pay both costs
+// on every invocation.
+//
+// Endpoints:
+//
+//	POST /query   execute one AIQL query (JSON {"query": "..."} or raw text)
+//	POST /ingest  append a JSON-lines trace batch (aiqlgen wire format)
+//	GET  /stats   store statistics and cache hit/miss counters
+//	GET  /healthz liveness probe
+//
+// Two caches sit in front of the engine. The plan cache maps normalized
+// query text to its compiled plan, so repeated investigations skip the
+// parse/compile front end. The result cache maps (plan, store generation)
+// to the materialized result; ingesting new events bumps the generation,
+// which invalidates every cached result at once.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"aiql/internal/engine"
+	"aiql/internal/storage"
+	"aiql/internal/trace"
+)
+
+// Options configure the service's caches.
+type Options struct {
+	// PlanCacheSize bounds the compiled-plan cache (default 256 plans;
+	// negative disables caching).
+	PlanCacheSize int
+	// ResultCacheSize bounds the result cache (default 128 results;
+	// negative disables caching).
+	ResultCacheSize int
+	// MaxIngestBytes bounds one /ingest request body (default 256 MiB) so
+	// a single client cannot OOM the daemon.
+	MaxIngestBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.PlanCacheSize == 0 {
+		o.PlanCacheSize = 256
+	}
+	if o.ResultCacheSize == 0 {
+		o.ResultCacheSize = 128
+	}
+	if o.MaxIngestBytes == 0 {
+		o.MaxIngestBytes = 256 << 20
+	}
+	return o
+}
+
+// Server serves AIQL queries over a shared store and engine.
+type Server struct {
+	store     *storage.Store
+	eng       *engine.Engine
+	plans     *PlanCache
+	results   *ResultCache
+	maxIngest int64
+	started   time.Time
+	queries   atomic.Uint64
+	ingests   atomic.Uint64
+}
+
+// New creates a service over an existing store and engine.
+func New(st *storage.Store, eng *engine.Engine, opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		store:     st,
+		eng:       eng,
+		plans:     NewPlanCache(opts.PlanCacheSize),
+		results:   NewResultCache(opts.ResultCacheSize),
+		maxIngest: opts.MaxIngestBytes,
+		started:   time.Now(),
+	}
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// QueryResponse is the JSON reply to /query.
+type QueryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// RowCount duplicates len(rows) so clients truncating large results
+	// still see the true cardinality.
+	RowCount    int  `json:"row_count"`
+	DataQueries int  `json:"data_queries"`
+	TuplesMax   int  `json:"tuples_max"`
+	PlanCached  bool `json:"plan_cached"`
+	// ResultCached reports that the rows were served straight from the
+	// result cache without touching the store.
+	ResultCached bool    `json:"result_cached"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
+}
+
+// queryRequest is the JSON form of a /query body.
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src, err := readQuery(w, r)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, err)
+		return
+	}
+	s.queries.Add(1)
+	start := time.Now()
+	resp, err := s.execute(src)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, engine.ErrTooLarge) {
+			status = http.StatusUnprocessableEntity
+		}
+		httpError(w, status, err)
+		return
+	}
+	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execute runs one query through both caches: result cache, then plan
+// cache, then the engine.
+func (s *Server) execute(src string) (*QueryResponse, error) {
+	key := engine.Normalize(src)
+	gen := s.store.Generation()
+	if res, ok := s.results.Get(key, gen); ok {
+		// Peek, not Get: report the plan cache's true state without
+		// perturbing its hit/miss counters.
+		return queryResponse(res, s.plans.Contains(key), true), nil
+	}
+	pq, planCached := s.plans.Get(key)
+	if !planCached {
+		var err error
+		pq, err = s.eng.Prepare(src)
+		if err != nil {
+			return nil, err
+		}
+		s.plans.Put(key, pq)
+	}
+	res, err := pq.Execute()
+	if err != nil {
+		return nil, err
+	}
+	// Cache only if no ingest raced with the execution: a result computed
+	// partly from newer events must not be served for the older generation.
+	if s.store.Generation() == gen {
+		s.results.Put(key, gen, res)
+	}
+	return queryResponse(res, planCached, false), nil
+}
+
+func queryResponse(res *engine.Result, planCached, resultCached bool) *QueryResponse {
+	return &QueryResponse{
+		Columns:      res.Columns,
+		Rows:         res.Rows,
+		RowCount:     len(res.Rows),
+		DataQueries:  res.DataQueries,
+		TuplesMax:    res.TuplesMax,
+		PlanCached:   planCached,
+		ResultCached: resultCached,
+	}
+}
+
+// readQuery extracts the AIQL source from a /query body: a JSON object for
+// application/json, the raw body otherwise. Bodies over 1 MiB are rejected
+// rather than truncated — a silently clipped query could still parse and
+// would then execute as a different query than the client sent.
+func readQuery(w http.ResponseWriter, r *http.Request) (string, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		return "", fmt.Errorf("read body: %w", err)
+	}
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "application/json" {
+		var req queryRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", fmt.Errorf("parse request: %w", err)
+		}
+		if strings.TrimSpace(req.Query) == "" {
+			return "", fmt.Errorf("empty query")
+		}
+		return req.Query, nil
+	}
+	if strings.TrimSpace(string(body)) == "" {
+		return "", fmt.Errorf("empty query")
+	}
+	return string(body), nil
+}
+
+// IngestResponse is the JSON reply to /ingest.
+type IngestResponse struct {
+	Entities   int    `json:"entities"`
+	Events     int    `json:"events"`
+	Generation uint64 `json:"generation"`
+}
+
+// handleIngest appends a batch of records in the aiqlgen JSON-lines wire
+// format (entity and event lines in any order). The batch is staged into a
+// dataset first, then ingested under the store's write lock, so concurrent
+// queries see either none or all of the batch.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ds, err := trace.Read(http.MaxBytesReader(w, r.Body, s.maxIngest))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, err)
+		return
+	}
+	s.store.Ingest(ds)
+	// The generation bump already invalidates cached results; purging
+	// eagerly frees their memory instead of waiting for LRU pressure.
+	s.results.Purge()
+	s.ingests.Add(1)
+	writeJSON(w, http.StatusOK, &IngestResponse{
+		Entities:   len(ds.Entities),
+		Events:     len(ds.Events),
+		Generation: s.store.Generation(),
+	})
+}
+
+// StatsResponse is the JSON reply to /stats.
+type StatsResponse struct {
+	Events        int        `json:"events"`
+	Partitions    int        `json:"partitions"`
+	Agents        []int      `json:"agents"`
+	Days          []int      `json:"days"`
+	Generation    uint64     `json:"generation"`
+	QueriesServed uint64     `json:"queries_served"`
+	IngestBatches uint64     `json:"ingest_batches"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	PlanCache     CacheStats `json:"plan_cache"`
+	ResultCache   CacheStats `json:"result_cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		Events:        s.store.EventCount(),
+		Partitions:    s.store.PartitionCount(),
+		Agents:        s.store.Agents(),
+		Days:          s.store.Days(),
+		Generation:    s.store.Generation(),
+		QueriesServed: s.queries.Load(),
+		IngestBatches: s.ingests.Load(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		PlanCache:     s.plans.Stats(),
+		ResultCache:   s.results.Stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

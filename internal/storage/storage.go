@@ -80,6 +80,7 @@ type Store struct {
 	parts      map[partKey]*partition
 	partList   []*partition // stable iteration order
 	eventCount int
+	generation uint64
 }
 
 // New creates an empty store with the given options.
@@ -106,6 +107,7 @@ func (s *Store) Ingest(d *types.Dataset) {
 		s.addEventLocked(&d.Events[i])
 	}
 	s.sortPartsLocked()
+	s.generation++
 }
 
 // AddEntity registers a single entity.
@@ -113,6 +115,7 @@ func (s *Store) AddEntity(e *types.Entity) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.addEntityLocked(e)
+	s.generation++
 }
 
 // AddEvent appends a single event (out-of-order ingestion is tolerated; the
@@ -122,6 +125,17 @@ func (s *Store) AddEvent(ev *types.Event) {
 	defer s.mu.Unlock()
 	s.addEventLocked(ev)
 	s.sortPartsLocked()
+	s.generation++
+}
+
+// Generation returns a counter that increases monotonically with every
+// mutation (Ingest, AddEvent or AddEntity). Callers caching query results
+// key them by the generation observed at execution time: a cached result is
+// valid exactly as long as the store still reports the same generation.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.generation
 }
 
 func (s *Store) addEntityLocked(e *types.Entity) {
