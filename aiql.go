@@ -24,6 +24,8 @@
 package aiql
 
 import (
+	"context"
+
 	"aiql/internal/engine"
 	"aiql/internal/storage"
 	"aiql/internal/types"
@@ -55,6 +57,17 @@ func (db *DB) Ingest(d *types.Dataset) { db.store.Ingest(d) }
 
 // Query parses, compiles, schedules and executes one AIQL query.
 func (db *DB) Query(src string) (*engine.Result, error) { return db.eng.Query(src) }
+
+// QueryContext executes one AIQL query under a context: canceling it (or
+// exceeding its deadline) aborts storage scans and join work promptly.
+func (db *DB) QueryContext(ctx context.Context, src string) (*engine.Result, error) {
+	return db.eng.QueryContext(ctx, src)
+}
+
+// Snapshot freezes the store into an immutable, generation-stamped view.
+// Queries executed against it (engine.PreparedQuery.ExecuteOn) are isolated
+// from concurrent Ingest calls. Close the snapshot when done.
+func (db *DB) Snapshot() *storage.Snapshot { return db.store.Snapshot() }
 
 // Store exposes the underlying store (for diagnostics and benchmarks).
 func (db *DB) Store() *storage.Store { return db.store }

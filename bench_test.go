@@ -6,6 +6,7 @@
 package aiql_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -341,7 +342,7 @@ func BenchmarkPreparedVsCold(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := pq.Execute(); err != nil {
+			if _, err := pq.Execute(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -357,7 +358,7 @@ func BenchmarkPreparedVsCold(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			res, ok := rc.Get(pq.Src(), gen)
 			if !ok {
-				if res, err = pq.Execute(); err != nil {
+				if res, err = pq.Execute(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 				rc.Put(pq.Src(), gen, res)
@@ -365,6 +366,103 @@ func BenchmarkPreparedVsCold(b *testing.B) {
 			_ = res
 		}
 	})
+}
+
+// BenchmarkCursorVsMaterialize quantifies the snapshot/cursor refactor's
+// point: a LIMIT-style query that needs the first k matches. The
+// "materialize" case drains the full scan and post-filters (the old
+// execution model — every byte of the result allocated before the limit
+// applies); the "cursor" case pushes the limit into the scan, which
+// terminates its producers after k matches. Compare B/op.
+func BenchmarkCursorVsMaterialize(b *testing.B) {
+	ds := benchDataset()
+	st := storage.New(storage.Options{})
+	st.Ingest(ds)
+	const k = 10
+	q := &storage.DataQuery{
+		SubjType: types.EntityProcess,
+		ObjType:  types.EntityFile,
+		Ops:      types.NewOpSet(types.OpWrite),
+	}
+	b.Run("materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			all := st.Run(q)
+			if len(all) < k {
+				b.Fatalf("only %d matches", len(all))
+			}
+			_ = all[:k]
+		}
+	})
+	b.Run("cursor", func(b *testing.B) {
+		b.ReportAllocs()
+		lq := *q
+		lq.Limit = k
+		for i := 0; i < b.N; i++ {
+			cur := st.Scan(context.Background(), &lq)
+			got := storage.Drain(cur)
+			cur.Close()
+			if len(got) != k {
+				b.Fatalf("cursor returned %d matches, want %d", len(got), k)
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentIngestQuery measures query latency while an ingester
+// continuously appends batches — the workload the snapshot model exists
+// for. Before the refactor every Ingest held the store's write lock against
+// every query scan; now queries pin a snapshot and proceed while ingestion
+// mutates copy-on-write underneath.
+func BenchmarkConcurrentIngestQuery(b *testing.B) {
+	ds := benchDataset()
+	st := storage.New(storage.Options{})
+	st.Ingest(ds)
+	e := engine.New(st, engine.Options{})
+	pq, err := e.Prepare(`
+		agentid = 2
+		proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+		return distinct p1, p2`)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var ingWG sync.WaitGroup
+	ingWG.Add(1)
+	go func() {
+		defer ingWG.Done()
+		// Recycle slices of the generated events as fresh batches.
+		const batch = 512
+		off := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			end := off + batch
+			if end > len(ds.Events) {
+				off, end = 0, batch
+			}
+			evs := make([]types.Event, batch)
+			copy(evs, ds.Events[off:end])
+			st.Ingest(types.NewDataset(nil, evs))
+			off = end
+		}
+	}()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := st.Snapshot()
+		if _, err := pq.ExecuteOn(context.Background(), snap); err != nil {
+			b.Fatal(err)
+		}
+		snap.Close()
+	}
+	b.StopTimer()
+	close(stop)
+	ingWG.Wait()
 }
 
 // BenchmarkEndToEndScaling reports AIQL vs PostgreSQL on the complete c5

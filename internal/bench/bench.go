@@ -21,6 +21,7 @@
 package bench
 
 import (
+	"context"
 	"time"
 
 	"aiql/internal/engine"
@@ -82,12 +83,17 @@ func Run(r Runner, q queries.Query) Timing {
 
 func runOnce(r Runner, q queries.Query) Timing {
 	t := Timing{QueryID: q.ID, Group: q.Group, Patterns: q.Patterns, System: r.Name}
+	// The timeout is enforced for real now that the engine is cancelable:
+	// a baseline that blows the budget stops scanning mid-cursor instead of
+	// running to completion after the measurement window closed.
+	ctx, cancel := context.WithTimeout(context.Background(), Timeout)
+	defer cancel()
 	start := time.Now()
-	res, err := r.Engine.Query(q.Src)
+	res, err := r.Engine.QueryContext(ctx, q.Src)
 	t.Elapsed = time.Since(start)
 	if err != nil {
 		t.Err = err
-		t.TimedOut = true // budget exhaustion is the stand-in for >1h
+		t.TimedOut = true // budget or deadline exhaustion stands in for >1h
 		return t
 	}
 	t.Rows = len(res.Rows)

@@ -80,12 +80,15 @@ func (e *windowEnv) EWMA(name string, alpha float64) (float64, bool) {
 // the having clause. The engine "maintains the aggregate results as
 // historical states and performs the filtering based on the historical
 // states" (paper Sec. 5.1).
-func (e *Engine) runAnomaly(plan *Plan) (*Result, error) {
+func (e *Engine) runAnomaly(exec *execution) (*Result, error) {
+	plan := exec.plan
 	if len(plan.Patterns) != 1 {
 		return nil, fmt.Errorf("aiql: anomaly queries aggregate a single event pattern, found %d", len(plan.Patterns))
 	}
-	exec := &execution{eng: e, plan: plan, bud: &budget{maxTuples: e.opts.MaxTuples, maxPairs: e.opts.MaxPairs, noHash: e.opts.NoHashJoin}}
-	matches := exec.runPattern(0, nil)
+	matches, err := exec.runPattern(0, nil)
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(matches, func(i, j int) bool { return matches[i].Event.Start < matches[j].Event.Start })
 
 	ts := newTupleSet(0, matches)
@@ -119,6 +122,9 @@ func (e *Engine) runAnomaly(plan *Plan) (*Result, error) {
 	lo, hi := 0, 0
 	winRows := make(map[string][][]storage.Match)
 	for wStart := plan.Window.From; wStart < plan.Window.To; wStart += plan.Slide.Step {
+		if err := exec.checkCtx(); err != nil {
+			return nil, err
+		}
 		wEnd := wStart + plan.Slide.Length
 		// Advance the two pointers over the time-sorted matches.
 		for lo < len(matches) && matches[lo].Event.Start < wStart {

@@ -19,7 +19,11 @@ import (
 func (x *execution) applyJoin() (*tupleSet, error) {
 	plan := x.plan
 	applied := make([]bool, len(plan.Joins))
-	acc := x.note(newTupleSet(0, x.runPattern(0, nil)))
+	base, err := x.runPattern(0, nil)
+	if err != nil {
+		return nil, err
+	}
+	acc := x.note(newTupleSet(0, base))
 	for _, ji := range applicableJoins(plan.Joins, acc.has, applied) {
 		acc = x.note(filterTuples(acc, plan, []int{ji}))
 		applied[ji] = true
@@ -36,7 +40,10 @@ func (x *execution) applyJoin() (*tupleSet, error) {
 
 		for _, row := range acc.rows {
 			pc := x.rowConstraint(rels, i, acc, row)
-			ms := x.runPattern(i, pc)
+			ms, err := x.runPattern(i, pc)
+			if err != nil {
+				return nil, err
+			}
 			if err := x.bud.chargePairs(int64(len(ms)) + 1); err != nil {
 				return nil, err
 			}

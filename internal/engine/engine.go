@@ -1,10 +1,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
-	"sync"
 
 	"aiql/internal/ast"
 	"aiql/internal/parser"
@@ -14,10 +14,12 @@ import (
 	"aiql/internal/types"
 )
 
-// Backend executes synthesized data queries. storage.Store, the MPP cluster
-// and the baseline stores all satisfy it.
+// Backend executes synthesized data queries, streaming matches through a
+// cursor so the engine decides how much to materialize. storage.Store and
+// storage.Snapshot, the MPP cluster and the baseline stores all satisfy it.
+// Scan must honour ctx: cancellation stops its producers promptly.
 type Backend interface {
-	Run(q *storage.DataQuery) []storage.Match
+	Scan(ctx context.Context, q *storage.DataQuery) storage.Cursor
 }
 
 // Estimator is the optional Backend extension behind Options.StatsScoring:
@@ -124,30 +126,68 @@ type Result struct {
 	TuplesMax   int // largest intermediate tuple set
 }
 
-// Query parses, compiles and executes AIQL source.
+// Query parses, compiles and executes AIQL source without a deadline — the
+// convenience form for CLIs, tests and examples.
 func (e *Engine) Query(src string) (*Result, error) {
+	return e.QueryContext(context.Background(), src)
+}
+
+// QueryContext parses, compiles and executes AIQL source. Canceling ctx
+// aborts the execution promptly: in-flight storage scans stop producing and
+// join loops bail between batches.
+func (e *Engine) QueryContext(ctx context.Context, src string) (*Result, error) {
 	q, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(q)
+	return e.Execute(ctx, q)
 }
 
-// Execute compiles and runs a parsed query.
-func (e *Engine) Execute(q *ast.Query) (*Result, error) {
+// Execute compiles and runs a parsed query under ctx.
+func (e *Engine) Execute(ctx context.Context, q *ast.Query) (*Result, error) {
 	plan, err := Compile(q)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(plan)
+	return e.Run(ctx, plan)
 }
 
-// Run executes a compiled plan.
-func (e *Engine) Run(plan *Plan) (*Result, error) {
-	if plan.Slide != nil {
-		return e.runAnomaly(plan)
+// Run executes a compiled plan under ctx against the engine's backend.
+func (e *Engine) Run(ctx context.Context, plan *Plan) (*Result, error) {
+	return e.runOn(ctx, plan, e.backend)
+}
+
+// runOn executes a plan against an explicit backend — how a PreparedQuery
+// is replayed against a per-request storage snapshot.
+func (e *Engine) runOn(ctx context.Context, plan *Plan, b Backend) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	exec := &execution{eng: e, plan: plan, bud: &budget{maxTuples: e.opts.MaxTuples, maxPairs: e.opts.MaxPairs, noHash: e.opts.NoHashJoin}}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Pin one snapshot for the whole execution when running over a mutable
+	// store, so every data query of a multi-pattern plan sees the same
+	// generation — otherwise an ingest landing mid-execution could join
+	// pattern results from store states that never coexisted. (Callers that
+	// pass a Snapshot, like aiqld, pinned already; the MPP cluster snapshots
+	// per segment scan, a consistency gap sharding will have to close.)
+	if st, ok := b.(*storage.Store); ok {
+		snap := st.Snapshot()
+		defer snap.Close()
+		b = snap
+	}
+	exec := &execution{
+		eng:     e,
+		backend: b,
+		plan:    plan,
+		ctx:     ctx,
+		bud:     &budget{maxTuples: e.opts.MaxTuples, maxPairs: e.opts.MaxPairs, noHash: e.opts.NoHashJoin, ctx: ctx},
+	}
+	if plan.Slide != nil {
+		return e.runAnomaly(exec)
+	}
+	exec.limit = planScanLimit(plan)
 	ts, err := exec.run()
 	if err != nil {
 		return nil, err
@@ -161,21 +201,45 @@ func (e *Engine) Run(plan *Plan) (*Result, error) {
 	return res, nil
 }
 
+// planScanLimit returns the row limit that can be pushed all the way into
+// the storage scan: only a top-k over a single pattern with no joins, no
+// aggregation, no distinct/count and no sort keys consumes exactly its
+// first Top matches, so only then may the scan terminate early instead of
+// the projection post-filtering.
+func planScanLimit(p *Plan) int {
+	if p.Top <= 0 || p.Slide != nil || len(p.Patterns) != 1 || len(p.Joins) > 0 {
+		return 0
+	}
+	if p.HasAggregation() || len(p.GroupBy) > 0 || p.Return.Distinct || p.Return.Count || len(p.SortBy) > 0 {
+		return 0
+	}
+	return p.Top
+}
+
 // execution carries per-run state.
 type execution struct {
 	eng       *Engine
+	backend   Backend
 	plan      *Plan
+	ctx       context.Context
 	bud       *budget
+	limit     int // storage-level row limit (planScanLimit), 0 if none
 	queries   int
 	tuplesMax int
 	estimates []int // lazily filled pattern cardinality estimates
+}
+
+// checkCtx is the engine's cancellation point, called between data queries
+// and between cursor batches.
+func (x *execution) checkCtx() error {
+	return x.ctx.Err()
 }
 
 // score returns the pruning score of a pattern: with StatsScoring and an
 // estimating backend, the negated cardinality estimate (fewer expected
 // rows = more pruning power); otherwise the compile-time constraint count.
 func (x *execution) score(idx int) int {
-	est, ok := x.eng.backend.(Estimator)
+	est, ok := x.backend.(Estimator)
 	if !x.eng.opts.StatsScoring || !ok {
 		return x.plan.Patterns[idx].Score
 	}
@@ -212,8 +276,9 @@ type patternConstraint struct {
 	window      *timeutil.Window
 }
 
-// runPattern synthesizes and executes the data query for one pattern.
-func (x *execution) runPattern(idx int, pc *patternConstraint) []storage.Match {
+// buildQuery synthesizes the data query for one pattern, folding in the
+// scheduler's pushdown constraint and the plan-level scan limit.
+func (x *execution) buildQuery(idx int, pc *patternConstraint) *storage.DataQuery {
 	pp := x.plan.Patterns[idx]
 	q := &storage.DataQuery{
 		Agents:    pp.Agents,
@@ -224,6 +289,7 @@ func (x *execution) runPattern(idx int, pc *patternConstraint) []storage.Match {
 		ObjPred:   pp.Obj.Pred,
 		Ops:       pp.Ops,
 		EvtPred:   pp.EvtPred,
+		Limit:     x.limit,
 		ForceScan: x.eng.opts.Strategy == StrategyBigJoin,
 	}
 	if pc != nil {
@@ -239,38 +305,56 @@ func (x *execution) runPattern(idx int, pc *patternConstraint) []storage.Match {
 			q.Window = q.Window.Intersect(*pc.window)
 		}
 	}
-	x.queries++
-	return x.runDataQuery(q)
+	return q
 }
 
-// runDataQuery executes one data query, splitting multi-day windows into
-// parallel per-day sub-queries when enabled (paper Sec. 5.2, "Time Window
-// Partition").
-func (x *execution) runDataQuery(q *storage.DataQuery) []storage.Match {
-	if x.eng.opts.DisableSplitDays || q.Window.Unbounded() {
-		return x.eng.backend.Run(q)
+// scanPattern opens a cursor over one pattern's data query. The caller owns
+// the cursor (Close on early exit; Err after exhaustion).
+func (x *execution) scanPattern(idx int, pc *patternConstraint) storage.Cursor {
+	x.queries++
+	return x.scanDataQuery(x.buildQuery(idx, pc))
+}
+
+// runPattern materializes one pattern's full match set — used where the
+// scheduler genuinely needs all of it (constraint derivation, base sets of
+// the materializing baselines, per-row Apply expansion).
+func (x *execution) runPattern(idx int, pc *patternConstraint) ([]storage.Match, error) {
+	cur := x.scanPattern(idx, pc)
+	defer cur.Close()
+	out := storage.Drain(cur)
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// maxSplitDays bounds the per-day splitting of one data query. Temporal
+// pushdown synthesizes half-unbounded windows (e.g. [minT, 1<<62) for an
+// unbounded "before"); enumerating their days would effectively never
+// terminate, and beyond a year of sub-scans the split adds scheduling
+// overhead without improving on the storage layer's own partition pruning.
+const maxSplitDays = 366
+
+// scanDataQuery opens one data query cursor, splitting multi-day windows
+// into per-day sub-scans when enabled (paper Sec. 5.2, "Time Window
+// Partition"). Every sub-scan's producers start immediately, so the days
+// are searched in parallel while the consumer drains them in order.
+func (x *execution) scanDataQuery(q *storage.DataQuery) storage.Cursor {
+	if x.eng.opts.DisableSplitDays || q.Window.Unbounded() ||
+		q.Window.Duration() > maxSplitDays*timeutil.DayMillis {
+		return x.backend.Scan(x.ctx, q)
 	}
 	days := timeutil.SplitByDay(q.Window)
 	if len(days) <= 1 {
-		return x.eng.backend.Run(q)
+		return x.backend.Scan(x.ctx, q)
 	}
-	parts := make([][]storage.Match, len(days))
-	var wg sync.WaitGroup
+	cs := make([]storage.Cursor, len(days))
 	for i := range days {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sub := *q
-			sub.Window = days[i]
-			parts[i] = x.eng.backend.Run(&sub)
-		}(i)
+		sub := *q
+		sub.Window = days[i]
+		cs[i] = x.backend.Scan(x.ctx, &sub)
 	}
-	wg.Wait()
-	var out []storage.Match
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
+	return storage.NewMultiCursor(q.Limit, cs...)
 }
 
 // run dispatches to the configured scheduler and guarantees the returned

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 
 	"aiql/internal/parser"
@@ -34,8 +35,19 @@ func (e *Engine) Prepare(src string) (*PreparedQuery, error) {
 	return &PreparedQuery{eng: e, plan: plan, src: Normalize(src)}, nil
 }
 
-// Execute runs the compiled plan against the engine's backend.
-func (p *PreparedQuery) Execute() (*Result, error) { return p.eng.Run(p.plan) }
+// Execute runs the compiled plan against the engine's backend. Canceling
+// ctx aborts the execution promptly.
+func (p *PreparedQuery) Execute(ctx context.Context) (*Result, error) {
+	return p.eng.Run(ctx, p.plan)
+}
+
+// ExecuteOn runs the compiled plan against an explicit backend instead of
+// the engine's own — typically a storage.Snapshot, so a query service can
+// pin each request to one immutable, generation-stamped view of the store
+// while ingestion continues underneath.
+func (p *PreparedQuery) ExecuteOn(ctx context.Context, b Backend) (*Result, error) {
+	return p.eng.runOn(ctx, p.plan, b)
+}
 
 // Src returns the normalized source the query was prepared from.
 func (p *PreparedQuery) Src() string { return p.src }

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"testing"
 
 	"aiql/internal/engine"
@@ -32,7 +33,7 @@ func TestPreparedQuerySeesIngestedEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := pq.Execute()
+	res, err := pq.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestPreparedQuerySeesIngestedEvents(t *testing.T) {
 		t.Fatal("Ingest did not bump the store generation")
 	}
 
-	res, err = pq.Execute()
+	res, err = pq.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

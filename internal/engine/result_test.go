@@ -74,7 +74,7 @@ func TestStorageEstimateTracksSelectivity(t *testing.T) {
 	if selEst >= broadEst {
 		t.Errorf("estimates: selective %d >= broad %d", selEst, broadEst)
 	}
-	if actual := len(st.Execute(selective)); selEst < actual {
+	if actual := len(st.Run(selective)); selEst < actual {
 		t.Errorf("estimate %d below actual %d", selEst, actual)
 	}
 }

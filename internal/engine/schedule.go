@@ -45,6 +45,9 @@ func (x *execution) relationshipSchedule() (*tupleSet, error) {
 	}
 
 	for _, ji := range order {
+		if err := x.checkCtx(); err != nil {
+			return nil, err
+		}
 		if applied[ji] {
 			continue
 		}
@@ -52,7 +55,11 @@ func (x *execution) relationshipSchedule() (*tupleSet, error) {
 		a, b := j.A, j.B
 		if a == b {
 			if !executed[a] {
-				results[a] = x.runPattern(a, nil)
+				ms, err := x.runPattern(a, nil)
+				if err != nil {
+					return nil, err
+				}
+				results[a] = ms
 				executed[a] = true
 				M[a] = x.note(newTupleSet(a, results[a]))
 			}
@@ -62,24 +69,30 @@ func (x *execution) relationshipSchedule() (*tupleSet, error) {
 		}
 		switch {
 		case !executed[a] && !executed[b]:
-			// Execute the pattern with the higher pruning score first.
+			// Execute the pattern with the higher pruning score first; its
+			// matches are materialized because the pushdown constraint needs
+			// all of them. The constrained side streams straight into the
+			// join and is never held as a full match set.
 			first, second := a, b
 			if x.score(b) > x.score(a) {
 				first, second = b, a
 			}
-			results[first] = x.runPattern(first, nil)
+			ms, err := x.runPattern(first, nil)
+			if err != nil {
+				return nil, err
+			}
+			results[first] = ms
 			executed[first] = true
 			pc := x.constraintFromMatches(j, first, len(results[first]), func(i int) *storage.Match {
 				return &results[first][i]
 			})
-			results[second] = x.runPattern(second, pc)
-			executed[second] = true
-			ta, tb := newTupleSet(first, results[first]), newTupleSet(second, results[second])
+			ta := newTupleSet(first, results[first])
 			rels := coveredRels(func(p int) bool { return p == a || p == b })
-			ts, err := joinTuples(ta, tb, plan, rels, x.bud)
+			ts, err := x.joinStream(ta, second, pc, rels)
 			if err != nil {
 				return nil, err
 			}
+			executed[second] = true
 			x.note(ts)
 			M[first], M[second] = ts, ts
 		case executed[a] != executed[b]:
@@ -91,13 +104,12 @@ func (x *execution) relationshipSchedule() (*tupleSet, error) {
 			pc := x.constraintFromMatches(j, done, len(src.rows), func(i int) *storage.Match {
 				return src.match(src.rows[i], done)
 			})
-			results[todo] = x.runPattern(todo, pc)
-			executed[todo] = true
 			rels := coveredRels(func(p int) bool { return src.has(p) || p == todo })
-			ts, err := joinTuples(src, newTupleSet(todo, results[todo]), plan, rels, x.bud)
+			ts, err := x.joinStream(src, todo, pc, rels)
 			if err != nil {
 				return nil, err
 			}
+			executed[todo] = true
 			x.note(ts)
 			replaceVals(M, src, ts)
 			M[todo] = ts
@@ -123,7 +135,11 @@ func (x *execution) relationshipSchedule() (*tupleSet, error) {
 	// Step 4: patterns not involved in any relationship.
 	for i := 0; i < n; i++ {
 		if !executed[i] {
-			results[i] = x.runPattern(i, nil)
+			ms, err := x.runPattern(i, nil)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = ms
 			executed[i] = true
 			M[i] = x.note(newTupleSet(i, results[i]))
 		}
@@ -218,13 +234,18 @@ func replaceVals(M []*tupleSet, old, new_ *tupleSet) {
 // query independently with its own constraints, hold all results in memory,
 // then assemble tuples in declaration order, filtering by each relationship
 // as soon as both of its patterns are present. No pruning-score ordering,
-// no constrained execution.
+// no constrained execution — and deliberately no streaming either: holding
+// every pattern's full result is the cost profile this baseline emulates.
 func (x *execution) fetchAndFilter() (*tupleSet, error) {
 	plan := x.plan
 	n := len(plan.Patterns)
 	results := make([][]storage.Match, n)
 	for i := 0; i < n; i++ {
-		results[i] = x.runPattern(i, nil)
+		ms, err := x.runPattern(i, nil)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = ms
 	}
 	return x.assembleInOrder(results)
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"strconv"
 	"strings"
@@ -125,18 +126,26 @@ func compareValues(a, b string, op pred.CmpOp) bool {
 }
 
 // budget tracks tuple growth across an execution so that runaway joins
-// fail fast instead of exhausting memory.
+// fail fast instead of exhausting memory. It doubles as the join loops'
+// cancellation point: chargePairs is called at least once per outer row or
+// per streamed match, so a canceled context aborts long joins promptly.
 type budget struct {
 	maxTuples int
 	maxPairs  int64
 	pairs     int64
 	noHash    bool
+	ctx       context.Context
 }
 
 func (b *budget) chargePairs(n int64) error {
 	b.pairs += n
 	if b.maxPairs > 0 && b.pairs > b.maxPairs {
 		return ErrTooLarge
+	}
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -146,6 +155,23 @@ func (b *budget) checkRows(n int) error {
 		return ErrTooLarge
 	}
 	return nil
+}
+
+// pickHashRel selects the first equality attribute relationship in relIdx
+// accepted by usable, or -1 — the shared hash-join key selection of
+// joinTuples and joinStream. A change to hash-join eligibility belongs
+// here so the materialized and streamed join paths cannot diverge.
+func pickHashRel(plan *Plan, relIdx []int, noHash bool, usable func(*Join) bool) int {
+	if noHash {
+		return -1
+	}
+	for _, ri := range relIdx {
+		j := &plan.Joins[ri]
+		if j.Kind == JoinAttr && j.Op == pred.CmpEq && usable(j) {
+			return ri
+		}
+	}
+	return -1
 }
 
 // applicableJoins returns the joins whose two patterns are both covered by
@@ -177,16 +203,7 @@ func joinTuples(ta, tb *tupleSet, plan *Plan, relIdx []int, bud *budget) (*tuple
 	}
 
 	// Pick one equality join as the hash key if available.
-	hashRel := -1
-	if !bud.noHash {
-		for _, ri := range relIdx {
-			j := &plan.Joins[ri]
-			if j.Kind == JoinAttr && j.Op == pred.CmpEq {
-				hashRel = ri
-				break
-			}
-		}
-	}
+	hashRel := pickHashRel(plan, relIdx, bud.noHash, func(*Join) bool { return true })
 
 	check := func(rowA, rowB []storage.Match) bool {
 		for _, ri := range relIdx {
@@ -265,6 +282,160 @@ func joinTuples(ta, tb *tupleSet, plan *Plan, relIdx []int, bud *budget) (*tuple
 					return nil, err
 				}
 			}
+		}
+	}
+	return out, nil
+}
+
+// joinStream extends a materialized tuple set by one pattern whose matches
+// are *streamed* from the backend instead of materialized first — the
+// cursor-era form of Algorithm 1's constrained execution. The scan only
+// starts if the constraining tuple set has rows at all ("stop pulling
+// batches as soon as the constraining tuple set is exhausted" degenerates
+// to never pulling any); budget exhaustion and context cancellation abort
+// the stream mid-flight, before the remaining batches are even produced.
+//
+// Output rows preserve the materialized join's order (constraining-set
+// major, stream order within a row) so plans without an explicit sort stay
+// deterministic across the refactor: streamed matches are parked in an
+// arena and per-row hit lists, and rows are emitted by walking ts in order.
+func (x *execution) joinStream(ts *tupleSet, pattern int, pc *patternConstraint, relIdx []int) (*tupleSet, error) {
+	plan, bud := x.plan, x.bud
+	out := &tupleSet{cols: make(map[int]int, len(ts.cols)+1)}
+	for p, c := range ts.cols {
+		out.cols[p] = c
+	}
+	width := len(ts.cols)
+	out.cols[pattern] = width
+
+	// An empty constraining set makes the join trivially empty: account the
+	// data query in the diagnostics but never open the scan at all.
+	if len(ts.rows) == 0 {
+		x.queries++
+		return out, nil
+	}
+	cur := x.scanPattern(pattern, pc)
+	defer cur.Close()
+
+	check := func(row []storage.Match, m *storage.Match) bool {
+		for _, ri := range relIdx {
+			j := &plan.Joins[ri]
+			ma, mb := m, m
+			if j.A != pattern {
+				ma = ts.match(row, j.A)
+			}
+			if j.B != pattern {
+				mb = ts.match(row, j.B)
+			}
+			if !evalJoin(j, ma, mb) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Hash path: an equality relationship linking the streamed pattern to a
+	// column of ts keys an index over ts rows; each streamed match probes
+	// it. Self-relationships and ts-internal relationships cannot key the
+	// probe (they do not span the two inputs).
+	hashRel := pickHashRel(plan, relIdx, bud.noHash, func(j *Join) bool {
+		return (j.A == pattern) != (j.B == pattern)
+	})
+	var mSide, tsSide Side
+	var mAttr, tsAttr string
+	tsPatt := -1
+	if hashRel >= 0 {
+		j := &plan.Joins[hashRel]
+		if j.A == pattern {
+			mSide, mAttr = j.ASide, j.AAttr
+			tsPatt, tsSide, tsAttr = j.B, j.BSide, j.BAttr
+		} else {
+			mSide, mAttr = j.BSide, j.BAttr
+			tsPatt, tsSide, tsAttr = j.A, j.ASide, j.AAttr
+		}
+	}
+	var index map[string][]int
+	if hashRel >= 0 {
+		index = make(map[string][]int, len(ts.rows))
+		for i, row := range ts.rows {
+			if v, ok := sideValue(ts.match(row, tsPatt), tsSide, tsAttr); ok {
+				index[v] = append(index[v], i)
+			}
+		}
+	}
+
+	// arena parks each streamed match that joined at least one row; hits[i]
+	// indexes the arena per ts row, preserving the output order.
+	var arena []storage.Match
+	hits := make([][]int32, len(ts.rows))
+	total := 0
+	join := func(m *storage.Match, rows []int) error {
+		ai := int32(-1)
+		for _, i := range rows {
+			if !check(ts.rows[i], m) {
+				continue
+			}
+			if ai < 0 {
+				arena = append(arena, *m)
+				ai = int32(len(arena) - 1)
+			}
+			hits[i] = append(hits[i], ai)
+			total++
+			if err := bud.checkRows(total); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var allRows []int
+	if hashRel < 0 {
+		allRows = make([]int, len(ts.rows))
+		for i := range allRows {
+			allRows[i] = i
+		}
+	}
+
+	batch := make([]storage.Match, storage.ScanBatchSize)
+	for {
+		n := cur.Next(batch)
+		if n == 0 {
+			break
+		}
+		for k := 0; k < n; k++ {
+			m := &batch[k]
+			if hashRel >= 0 {
+				v, ok := sideValue(m, mSide, mAttr)
+				if !ok {
+					continue
+				}
+				rows := index[v]
+				if err := bud.chargePairs(int64(len(rows)) + 1); err != nil {
+					return nil, err
+				}
+				if err := join(m, rows); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := bud.chargePairs(int64(len(ts.rows))); err != nil {
+					return nil, err
+				}
+				if err := join(m, allRows); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+
+	out.rows = make([][]storage.Match, 0, total)
+	for i, row := range ts.rows {
+		for _, ai := range hits[i] {
+			nr := make([]storage.Match, len(row)+1)
+			copy(nr, row)
+			nr[len(row)] = arena[ai]
+			out.rows = append(out.rows, nr)
 		}
 	}
 	return out, nil

@@ -13,6 +13,7 @@
 package graphstore
 
 import (
+	"context"
 	"sort"
 
 	"aiql/internal/pred"
@@ -87,11 +88,28 @@ func (g *Graph) EventCount() int { return len(g.events) }
 // NodeCount returns the number of nodes in the graph.
 func (g *Graph) NodeCount() int { return len(g.entities) }
 
-// Run implements the engine Backend interface with graph-traversal
-// semantics: resolve one endpoint to candidate nodes (schema index for
-// exact values, label scan plus property filter otherwise), then expand
-// and filter their adjacency lists edge by edge.
+// Scan implements the engine Backend interface. The Neo4j emulation has no
+// partitioned storage to stream from — its traversal materializes, exactly
+// the cost profile the paper observed — so the traversal runs on a
+// background goroutine (keeping sibling scans, like the engine's per-day
+// sub-queries, parallel) and the cursor serves the materialized result.
+// The traversal polls ctx, so a canceled context (the bench harness's
+// timeout, a disconnected client) aborts a long expansion mid-scan.
+func (g *Graph) Scan(ctx context.Context, q *storage.DataQuery) storage.Cursor {
+	return storage.NewAsyncCursor(ctx, func(cctx context.Context) []storage.Match {
+		return g.run(cctx, q)
+	})
+}
+
+// Run executes a data query with graph-traversal semantics: resolve one
+// endpoint to candidate nodes (schema index for exact values, label scan
+// plus property filter otherwise), then expand and filter their adjacency
+// lists edge by edge.
 func (g *Graph) Run(q *storage.DataQuery) []storage.Match {
+	return g.run(context.Background(), q)
+}
+
+func (g *Graph) run(ctx context.Context, q *storage.DataQuery) []storage.Match {
 	subjCand := g.candidates(q.SubjType, q.SubjPred, q.SubjAllowed)
 	objCand := g.candidates(q.ObjType, q.ObjPred, q.ObjAllowed)
 	if (subjCand != nil && len(subjCand) == 0) || (objCand != nil && len(objCand) == 0) {
@@ -150,15 +168,24 @@ func (g *Graph) Run(q *storage.DataQuery) []storage.Match {
 	}
 
 	var out []storage.Match
-	emitAll := func(positions []int32) {
+	scanned := 0
+	canceled := func() bool {
+		scanned++
+		return scanned&4095 == 0 && ctx.Err() != nil
+	}
+	emitAll := func(positions []int32) bool {
 		for _, pos := range positions {
+			if canceled() {
+				return false
+			}
 			if m, ok := check(pos); ok {
 				out = append(out, m)
 				if q.Limit > 0 && len(out) >= q.Limit {
-					return
+					return false
 				}
 			}
 		}
+		return true
 	}
 
 	// Expand from the smaller candidate frontier; with no bounded frontier
@@ -166,20 +193,21 @@ func (g *Graph) Run(q *storage.DataQuery) []storage.Match {
 	switch {
 	case subjCand != nil && (objCand == nil || len(subjCand) <= len(objCand)):
 		for _, id := range sortedIDs(subjCand) {
-			emitAll(g.out[id])
-			if q.Limit > 0 && len(out) >= q.Limit {
+			if !emitAll(g.out[id]) {
 				break
 			}
 		}
 	case objCand != nil:
 		for _, id := range sortedIDs(objCand) {
-			emitAll(g.in[id])
-			if q.Limit > 0 && len(out) >= q.Limit {
+			if !emitAll(g.in[id]) {
 				break
 			}
 		}
 	default:
 		for pos := range g.events {
+			if canceled() {
+				break
+			}
 			if m, ok := check(int32(pos)); ok {
 				out = append(out, m)
 				if q.Limit > 0 && len(out) >= q.Limit {

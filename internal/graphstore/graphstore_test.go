@@ -59,7 +59,7 @@ func TestAgreesWithStore(t *testing.T) {
 	}
 	for i, q := range queries {
 		a := ids(g.Run(q))
-		b := ids(st.Execute(q))
+		b := ids(st.Run(q))
 		if !equal(a, b) {
 			t.Errorf("query %d: graph %d events, store %d events", i, len(a), len(b))
 		}

@@ -12,6 +12,7 @@
 package mpp
 
 import (
+	"context"
 	"sync"
 
 	"aiql/internal/storage"
@@ -104,26 +105,26 @@ func (c *Cluster) EventCount() int {
 	return total
 }
 
-// Run implements the engine Backend: the data query is scattered to every
-// segment in parallel and the partial results gathered. Under
-// SemanticsAware placement each segment prunes its local partitions using
-// the query's spatial/temporal constraints, so most segments answer
+// Scan implements the engine Backend: the data query is scattered to every
+// segment and the partial streams gathered in segment order. Each segment
+// scan snapshots its local store and spawns its own partition producers, so
+// all segments search in parallel from the moment Scan returns, with
+// bounded channels applying backpressure until the consumer reaches them.
+// Under SemanticsAware placement each segment prunes its local partitions
+// using the query's spatial/temporal constraints, so most segments answer
 // instantly; under ArrivalOrder every segment holds a slice of every
 // partition and must search.
+func (c *Cluster) Scan(ctx context.Context, q *storage.DataQuery) storage.Cursor {
+	cs := make([]storage.Cursor, len(c.segs))
+	for i, seg := range c.segs {
+		cs[i] = seg.Scan(ctx, q)
+	}
+	return storage.NewMultiCursor(q.Limit, cs...)
+}
+
+// Run is the materializing adapter over Scan.
 func (c *Cluster) Run(q *storage.DataQuery) []storage.Match {
-	parts := make([][]storage.Match, len(c.segs))
-	var wg sync.WaitGroup
-	for i := range c.segs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			parts[i] = c.segs[i].Execute(q)
-		}(i)
-	}
-	wg.Wait()
-	var out []storage.Match
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
+	cur := c.Scan(context.Background(), q)
+	defer cur.Close()
+	return storage.Drain(cur)
 }

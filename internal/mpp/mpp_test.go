@@ -58,7 +58,7 @@ func TestPlacementsAgree(t *testing.T) {
 	for i, q := range queries {
 		a := ids(arrival.Run(q))
 		b := ids(semantic.Run(q))
-		c := ids(single.Execute(q))
+		c := ids(single.Run(q))
 		if !equal(a, c) {
 			t.Errorf("query %d: arrival-order differs from single store (%d vs %d)", i, len(a), len(c))
 		}
@@ -84,7 +84,7 @@ func TestSemanticsAwarePlacementLocality(t *testing.T) {
 			}
 			withData := 0
 			for _, seg := range c.segs {
-				if len(seg.Execute(q)) > 0 {
+				if len(seg.Run(q)) > 0 {
 					withData++
 				}
 			}
@@ -110,7 +110,7 @@ func TestArrivalOrderScatters(t *testing.T) {
 	}
 	withData := 0
 	for _, seg := range c.segs {
-		if len(seg.Execute(q)) > 0 {
+		if len(seg.Run(q)) > 0 {
 			withData++
 		}
 	}

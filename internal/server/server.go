@@ -16,15 +16,26 @@
 // parse/compile front end. The result cache maps (plan, store generation)
 // to the materialized result; ingesting new events bumps the generation,
 // which invalidates every cached result at once.
+//
+// Every query executes against one immutable storage snapshot acquired at
+// request start, so concurrent /ingest traffic neither blocks the query
+// nor tears its view — the snapshot's generation is the result-cache key,
+// exact by construction. Engine work is bound to the request context:
+// clients that disconnect cancel their query mid-flight. Clients that send
+// "Accept: application/x-ndjson" receive the result as newline-delimited
+// JSON — a header object followed by one row per line, flushed
+// incrementally on the wire — instead of a single JSON document.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"mime"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -129,8 +140,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queries.Add(1)
 	start := time.Now()
-	resp, err := s.execute(src)
+	resp, err := s.execute(r.Context(), src)
 	if err != nil {
+		if r.Context().Err() != nil {
+			// The client disconnected and the engine aborted; nobody is
+			// listening for a reply.
+			return
+		}
 		status := http.StatusBadRequest
 		if errors.Is(err, engine.ErrTooLarge) {
 			status = http.StatusUnprocessableEntity
@@ -139,13 +155,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	if ndjsonRequested(r) {
+		writeNDJSON(w, resp)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // execute runs one query through both caches: result cache, then plan
-// cache, then the engine.
-func (s *Server) execute(src string) (*QueryResponse, error) {
+// cache, then the engine — the latter against a snapshot pinned for this
+// request. The snapshot generation keys the result cache, so the old
+// "did an ingest race with my execution?" re-check is gone: a result
+// computed from a snapshot is correct for that generation by construction.
+func (s *Server) execute(ctx context.Context, src string) (*QueryResponse, error) {
 	key := engine.Normalize(src)
+	// Cache-hit hot path: a generation read is a shared RLock, so repeated
+	// queries never pay snapshot acquisition (an exclusive lock plus
+	// copy-on-write flagging) just to discover the answer is cached.
 	gen := s.store.Generation()
 	if res, ok := s.results.Get(key, gen); ok {
 		// Peek, not Get: report the plan cache's true state without
@@ -161,16 +187,85 @@ func (s *Server) execute(src string) (*QueryResponse, error) {
 		}
 		s.plans.Put(key, pq)
 	}
-	res, err := pq.Execute()
+	snap := s.store.Snapshot()
+	defer snap.Close()
+	if snap.Generation() != gen {
+		// An ingest landed between the peek and the pin; the cache may
+		// already hold the result for the generation we actually got.
+		if res, ok := s.results.Get(key, snap.Generation()); ok {
+			return queryResponse(res, planCached, true), nil
+		}
+	}
+	res, err := pq.ExecuteOn(ctx, snap)
 	if err != nil {
 		return nil, err
 	}
-	// Cache only if no ingest raced with the execution: a result computed
-	// partly from newer events must not be served for the older generation.
-	if s.store.Generation() == gen {
-		s.results.Put(key, gen, res)
-	}
+	s.results.Put(key, snap.Generation(), res)
 	return queryResponse(res, planCached, false), nil
+}
+
+// ndjsonRequested reports whether the client asked for streaming NDJSON.
+// A q-value of 0 means "explicitly not acceptable" (RFC 9110 §12.4.2).
+func ndjsonRequested(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mt, params, err := mime.ParseMediaType(part)
+			if err != nil || mt != "application/x-ndjson" {
+				continue
+			}
+			if q, qerr := strconv.ParseFloat(params["q"], 64); qerr == nil && q <= 0 {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// streamHeader is the first NDJSON line: everything QueryResponse carries
+// except the rows, which follow one per line as JSON arrays.
+type streamHeader struct {
+	Columns      []string `json:"columns"`
+	RowCount     int      `json:"row_count"`
+	DataQueries  int      `json:"data_queries"`
+	TuplesMax    int      `json:"tuples_max"`
+	PlanCached   bool     `json:"plan_cached"`
+	ResultCached bool     `json:"result_cached"`
+	ElapsedMs    float64  `json:"elapsed_ms"`
+}
+
+// writeNDJSON writes a result as newline-delimited JSON, flushing every
+// few hundred rows so consumers can process rows as they arrive. The
+// streaming is wire-level: the engine still materializes the full Result
+// (row_count in the header depends on it) before the first byte goes out;
+// pushing cursors through projection to make the rows themselves lazy is
+// the natural next step on top of this wire format.
+func writeNDJSON(w http.ResponseWriter, resp *QueryResponse) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(&streamHeader{
+		Columns:      resp.Columns,
+		RowCount:     resp.RowCount,
+		DataQueries:  resp.DataQueries,
+		TuplesMax:    resp.TuplesMax,
+		PlanCached:   resp.PlanCached,
+		ResultCached: resp.ResultCached,
+		ElapsedMs:    resp.ElapsedMs,
+	})
+	flusher, _ := w.(http.Flusher)
+	for i, row := range resp.Rows {
+		if err := enc.Encode(row); err != nil {
+			return
+		}
+		if flusher != nil && i%256 == 255 {
+			flusher.Flush()
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func queryResponse(res *engine.Result, planCached, resultCached bool) *QueryResponse {
@@ -252,6 +347,7 @@ type StatsResponse struct {
 	Agents        []int      `json:"agents"`
 	Days          []int      `json:"days"`
 	Generation    uint64     `json:"generation"`
+	LiveSnapshots int        `json:"live_snapshots"`
 	QueriesServed uint64     `json:"queries_served"`
 	IngestBatches uint64     `json:"ingest_batches"`
 	UptimeSeconds float64    `json:"uptime_seconds"`
@@ -266,6 +362,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Agents:        s.store.Agents(),
 		Days:          s.store.Days(),
 		Generation:    s.store.Generation(),
+		LiveSnapshots: s.store.LiveSnapshots(),
 		QueriesServed: s.queries.Load(),
 		IngestBatches: s.ingests.Load(),
 		UptimeSeconds: time.Since(s.started).Seconds(),

@@ -8,7 +8,7 @@ import (
 
 // Estimate predicts how many events a data query would match, without
 // scanning: candidate entity sets are resolved through the hash indexes
-// (or typed entity tables) exactly as Execute would, and the per-partition
+// (or typed entity tables) exactly as a scan would, and the per-partition
 // posting lists give the match count upper bound; unconstrained patterns
 // fall back to the window-clipped partition sizes.
 //
@@ -17,16 +17,26 @@ import (
 // periods and constructing a statistical model of constraint pruning
 // power" — the engine's StatsScoring option ranks event patterns by this
 // estimate instead of by constraint count.
+// Engine executions pin one Snapshot per run and estimate through it
+// directly (Snapshot.Estimate); this Store-level form exists for external
+// callers holding only the store, and simply takes its own short-lived
+// snapshot — which also performs any deferred re-sort the estimate's
+// binary searches depend on.
 func (s *Store) Estimate(q *DataQuery) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	snap := s.Snapshot()
+	defer snap.Close()
+	return snap.Estimate(q)
+}
 
-	subjCand := s.candidateSet(q.SubjType, q.SubjPred, q.SubjAllowed)
-	objCand := s.candidateSet(q.ObjType, q.ObjPred, q.ObjAllowed)
+// Estimate is the snapshot-level estimator; engines executing against a
+// Snapshot backend (one snapshot per request) use it for StatsScoring.
+func (sn *Snapshot) Estimate(q *DataQuery) int {
+	subjCand := sn.candidateSet(q.SubjType, q.SubjPred, q.SubjAllowed)
+	objCand := sn.candidateSet(q.ObjType, q.ObjPred, q.ObjAllowed)
 	if (subjCand != nil && len(subjCand) == 0) || (objCand != nil && len(objCand) == 0) {
 		return 0
 	}
-	parts := s.selectPartitions(q)
+	parts := sn.selectPartitions(q)
 	total := 0
 	for _, p := range parts {
 		lo, hi := p.timeRange(q.Window)

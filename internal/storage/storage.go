@@ -7,9 +7,33 @@
 // name, network src/dst IP). Partition pruning by the query's spatial and
 // temporal constraints plus parallel partition scans give the speedups the
 // paper attributes to its storage layer.
+//
+// Queries never run against the mutable store directly: they acquire an
+// immutable Snapshot (O(partitions), under the write lock only briefly) and
+// stream matches through Cursors, so ingestion and query execution proceed
+// concurrently without blocking each other.
+//
+// # Copy-on-write rules
+//
+// A snapshot captures references to the store's internal maps and event
+// arrays; the mutation path keeps those captures immutable by obeying three
+// rules while any snapshot is live (liveSnaps > 0):
+//
+//  1. Event arrays only grow at the tail. Appending past the captured
+//     length is invisible to snapshot readers, which only index their own
+//     prefix. Reordering a possibly-captured array (the out-of-order
+//     re-sort) first copies it (partition.eventsShared).
+//  2. Maps referenced by a snapshot are never written. The first posting
+//     or index insertion after a snapshot replaces the map with a shallow
+//     clone (partition.mapsShared / Store.metaShared); slice values inside
+//     a cloned map still share backing arrays, which is safe by rule 1.
+//  3. Flags are cleared once the clone is made, so a snapshot epoch pays
+//     each copy at most once; with no live snapshots the flags are cleared
+//     without cloning and mutation proceeds in place at full speed.
 package storage
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -46,12 +70,23 @@ type partKey struct {
 }
 
 // partition holds one (agent, day)'s events in ascending (Start, Seq) order
-// together with posting lists from entity id to event positions.
+// together with posting lists from entity id to event positions, plus the
+// copy-on-write bookkeeping described in the package comment.
 type partition struct {
 	key       partKey
 	events    []types.Event
 	bySubject map[types.EntityID][]int32
 	byObject  map[types.EntityID][]int32
+
+	// mapsShared marks the posting maps as possibly referenced by a live
+	// snapshot: the next insertion must clone them first.
+	mapsShared bool
+	// eventsShared marks the events backing array as possibly referenced by
+	// a live snapshot: tail appends remain safe, but a re-sort must copy.
+	eventsShared bool
+	// dirty records that events arrived out of order; the re-sort is
+	// deferred to the end of the Ingest batch or the next Snapshot.
+	dirty bool
 }
 
 // entityKey addresses the global entity attribute hash index.
@@ -78,9 +113,16 @@ type Store struct {
 	byType     map[types.EntityType][]types.EntityID
 	entityIdx  map[entityKey][]types.EntityID
 	parts      map[partKey]*partition
-	partList   []*partition // stable iteration order
+	partList   []*partition // kept sorted by (day, agent); snapshots copy it
 	eventCount int
 	generation uint64
+
+	// metaShared marks the three entity maps above as possibly referenced
+	// by a live snapshot; the next entity insertion clones them first.
+	metaShared bool
+	// liveSnaps counts snapshots not yet closed. While zero, the shared
+	// flags are cleared lazily instead of triggering clones.
+	liveSnaps int
 }
 
 // New creates an empty store with the given options.
@@ -94,9 +136,11 @@ func New(opts Options) *Store {
 	}
 }
 
-// Ingest loads a dataset. Events must already be time sorted (Dataset
-// guarantees this); ingestion appends to per-partition logs in order, so
-// each partition remains sorted.
+// Ingest loads a dataset as one atomic batch: snapshots taken concurrently
+// see either none or all of it. Events must already be time sorted (Dataset
+// guarantees this); ingestion appends to per-partition logs in order, and
+// any partition that did receive out-of-order events is re-sorted once at
+// the end of the batch, not per event.
 func (s *Store) Ingest(d *types.Dataset) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -106,7 +150,7 @@ func (s *Store) Ingest(d *types.Dataset) {
 	for i := range d.Events {
 		s.addEventLocked(&d.Events[i])
 	}
-	s.sortPartsLocked()
+	s.sortDirtyLocked()
 	s.generation++
 }
 
@@ -118,13 +162,13 @@ func (s *Store) AddEntity(e *types.Entity) {
 	s.generation++
 }
 
-// AddEvent appends a single event (out-of-order ingestion is tolerated; the
-// partition is re-sorted lazily at the next query).
+// AddEvent appends a single event. Out-of-order ingestion is tolerated: the
+// partition is only marked dirty and re-sorted once, at the next Snapshot —
+// a run of N out-of-order AddEvents costs one sort, not N.
 func (s *Store) AddEvent(ev *types.Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.addEventLocked(ev)
-	s.sortPartsLocked()
 	s.generation++
 }
 
@@ -138,10 +182,65 @@ func (s *Store) Generation() uint64 {
 	return s.generation
 }
 
+// LiveSnapshots returns the number of snapshots acquired and not yet
+// closed — a diagnostic for leak hunting and for sizing the store's
+// copy-on-write overhead under concurrent load.
+func (s *Store) LiveSnapshots() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.liveSnaps
+}
+
+// cowMetaLocked makes the entity maps safe to mutate: if a live snapshot
+// may reference them they are shallow-cloned, otherwise the stale shared
+// flag is simply dropped.
+func (s *Store) cowMetaLocked() {
+	if !s.metaShared {
+		return
+	}
+	if s.liveSnaps > 0 {
+		entities := make(map[types.EntityID]*types.Entity, len(s.entities)+1)
+		for k, v := range s.entities {
+			entities[k] = v
+		}
+		byType := make(map[types.EntityType][]types.EntityID, len(s.byType))
+		for k, v := range s.byType {
+			byType[k] = v
+		}
+		entityIdx := make(map[entityKey][]types.EntityID, len(s.entityIdx))
+		for k, v := range s.entityIdx {
+			entityIdx[k] = v
+		}
+		s.entities, s.byType, s.entityIdx = entities, byType, entityIdx
+	}
+	s.metaShared = false
+}
+
+// cowPartLocked makes a partition's posting maps safe to mutate, cloning
+// them when a live snapshot may hold references.
+func (s *Store) cowPartLocked(p *partition) {
+	if !p.mapsShared {
+		return
+	}
+	if s.liveSnaps > 0 {
+		bySubject := make(map[types.EntityID][]int32, len(p.bySubject))
+		for k, v := range p.bySubject {
+			bySubject[k] = v
+		}
+		byObject := make(map[types.EntityID][]int32, len(p.byObject))
+		for k, v := range p.byObject {
+			byObject[k] = v
+		}
+		p.bySubject, p.byObject = bySubject, byObject
+	}
+	p.mapsShared = false
+}
+
 func (s *Store) addEntityLocked(e *types.Entity) {
 	if _, dup := s.entities[e.ID]; dup {
 		return
 	}
+	s.cowMetaLocked()
 	s.entities[e.ID] = e
 	s.byType[e.Type] = append(s.byType[e.Type], e.ID)
 	for _, attr := range indexedAttrs[e.Type] {
@@ -162,42 +261,66 @@ func (s *Store) addEventLocked(ev *types.Event) {
 			byObject:  make(map[types.EntityID][]int32),
 		}
 		s.parts[key] = p
-		s.partList = append(s.partList, p)
+		s.insertPartLocked(p)
 	}
+	s.cowPartLocked(p)
 	pos := int32(len(p.events))
+	if !p.dirty && pos > 0 && eventLess(ev, &p.events[pos-1]) {
+		p.dirty = true
+	}
 	p.events = append(p.events, *ev)
 	p.bySubject[ev.Subject] = append(p.bySubject[ev.Subject], pos)
 	p.byObject[ev.Object] = append(p.byObject[ev.Object], pos)
 	s.eventCount++
 }
 
-// sortPartsLocked restores per-partition temporal order and rebuilds
-// posting lists where ingestion arrived out of order.
-func (s *Store) sortPartsLocked() {
+// insertPartLocked keeps partList sorted by (day, agent) with one binary
+// search and shift per new partition, instead of re-sorting the whole list.
+// Snapshots copy partList at acquisition, so in-place edits are safe.
+func (s *Store) insertPartLocked(p *partition) {
+	i := sort.Search(len(s.partList), func(i int) bool {
+		k := s.partList[i].key
+		if k.day != p.key.day {
+			return k.day > p.key.day
+		}
+		return k.agent >= p.key.agent
+	})
+	s.partList = append(s.partList, nil)
+	copy(s.partList[i+1:], s.partList[i:])
+	s.partList[i] = p
+}
+
+// sortDirtyLocked restores temporal order in partitions that received
+// out-of-order events, rebuilding their posting lists. An events array that
+// was ever captured by a snapshot is copied before sorting — regardless of
+// how many snapshots remain live, because Match.Event pointers handed out
+// by past scans are interior pointers into that array and outlive the
+// snapshot that produced them. Posting maps are rebuilt fresh either way.
+func (s *Store) sortDirtyLocked() {
 	for _, p := range s.partList {
-		if sort.SliceIsSorted(p.events, func(i, j int) bool {
-			return eventLess(&p.events[i], &p.events[j])
-		}) {
+		if !p.dirty {
 			continue
 		}
+		if p.eventsShared {
+			events := make([]types.Event, len(p.events))
+			copy(events, p.events)
+			p.events = events
+		}
+		p.eventsShared = false
 		sort.Slice(p.events, func(i, j int) bool {
 			return eventLess(&p.events[i], &p.events[j])
 		})
-		p.bySubject = make(map[types.EntityID][]int32, len(p.bySubject))
-		p.byObject = make(map[types.EntityID][]int32, len(p.byObject))
+		bySubject := make(map[types.EntityID][]int32, len(p.bySubject))
+		byObject := make(map[types.EntityID][]int32, len(p.byObject))
 		for i := range p.events {
 			ev := &p.events[i]
-			p.bySubject[ev.Subject] = append(p.bySubject[ev.Subject], int32(i))
-			p.byObject[ev.Object] = append(p.byObject[ev.Object], int32(i))
+			bySubject[ev.Subject] = append(bySubject[ev.Subject], int32(i))
+			byObject[ev.Object] = append(byObject[ev.Object], int32(i))
 		}
+		p.bySubject, p.byObject = bySubject, byObject
+		p.mapsShared = false
+		p.dirty = false
 	}
-	sort.Slice(s.partList, func(i, j int) bool {
-		a, b := s.partList[i].key, s.partList[j].key
-		if a.day != b.day {
-			return a.day < b.day
-		}
-		return a.agent < b.agent
-	})
 }
 
 // EventCount returns the number of ingested events.
@@ -262,299 +385,22 @@ type Match struct {
 	Obj   *types.Entity
 }
 
-// Run implements the engine's Backend interface.
-func (s *Store) Run(q *DataQuery) []Match { return s.Execute(q) }
-
-// Execute runs a data query against the store, scanning the surviving
-// partitions in parallel.
-func (s *Store) Execute(q *DataQuery) []Match {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-
-	var subjCand, objCand map[types.EntityID]struct{}
-	if !q.ForceScan {
-		subjCand = s.candidateSet(q.SubjType, q.SubjPred, q.SubjAllowed)
-		objCand = s.candidateSet(q.ObjType, q.ObjPred, q.ObjAllowed)
-	} else {
-		// Even under ForceScan the scheduler-imposed allowed sets must be
-		// honoured for correctness; only the index shortcuts are skipped.
-		subjCand, objCand = q.SubjAllowed, q.ObjAllowed
-	}
-	if (subjCand != nil && len(subjCand) == 0) || (objCand != nil && len(objCand) == 0) {
-		return nil
-	}
-
-	parts := s.selectPartitions(q)
-	if len(parts) == 0 {
-		return nil
-	}
-
-	// Partition pruning normally enforces the spatial constraint; when it
-	// is disabled (ablation) the scan must filter agents itself.
-	var agentSet map[int]struct{}
-	if s.opts.DisablePruning && len(q.Agents) > 0 {
-		agentSet = make(map[int]struct{}, len(q.Agents))
-		for _, a := range q.Agents {
-			agentSet[a] = struct{}{}
-		}
-	}
-
-	results := make([][]Match, len(parts))
-	workers := s.opts.workers()
-	if workers > len(parts) {
-		workers = len(parts)
-	}
-	if workers <= 1 {
-		for i, p := range parts {
-			results[i] = s.scanPartition(p, q, subjCand, objCand, agentSet)
-		}
-	} else {
-		var wg sync.WaitGroup
-		idx := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					results[i] = s.scanPartition(parts[i], q, subjCand, objCand, agentSet)
-				}
-			}()
-		}
-		for i := range parts {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-	}
-
-	total := 0
-	for _, r := range results {
-		total += len(r)
-	}
-	out := make([]Match, 0, total)
-	for _, r := range results {
-		out = append(out, r...)
-		if q.Limit > 0 && len(out) >= q.Limit {
-			return out[:q.Limit]
-		}
-	}
-	return out
+// Scan implements the engine's Backend interface: it acquires a snapshot,
+// streams the query's matches through a cursor, and releases the snapshot
+// when the cursor is exhausted or closed. Concurrent Ingest never blocks an
+// in-flight scan, and the scan never observes a half-applied batch.
+func (s *Store) Scan(ctx context.Context, q *DataQuery) Cursor {
+	snap := s.Snapshot()
+	return snap.scan(ctx, q, snap.Close)
 }
 
-// candidateSet resolves the set of entity ids that can satisfy the
-// pattern's entity constraints, using the hash indexes where an exact-match
-// key exists and falling back to a typed entity scan for wildcard patterns.
-// It returns nil when the set cannot be bounded more cheaply than checking
-// the predicate per event during the scan.
-func (s *Store) candidateSet(t types.EntityType, p pred.Pred, allowed map[types.EntityID]struct{}) map[types.EntityID]struct{} {
-	if allowed != nil {
-		// Intersect the scheduler-imposed set with the predicate.
-		out := make(map[types.EntityID]struct{}, len(allowed))
-		for id := range allowed {
-			e := s.entities[id]
-			if e == nil || (t != types.EntityInvalid && e.Type != t) {
-				continue
-			}
-			if p == nil || p.Eval(e) {
-				out[id] = struct{}{}
-			}
-		}
-		return out
-	}
-	if p == nil || p.ConstraintCount() == 0 {
-		return nil // unconstrained: cheapest to check type during scan
-	}
-	if !s.opts.DisableIndexes {
-		if set, ok := s.probeIndex(t, p); ok {
-			return set
-		}
-	}
-	// Wildcard or non-indexed attribute: evaluate the predicate over the
-	// typed entity table once, which is far smaller than the event log.
-	out := make(map[types.EntityID]struct{})
-	for _, id := range s.byType[t] {
-		if p.Eval(s.entities[id]) {
-			out[id] = struct{}{}
-		}
-	}
-	return out
-}
-
-// probeIndex serves an exact-equality predicate from the entity hash index.
-// The candidate set from the index is a superset; the full predicate is
-// re-checked on each hit so composite predicates stay correct.
-func (s *Store) probeIndex(t types.EntityType, p pred.Pred) (map[types.EntityID]struct{}, bool) {
-	keys := pred.IndexableKeys(p)
-	for _, k := range keys {
-		if !attrIndexed(t, k.Attr) {
-			continue
-		}
-		out := make(map[types.EntityID]struct{})
-		for _, val := range k.Vals {
-			for _, id := range s.entityIdx[entityKey{typ: t, attr: k.Attr, val: val}] {
-				if p.Eval(s.entities[id]) {
-					out[id] = struct{}{}
-				}
-			}
-		}
-		return out, true
-	}
-	return nil, false
-}
-
-func attrIndexed(t types.EntityType, attr string) bool {
-	for _, a := range indexedAttrs[t] {
-		if a == attr {
-			return true
-		}
-	}
-	return false
-}
-
-// selectPartitions applies spatial and temporal partition pruning.
-func (s *Store) selectPartitions(q *DataQuery) []*partition {
-	if s.opts.DisablePruning {
-		return s.partList
-	}
-	var agentSet map[int]struct{}
-	if len(q.Agents) > 0 {
-		agentSet = make(map[int]struct{}, len(q.Agents))
-		for _, a := range q.Agents {
-			agentSet[a] = struct{}{}
-		}
-	}
-	minDay, maxDay := -1, -1
-	if !q.Window.Unbounded() {
-		minDay = timeutil.DayIndex(q.Window.From)
-		maxDay = timeutil.DayIndex(q.Window.To - 1)
-	}
-	var out []*partition
-	for _, p := range s.partList {
-		if agentSet != nil {
-			if _, ok := agentSet[p.key.agent]; !ok {
-				continue
-			}
-		}
-		if minDay >= 0 && (p.key.day < minDay || p.key.day > maxDay) {
-			continue
-		}
-		out = append(out, p)
-	}
-	return out
-}
-
-// scanPartition matches a data query against one partition. When candidate
-// entity sets are small, posting lists replace the range scan.
-func (s *Store) scanPartition(p *partition, q *DataQuery, subjCand, objCand map[types.EntityID]struct{}, agentSet map[int]struct{}) []Match {
-	if agentSet != nil {
-		if _, ok := agentSet[p.key.agent]; !ok {
-			return nil
-		}
-	}
-	lo, hi := p.timeRange(q.Window)
-	if lo >= hi {
-		return nil
-	}
-
-	// Posting-list strategy: pick the smaller candidate set if one is
-	// small enough that walking its postings beats scanning the range.
-	const postingThreshold = 128
-	usePostings, fromSubject := false, false
-	if !s.opts.DisableIndexes && !q.ForceScan {
-		switch {
-		case subjCand != nil && len(subjCand) <= postingThreshold &&
-			(objCand == nil || len(subjCand) <= len(objCand)):
-			usePostings, fromSubject = true, true
-		case objCand != nil && len(objCand) <= postingThreshold:
-			usePostings, fromSubject = true, false
-		}
-	}
-
-	var out []Match
-	emit := func(pos int) bool {
-		ev := &p.events[pos]
-		if !q.Ops.Contains(ev.Op) {
-			return true
-		}
-		subj := s.entities[ev.Subject]
-		obj := s.entities[ev.Object]
-		if subj == nil || obj == nil {
-			return true
-		}
-		if q.SubjType != types.EntityInvalid && subj.Type != q.SubjType {
-			return true
-		}
-		if q.ObjType != types.EntityInvalid && obj.Type != q.ObjType {
-			return true
-		}
-		if subjCand != nil {
-			if _, ok := subjCand[ev.Subject]; !ok {
-				return true
-			}
-		} else if q.SubjPred != nil && !q.SubjPred.Eval(subj) {
-			return true
-		}
-		if objCand != nil {
-			if _, ok := objCand[ev.Object]; !ok {
-				return true
-			}
-		} else if q.ObjPred != nil && !q.ObjPred.Eval(obj) {
-			return true
-		}
-		if q.EvtPred != nil && !q.EvtPred.Eval(ev) {
-			return true
-		}
-		out = append(out, Match{Event: ev, Subj: subj, Obj: obj})
-		return q.Limit == 0 || len(out) < q.Limit
-	}
-
-	if usePostings {
-		positions := p.postingsInRange(subjCand, objCand, fromSubject, lo, hi)
-		for _, pos := range positions {
-			if !emit(int(pos)) {
-				break
-			}
-		}
-		return out
-	}
-	for pos := lo; pos < hi; pos++ {
-		if !emit(pos) {
-			break
-		}
-	}
-	return out
-}
-
-// timeRange binary-searches the sorted event log for the window bounds.
-func (p *partition) timeRange(w timeutil.Window) (lo, hi int) {
-	if w.Unbounded() {
-		return 0, len(p.events)
-	}
-	lo = sort.Search(len(p.events), func(i int) bool { return p.events[i].Start >= w.From })
-	hi = sort.Search(len(p.events), func(i int) bool { return p.events[i].Start >= w.To })
-	return lo, hi
-}
-
-// postingsInRange gathers posting-list positions for the candidate set,
-// clipped to [lo, hi) and returned sorted so results keep temporal order.
-func (p *partition) postingsInRange(subjCand, objCand map[types.EntityID]struct{}, fromSubject bool, lo, hi int) []int32 {
-	var cand map[types.EntityID]struct{}
-	var lists map[types.EntityID][]int32
-	if fromSubject {
-		cand, lists = subjCand, p.bySubject
-	} else {
-		cand, lists = objCand, p.byObject
-	}
-	var positions []int32
-	for id := range cand {
-		for _, pos := range lists[id] {
-			if int(pos) >= lo && int(pos) < hi {
-				positions = append(positions, pos)
-			}
-		}
-	}
-	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
-	return positions
+// Run is the materializing adapter over Scan — the single canonical
+// "execute a data query" entry point for callers that want the whole
+// result at once.
+func (s *Store) Run(q *DataQuery) []Match {
+	c := s.Scan(context.Background(), q)
+	defer c.Close()
+	return Drain(c)
 }
 
 // Agents returns the distinct agent ids present in the store, sorted.
@@ -587,6 +433,15 @@ func (s *Store) Days() []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+func attrIndexed(t types.EntityType, attr string) bool {
+	for _, a := range indexedAttrs[t] {
+		if a == attr {
+			return true
+		}
+	}
+	return false
 }
 
 func eventLess(a, b *types.Event) bool {

@@ -78,7 +78,7 @@ func TestSpatialPruning(t *testing.T) {
 		ObjType:  types.EntityFile,
 		Ops:      types.NewOpSet(types.OpWrite),
 	}
-	out := st.Execute(q)
+	out := st.Run(q)
 	if len(out) != 100 { // 50 writes x 2 days on agent 2
 		t.Fatalf("matches = %d, want 100", len(out))
 	}
@@ -97,7 +97,7 @@ func TestTemporalPruning(t *testing.T) {
 		ObjType:  types.EntityFile,
 		Ops:      types.NewOpSet(types.OpWrite),
 	}
-	out := st.Execute(q)
+	out := st.Run(q)
 	if len(out) != 150 { // 50 writes x 3 agents on day 1
 		t.Fatalf("matches = %d, want 150", len(out))
 	}
@@ -118,7 +118,7 @@ func TestSubWindowBinarySearch(t *testing.T) {
 		ObjType:  types.EntityFile,
 		Ops:      types.NewOpSet(types.OpWrite),
 	}
-	out := st.Execute(q)
+	out := st.Run(q)
 	if len(out) != 30 {
 		t.Fatalf("matches = %d, want 30", len(out))
 	}
@@ -132,7 +132,7 @@ func TestEntityPredicateViaIndex(t *testing.T) {
 		ObjType:  types.EntityNetwork,
 		Ops:      types.NewOpSet(types.OpConnect),
 	}
-	out := st.Execute(q)
+	out := st.Run(q)
 	if len(out) != 6 { // 1 connect x 3 agents x 2 days
 		t.Fatalf("matches = %d, want 6", len(out))
 	}
@@ -151,7 +151,7 @@ func TestWildcardPredicateNeedsScan(t *testing.T) {
 		ObjType:  types.EntityFile,
 		Ops:      types.NewOpSet(types.OpWrite),
 	}
-	if got := len(st.Execute(q)); got != 300 {
+	if got := len(st.Run(q)); got != 300 {
 		t.Fatalf("wildcard matches = %d, want 300", got)
 	}
 }
@@ -172,7 +172,7 @@ func TestAllowedSetsConstrainExecution(t *testing.T) {
 		ObjType:     types.EntityFile,
 		Ops:         types.NewOpSet(types.OpWrite),
 	}
-	out := st.Execute(q)
+	out := st.Run(q)
 	if len(out) != 100 {
 		t.Fatalf("matches = %d, want 100", len(out))
 	}
@@ -183,7 +183,7 @@ func TestAllowedSetsConstrainExecution(t *testing.T) {
 	}
 	// Allowed set with predicate conflict yields nothing.
 	q.SubjPred = pred.NewCond(types.AttrExeName, pred.CmpEq, "/bin/sh")
-	if got := len(st.Execute(q)); got != 0 {
+	if got := len(st.Run(q)); got != 0 {
 		t.Fatalf("conflicting allowed set + pred matched %d", got)
 	}
 }
@@ -196,12 +196,12 @@ func TestEvtPredAndLimit(t *testing.T) {
 		Ops:      types.NewOpSet(types.OpWrite),
 		EvtPred:  pred.NewCond(types.EvtAttrAmount, pred.CmpGe, "140"),
 	}
-	out := st.Execute(q)
+	out := st.Run(q)
 	if len(out) != 60 { // k in [40,50) x 3 agents x 2 days
 		t.Fatalf("amount filter matches = %d, want 60", len(out))
 	}
 	q.Limit = 7
-	if got := len(st.Execute(q)); got != 7 {
+	if got := len(st.Run(q)); got != 7 {
 		t.Fatalf("limit ignored: %d", got)
 	}
 }
@@ -230,7 +230,7 @@ func TestOptionTogglesPreserveResults(t *testing.T) {
 	for vi, opts := range variants {
 		st, _ := buildFixture(opts)
 		for qi, q := range queries {
-			ids := matchIDs(st.Execute(q))
+			ids := matchIDs(st.Run(q))
 			if vi == 0 {
 				baseline = append(baseline, ids)
 				continue
@@ -274,7 +274,7 @@ func TestOutOfOrderIngestResorts(t *testing.T) {
 		st.AddEvent(&types.Event{ID: types.EventID(i), AgentID: 1, Subject: 1, Object: 2,
 			Op: types.OpWrite, Start: int64(i * 1000), Seq: uint64(i)})
 	}
-	out := st.Execute(&DataQuery{SubjType: types.EntityProcess, ObjType: types.EntityFile,
+	out := st.Run(&DataQuery{SubjType: types.EntityProcess, ObjType: types.EntityFile,
 		Ops: types.NewOpSet(types.OpWrite)})
 	if len(out) != 5 {
 		t.Fatalf("matches = %d", len(out))
@@ -360,7 +360,7 @@ func TestScanEquivalenceProperty(t *testing.T) {
 		if rng.Intn(3) == 0 {
 			q.Ops = types.NewOpSet(types.OpWrite)
 		}
-		got := matchIDs(st.Execute(q))
+		got := matchIDs(st.Run(q))
 		want := naive(q)
 		if !equalIDs(got, want) {
 			t.Fatalf("trial %d: store returned %d events, naive filter %d (query %+v)",
@@ -382,10 +382,10 @@ func TestForceScanEquivalence(t *testing.T) {
 		if opRaw%2 == 0 {
 			q.ObjType = types.EntityFile
 		}
-		a := matchIDs(st.Execute(q))
+		a := matchIDs(st.Run(q))
 		forced := *q
 		forced.ForceScan = true
-		b := matchIDs(st.Execute(&forced))
+		b := matchIDs(st.Run(&forced))
 		return equalIDs(a, b)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -395,7 +395,7 @@ func TestForceScanEquivalence(t *testing.T) {
 
 func TestEmptyStore(t *testing.T) {
 	st := New(Options{})
-	out := st.Execute(&DataQuery{SubjType: types.EntityProcess, Ops: types.AllOps()})
+	out := st.Run(&DataQuery{SubjType: types.EntityProcess, Ops: types.AllOps()})
 	if len(out) != 0 {
 		t.Errorf("empty store returned %d matches", len(out))
 	}
