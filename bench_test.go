@@ -11,6 +11,9 @@ import (
 	"sync"
 	"testing"
 
+	"net/http/httptest"
+
+	"aiql/internal/bench"
 	"aiql/internal/concise"
 	"aiql/internal/engine"
 	"aiql/internal/gen"
@@ -482,4 +485,60 @@ func BenchmarkEndToEndScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+var (
+	clusterBenchOnce sync.Once
+	clusterBenchEng  *engine.Engine
+	clusterBenchErr  error
+)
+
+// benchClusterEngine boots a 3-worker httptest cluster over the bench
+// dataset, scattered by (agent, day), behind one coordinator engine.
+func benchClusterEngine() (*engine.Engine, error) {
+	clusterBenchOnce.Do(func() {
+		ds := benchDataset()
+		urls := make([]string, 3)
+		for i := range urls {
+			st := storage.New(storage.Options{})
+			srv := server.New(st, engine.New(st, engine.Options{}), server.Options{})
+			srv.SetShard(i)
+			urls[i] = httptest.NewServer(srv.Handler()).URL
+		}
+		runner, err := bench.Distributed(urls)
+		if err != nil {
+			clusterBenchErr = err
+			return
+		}
+		if err := bench.DistributedIngest(context.Background(), runner, ds); err != nil {
+			clusterBenchErr = err
+			return
+		}
+		clusterBenchEng = runner.Engine
+	})
+	return clusterBenchEng, clusterBenchErr
+}
+
+// BenchmarkClusterVsSingleNode prices the real multi-process topology:
+// identical engine and behaviour corpus, one run against the local store
+// and one scattered over HTTP to 3 worker shards and gathered back through
+// remote cursors. The delta is the wire cost (serialization, fan-out,
+// NDJSON decode) that docs/CLUSTER.md tells operators to budget for.
+func BenchmarkClusterVsSingleNode(b *testing.B) {
+	single := benchEngines()["aiql"]
+	clusterEng, err := benchClusterEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	bq := queries.Behaviors()
+	b.Run("single-node", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runCorpus(b, single, bq)
+		}
+	})
+	b.Run("cluster-3-workers", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runCorpus(b, clusterEng, bq)
+		}
+	})
 }

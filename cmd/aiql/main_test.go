@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildAiql(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "aiql")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestOneShotQuery generates a tiny scenario in-process and runs a one-shot
+// query, asserting exit code 0 and a tabular result on stdout.
+func TestOneShotQuery(t *testing.T) {
+	bin := buildAiql(t)
+	cmd := exec.Command(bin,
+		"-generate", "-hosts", "10", "-days", "3", "-events", "50", "-seed", "3",
+		"-q", `agentid = 1
+proc p read file f as evt
+return distinct p
+top 5`)
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("aiql exited with %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "loaded") {
+		t.Errorf("stderr missing load report:\n%s", stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "p") || !strings.Contains(out, "elapsed:") {
+		t.Errorf("stdout is not a query result:\n%s", out)
+	}
+}
+
+// TestOneShotQueryParseErrorExitsNonZero asserts a bad query is a non-zero
+// exit with a positioned error, not a crash or silent success.
+func TestOneShotQueryParseErrorExitsNonZero(t *testing.T) {
+	bin := buildAiql(t)
+	cmd := exec.Command(bin,
+		"-generate", "-hosts", "10", "-days", "3", "-events", "5",
+		"-q", "this is not aiql ((")
+	out, err := cmd.CombinedOutput()
+	exitErr, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected non-zero exit, got err=%v\n%s", err, out)
+	}
+	if exitErr.ExitCode() != 1 {
+		t.Errorf("exit code = %d, want 1", exitErr.ExitCode())
+	}
+	if !strings.Contains(string(out), "error:") {
+		t.Errorf("output missing error report:\n%s", out)
+	}
+}
+
+// TestMissingDataFlagExitsNonZero covers the usage-error path.
+func TestMissingDataFlagExitsNonZero(t *testing.T) {
+	bin := buildAiql(t)
+	out, err := exec.Command(bin).CombinedOutput()
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("expected non-zero exit, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "provide -data") {
+		t.Errorf("output missing usage hint:\n%s", out)
+	}
+}

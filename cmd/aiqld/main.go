@@ -2,6 +2,8 @@
 // a dataset once, then serves concurrent investigations over HTTP/JSON with
 // compiled-plan and result caching.
 //
+// Single node (default role):
+//
 //	aiqld -data trace.jsonl              # serve a generated trace on :7381
 //	aiqld -generate -addr :8080          # generate the scenario in-process
 //
@@ -15,6 +17,18 @@
 //	    -d '{"query": "proc p read file f return distinct p"}'
 //	aiqlgen -hosts 2 -days 1 -o more.jsonl &&
 //	    curl -s -X POST localhost:7381/ingest --data-binary @more.jsonl
+//
+// Distributed deployment (docs/CLUSTER.md): worker shards are ordinary
+// store-backed aiqld processes; a coordinator fans queries out to them.
+//
+//	aiqld -role worker -shard 0 -addr :7391    # one empty worker shard...
+//	aiqld -role worker -shard 1 -addr :7392    # ...per data node
+//	aiqld -role coordinator -addr :7381 \
+//	    -workers http://localhost:7391,http://localhost:7392 -generate
+//
+// A coordinator given -data or -generate scatters that dataset across the
+// workers at startup (events placed by (agent, day), entities broadcast);
+// otherwise POST /ingest on the coordinator scatters batches the same way.
 package main
 
 import (
@@ -25,11 +39,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"aiql/internal/cluster"
 	"aiql/internal/engine"
 	"aiql/internal/gen"
+	"aiql/internal/mpp"
 	"aiql/internal/server"
 	"aiql/internal/storage"
 	"aiql/internal/trace"
@@ -39,6 +56,10 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", ":7381", "listen address")
+		role      = flag.String("role", "single", "process role: single, worker, or coordinator")
+		workers   = flag.String("workers", "", "comma-separated worker base URLs in shard order (coordinator role)")
+		placement = flag.String("placement", "semantics-aware", "event placement across workers: semantics-aware ((agent, day) home shards + worker pruning) or arrival-order (round-robin, no pruning)")
+		shard     = flag.Int("shard", -1, "this worker's shard index, for /stats and logs (worker role)")
 		data      = flag.String("data", "", "JSON-lines trace to load (from aiqlgen)")
 		generate  = flag.Bool("generate", false, "generate the evaluation scenario in-process instead of loading a file")
 		hosts     = flag.Int("hosts", 15, "hosts for -generate")
@@ -50,23 +71,65 @@ func main() {
 	)
 	flag.Parse()
 
-	ds, err := loadDataset(*data, *generate, gen.Config{
-		Hosts: *hosts, Days: *days, BackgroundPerHostDay: *events, Seed: *seed,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "aiqld: %v\n", err)
-		os.Exit(1)
+	genCfg := gen.Config{Hosts: *hosts, Days: *days, BackgroundPerHostDay: *events, Seed: *seed}
+	srvOpts := server.Options{PlanCacheSize: *planCache, ResultCacheSize: *resCache}
+
+	var srv *server.Server
+	switch *role {
+	case "single", "worker":
+		ds, err := loadDataset(*data, *generate, genCfg, *role == "worker")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		st := storage.New(storage.Options{})
+		if ds != nil {
+			start := time.Now()
+			st.Ingest(ds)
+			stats := ds.Stats()
+			fmt.Fprintf(os.Stderr, "loaded %d events / %d entities across %d agents in %.1fs (%d partitions)\n",
+				stats.Events, stats.Entities, stats.Agents, time.Since(start).Seconds(), st.PartitionCount())
+		} else {
+			fmt.Fprintln(os.Stderr, "starting with an empty store (awaiting coordinator ingest)")
+		}
+		srv = server.New(st, engine.New(st, engine.Options{}), srvOpts)
+		if *role == "worker" && *shard >= 0 {
+			srv.SetShard(*shard)
+		}
+	case "coordinator":
+		urls := splitWorkers(*workers)
+		if len(urls) == 0 {
+			fatalf("-role coordinator requires -workers url1,url2,...")
+		}
+		var place mpp.Placement
+		switch *placement {
+		case "semantics-aware":
+			place = mpp.SemanticsAware
+		case "arrival-order":
+			place = mpp.ArrivalOrder
+		default:
+			fatalf("unknown -placement %q (want semantics-aware or arrival-order)", *placement)
+		}
+		coord, err := cluster.New(urls, cluster.Options{Placement: place})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ds, err := loadDataset(*data, *generate, genCfg, true)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if ds != nil {
+			stats := ds.Stats()
+			fmt.Fprintf(os.Stderr, "scattering %d events / %d entities across %d workers...\n",
+				stats.Events, stats.Entities, len(urls))
+			if err := coord.Ingest(context.Background(), ds); err != nil {
+				fatalf("scatter ingest: %v", err)
+			}
+		}
+		srv = server.NewCoordinator(coord, engine.New(coord, engine.Options{}), srvOpts)
+		fmt.Fprintf(os.Stderr, "coordinating %d workers (%s placement)\n", len(urls), coord.Placement())
+	default:
+		fatalf("unknown -role %q (want single, worker, or coordinator)", *role)
 	}
-
-	st := storage.New(storage.Options{})
-	start := time.Now()
-	st.Ingest(ds)
-	stats := ds.Stats()
-	fmt.Fprintf(os.Stderr, "loaded %d events / %d entities across %d agents in %.1fs (%d partitions)\n",
-		stats.Events, stats.Entities, stats.Agents, time.Since(start).Seconds(), st.PartitionCount())
-
-	eng := engine.New(st, engine.Options{})
-	srv := server.New(st, eng, server.Options{PlanCacheSize: *planCache, ResultCacheSize: *resCache})
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -78,13 +141,12 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "aiqld listening on %s (POST /query, POST /ingest, GET /stats, GET /healthz)\n", *addr)
+	fmt.Fprintf(os.Stderr, "aiqld (%s) listening on %s (POST /query, POST /ingest, GET /stats, GET /healthz)\n", *role, *addr)
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "aiqld: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "aiqld: shutting down")
@@ -94,7 +156,26 @@ func main() {
 	}
 }
 
-func loadDataset(path string, generate bool, cfg gen.Config) (*types.Dataset, error) {
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aiqld: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func splitWorkers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// loadDataset resolves the -data/-generate flags. Roles that can be fed
+// later over the network (worker shards awaiting a coordinator scatter, a
+// coordinator awaiting /ingest) may start without a dataset; single-node
+// servers must be given one.
+func loadDataset(path string, generate bool, cfg gen.Config, optional bool) (*types.Dataset, error) {
 	switch {
 	case generate:
 		fmt.Fprintf(os.Stderr, "generating scenario: %d hosts x %d days x %d events/host/day...\n",
@@ -107,6 +188,8 @@ func loadDataset(path string, generate bool, cfg gen.Config) (*types.Dataset, er
 		}
 		defer f.Close()
 		return trace.Read(f)
+	case optional:
+		return nil, nil
 	default:
 		return nil, fmt.Errorf("provide -data <trace.jsonl> or -generate")
 	}

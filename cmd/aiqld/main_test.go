@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func buildAiqld(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "aiqld")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestUsageErrorsExitNonZero covers the flag-validation paths: a single
+// server without data, a coordinator without workers, and an unknown role
+// must all fail fast with a hint, not start an empty service.
+func TestUsageErrorsExitNonZero(t *testing.T) {
+	bin := buildAiqld(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no data", nil, "provide -data"},
+		{"coordinator without workers", []string{"-role", "coordinator"}, "-workers"},
+		{"unknown role", []string{"-role", "replica"}, "unknown -role"},
+	}
+	for _, tc := range cases {
+		out, err := exec.Command(bin, tc.args...).CombinedOutput()
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%s: expected non-zero exit, got err=%v\n%s", tc.name, err, out)
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%s: output missing %q:\n%s", tc.name, tc.want, out)
+		}
+	}
+}
+
+// freePort reserves an ephemeral port and releases it for the daemon.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// TestDaemonServesQueries boots the real binary on a tiny generated
+// dataset and runs one query over HTTP — the smallest end-to-end proof
+// that the daemon starts, listens, and answers.
+func TestDaemonServesQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping daemon boot")
+	}
+	bin := buildAiqld(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	cmd := exec.Command(bin, "-generate", "-hosts", "10", "-days", "3", "-events", "50", "-addr", addr)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+
+	base := "http://" + addr
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/query", "text/plain",
+		strings.NewReader("proc p read file f return distinct p top 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query returned %s", resp.Status)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), `"columns"`) {
+		t.Errorf("query response is not a result document:\n%s", buf[:n])
+	}
+}

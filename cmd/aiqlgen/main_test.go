@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aiql/internal/trace"
+)
+
+// buildAiqlgen compiles the binary once per test run into a temp dir.
+func buildAiqlgen(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "aiqlgen")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestGenerateWritesLoadableTrace runs the generator on a tiny
+// configuration and asserts exit code 0, the progress report on stderr,
+// and an output file that parses back into a non-trivial dataset.
+func TestGenerateWritesLoadableTrace(t *testing.T) {
+	bin := buildAiqlgen(t)
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	cmd := exec.Command(bin, "-hosts", "10", "-days", "3", "-events", "20", "-seed", "7", "-o", out)
+	stderr, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("aiqlgen exited with %v\n%s", err, stderr)
+	}
+	if !strings.Contains(string(stderr), "generated") || !strings.Contains(string(stderr), "wrote") {
+		t.Errorf("stderr missing progress report:\n%s", stderr)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("output file: %v", err)
+	}
+	defer f.Close()
+	ds, err := trace.Read(f)
+	if err != nil {
+		t.Fatalf("output is not a loadable trace: %v", err)
+	}
+	if len(ds.Events) == 0 || len(ds.Entities) == 0 {
+		t.Errorf("trace has %d events / %d entities, want both > 0", len(ds.Events), len(ds.Entities))
+	}
+}
+
+// TestGenerateToStdout covers the '-o -' path.
+func TestGenerateToStdout(t *testing.T) {
+	bin := buildAiqlgen(t)
+	cmd := exec.Command(bin, "-hosts", "10", "-days", "3", "-events", "5", "-o", "-")
+	cmd.Stderr = nil
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("aiqlgen exited with %v", err)
+	}
+	ds, err := trace.Read(strings.NewReader(string(out)))
+	if err != nil {
+		t.Fatalf("stdout is not a loadable trace: %v", err)
+	}
+	if len(ds.Events) == 0 {
+		t.Error("stdout trace has no events")
+	}
+}

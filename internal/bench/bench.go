@@ -22,8 +22,10 @@ package bench
 
 import (
 	"context"
+	"fmt"
 	"time"
 
+	"aiql/internal/cluster"
 	"aiql/internal/engine"
 	"aiql/internal/gen"
 	"aiql/internal/graphstore"
@@ -45,6 +47,7 @@ const (
 	SysNeo4j     = "Neo4j"
 	SysAIQLFF    = "AIQL FF"
 	SysGreenplum = "Greenplum"
+	SysCluster   = "AIQL cluster"
 )
 
 // Runner is one named engine configuration under test.
@@ -178,6 +181,31 @@ func Parallel(ds *types.Dataset, segments int) []Runner {
 		{Name: SysGreenplum, Engine: gp},
 		{Name: SysAIQL, Engine: aiql},
 	}
+}
+
+// Distributed builds the networked counterpart of Parallel: AIQL
+// scheduling over a cluster.Coordinator that scatters every data query to
+// already-running worker aiqld processes (workerURLs in shard order) and
+// gathers their NDJSON streams. Callers own the workers' lifecycles; the
+// returned runner only issues HTTP against them. Comparing it with the
+// SingleNode AIQL runner over the same dataset isolates the wire cost of
+// the real multi-process topology from the engine and storage work.
+func Distributed(workerURLs []string) (Runner, error) {
+	coord, err := cluster.New(workerURLs, cluster.Options{Placement: mpp.SemanticsAware})
+	if err != nil {
+		return Runner{}, err
+	}
+	return Runner{Name: SysCluster, Engine: engine.New(coord, engine.Options{})}, nil
+}
+
+// DistributedIngest scatters the dataset across the workers of a
+// Distributed runner's coordinator by (agent, day) placement.
+func DistributedIngest(ctx context.Context, r Runner, ds *types.Dataset) error {
+	coord, ok := r.Engine.Backend().(*cluster.Coordinator)
+	if !ok {
+		return fmt.Errorf("bench: runner %q is not a distributed runner", r.Name)
+	}
+	return coord.Ingest(ctx, ds)
 }
 
 // Dataset builds (and caches per config) the full evaluation scenario.

@@ -1,0 +1,312 @@
+// Package cluster is the networked scatter/gather tier: a coordinator
+// aiqld fans each data query out over HTTP to worker aiqld shards and
+// merges their NDJSON row streams back into the engine's cursor contract.
+//
+// Where internal/mpp emulates the paper's master/data-node deployment
+// (Sec. 3.2, Fig. 7) in-process over local stores, this package runs it as
+// a real multi-process topology: workers are ordinary store-backed aiqld
+// processes exposing a streaming /scan endpoint, and the coordinator is an
+// engine.Backend whose Scan
+//
+//   - eliminates workers whose shards provably hold no matching events,
+//     using the same (agent, day) placement model the in-process cluster
+//     uses (mpp.Placement.Shards) — a spatially and temporally constrained
+//     query contacts only the shards that can answer it;
+//   - POSTs the synthesized data query (predicates, allow-sets, window,
+//     limit — everything constrained execution pushed down) to each
+//     surviving worker;
+//   - gathers the row streams in shard order through remote cursors, so
+//     the engine above sees one ordinary storage.Cursor.
+//
+// Context cancellation propagates: canceling the engine's context aborts
+// every in-flight worker request. Worker failures — connection refused,
+// non-200, a stream dying mid-flight — surface as a typed *PartialError
+// with per-worker detail, never as a silently short result.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aiql/internal/mpp"
+	"aiql/internal/storage"
+	"aiql/internal/trace"
+	"aiql/internal/types"
+)
+
+// Options configure a Coordinator.
+type Options struct {
+	// Placement is the data-distribution model; the coordinator prunes and
+	// scatters with it. The zero value is mpp.ArrivalOrder, which
+	// round-robins ingest and disables worker elimination (every scan fans
+	// out to all workers); pass mpp.SemanticsAware — as aiqld does by
+	// default — for the paper's (agent, day) model and pre-fan-out pruning.
+	Placement mpp.Placement
+	// Client issues the worker HTTP requests. Defaults to a client with
+	// sensible connection pooling and no overall timeout (scans stream
+	// indefinitely; cancellation comes from the request context).
+	Client *http.Client
+}
+
+// Coordinator fans data queries out to worker shards. It implements
+// engine.Backend; worker i serves shard i of the placement.
+type Coordinator struct {
+	workers   []string
+	placement mpp.Placement
+	client    *http.Client
+
+	scans    atomic.Uint64
+	requests atomic.Uint64
+	pruned   atomic.Uint64
+	failures atomic.Uint64
+	ingests  atomic.Uint64
+	// scattered counts events scattered so far; it rotates the round-robin
+	// start across batches under ArrivalOrder so a stream of small /ingest
+	// batches stays balanced instead of piling onto shard 0.
+	scattered atomic.Uint64
+}
+
+// New creates a coordinator over worker base URLs ("http://host:port").
+// The worker order is the shard assignment and must match the order used
+// when the data was placed.
+func New(workers []string, opts Options) (*Coordinator, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers")
+	}
+	urls := make([]string, len(workers))
+	for i, w := range workers {
+		for len(w) > 0 && w[len(w)-1] == '/' {
+			w = w[:len(w)-1]
+		}
+		if w == "" {
+			return nil, fmt.Errorf("cluster: empty worker URL at index %d", i)
+		}
+		urls[i] = w
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return &Coordinator{workers: urls, placement: opts.Placement, client: client}, nil
+}
+
+// Workers returns the worker base URLs in shard order.
+func (c *Coordinator) Workers() []string { return c.workers }
+
+// Placement returns the cluster's distribution policy.
+func (c *Coordinator) Placement() mpp.Placement { return c.placement }
+
+// SplitDays implements engine.DaySplitting: a coordinator scan pays one
+// HTTP fan-out, so the engine must hand it whole windows — the coordinator
+// prunes workers from the full window and each worker's local store still
+// prunes partitions per day.
+func (c *Coordinator) SplitDays() bool { return false }
+
+// Scan implements engine.Backend: eliminate workers the placement proves
+// irrelevant, fan the query out to the rest, and gather their streams in
+// shard order. The returned cursor reports *PartialError if any contacted
+// worker fails.
+func (c *Coordinator) Scan(ctx context.Context, q *storage.DataQuery) storage.Cursor {
+	c.scans.Add(1)
+	targets := c.placement.Targets(len(c.workers), q)
+	c.pruned.Add(uint64(len(c.workers) - len(targets)))
+	wq, err := EncodeQuery(q)
+	if err != nil {
+		return storage.NewErrCursor(err)
+	}
+	body, err := json.Marshal(wq)
+	if err != nil {
+		return storage.NewErrCursor(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cs := make([]storage.Cursor, len(targets))
+	for i, shard := range targets {
+		c.requests.Add(1)
+		cs[i] = newRemoteCursor(cctx, c.client, c.workers[shard], shard, body)
+	}
+	return &gatherCursor{
+		coord:   c,
+		cancel:  cancel,
+		cs:      cs,
+		workers: len(c.workers),
+		limit:   q.Limit,
+	}
+}
+
+// Run is the materializing adapter over Scan, mirroring the other backends.
+// The error is the gathered cursor's (typically a *PartialError).
+func (c *Coordinator) Run(q *storage.DataQuery) ([]storage.Match, error) {
+	cur := c.Scan(context.Background(), q)
+	defer cur.Close()
+	out := storage.Drain(cur)
+	return out, cur.Err()
+}
+
+// Ingest scatters a dataset across the workers: events go to their home
+// shard under the coordinator's placement (round-robin under
+// mpp.ArrivalOrder), entities are broadcast to every worker — the same
+// dimension-table replication the in-process cluster applies. Worker
+// batches post concurrently; any failure returns a *PartialError naming
+// the workers whose shards did not land.
+func (c *Coordinator) Ingest(ctx context.Context, ds *types.Dataset) error {
+	c.ingests.Add(1)
+	n := len(c.workers)
+	offset := c.scattered.Add(uint64(len(ds.Events))) - uint64(len(ds.Events))
+	shards := c.placement.Scatter(ds.Events, n, offset)
+	errs := make([]*WorkerError, n)
+	var wg sync.WaitGroup
+	for i := range c.workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := c.ingestWorker(ctx, i, types.NewDataset(ds.Entities, shards[i])); err != nil {
+				errs[i] = &WorkerError{Worker: c.workers[i], Shard: i, Err: err}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var failed []*WorkerError
+	for _, e := range errs {
+		if e != nil {
+			failed = append(failed, e)
+		}
+	}
+	if len(failed) > 0 {
+		c.failures.Add(uint64(len(failed)))
+		return &PartialError{Op: "ingest", Workers: n, Contacted: n, Failed: failed}
+	}
+	return nil
+}
+
+func (c *Coordinator) ingestWorker(ctx context.Context, shard int, ds *types.Dataset) error {
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, ds); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.workers[shard]+"/ingest", &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("ingest returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// Stats is a snapshot of the coordinator's scatter/gather counters.
+type Stats struct {
+	Workers        int    `json:"workers"`
+	Placement      string `json:"placement"`
+	Scans          uint64 `json:"scans"`
+	WorkerRequests uint64 `json:"worker_requests"`
+	WorkersPruned  uint64 `json:"workers_pruned"`
+	WorkerFailures uint64 `json:"worker_failures"`
+	IngestBatches  uint64 `json:"ingest_batches"`
+}
+
+// Stats returns the coordinator's cumulative counters. WorkersPruned counts
+// workers eliminated before fan-out across all scans: WorkerRequests +
+// WorkersPruned == Scans * Workers.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Workers:        len(c.workers),
+		Placement:      c.placement.String(),
+		Scans:          c.scans.Load(),
+		WorkerRequests: c.requests.Load(),
+		WorkersPruned:  c.pruned.Load(),
+		WorkerFailures: c.failures.Load(),
+		IngestBatches:  c.ingests.Load(),
+	}
+}
+
+// gatherCursor concatenates the remote cursors in shard order, mirroring
+// the in-process cluster's segment gather. A sub-cursor failure aborts the
+// gather: remaining workers are canceled and the error surfaces as a
+// *PartialError carrying every worker failure observed.
+type gatherCursor struct {
+	coord   *Coordinator
+	cancel  context.CancelFunc
+	cs      []storage.Cursor
+	workers int
+	cur     int
+	limit   int
+	emitted int
+	err     error
+	done    bool
+}
+
+func (g *gatherCursor) Next(batch []storage.Match) int {
+	if g.done || len(batch) == 0 {
+		return 0
+	}
+	want := len(batch)
+	if g.limit > 0 && g.limit-g.emitted < want {
+		want = g.limit - g.emitted
+	}
+	for want > 0 && g.cur < len(g.cs) {
+		n := g.cs[g.cur].Next(batch[:want])
+		if n > 0 {
+			g.emitted += n
+			return n
+		}
+		if err := g.cs[g.cur].Err(); err != nil {
+			g.finish(err)
+			return 0
+		}
+		g.cur++
+	}
+	g.finish(nil)
+	return 0
+}
+
+func (g *gatherCursor) Err() error { return g.err }
+
+func (g *gatherCursor) Close() { g.finish(nil) }
+
+// finish cancels outstanding worker requests, closes every sub-cursor, and
+// folds any worker errors into a single typed partial-failure error.
+func (g *gatherCursor) finish(err error) {
+	if g.done {
+		return
+	}
+	g.done = true
+	g.cancel()
+	var failed []*WorkerError
+	collect := func(e error) {
+		if we, ok := e.(*WorkerError); ok {
+			failed = append(failed, we)
+		}
+	}
+	collect(err)
+	for _, sub := range g.cs {
+		sub.Close()
+		if suberr := sub.Err(); suberr != nil && suberr != err {
+			collect(suberr)
+		}
+	}
+	switch {
+	case len(failed) > 0:
+		g.coord.failures.Add(uint64(len(failed)))
+		g.err = &PartialError{Op: "scan", Workers: g.workers, Contacted: len(g.cs), Failed: failed}
+	case err != nil:
+		// Not a worker failure: context cancellation or an encode error.
+		g.err = err
+	}
+}

@@ -1,0 +1,61 @@
+package cluster_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"aiql/internal/engine"
+	"aiql/internal/mpp"
+	"aiql/internal/queries"
+	"aiql/internal/storage"
+)
+
+// TestDeploymentShapeEquivalence is the distribution-soundness property:
+// for randomized queries, every deployment shape — a single store, the
+// in-process MPP cluster under both placements, and the networked
+// coordinator/worker cluster — returns exactly the same result set.
+// Placement and distribution may only change cost, never answers.
+func TestDeploymentShapeEquivalence(t *testing.T) {
+	f := clusterFixture(t)
+
+	arrival := mpp.New(4, mpp.ArrivalOrder, storage.Options{})
+	arrival.Ingest(f.ds)
+	semantic := mpp.New(4, mpp.SemanticsAware, storage.Options{})
+	semantic.Ingest(f.ds)
+
+	engines := []struct {
+		name string
+		eng  *engine.Engine
+	}{
+		{"single-store", engine.New(f.single, engine.Options{})},
+		{"mpp-arrival-order", engine.New(arrival, engine.Options{})},
+		{"mpp-semantics-aware", engine.New(semantic, engine.Options{})},
+		{"cluster-coordinator", engine.New(f.coord, engine.Options{})},
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	trials := 20
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		src := queries.Random(rng)
+		var wantKey string
+		var wantRows int
+		for i, e := range engines {
+			res, err := e.eng.Query(src)
+			if err != nil {
+				t.Fatalf("trial %d [%s]: %v\nquery:\n%s", trial, e.name, err, src)
+			}
+			key := queries.Canonical(res.Rows)
+			if i == 0 {
+				wantKey, wantRows = key, len(res.Rows)
+				continue
+			}
+			if key != wantKey {
+				t.Fatalf("trial %d: %s returned %d rows, single store returned %d\nquery:\n%s",
+					trial, e.name, len(res.Rows), wantRows, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WorkerError attributes a failure to one worker shard: the HTTP request
+// failed, the worker answered non-200, its stream died mid-flight, or it
+// reported a scan error in its trailer.
+type WorkerError struct {
+	// Worker is the worker's base URL.
+	Worker string
+	// Shard is the worker's shard index in the cluster.
+	Shard int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("worker %d (%s): %v", e.Shard, e.Worker, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// PartialError reports a scatter/gather that could not produce a complete
+// answer: some workers failed while others may have already streamed rows.
+// The coordinator surfaces it instead of a silently short result — in an
+// attack investigation, "these shards did not answer" and "no events
+// matched" are very different findings.
+type PartialError struct {
+	// Op is the cluster operation that failed ("scan", "ingest").
+	Op string
+	// Workers is the cluster size; Contacted is the post-pruning fan-out.
+	Workers   int
+	Contacted int
+	// Failed holds one entry per failed worker.
+	Failed []*WorkerError
+}
+
+func (e *PartialError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster %s: %d of %d contacted workers failed (%d in cluster): ",
+		e.Op, len(e.Failed), e.Contacted, e.Workers)
+	for i, f := range e.Failed {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(f.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-worker errors to errors.Is/As.
+func (e *PartialError) Unwrap() []error {
+	out := make([]error, len(e.Failed))
+	for i, f := range e.Failed {
+		out[i] = f
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"aiql/internal/storage"
+	"aiql/internal/types"
+)
+
+// remoteCursor streams one worker's /scan response as a storage.Cursor.
+// The HTTP request is issued immediately on creation (on a goroutine, so
+// sibling workers stream in parallel from the moment the coordinator's Scan
+// returns); Next decodes rows on the consumer's goroutine, with TCP flow
+// control providing the backpressure bounded channels provide locally.
+//
+// A stream that ends without the worker's explicit "end" trailer — the
+// connection died, the worker crashed mid-scan — surfaces as an error, so a
+// truncated result can never pass for a complete one.
+type remoteCursor struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	worker string
+	shard  int
+
+	respCh chan respOrErr
+	body   io.ReadCloser
+	dec    *json.Decoder
+
+	// entities interns "ent" records: rows reference entities by id.
+	entities map[types.EntityID]*types.Entity
+
+	rows   int
+	sawHdr bool
+	err    error
+	done   bool
+}
+
+type respOrErr struct {
+	resp *http.Response
+	err  error
+}
+
+// newRemoteCursor starts a /scan request against one worker. ctx should be
+// the coordinator's per-scan context: canceling it aborts the request (or
+// the in-flight body read) promptly.
+func newRemoteCursor(ctx context.Context, client *http.Client, worker string, shard int, body []byte) *remoteCursor {
+	cctx, cancel := context.WithCancel(ctx)
+	c := &remoteCursor{
+		ctx:      cctx,
+		cancel:   cancel,
+		worker:   worker,
+		shard:    shard,
+		respCh:   make(chan respOrErr, 1),
+		entities: make(map[types.EntityID]*types.Entity),
+	}
+	// The goroutine sends on its own captured copy of the channel: the
+	// consumer side nils c.respCh when it is done with it, and the send
+	// must not observe that write. The buffer of 1 lets the goroutine exit
+	// without a reader; a response arriving after the consumer gave up is
+	// closed by the transport when the canceled request context unwinds.
+	ch := c.respCh
+	go func() {
+		req, err := http.NewRequestWithContext(cctx, http.MethodPost, worker+"/scan", bytes.NewReader(body))
+		if err != nil {
+			ch <- respOrErr{err: err}
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Accept", "application/x-ndjson")
+		resp, err := client.Do(req)
+		ch <- respOrErr{resp: resp, err: err}
+	}()
+	return c
+}
+
+// connect waits for the response headers and validates the status line.
+func (c *remoteCursor) connect() error {
+	select {
+	case re := <-c.respCh:
+		c.respCh = nil
+		if re.err != nil {
+			return re.err
+		}
+		if re.resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(re.resp.Body, 1024))
+			re.resp.Body.Close()
+			return fmt.Errorf("scan returned %s: %s", re.resp.Status, bytes.TrimSpace(msg))
+		}
+		c.body = re.resp.Body
+		c.dec = json.NewDecoder(re.resp.Body)
+		return nil
+	case <-c.ctx.Done():
+		return c.ctx.Err()
+	}
+}
+
+func (c *remoteCursor) Next(batch []storage.Match) int {
+	if c.done || len(batch) == 0 {
+		return 0
+	}
+	if c.dec == nil {
+		if err := c.connect(); err != nil {
+			c.fail(err)
+			return 0
+		}
+	}
+	n := 0
+	for n < len(batch) {
+		var rec WireRecord
+		if err := c.dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				// EOF before the "end" trailer: the worker died mid-stream.
+				err = fmt.Errorf("stream truncated after %d rows: %w", c.rows, io.ErrUnexpectedEOF)
+			}
+			c.fail(err)
+			return 0
+		}
+		if !c.sawHdr {
+			// The protocol opens every stream with a hdr record; anything
+			// else means we are not talking to a worker /scan endpoint.
+			if rec.Kind != RecHdr {
+				c.fail(fmt.Errorf("stream opened with %q record, want %q", rec.Kind, RecHdr))
+				return 0
+			}
+			// A worker that knows its own shard (-shard flag) must be the
+			// shard the coordinator routed to: answering from the wrong
+			// shard means the -workers order no longer matches the order
+			// the data was placed in, and every pruned query would be
+			// silently wrong. Workers without a shard label (-1) skip the
+			// check.
+			if rec.Shard >= 0 && rec.Shard != c.shard {
+				c.fail(fmt.Errorf("worker identifies as shard %d, coordinator routed shard %d here (is -workers in placement order?)", rec.Shard, c.shard))
+				return 0
+			}
+			c.sawHdr = true
+			continue
+		}
+		switch rec.Kind {
+		case RecHdr:
+			c.fail(errors.New("duplicate hdr record"))
+			return 0
+		case RecEnt:
+			if rec.Ent == nil {
+				c.fail(errors.New("malformed ent record"))
+				return 0
+			}
+			e, err := rec.Ent.Entity()
+			if err != nil {
+				c.fail(err)
+				return 0
+			}
+			c.entities[e.ID] = e
+		case RecRow:
+			m, err := c.decodeRow(&rec)
+			if err != nil {
+				c.fail(err)
+				return 0
+			}
+			batch[n] = m
+			n++
+			c.rows++
+		case RecEnd:
+			if rec.Rows != c.rows {
+				c.fail(fmt.Errorf("trailer says %d rows, stream carried %d", rec.Rows, c.rows))
+				return 0
+			}
+			c.finish(nil)
+			return n
+		case RecErr:
+			c.fail(fmt.Errorf("worker scan failed: %s", rec.Error))
+			return 0
+		default:
+			c.fail(fmt.Errorf("unknown record kind %q", rec.Kind))
+			return 0
+		}
+	}
+	return n
+}
+
+func (c *remoteCursor) decodeRow(rec *WireRecord) (storage.Match, error) {
+	if rec.Ev == nil {
+		return storage.Match{}, errors.New("malformed row record")
+	}
+	ev, err := rec.Ev.Event()
+	if err != nil {
+		return storage.Match{}, err
+	}
+	subj := c.entities[types.EntityID(rec.Subj)]
+	obj := c.entities[types.EntityID(rec.Obj)]
+	if subj == nil || obj == nil {
+		return storage.Match{}, fmt.Errorf("row references entity not sent on this stream (subj=%d obj=%d)", rec.Subj, rec.Obj)
+	}
+	return storage.Match{Event: ev, Subj: subj, Obj: obj}, nil
+}
+
+func (c *remoteCursor) Err() error { return c.err }
+
+func (c *remoteCursor) Close() { c.finish(nil) }
+
+// fail records an error, preferring the context's own error when the
+// cursor was canceled — a body read that died because the caller hung up
+// is a cancellation, not a worker failure.
+func (c *remoteCursor) fail(err error) {
+	if cerr := c.ctx.Err(); cerr != nil {
+		c.finish(cerr)
+		return
+	}
+	c.finish(&WorkerError{Worker: c.worker, Shard: c.shard, Err: err})
+}
+
+func (c *remoteCursor) finish(err error) {
+	if c.done {
+		return
+	}
+	c.done = true
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	c.cancel()
+	if c.body != nil {
+		c.body.Close()
+		c.body = nil
+	}
+	if c.respCh != nil {
+		// The request goroutine may still be in flight; the cancel above
+		// aborts it, and the buffered channel lets it exit without a reader.
+		// Drain opportunistically to close the body if it already arrived.
+		select {
+		case re := <-c.respCh:
+			if re.resp != nil {
+				re.resp.Body.Close()
+			}
+		default:
+		}
+		c.respCh = nil
+	}
+	c.dec = nil
+	c.entities = nil
+}

@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"fmt"
+
+	"aiql/internal/pred"
+	"aiql/internal/storage"
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+// WireQuery is the JSON form of a storage.DataQuery as POSTed to a worker's
+// /scan endpoint. Everything the engine synthesizes crosses the wire —
+// including the allow-sets and extra predicates constrained execution
+// pushed down — so a worker executes exactly the data query a local scan
+// would have. Operations and entity types travel as names, predicates as
+// pred.Node trees; both decode into freshly compiled values on the worker.
+type WireQuery struct {
+	Agents   []int      `json:"agents,omitempty"`
+	From     int64      `json:"from,omitempty"`
+	To       int64      `json:"to,omitempty"`
+	SubjType string     `json:"subj_type,omitempty"`
+	ObjType  string     `json:"obj_type,omitempty"`
+	SubjPred *pred.Node `json:"subj_pred,omitempty"`
+	ObjPred  *pred.Node `json:"obj_pred,omitempty"`
+	EvtPred  *pred.Node `json:"evt_pred,omitempty"`
+	Ops      []string   `json:"ops,omitempty"`
+	// SubjAllowed/ObjAllowed restrict entities to scheduler-discovered ids.
+	// The Has* flags distinguish "no constraint" (absent) from "empty
+	// allow-set" (a query that can match nothing): omitempty erases the
+	// difference on the slice alone.
+	SubjAllowed    []uint64 `json:"subj_allowed,omitempty"`
+	HasSubjAllowed bool     `json:"has_subj_allowed,omitempty"`
+	ObjAllowed     []uint64 `json:"obj_allowed,omitempty"`
+	HasObjAllowed  bool     `json:"has_obj_allowed,omitempty"`
+	Limit          int      `json:"limit,omitempty"`
+	ForceScan      bool     `json:"force_scan,omitempty"`
+}
+
+// EncodeQuery converts a data query to its wire form.
+func EncodeQuery(q *storage.DataQuery) (*WireQuery, error) {
+	w := &WireQuery{
+		Agents: q.Agents,
+		From:   q.Window.From, To: q.Window.To,
+		Limit:     q.Limit,
+		ForceScan: q.ForceScan,
+	}
+	if q.SubjType != types.EntityInvalid {
+		w.SubjType = q.SubjType.String()
+	}
+	if q.ObjType != types.EntityInvalid {
+		w.ObjType = q.ObjType.String()
+	}
+	var err error
+	if w.SubjPred, err = pred.Encode(q.SubjPred); err != nil {
+		return nil, err
+	}
+	if w.ObjPred, err = pred.Encode(q.ObjPred); err != nil {
+		return nil, err
+	}
+	if w.EvtPred, err = pred.Encode(q.EvtPred); err != nil {
+		return nil, err
+	}
+	for op := types.Op(1); int(op) <= types.NumOps; op++ {
+		if q.Ops.Contains(op) {
+			w.Ops = append(w.Ops, op.String())
+		}
+	}
+	w.SubjAllowed, w.HasSubjAllowed = encodeIDSet(q.SubjAllowed)
+	w.ObjAllowed, w.HasObjAllowed = encodeIDSet(q.ObjAllowed)
+	return w, nil
+}
+
+// DataQuery rebuilds the storage-level query on the worker side.
+func (w *WireQuery) DataQuery() (*storage.DataQuery, error) {
+	q := &storage.DataQuery{
+		Agents:    w.Agents,
+		Window:    timeutil.Window{From: w.From, To: w.To},
+		Limit:     w.Limit,
+		ForceScan: w.ForceScan,
+	}
+	var ok bool
+	if w.SubjType != "" {
+		if q.SubjType, ok = types.ParseEntityType(w.SubjType); !ok {
+			return nil, fmt.Errorf("cluster: unknown entity type %q", w.SubjType)
+		}
+	}
+	if w.ObjType != "" {
+		if q.ObjType, ok = types.ParseEntityType(w.ObjType); !ok {
+			return nil, fmt.Errorf("cluster: unknown entity type %q", w.ObjType)
+		}
+	}
+	var err error
+	if q.SubjPred, err = pred.Decode(w.SubjPred); err != nil {
+		return nil, err
+	}
+	if q.ObjPred, err = pred.Decode(w.ObjPred); err != nil {
+		return nil, err
+	}
+	if q.EvtPred, err = pred.Decode(w.EvtPred); err != nil {
+		return nil, err
+	}
+	for _, name := range w.Ops {
+		op, ok := types.ParseOp(name)
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown operation %q", name)
+		}
+		q.Ops = q.Ops.Add(op)
+	}
+	q.SubjAllowed = decodeIDSet(w.SubjAllowed, w.HasSubjAllowed)
+	q.ObjAllowed = decodeIDSet(w.ObjAllowed, w.HasObjAllowed)
+	return q, nil
+}
+
+func encodeIDSet(set map[types.EntityID]struct{}) ([]uint64, bool) {
+	if set == nil {
+		return nil, false
+	}
+	ids := make([]uint64, 0, len(set))
+	for id := range set {
+		ids = append(ids, uint64(id))
+	}
+	return ids, true
+}
+
+func decodeIDSet(ids []uint64, has bool) map[types.EntityID]struct{} {
+	if !has {
+		return nil
+	}
+	set := make(map[types.EntityID]struct{}, len(ids))
+	for _, id := range ids {
+		set[types.EntityID(id)] = struct{}{}
+	}
+	return set
+}
+
+// Stream record kinds on the /scan NDJSON response. The stream is
+//
+//	hdr (ent | row)* (end | err)
+//
+// Entities are interned: each distinct entity crosses the wire once, as an
+// "ent" record, before the first "row" referencing it; rows then carry the
+// event inline plus the subject/object entity ids. The explicit "end"
+// trailer is what lets the coordinator distinguish a complete result from a
+// connection that died mid-stream — a truncated stream must surface as a
+// worker failure, never as a short result.
+const (
+	RecHdr = "hdr"
+	RecEnt = "ent"
+	RecRow = "row"
+	RecEnd = "end"
+	RecErr = "err"
+)
+
+// WireRecord is one line of a /scan response stream.
+type WireRecord struct {
+	Kind string `json:"kind"`
+	// hdr payload.
+	Shard      int    `json:"shard,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
+	// ent payload.
+	Ent *WireEntity `json:"ent,omitempty"`
+	// row payload.
+	Ev   *WireEvent `json:"ev,omitempty"`
+	Subj uint64     `json:"subj,omitempty"`
+	Obj  uint64     `json:"obj,omitempty"`
+	// end payload.
+	Rows int `json:"rows,omitempty"`
+	// err payload.
+	Error string `json:"error,omitempty"`
+}
+
+// WireEntity mirrors types.Entity on the wire.
+type WireEntity struct {
+	ID      uint64            `json:"id"`
+	Type    string            `json:"type"`
+	AgentID int               `json:"agentid"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// NewWireEntity converts an entity for the wire.
+func NewWireEntity(e *types.Entity) *WireEntity {
+	return &WireEntity{ID: uint64(e.ID), Type: e.Type.String(), AgentID: e.AgentID, Attrs: e.Attrs}
+}
+
+// Entity rebuilds the entity on the coordinator side.
+func (w *WireEntity) Entity() (*types.Entity, error) {
+	t, ok := types.ParseEntityType(w.Type)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown entity type %q", w.Type)
+	}
+	return &types.Entity{ID: types.EntityID(w.ID), Type: t, AgentID: w.AgentID, Attrs: w.Attrs}, nil
+}
+
+// WireEvent mirrors types.Event on the wire.
+type WireEvent struct {
+	ID       uint64 `json:"id"`
+	AgentID  int    `json:"agentid"`
+	Subject  uint64 `json:"subject"`
+	Object   uint64 `json:"object"`
+	Op       string `json:"op"`
+	Start    int64  `json:"start"`
+	End      int64  `json:"end,omitempty"`
+	Seq      uint64 `json:"seq,omitempty"`
+	Amount   int64  `json:"amount,omitempty"`
+	FailCode int    `json:"failcode,omitempty"`
+}
+
+// NewWireEvent converts an event for the wire.
+func NewWireEvent(ev *types.Event) *WireEvent {
+	return &WireEvent{
+		ID: uint64(ev.ID), AgentID: ev.AgentID,
+		Subject: uint64(ev.Subject), Object: uint64(ev.Object),
+		Op: ev.Op.String(), Start: ev.Start, End: ev.End,
+		Seq: ev.Seq, Amount: ev.Amount, FailCode: ev.FailCode,
+	}
+}
+
+// Event rebuilds the event on the coordinator side.
+func (w *WireEvent) Event() (*types.Event, error) {
+	op, ok := types.ParseOp(w.Op)
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown operation %q", w.Op)
+	}
+	return &types.Event{
+		ID: types.EventID(w.ID), AgentID: w.AgentID,
+		Subject: types.EntityID(w.Subject), Object: types.EntityID(w.Object),
+		Op: op, Start: w.Start, End: w.End,
+		Seq: w.Seq, Amount: w.Amount, FailCode: w.FailCode,
+	}, nil
+}

@@ -29,6 +29,18 @@ type Estimator interface {
 	Estimate(q *storage.DataQuery) int
 }
 
+// DaySplitting is the optional Backend extension backends use to veto the
+// engine's per-day splitting of multi-day data queries. Local backends
+// profit from the split (each day's sub-scan prunes partitions and runs in
+// parallel), but a backend whose Scan carries a fixed per-call cost — the
+// networked cluster coordinator pays one HTTP fan-out per Scan — returns
+// false to receive the whole window in one call and partition it itself.
+type DaySplitting interface {
+	// SplitDays reports whether the engine should split multi-day windows
+	// into per-day sub-scans before calling Scan.
+	SplitDays() bool
+}
+
 // Strategy selects the data-query scheduler (paper Sec. 5.2).
 type Strategy uint8
 
@@ -116,6 +128,12 @@ type Engine struct {
 func New(b Backend, opts Options) *Engine {
 	return &Engine{backend: b, opts: opts.withDefaults()}
 }
+
+// Backend returns the backend the engine executes against — callers that
+// were handed only the engine (the bench harness, the query service) use
+// it to reach backend-specific operations like the cluster coordinator's
+// scatter ingest.
+func (e *Engine) Backend() Backend { return e.backend }
 
 // Result is the tabular output of a query.
 type Result struct {
@@ -340,6 +358,9 @@ const maxSplitDays = 366
 // Partition"). Every sub-scan's producers start immediately, so the days
 // are searched in parallel while the consumer drains them in order.
 func (x *execution) scanDataQuery(q *storage.DataQuery) storage.Cursor {
+	if ds, ok := x.backend.(DaySplitting); ok && !ds.SplitDays() {
+		return x.backend.Scan(x.ctx, q)
+	}
 	if x.eng.opts.DisableSplitDays || q.Window.Unbounded() ||
 		q.Window.Duration() > maxSplitDays*timeutil.DayMillis {
 		return x.backend.Scan(x.ctx, q)

@@ -1,0 +1,48 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"aiql/internal/lexer"
+	"aiql/internal/queries"
+)
+
+// FuzzLex asserts the lexer never panics and never hands back a broken
+// token stream: on success the stream is non-empty, EOF-terminated, and
+// every token's position points into (or just past) the source. Seeds are
+// the committed corpus under testdata/fuzz/FuzzLex — the documentation
+// queries — plus the full evaluation corpus added here.
+func FuzzLex(f *testing.F) {
+	for _, q := range append(queries.CaseStudy(), queries.Behaviors()...) {
+		f.Add(q.Src)
+	}
+	f.Add("")
+	f.Add(`"unterminated`)
+	f.Add("proc p1[\"a\\\"b\"] read file f // comment\nreturn p1")
+	f.Add("a <- -> <= >= != && || ! . , : ( ) [ ] + - * /")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lexer.Lex(src)
+		if err != nil {
+			if toks != nil {
+				t.Errorf("Lex returned both tokens and error %v", err)
+			}
+			return
+		}
+		if len(toks) == 0 {
+			t.Fatal("Lex returned no tokens and no error (missing EOF)")
+		}
+		last := toks[len(toks)-1]
+		if last.Kind != lexer.EOF {
+			t.Fatalf("token stream does not end in EOF: %v", last)
+		}
+		for _, tok := range toks {
+			if tok.Line < 1 || tok.Col < 1 {
+				t.Fatalf("token %v has invalid position %d:%d", tok.Kind, tok.Line, tok.Col)
+			}
+			if tok.Kind != lexer.EOF && tok.Kind != lexer.String && tok.Text == "" &&
+				(tok.Kind == lexer.Ident || tok.Kind == lexer.Number) {
+				t.Fatalf("empty %v token at %d:%d", tok.Kind, tok.Line, tok.Col)
+			}
+		}
+	})
+}

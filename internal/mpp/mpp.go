@@ -16,7 +16,6 @@ import (
 	"sync"
 
 	"aiql/internal/storage"
-	"aiql/internal/timeutil"
 	"aiql/internal/types"
 )
 
@@ -68,23 +67,7 @@ func (c *Cluster) Placement() Placement { return c.placement }
 // dimension-table-like and replicated to every segment, matching how MPP
 // systems broadcast small dimension tables.
 func (c *Cluster) Ingest(d *types.Dataset) {
-	n := len(c.segs)
-	shards := make([][]types.Event, n)
-	for i := range d.Events {
-		ev := &d.Events[i]
-		var seg int
-		switch c.placement {
-		case ArrivalOrder:
-			seg = i % n
-		case SemanticsAware:
-			day := timeutil.DayIndex(ev.Start)
-			seg = (ev.AgentID*31 + day) % n
-			if seg < 0 {
-				seg += n
-			}
-		}
-		shards[seg] = append(shards[seg], *ev)
-	}
+	shards := c.placement.Scatter(d.Events, len(c.segs), 0)
 	var wg sync.WaitGroup
 	for i := range c.segs {
 		wg.Add(1)
@@ -105,19 +88,21 @@ func (c *Cluster) EventCount() int {
 	return total
 }
 
-// Scan implements the engine Backend: the data query is scattered to every
-// segment and the partial streams gathered in segment order. Each segment
-// scan snapshots its local store and spawns its own partition producers, so
-// all segments search in parallel from the moment Scan returns, with
-// bounded channels applying backpressure until the consumer reaches them.
-// Under SemanticsAware placement each segment prunes its local partitions
-// using the query's spatial/temporal constraints, so most segments answer
-// instantly; under ArrivalOrder every segment holds a slice of every
+// Scan implements the engine Backend: the data query is scattered to the
+// candidate segments and the partial streams gathered in segment order.
+// Each segment scan snapshots its local store and spawns its own partition
+// producers, so all segments search in parallel from the moment Scan
+// returns, with bounded channels applying backpressure until the consumer
+// reaches them. Under SemanticsAware placement, segments that the query's
+// spatial/temporal constraints prove empty (Placement.Shards) are never
+// scanned at all, and the surviving segments prune their local partitions
+// further; under ArrivalOrder every segment holds a slice of every
 // partition and must search.
 func (c *Cluster) Scan(ctx context.Context, q *storage.DataQuery) storage.Cursor {
-	cs := make([]storage.Cursor, len(c.segs))
-	for i, seg := range c.segs {
-		cs[i] = seg.Scan(ctx, q)
+	targets := c.placement.Targets(len(c.segs), q)
+	cs := make([]storage.Cursor, len(targets))
+	for i, seg := range targets {
+		cs[i] = c.segs[seg].Scan(ctx, q)
 	}
 	return storage.NewMultiCursor(q.Limit, cs...)
 }

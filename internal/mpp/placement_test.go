@@ -1,0 +1,84 @@
+package mpp
+
+import (
+	"testing"
+
+	"aiql/internal/gen"
+	"aiql/internal/storage"
+	"aiql/internal/timeutil"
+)
+
+func dayWindow(day int) timeutil.Window {
+	return timeutil.Window{From: gen.DayStart(day), To: gen.DayStart(day + 1)}
+}
+
+func TestShardMatchesIngestPlacement(t *testing.T) {
+	ds := gen.Scenario(gen.Config{Hosts: 10, Days: 3, BackgroundPerHostDay: 200, Seed: 7})
+	const n = 4
+	c := New(n, SemanticsAware, storage.Options{})
+	c.Ingest(ds)
+	// Every event must land on exactly the shard the placement function
+	// names for its (agent, day) — the invariant worker pruning relies on.
+	want := make([]int, n)
+	for i := range ds.Events {
+		ev := &ds.Events[i]
+		want[SemanticsAware.Shard(ev.AgentID, timeutil.DayIndex(ev.Start), n)]++
+	}
+	for i, seg := range c.segs {
+		if seg.EventCount() != want[i] {
+			t.Fatalf("segment %d holds %d events, placement function assigns %d", i, seg.EventCount(), want[i])
+		}
+	}
+}
+
+func TestShardsElimination(t *testing.T) {
+	const n = 5
+	day := timeutil.DayIndex(gen.DayStart(1))
+
+	// Fully constrained: exactly the one home shard survives.
+	q := &storage.DataQuery{Agents: []int{3}, Window: dayWindow(1)}
+	got := SemanticsAware.Shards(n, q)
+	if len(got) != 1 || got[0] != SemanticsAware.Shard(3, day, n) {
+		t.Fatalf("Shards(%v) = %v, want exactly the home shard %d", q, got, SemanticsAware.Shard(3, day, n))
+	}
+
+	// Missing either dimension: no elimination possible.
+	if got := SemanticsAware.Shards(n, &storage.DataQuery{Agents: []int{3}}); got != nil {
+		t.Fatalf("unbounded window should not eliminate shards, got %v", got)
+	}
+	if got := SemanticsAware.Shards(n, &storage.DataQuery{Window: dayWindow(1)}); got != nil {
+		t.Fatalf("unconstrained agents should not eliminate shards, got %v", got)
+	}
+
+	// Arrival order never eliminates.
+	if got := ArrivalOrder.Shards(n, q); got != nil {
+		t.Fatalf("arrival order should not eliminate shards, got %v", got)
+	}
+
+	// A huge window falls back to all shards instead of enumerating days.
+	huge := &storage.DataQuery{Agents: []int{3}, Window: timeutil.Window{From: 1, To: int64(1) << 62}}
+	if got := SemanticsAware.Shards(n, huge); got != nil {
+		t.Fatalf("half-unbounded window should fall back to all shards, got %v", got)
+	}
+
+	// Enough (agent, day) combinations cover every shard: nil again.
+	wide := &storage.DataQuery{Agents: []int{1, 2, 3, 4, 5, 6, 7, 8}, Window: timeutil.Window{From: gen.DayStart(0), To: gen.DayStart(3)}}
+	if got := SemanticsAware.Shards(n, wide); got != nil {
+		t.Fatalf("covering query should return nil (all shards), got %v", got)
+	}
+}
+
+func TestClusterScanSkipsEliminatedSegments(t *testing.T) {
+	ds := gen.Scenario(gen.Config{Hosts: 10, Days: 3, BackgroundPerHostDay: 300, Seed: 3})
+	c := New(5, SemanticsAware, storage.Options{})
+	c.Ingest(ds)
+	single := storage.New(storage.Options{})
+	single.Ingest(ds)
+
+	q := &storage.DataQuery{Agents: []int{gen.AgentWinClient}, Window: dayWindow(1)}
+	want := single.Run(q)
+	got := c.Run(q)
+	if len(got) != len(want) {
+		t.Fatalf("pruned cluster scan returned %d matches, single store %d", len(got), len(want))
+	}
+}

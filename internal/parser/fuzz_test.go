@@ -1,0 +1,44 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"aiql/internal/engine"
+	"aiql/internal/parser"
+	"aiql/internal/queries"
+)
+
+// FuzzParse asserts that arbitrary input never panics the parser, that a
+// parse error always carries a position, and that anything that parses
+// also compiles (or fails compilation with an error, not a crash) — the
+// pipeline a hostile /query body walks before any data is touched. Seeds
+// are the committed corpus under testdata/fuzz/FuzzParse — the
+// documentation and example queries — plus the evaluation corpus added
+// here.
+func FuzzParse(f *testing.F) {
+	for _, q := range append(queries.CaseStudy(), queries.Behaviors()...) {
+		f.Add(q.Src)
+	}
+	f.Add("proc p read file f return p")
+	f.Add("backward: file f <-[write] proc p ->[read] ip i return f, p, i")
+	f.Add("window = 1 min, step = 10 sec\nproc p write ip i as evt\nreturn p, avg(evt.amount) as amt\ngroup by p\nhaving (amt > 1)")
+	f.Add("return")
+	f.Add("with evt1 before[0-2 min] evt2")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := parser.Parse(src)
+		if err != nil {
+			if !strings.Contains(err.Error(), "aiql:") {
+				// Lexer and parser errors both carry positions; anything
+				// else escaping Parse is a bug.
+				t.Errorf("parse error without position: %v", err)
+			}
+			return
+		}
+		if q == nil {
+			t.Fatal("Parse returned nil query and nil error")
+		}
+		// Whatever parses must compile without panicking.
+		_, _ = engine.Compile(q)
+	})
+}

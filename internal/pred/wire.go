@@ -1,0 +1,122 @@
+package pred
+
+import "fmt"
+
+// Node is the JSON-serializable form of a predicate tree. The distributed
+// query tier sends the engine's synthesized data queries — including the
+// predicates constrained execution pushed into them — to remote worker
+// shards, so compiled predicates need a wire form that decodes back into an
+// equivalent Pred (LIKE patterns and numeric literals are recompiled by
+// NewCond on the receiving side).
+type Node struct {
+	// Kind discriminates the tree node: "true", "cond", "not", "and", "or".
+	Kind string `json:"kind"`
+	// Cond payload (Kind == "cond").
+	Attr string   `json:"attr,omitempty"`
+	Op   string   `json:"op,omitempty"`
+	Val  string   `json:"val,omitempty"`
+	Vals []string `json:"vals,omitempty"`
+	// Children (Kind == "not": exactly one; "and"/"or": any number).
+	Kids []*Node `json:"kids,omitempty"`
+}
+
+// cmpOpNames mirrors CmpOp.String for the wire: names, not iota values, so
+// a coordinator and a worker built from different revisions cannot silently
+// disagree about operator numbering.
+var cmpOpByName = map[string]CmpOp{
+	"=": CmpEq, "!=": CmpNe, "<": CmpLt, "<=": CmpLe,
+	">": CmpGt, ">=": CmpGe, "in": CmpIn, "not in": CmpNotIn,
+}
+
+// Encode converts a predicate into its wire form. A nil predicate encodes
+// as nil (meaning "no constraint", distinct from the vacuous True).
+func Encode(p Pred) (*Node, error) {
+	switch v := p.(type) {
+	case nil:
+		return nil, nil
+	case truePred:
+		return &Node{Kind: "true"}, nil
+	case *Cond:
+		return &Node{Kind: "cond", Attr: v.Attr, Op: v.Op.String(), Val: v.Val, Vals: v.Vals}, nil
+	case *Not:
+		kid, err := Encode(v.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: "not", Kids: []*Node{kid}}, nil
+	case *And:
+		kids, err := encodeAll(v.Xs)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: "and", Kids: kids}, nil
+	case *Or:
+		kids, err := encodeAll(v.Xs)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Kind: "or", Kids: kids}, nil
+	default:
+		return nil, fmt.Errorf("pred: cannot encode %T", p)
+	}
+}
+
+func encodeAll(xs []Pred) ([]*Node, error) {
+	out := make([]*Node, len(xs))
+	for i, x := range xs {
+		n, err := Encode(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// Decode rebuilds a predicate from its wire form. A nil node decodes to a
+// nil Pred.
+func Decode(n *Node) (Pred, error) {
+	if n == nil {
+		return nil, nil
+	}
+	switch n.Kind {
+	case "true":
+		return True, nil
+	case "cond":
+		op, ok := cmpOpByName[n.Op]
+		if !ok {
+			return nil, fmt.Errorf("pred: unknown comparison operator %q", n.Op)
+		}
+		return NewCond(n.Attr, op, n.Val, n.Vals...), nil
+	case "not":
+		if len(n.Kids) != 1 {
+			return nil, fmt.Errorf("pred: not-node needs exactly 1 child, got %d", len(n.Kids))
+		}
+		kid, err := Decode(n.Kids[0])
+		if err != nil {
+			return nil, err
+		}
+		if kid == nil {
+			return nil, fmt.Errorf("pred: not-node with nil child")
+		}
+		return &Not{X: kid}, nil
+	case "and", "or":
+		kids := make([]Pred, len(n.Kids))
+		for i, k := range n.Kids {
+			kid, err := Decode(k)
+			if err != nil {
+				return nil, err
+			}
+			if kid == nil {
+				return nil, fmt.Errorf("pred: %s-node with nil child", n.Kind)
+			}
+			kids[i] = kid
+		}
+		if n.Kind == "and" {
+			return &And{Xs: kids}, nil
+		}
+		return &Or{Xs: kids}, nil
+	default:
+		return nil, fmt.Errorf("pred: unknown node kind %q", n.Kind)
+	}
+}

@@ -1,0 +1,94 @@
+package pred
+
+import (
+	"encoding/json"
+	"testing"
+
+	"aiql/internal/types"
+)
+
+// roundTrip encodes, JSON-marshals, unmarshals and decodes a predicate —
+// the exact path a data query takes from coordinator to worker.
+func roundTrip(t *testing.T, p Pred) Pred {
+	t.Helper()
+	n, err := Encode(p)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", p, err)
+	}
+	raw, err := json.Marshal(n)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back *Node
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	got, err := Decode(back)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	preds := []Pred{
+		True,
+		NewCond("exe_name", CmpEq, "%cmd.exe"),
+		NewCond("amount", CmpGt, "4096"),
+		NewCond("dst_port", CmpIn, "", "443", "8080"),
+		&Not{X: NewCond("name", CmpEq, "/etc/passwd")},
+		&And{Xs: []Pred{
+			NewCond("exe_name", CmpEq, "%svchost%"),
+			&Or{Xs: []Pred{NewCond("user", CmpEq, "root"), NewCond("pid", CmpLe, "100")}},
+		}},
+	}
+	ent := &types.Entity{ID: 1, Type: types.EntityProcess, AgentID: 1, Attrs: map[string]string{
+		"exe_name": "c:\\windows\\system32\\cmd.exe", "user": "root", "pid": "42",
+	}}
+	for _, p := range preds {
+		got := roundTrip(t, p)
+		if got.String() != p.String() {
+			t.Errorf("round trip changed predicate: %q -> %q", p, got)
+		}
+		if got.Eval(ent) != p.Eval(ent) {
+			t.Errorf("round trip changed evaluation of %q", p)
+		}
+		if got.ConstraintCount() != p.ConstraintCount() {
+			t.Errorf("round trip changed constraint count of %q", p)
+		}
+	}
+}
+
+func TestWireRecompilesLikeAndNumbers(t *testing.T) {
+	// The decoded side must rebuild the pre-compiled LIKE pattern and the
+	// parsed numeric literal, not just the struct fields.
+	like := roundTrip(t, NewCond("exe_name", CmpEq, "%chrome%"))
+	ent := &types.Entity{Attrs: map[string]string{"exe_name": "/opt/chrome/chrome"}}
+	if !like.Eval(ent) {
+		t.Error("decoded LIKE predicate lost its wildcard pattern")
+	}
+	num := roundTrip(t, NewCond("amount", CmpGt, "100"))
+	ev := &types.Event{Amount: 20}
+	if num.Eval(ev) {
+		t.Error("decoded numeric predicate compares lexically (20 > 100)")
+	}
+}
+
+func TestWireNilAndErrors(t *testing.T) {
+	if n, err := Encode(nil); err != nil || n != nil {
+		t.Errorf("Encode(nil) = %v, %v; want nil, nil", n, err)
+	}
+	if p, err := Decode(nil); err != nil || p != nil {
+		t.Errorf("Decode(nil) = %v, %v; want nil, nil", p, err)
+	}
+	for _, bad := range []*Node{
+		{Kind: "nope"},
+		{Kind: "cond", Op: "~"},
+		{Kind: "not"},
+		{Kind: "and", Kids: []*Node{nil}},
+	} {
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("Decode(%+v) should fail", bad)
+		}
+	}
+}

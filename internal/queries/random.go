@@ -1,0 +1,97 @@
+package queries
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Canonical renders a result set order-independently: rows are joined with
+// a unit separator, sorted, and joined with a record separator. Equivalence
+// suites compare result sets through it, because two correct executions may
+// legitimately present the same set in different orders (tied or absent
+// sort keys, shard-order vs partition-order gathers).
+func Canonical(rows [][]string) string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = strings.Join(r, "\x1f")
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x1e")
+}
+
+// Random builds a random but semantically valid multievent query against
+// the entities the generator (internal/gen) is known to produce. The
+// equivalence suites share it: the engine's scheduler-equivalence fuzz test
+// and the cluster property tests all draw from the same query distribution,
+// so "every scheduler agrees" and "every deployment shape agrees" are
+// checked over the same space.
+func Random(rng *rand.Rand) string {
+	agents := []int{1, 2, 3, 4, 5}
+	days := []string{"03/01/2017", "03/02/2017", "03/03/2017"}
+	procPreds := []string{
+		``, `["%cmd.exe"]`, `["%sbblv.exe"]`, `["%apache%"]`, `["%chrome%"]`,
+		`["%svchost%"]`, `[user = "root"]`,
+	}
+	filePreds := []string{
+		``, `["%backup1.dmp"]`, `["/var/log%"]`, `["%.dll"]`, `["%Documents%"]`,
+	}
+	ipPreds := []string{``, `[dstip = "203.0.113.129"]`, `[dstport = 443]`}
+	fileOps := []string{"read", "write", "read || write", "execute", "delete", "!read"}
+	procOps := []string{"start"}
+	ipOps := []string{"connect", "read || write", "write"}
+
+	n := 2 + rng.Intn(2) // 2 or 3 patterns
+	var b strings.Builder
+	fmt.Fprintf(&b, "agentid = %d\n", agents[rng.Intn(len(agents))])
+	fmt.Fprintf(&b, "(at %q)\n", days[rng.Intn(len(days))])
+
+	var rets []string
+	for i := 0; i < n; i++ {
+		subj := fmt.Sprintf("p%d", i)
+		// Sometimes reuse the previous subject to exercise implicit joins.
+		if i > 0 && rng.Intn(2) == 0 {
+			subj = fmt.Sprintf("p%d", i-1)
+		} else {
+			rets = append(rets, subj)
+		}
+		switch rng.Intn(3) {
+		case 0: // file pattern
+			fmt.Fprintf(&b, "proc %s%s %s file f%d%s as evt%d\n",
+				subj, procPreds[rng.Intn(len(procPreds))],
+				fileOps[rng.Intn(len(fileOps))], i,
+				filePreds[rng.Intn(len(filePreds))], i)
+			rets = append(rets, fmt.Sprintf("f%d", i))
+		case 1: // process pattern
+			fmt.Fprintf(&b, "proc %s%s %s proc c%d as evt%d\n",
+				subj, procPreds[rng.Intn(len(procPreds))],
+				procOps[rng.Intn(len(procOps))], i, i)
+			rets = append(rets, fmt.Sprintf("c%d", i))
+		default: // network pattern
+			fmt.Fprintf(&b, "proc %s%s %s ip i%d%s as evt%d\n",
+				subj, procPreds[rng.Intn(len(procPreds))],
+				ipOps[rng.Intn(len(ipOps))], i,
+				ipPreds[rng.Intn(len(ipPreds))], i)
+			rets = append(rets, fmt.Sprintf("i%d", i))
+		}
+	}
+	// Temporal chain over consecutive patterns, occasionally with a range.
+	var rels []string
+	for i := 0; i+1 < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			rels = append(rels, fmt.Sprintf("evt%d before evt%d", i, i+1))
+		case 1:
+			rels = append(rels, fmt.Sprintf("evt%d after evt%d", i+1, i))
+		default:
+			rels = append(rels, fmt.Sprintf("evt%d before[0-60 minutes] evt%d", i, i+1))
+		}
+	}
+	if len(rels) > 0 {
+		fmt.Fprintf(&b, "with %s\n", strings.Join(rels, ", "))
+	}
+	fmt.Fprintf(&b, "return distinct %s\n", strings.Join(rets, ", "))
+	fmt.Fprintf(&b, "sort by %s", rets[0])
+	return b.String()
+}

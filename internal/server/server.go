@@ -8,8 +8,18 @@
 //
 //	POST /query   execute one AIQL query (JSON {"query": "..."} or raw text)
 //	POST /ingest  append a JSON-lines trace batch (aiqlgen wire format)
+//	POST /scan    execute one storage-level data query, streaming NDJSON
+//	              matches (the worker-facing endpoint of the cluster tier;
+//	              store-backed servers only)
 //	GET  /stats   store statistics and cache hit/miss counters
 //	GET  /healthz liveness probe
+//
+// A server runs in one of two modes. Store-backed (New): queries execute
+// against the local store, and /scan lets a cluster coordinator use this
+// process as a worker shard. Coordinator (NewCoordinator): queries execute
+// through a cluster.Coordinator that scatters each data query to worker
+// aiqld processes and gathers their streams; /ingest scatters batches by
+// placement; /stats reports the cluster counters. See docs/CLUSTER.md.
 //
 // Two caches sit in front of the engine. The plan cache maps normalized
 // query text to its compiled plan, so repeated investigations skip the
@@ -40,6 +50,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aiql/internal/cluster"
 	"aiql/internal/engine"
 	"aiql/internal/storage"
 	"aiql/internal/trace"
@@ -71,16 +82,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server serves AIQL queries over a shared store and engine.
+// Server serves AIQL queries over a shared store and engine — or, in
+// coordinator mode, over a cluster of worker servers.
 type Server struct {
 	store     *storage.Store
+	coord     *cluster.Coordinator
 	eng       *engine.Engine
 	plans     *PlanCache
 	results   *ResultCache
 	maxIngest int64
+	shard     int // this worker's shard index; -1 when not a worker
 	started   time.Time
 	queries   atomic.Uint64
 	ingests   atomic.Uint64
+	scans     atomic.Uint64
 }
 
 // New creates a service over an existing store and engine.
@@ -92,9 +107,35 @@ func New(st *storage.Store, eng *engine.Engine, opts Options) *Server {
 		plans:     NewPlanCache(opts.PlanCacheSize),
 		results:   NewResultCache(opts.ResultCacheSize),
 		maxIngest: opts.MaxIngestBytes,
+		shard:     -1,
 		started:   time.Now(),
 	}
 }
+
+// NewCoordinator creates a service that executes queries through a cluster
+// coordinator instead of a local store: /query runs plans whose data
+// queries scatter to the workers, /ingest scatters event batches by
+// placement, /stats reports the cluster's scatter/gather counters. The
+// engine must have been built over coord. There is no result cache in this
+// mode — the coordinator cannot observe worker-local ingests, so it has no
+// generation to key cached results by; the plan cache still applies.
+func NewCoordinator(coord *cluster.Coordinator, eng *engine.Engine, opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		coord:     coord,
+		eng:       eng,
+		plans:     NewPlanCache(opts.PlanCacheSize),
+		results:   NewResultCache(-1),
+		maxIngest: opts.MaxIngestBytes,
+		shard:     -1,
+		started:   time.Now(),
+	}
+}
+
+// SetShard labels this server as worker shard i for /scan and /stats
+// responses (informational; the coordinator's worker order is
+// authoritative for placement).
+func (s *Server) SetShard(i int) { s.shard = i }
 
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -103,6 +144,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.store != nil {
+		mux.HandleFunc("POST /scan", s.handleScan)
+	}
 	return mux
 }
 
@@ -140,7 +184,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queries.Add(1)
 	start := time.Now()
-	resp, err := s.execute(r.Context(), src)
+	var resp *QueryResponse
+	if s.coord != nil {
+		resp, err = s.executeCluster(r.Context(), src)
+	} else {
+		resp, err = s.execute(r.Context(), src)
+	}
 	if err != nil {
 		if r.Context().Err() != nil {
 			// The client disconnected and the engine aborted; nobody is
@@ -150,6 +199,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusBadRequest
 		if errors.Is(err, engine.ErrTooLarge) {
 			status = http.StatusUnprocessableEntity
+		}
+		var partial *cluster.PartialError
+		if errors.As(err, &partial) {
+			// Workers failed mid-query: the cluster, not the query, is at
+			// fault.
+			status = http.StatusBadGateway
 		}
 		httpError(w, status, err)
 		return
@@ -178,14 +233,9 @@ func (s *Server) execute(ctx context.Context, src string) (*QueryResponse, error
 		// perturbing its hit/miss counters.
 		return queryResponse(res, s.plans.Contains(key), true), nil
 	}
-	pq, planCached := s.plans.Get(key)
-	if !planCached {
-		var err error
-		pq, err = s.eng.Prepare(src)
-		if err != nil {
-			return nil, err
-		}
-		s.plans.Put(key, pq)
+	pq, planCached, err := s.preparedPlan(key, src)
+	if err != nil {
+		return nil, err
 	}
 	snap := s.store.Snapshot()
 	defer snap.Close()
@@ -202,6 +252,129 @@ func (s *Server) execute(ctx context.Context, src string) (*QueryResponse, error
 	}
 	s.results.Put(key, snap.Generation(), res)
 	return queryResponse(res, planCached, false), nil
+}
+
+// preparedPlan serves a query's compiled plan through the plan cache,
+// preparing and caching it on a miss — the front-end step shared by the
+// local and cluster execution paths.
+func (s *Server) preparedPlan(key, src string) (*engine.PreparedQuery, bool, error) {
+	pq, planCached := s.plans.Get(key)
+	if !planCached {
+		var err error
+		pq, err = s.eng.Prepare(src)
+		if err != nil {
+			return nil, false, err
+		}
+		s.plans.Put(key, pq)
+	}
+	return pq, planCached, nil
+}
+
+// executeCluster runs one query through the plan cache and the cluster
+// coordinator. No result cache: worker stores can be ingested into without
+// the coordinator noticing, so there is no generation that could validate
+// a cached result.
+func (s *Server) executeCluster(ctx context.Context, src string) (*QueryResponse, error) {
+	pq, planCached, err := s.preparedPlan(engine.Normalize(src), src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pq.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return queryResponse(res, planCached, false), nil
+}
+
+// handleScan is the worker-facing endpoint of the distributed tier: it
+// executes one storage-level data query (the cluster wire form) against
+// the local store and streams the matches back as NDJSON — a header
+// record, interned entity records, one row per match, and an explicit end
+// trailer so the coordinator can tell a complete stream from a truncated
+// one. The scan is bound to the request context: when the coordinator
+// cancels (query canceled, another worker failed), the cursor's producers
+// stop promptly.
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	// The scan body is bounded by MaxIngestBytes too: a wire query's bulk
+	// is its pushed-down allow-sets, which scale with prior pattern
+	// results the same way an ingest batch scales with the trace — and a
+	// hardcoded cap would make large constrained queries fail on a cluster
+	// while succeeding single-node.
+	var wq cluster.WireQuery
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxIngest))
+	if err == nil {
+		err = json.Unmarshal(body, &wq)
+	}
+	var q *storage.DataQuery
+	if err == nil {
+		q, err = wq.DataQuery()
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode scan query: %w", err))
+		return
+	}
+	s.scans.Add(1)
+
+	cur := s.store.Scan(r.Context(), q)
+	defer cur.Close()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := enc.Encode(&cluster.WireRecord{Kind: cluster.RecHdr, Shard: s.shard, Generation: s.store.Generation()}); err != nil {
+		return
+	}
+	flush()
+
+	sentEnts := make(map[uint64]struct{})
+	rows := 0
+	batch := make([]storage.Match, storage.ScanBatchSize)
+	for {
+		n := cur.Next(batch)
+		if n == 0 {
+			break
+		}
+		for _, m := range batch[:n] {
+			if _, ok := sentEnts[uint64(m.Subj.ID)]; !ok {
+				sentEnts[uint64(m.Subj.ID)] = struct{}{}
+				if err := enc.Encode(&cluster.WireRecord{Kind: cluster.RecEnt, Ent: cluster.NewWireEntity(m.Subj)}); err != nil {
+					return
+				}
+			}
+			if _, ok := sentEnts[uint64(m.Obj.ID)]; !ok {
+				sentEnts[uint64(m.Obj.ID)] = struct{}{}
+				if err := enc.Encode(&cluster.WireRecord{Kind: cluster.RecEnt, Ent: cluster.NewWireEntity(m.Obj)}); err != nil {
+					return
+				}
+			}
+			if err := enc.Encode(&cluster.WireRecord{
+				Kind: cluster.RecRow, Ev: cluster.NewWireEvent(m.Event),
+				Subj: uint64(m.Subj.ID), Obj: uint64(m.Obj.ID),
+			}); err != nil {
+				return
+			}
+			rows++
+		}
+		flush()
+	}
+	if err := cur.Err(); err != nil {
+		// The stream is already underway; report the failure in-band. A
+		// canceled request needs no trailer — nobody is listening.
+		if r.Context().Err() == nil {
+			_ = enc.Encode(&cluster.WireRecord{Kind: cluster.RecErr, Error: err.Error()})
+			flush()
+		}
+		return
+	}
+	_ = enc.Encode(&cluster.WireRecord{Kind: cluster.RecEnd, Rows: rows})
+	flush()
 }
 
 // ndjsonRequested reports whether the client asked for streaming NDJSON.
@@ -311,6 +484,9 @@ type IngestResponse struct {
 	Entities   int    `json:"entities"`
 	Events     int    `json:"events"`
 	Generation uint64 `json:"generation"`
+	// Workers is the number of worker shards the batch was scattered to
+	// (coordinator mode only).
+	Workers int `json:"workers,omitempty"`
 }
 
 // handleIngest appends a batch of records in the aiqlgen JSON-lines wire
@@ -328,6 +504,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, err)
 		return
 	}
+	if s.coord != nil {
+		// Scatter the batch across the worker shards by placement.
+		if err := s.coord.Ingest(r.Context(), ds); err != nil {
+			httpError(w, http.StatusBadGateway, err)
+			return
+		}
+		s.ingests.Add(1)
+		writeJSON(w, http.StatusOK, &IngestResponse{
+			Entities: len(ds.Entities),
+			Events:   len(ds.Events),
+			Workers:  len(s.coord.Workers()),
+		})
+		return
+	}
 	s.store.Ingest(ds)
 	// The generation bump already invalidates cached results; purging
 	// eagerly frees their memory instead of waiting for LRU pressure.
@@ -342,6 +532,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the JSON reply to /stats.
 type StatsResponse struct {
+	Role          string     `json:"role"`
 	Events        int        `json:"events"`
 	Partitions    int        `json:"partitions"`
 	Agents        []int      `json:"agents"`
@@ -350,13 +541,38 @@ type StatsResponse struct {
 	LiveSnapshots int        `json:"live_snapshots"`
 	QueriesServed uint64     `json:"queries_served"`
 	IngestBatches uint64     `json:"ingest_batches"`
+	ScansServed   uint64     `json:"scans_served"`
 	UptimeSeconds float64    `json:"uptime_seconds"`
 	PlanCache     CacheStats `json:"plan_cache"`
 	ResultCache   CacheStats `json:"result_cache"`
+	// Shard is this worker's shard index; nil when the server is not a
+	// cluster worker.
+	Shard *int `json:"shard,omitempty"`
+	// Cluster carries the coordinator's scatter/gather counters
+	// (coordinator mode only).
+	Cluster *cluster.Stats `json:"cluster,omitempty"`
+	// Workers lists the worker base URLs in shard order (coordinator mode
+	// only).
+	Workers []string `json:"workers,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, &StatsResponse{
+	if s.coord != nil {
+		cs := s.coord.Stats()
+		writeJSON(w, http.StatusOK, &StatsResponse{
+			Role:          "coordinator",
+			QueriesServed: s.queries.Load(),
+			IngestBatches: s.ingests.Load(),
+			UptimeSeconds: time.Since(s.started).Seconds(),
+			PlanCache:     s.plans.Stats(),
+			ResultCache:   s.results.Stats(),
+			Cluster:       &cs,
+			Workers:       s.coord.Workers(),
+		})
+		return
+	}
+	resp := &StatsResponse{
+		Role:          "single",
 		Events:        s.store.EventCount(),
 		Partitions:    s.store.PartitionCount(),
 		Agents:        s.store.Agents(),
@@ -365,10 +581,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		LiveSnapshots: s.store.LiveSnapshots(),
 		QueriesServed: s.queries.Load(),
 		IngestBatches: s.ingests.Load(),
+		ScansServed:   s.scans.Load(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		PlanCache:     s.plans.Stats(),
 		ResultCache:   s.results.Stats(),
-	})
+	}
+	if s.shard >= 0 {
+		resp.Role = "worker"
+		shard := s.shard
+		resp.Shard = &shard
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
