@@ -542,3 +542,42 @@ func BenchmarkClusterVsSingleNode(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkIngestWALVsMemory prices durability: the same batched ingest
+// loop into (a) the plain in-memory store, (b) the persistent store under
+// group commit (-wal-sync interval, syncs deferred), and (c) the
+// persistent store with an fsync per batch (-wal-sync batch). The spread
+// between (a) and (b) is the WAL's encode+write overhead; between (b) and
+// (c), the price of per-batch fsync durability.
+func BenchmarkIngestWALVsMemory(b *testing.B) {
+	ds := benchDataset()
+	const batches = 16
+	b.Run("memory", func(b *testing.B) {
+		b.SetBytes(int64(len(ds.Events)))
+		for i := 0; i < b.N; i++ {
+			bench.IngestMemory(ds, batches)
+		}
+	})
+	b.Run("wal-group-commit", func(b *testing.B) {
+		b.SetBytes(int64(len(ds.Events)))
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			if err := bench.IngestDurable(dir, ds, false, batches); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wal-fsync-per-batch", func(b *testing.B) {
+		b.SetBytes(int64(len(ds.Events)))
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			b.StartTimer()
+			if err := bench.IngestDurable(dir, ds, true, batches); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

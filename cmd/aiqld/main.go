@@ -18,6 +18,15 @@
 //	aiqlgen -hosts 2 -days 1 -o more.jsonl &&
 //	    curl -s -X POST localhost:7381/ingest --data-binary @more.jsonl
 //
+// Durable deployment (docs/STORAGE.md): -data-dir makes the store
+// disk-backed — ingests append to a write-ahead log, a compactor folds the
+// log into immutable segment files, and a restart (even kill -9) recovers
+// every acknowledged batch before serving:
+//
+//	aiqld -data-dir /var/lib/aiqld -generate     # first boot seeds the dir
+//	kill -9 $(pidof aiqld)
+//	aiqld -data-dir /var/lib/aiqld               # recovers, serves same data
+//
 // Distributed deployment (docs/CLUSTER.md): worker shards are ordinary
 // store-backed aiqld processes; a coordinator fans queries out to them.
 //
@@ -68,6 +77,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for -generate")
 		planCache = flag.Int("plan-cache", 0, "compiled-plan cache capacity (0 = default 256, negative = off)")
 		resCache  = flag.Int("result-cache", 0, "result cache capacity (0 = default 128, negative = off)")
+		dataDir   = flag.String("data-dir", "", "directory for the durable store (WAL + segments); empty = memory only, data is lost on restart (single and worker roles)")
+		walSync   = flag.String("wal-sync", "interval", "WAL durability: batch (fsync every ingest) or interval (group commit every -wal-flush)")
+		walFlush  = flag.Duration("wal-flush", 100*time.Millisecond, "group-commit fsync cadence for -wal-sync interval")
+		compactIv = flag.Duration("compact-interval", 30*time.Second, "background WAL-to-segment compaction cadence (-data-dir only)")
+		compactTh = flag.Int64("compact-threshold", 16<<20, "compact as soon as the WAL exceeds this many bytes (-data-dir only)")
 	)
 	flag.Parse()
 
@@ -75,23 +89,35 @@ func main() {
 	srvOpts := server.Options{PlanCacheSize: *planCache, ResultCacheSize: *resCache}
 
 	var srv *server.Server
+	var durable *storage.Persistent
 	switch *role {
 	case "single", "worker":
-		ds, err := loadDataset(*data, *generate, genCfg, *role == "worker")
-		if err != nil {
-			fatalf("%v", err)
-		}
-		st := storage.New(storage.Options{})
-		if ds != nil {
-			start := time.Now()
-			st.Ingest(ds)
-			stats := ds.Stats()
-			fmt.Fprintf(os.Stderr, "loaded %d events / %d entities across %d agents in %.1fs (%d partitions)\n",
-				stats.Events, stats.Entities, stats.Agents, time.Since(start).Seconds(), st.PartitionCount())
+		if *dataDir != "" {
+			var err error
+			srv, durable, err = openDurable(*dataDir, durableConfig{
+				sync: *walSync, flush: *walFlush, compactIv: *compactIv, compactTh: *compactTh,
+				data: *data, generate: *generate, gen: genCfg,
+			}, srvOpts)
+			if err != nil {
+				fatalf("%v", err)
+			}
 		} else {
-			fmt.Fprintln(os.Stderr, "starting with an empty store (awaiting coordinator ingest)")
+			ds, err := loadDataset(*data, *generate, genCfg, *role == "worker")
+			if err != nil {
+				fatalf("%v", err)
+			}
+			st := storage.New(storage.Options{})
+			if ds != nil {
+				start := time.Now()
+				st.Ingest(ds)
+				stats := ds.Stats()
+				fmt.Fprintf(os.Stderr, "loaded %d events / %d entities across %d agents in %.1fs (%d partitions)\n",
+					stats.Events, stats.Entities, stats.Agents, time.Since(start).Seconds(), st.PartitionCount())
+			} else {
+				fmt.Fprintln(os.Stderr, "starting with an empty store (awaiting coordinator ingest)")
+			}
+			srv = server.New(st, engine.New(st, engine.Options{}), srvOpts)
 		}
-		srv = server.New(st, engine.New(st, engine.Options{}), srvOpts)
 		if *role == "worker" && *shard >= 0 {
 			srv.SetShard(*shard)
 		}
@@ -154,6 +180,82 @@ func main() {
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}
+	if durable != nil {
+		// Final group-commit: batches acknowledged in the last flush
+		// interval reach stable storage before the process exits.
+		if err := durable.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "aiqld: closing durable store: %v\n", err)
+		}
+	}
+}
+
+// durableConfig bundles the -data-dir companion flags.
+type durableConfig struct {
+	sync      string
+	flush     time.Duration
+	compactIv time.Duration
+	compactTh int64
+	data      string
+	generate  bool
+	gen       gen.Config
+}
+
+// openDurable opens (or creates) the disk-backed store, completes
+// recovery before the server exists, and seeds an empty store from
+// -data/-generate. A non-empty recovered store ignores the seeding flags —
+// restarting with the same command line must not double-ingest.
+func openDurable(dir string, cfg durableConfig, srvOpts server.Options) (*server.Server, *storage.Persistent, error) {
+	popts := storage.PersistOptions{
+		FlushInterval:         cfg.flush,
+		CompactInterval:       cfg.compactIv,
+		CompactThresholdBytes: cfg.compactTh,
+	}
+	switch cfg.sync {
+	case "batch":
+		popts.SyncEveryBatch = true
+	case "interval":
+	default:
+		return nil, nil, fmt.Errorf("unknown -wal-sync %q (want batch or interval)", cfg.sync)
+	}
+	start := time.Now()
+	p, err := storage.OpenPersistent(dir, popts)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := server.NewPersistent(p, engine.New(p.Store, engine.Options{}), srvOpts)
+	if err != nil {
+		p.Close()
+		return nil, nil, err
+	}
+	if p.EventCount() > 0 {
+		ds := p.DurabilityStats()
+		fmt.Fprintf(os.Stderr, "recovered %d events / %d partitions from %s in %.1fs (%d segments, %d WAL records replayed)\n",
+			p.EventCount(), p.PartitionCount(), dir, time.Since(start).Seconds(), ds.Segments, ds.Replayed)
+		if cfg.data != "" || cfg.generate {
+			fmt.Fprintln(os.Stderr, "ignoring -data/-generate: the durable store already holds data")
+		}
+		return srv, p, nil
+	}
+	// Empty store: seed it durably if a dataset was given. A durable
+	// server may also start empty and be fed over /ingest, so the dataset
+	// is optional for every role.
+	ds, err := loadDataset(cfg.data, cfg.generate, cfg.gen, true)
+	if err != nil {
+		p.Close()
+		return nil, nil, err
+	}
+	if ds == nil {
+		fmt.Fprintf(os.Stderr, "starting with an empty durable store in %s\n", dir)
+		return srv, p, nil
+	}
+	if err := p.Ingest(ds); err != nil {
+		p.Close()
+		return nil, nil, err
+	}
+	stats := ds.Stats()
+	fmt.Fprintf(os.Stderr, "loaded %d events / %d entities across %d agents into %s in %.1fs (%d partitions)\n",
+		stats.Events, stats.Entities, stats.Agents, dir, time.Since(start).Seconds(), p.PartitionCount())
+	return srv, p, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+
+	"aiql/internal/storage"
+	"aiql/internal/types"
+)
+
+// IngestDurable prices the durable ingest path for
+// BenchmarkIngestWALVsMemory: it opens a fresh persistent store rooted at
+// dir, ingests the dataset in `batches` equal event batches (entities ride
+// with the first, matching how /ingest traffic arrives), and closes the
+// store. syncEveryBatch selects the fsync-per-batch policy; false uses
+// group commit, deferring syncs to Close — the two durability levels the
+// daemon's -wal-sync flag exposes. Compare against the same batch loop
+// over a plain in-memory store to isolate what the WAL costs.
+func IngestDurable(dir string, ds *types.Dataset, syncEveryBatch bool, batches int) error {
+	p, err := storage.OpenPersistent(dir, storage.PersistOptions{
+		SyncEveryBatch:  syncEveryBatch,
+		FlushInterval:   -1,
+		CompactInterval: -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	for _, b := range SplitBatches(ds, batches) {
+		if err := p.Ingest(b); err != nil {
+			return fmt.Errorf("bench: durable ingest: %w", err)
+		}
+	}
+	return p.Close()
+}
+
+// IngestMemory is the baseline: the same batch loop into a plain
+// in-memory store.
+func IngestMemory(ds *types.Dataset, batches int) {
+	st := storage.New(storage.Options{})
+	for _, b := range SplitBatches(ds, batches) {
+		st.Ingest(b)
+	}
+}
+
+// SplitBatches cuts a dataset into n event batches, entities in the
+// first — the shape both ingest benchmarks and the recovery tests feed.
+func SplitBatches(ds *types.Dataset, n int) []*types.Dataset {
+	if n < 1 {
+		n = 1
+	}
+	per := (len(ds.Events) + n - 1) / n
+	if per == 0 {
+		per = 1
+	}
+	var out []*types.Dataset
+	for i := 0; i < len(ds.Events); i += per {
+		end := i + per
+		if end > len(ds.Events) {
+			end = len(ds.Events)
+		}
+		b := &types.Dataset{Events: ds.Events[i:end]}
+		if i == 0 {
+			b.Entities = ds.Entities
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		out = []*types.Dataset{{Entities: ds.Entities}}
+	}
+	return out
+}

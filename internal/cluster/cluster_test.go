@@ -229,7 +229,7 @@ func TestUnconstrainedScanFansOutEverywhere(t *testing.T) {
 // deadWorkerCluster builds a 3-worker cluster whose last worker streams a
 // few valid records and then drops the connection mid-stream — the
 // distributed analogue of kill -9 on a data node.
-func deadWorkerCluster(t *testing.T) (*cluster.Coordinator, int) {
+func deadWorkerCluster(t *testing.T) (*cluster.Coordinator, []*worker, int) {
 	t.Helper()
 	ws := startWorkers(2)
 	t.Cleanup(func() {
@@ -266,7 +266,7 @@ func deadWorkerCluster(t *testing.T) (*cluster.Coordinator, int) {
 	if err := coord.Ingest(context.Background(), ds); err != nil {
 		t.Fatalf("ingest: %v", err)
 	}
-	return coord, 2
+	return coord, ws, 2
 }
 
 // TestWorkerDeathMidStreamIsTypedPartialFailure kills one worker while it
@@ -274,7 +274,7 @@ func deadWorkerCluster(t *testing.T) (*cluster.Coordinator, int) {
 // execution path — as a *cluster.PartialError naming the dead shard,
 // rather than a hang or a silently truncated result.
 func TestWorkerDeathMidStreamIsTypedPartialFailure(t *testing.T) {
-	coord, deadShard := deadWorkerCluster(t)
+	coord, ws, deadShard := deadWorkerCluster(t)
 	eng := engine.New(coord, engine.Options{})
 
 	done := make(chan struct{})
@@ -310,6 +310,24 @@ func TestWorkerDeathMidStreamIsTypedPartialFailure(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("partial error %v does not name dead shard %d", partial, deadShard)
+	}
+
+	// The surviving workers' stores must release every snapshot and cursor
+	// the aborted fan-out opened: the coordinator cancels the remaining
+	// requests, each worker's /scan handler unwinds, and its deferred
+	// cursor Close drops the snapshot. The unwind is asynchronous, so poll.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, w := range ws {
+		for {
+			if w.store.LiveSnapshots() == 0 && w.store.LiveCursors() == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker leaked after mid-stream death: %d snapshots, %d cursors live",
+					w.store.LiveSnapshots(), w.store.LiveCursors())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
 	}
 }
 

@@ -233,3 +233,83 @@ func TestSnapshotExecuteOn(t *testing.T) {
 		t.Fatalf("%d snapshots leaked", st.LiveSnapshots())
 	}
 }
+
+// TestNoLeaksOnErrorPaths drives engine executions down their failure
+// exits — budget exhaustion mid-join, cancellation mid-execution, and the
+// plain success path as a control — and asserts the backing store's
+// live-snapshot and live-cursor counters return to zero each time. An
+// execution that errors out of a scheduler loop without closing its
+// cursors would strand producer goroutines and pin copy-on-write forever.
+func TestNoLeaksOnErrorPaths(t *testing.T) {
+	ds := gen.Scenario(gen.SmallConfig())
+	st := storage.New(storage.Options{})
+	st.Ingest(ds)
+
+	assertBaseline := func(step string) {
+		t.Helper()
+		if n := st.LiveCursors(); n != 0 {
+			t.Fatalf("%s: %d cursors leaked", step, n)
+		}
+		if n := st.LiveSnapshots(); n != 0 {
+			t.Fatalf("%s: %d snapshots leaked", step, n)
+		}
+	}
+
+	multiPattern := `
+		proc p read file f as evt1
+		proc p write file g as evt2
+		with evt1 before evt2
+		return p, f, g`
+
+	// Control: a successful multi-pattern run.
+	eng := engine.New(st, engine.Options{})
+	if _, err := eng.Query(multiPattern); err != nil {
+		t.Fatalf("control query: %v", err)
+	}
+	assertBaseline("success")
+
+	// Budget exhaustion: a tiny tuple ceiling errors out of the join loop
+	// while pattern cursors are open.
+	tiny := engine.New(st, engine.Options{MaxTuples: 4})
+	if _, err := tiny.Query(multiPattern); !errors.Is(err, engine.ErrTooLarge) {
+		t.Fatalf("tiny budget returned %v, want ErrTooLarge", err)
+	}
+	assertBaseline("budget")
+
+	// Pair-budget exhaustion takes a different error exit inside joins.
+	pairs := engine.New(st, engine.Options{MaxPairs: 8})
+	if _, err := pairs.Query(multiPattern); !errors.Is(err, engine.ErrTooLarge) {
+		t.Fatalf("pair budget returned %v, want ErrTooLarge", err)
+	}
+	assertBaseline("pairs")
+
+	// Cancellation mid-execution.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.QueryContext(ctx, multiPattern); err == nil {
+		t.Fatal("pre-canceled query succeeded")
+	}
+	assertBaseline("canceled")
+
+	// The materializing baselines hold full result sets; their error exits
+	// must release cursors too.
+	for _, strat := range []engine.Strategy{engine.StrategyFetchFilter, engine.StrategyBigJoin} {
+		e := engine.New(st, engine.Options{Strategy: strat, MaxTuples: 4})
+		if _, err := e.Query(multiPattern); !errors.Is(err, engine.ErrTooLarge) {
+			t.Fatalf("strategy %v returned %v, want ErrTooLarge", strat, err)
+		}
+		assertBaseline(strat.String())
+	}
+
+	// Prepared queries over per-request snapshots (the aiqld path).
+	pq, err := eng.Prepare(multiPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Snapshot()
+	if _, err := pq.ExecuteOn(context.Background(), snap); err != nil {
+		t.Fatal(err)
+	}
+	snap.Close()
+	assertBaseline("prepared on snapshot")
+}

@@ -495,31 +495,41 @@ func (x *execution) constraintFromMatches(j *Join, knownPattern int, n int, get 
 		if n == 0 {
 			// No known events: the join can never be satisfied; an empty
 			// window makes the target query trivially empty.
-			pc.window = &timeutil.Window{From: 1, To: 1}
+			w := timeutil.EmptyWindow()
+			pc.window = &w
 			return pc
 		}
 		if j.TempKind != "before" {
 			return nil
 		}
+		var w timeutil.Window
 		if known == j.A {
 			// target is B: tB >= minA (+lo), tB <= maxA + hi if bounded.
-			w := timeutil.Window{From: minT + j.LoMs}
+			w = timeutil.Window{From: minT + j.LoMs}
 			if j.HiMs > 0 {
 				w.To = maxT + j.HiMs + 1
 			} else {
-				w.To = int64(1) << 62
+				w.To = timeutil.MaxMillis
 			}
-			pc.window = &w
 		} else {
-			// target is A: tA <= maxB, tA >= minB - hi if bounded.
-			w := timeutil.Window{To: maxT + 1}
+			// target is A: tA <= maxB, tA >= minB - hi if bounded. The
+			// unbounded low end is MinMillis, not 0 or 1: pre-epoch events
+			// carry negative timestamps and a positive sentinel would
+			// silently exclude them from the join.
+			w = timeutil.Window{To: maxT + 1}
 			if j.HiMs > 0 {
 				w.From = minT - j.HiMs
 			} else {
-				w.From = 1
+				w.From = timeutil.MinMillis
 			}
-			pc.window = &w
 		}
+		if w == (timeutil.Window{}) {
+			// Pre-epoch extremes can place an intended-empty range exactly
+			// at the origin, where the zero value means "unbounded" —
+			// which would silently discard the pushdown constraint.
+			w = timeutil.EmptyWindow()
+		}
+		pc.window = &w
 		return pc
 	}
 	return nil

@@ -68,6 +68,11 @@ func (p Placement) Shards(n int, q *storage.DataQuery) []int {
 	if p == ArrivalOrder || n <= 0 {
 		return nil
 	}
+	if q.Window.Empty() {
+		// An empty window matches no event anywhere; DayIndex(To-1) on it
+		// would invent a day range. Non-nil and empty: no shard qualifies.
+		return []int{}
+	}
 	if len(q.Agents) == 0 || q.Window.Unbounded() {
 		return nil
 	}

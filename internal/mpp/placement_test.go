@@ -82,3 +82,43 @@ func TestClusterScanSkipsEliminatedSegments(t *testing.T) {
 		t.Fatalf("pruned cluster scan returned %d matches, single store %d", len(got), len(want))
 	}
 }
+
+// TestPreEpochPlacementAgreement: shard assignment (Scatter) and query-side
+// shard selection (Shards) must agree for pre-epoch events. Truncating day
+// division mapped t=-1 and t=+1 to the same day for placement while window
+// pruning computed different day ranges, stranding events on shards the
+// coordinator never asked.
+func TestPreEpochPlacementAgreement(t *testing.T) {
+	const n = 4
+	events := []struct {
+		agent int
+		start int64
+	}{
+		{1, -1}, {1, 0}, {2, -timeutil.DayMillis}, {3, -timeutil.DayMillis - 1}, {3, timeutil.DayMillis},
+	}
+	for _, e := range events {
+		day := timeutil.DayIndex(e.start)
+		home := SemanticsAware.Shard(e.agent, day, n)
+		if home < 0 || home >= n {
+			t.Fatalf("Shard(%d, %d, %d) = %d out of range", e.agent, day, n, home)
+		}
+		// The shard set for the event's own day-window must include its
+		// home shard.
+		q := &storage.DataQuery{Agents: []int{e.agent}, Window: timeutil.DayWindow(day)}
+		shards := SemanticsAware.Shards(n, q)
+		found := shards == nil
+		for _, s := range shards {
+			if s == home {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("event (agent=%d t=%d day=%d): home shard %d not in query shard set %v", e.agent, e.start, day, home, shards)
+		}
+	}
+
+	// An empty window selects no shards at all.
+	if got := SemanticsAware.Shards(n, &storage.DataQuery{Agents: []int{1}, Window: timeutil.Window{From: 5, To: 0}}); got == nil || len(got) != 0 {
+		t.Fatalf("empty window shard set = %v, want empty non-nil", got)
+	}
+}

@@ -86,6 +86,7 @@ func (o Options) withDefaults() Options {
 // coordinator mode, over a cluster of worker servers.
 type Server struct {
 	store     *storage.Store
+	durable   *storage.Persistent // non-nil when the store is disk-backed
 	coord     *cluster.Coordinator
 	eng       *engine.Engine
 	plans     *PlanCache
@@ -136,6 +137,20 @@ func NewCoordinator(coord *cluster.Coordinator, eng *engine.Engine, opts Options
 // responses (informational; the coordinator's worker order is
 // authoritative for placement).
 func (s *Server) SetShard(i int) { s.shard = i }
+
+// NewPersistent creates a service over a disk-backed store: queries run
+// against the embedded in-memory store exactly as in New, while /ingest
+// routes through the write-ahead log so acknowledged batches survive a
+// restart. Recovery must complete before serving — NewPersistent warms the
+// segment payloads up front rather than on the first analyst's query.
+func NewPersistent(p *storage.Persistent, eng *engine.Engine, opts Options) (*Server, error) {
+	if err := p.WarmUp(); err != nil {
+		return nil, err
+	}
+	s := New(p.Store, eng, opts)
+	s.durable = p
+	return s, nil
+}
 
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
@@ -518,7 +533,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	s.store.Ingest(ds)
+	if s.durable != nil {
+		// Journal before applying: the batch is only acknowledged once the
+		// WAL accepted it, so an acknowledged ingest survives a crash.
+		if err := s.durable.Ingest(ds); err != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("durable ingest: %w", err))
+			return
+		}
+	} else {
+		s.store.Ingest(ds)
+	}
 	// The generation bump already invalidates cached results; purging
 	// eagerly frees their memory instead of waiting for LRU pressure.
 	s.results.Purge()
@@ -539,6 +563,7 @@ type StatsResponse struct {
 	Days          []int      `json:"days"`
 	Generation    uint64     `json:"generation"`
 	LiveSnapshots int        `json:"live_snapshots"`
+	LiveCursors   int        `json:"live_cursors"`
 	QueriesServed uint64     `json:"queries_served"`
 	IngestBatches uint64     `json:"ingest_batches"`
 	ScansServed   uint64     `json:"scans_served"`
@@ -554,6 +579,9 @@ type StatsResponse struct {
 	// Workers lists the worker base URLs in shard order (coordinator mode
 	// only).
 	Workers []string `json:"workers,omitempty"`
+	// Durability carries the WAL depth, segment counts and recovery
+	// counters when the store is disk-backed (aiqld -data-dir).
+	Durability *storage.DurabilityStats `json:"durability,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -579,6 +607,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Days:          s.store.Days(),
 		Generation:    s.store.Generation(),
 		LiveSnapshots: s.store.LiveSnapshots(),
+		LiveCursors:   s.store.LiveCursors(),
 		QueriesServed: s.queries.Load(),
 		IngestBatches: s.ingests.Load(),
 		ScansServed:   s.scans.Load(),
@@ -590,6 +619,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Role = "worker"
 		shard := s.shard
 		resp.Shard = &shard
+	}
+	if s.durable != nil {
+		ds := s.durable.DurabilityStats()
+		resp.Durability = &ds
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,349 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+// Segment files are the immutable, compacted form of a WAL sequence range:
+// one file per compaction, internally partitioned by (agent, UTC day)
+// exactly like the in-memory store, with events sorted by (Start, Seq) and
+// the posting lists serialized alongside them so loading a partition
+// installs it without re-indexing.
+//
+// On-disk layout (integers little-endian):
+//
+//	magic "AIQLSEG1" (8)
+//	firstSeq u64  lastSeq u64         — the WAL range this file covers
+//	nParts u32    nEntities u32
+//	entityOff u64 entityLen u64 entityCRC u32
+//	dirCRC u32                        — CRC-32C of the directory bytes
+//	directory: nParts × {agent i64, day i64, nEvents u32, crc u32, off u64, len u64}
+//	partition blocks … entity block
+//
+// A partition block is events (fixed-width) followed by the serialized
+// bySubject and byObject posting maps. Opening a segment reads only the
+// header and directory — O(partitions), not O(events) — so a server with
+// months of segments starts fast; payload blocks are read (and checksum-
+// verified) when the store warms up.
+//
+// Files are named seg-<firstSeq>-<lastSeq>.seg (16 hex digits each) and
+// written via a .tmp + fsync + rename dance: a crash leaves either no
+// segment (the WAL still covers the range) or a complete one, never a
+// half-written file that parses.
+
+const (
+	segMagic     = "AIQLSEG1"
+	segHeaderLen = 8 + 8 + 8 + 4 + 4 + 8 + 8 + 4 + 4
+	segDirEntry  = 8 + 8 + 4 + 4 + 8 + 8
+)
+
+// segPartInfo is one directory entry: where a partition's block lives.
+type segPartInfo struct {
+	key     partKey
+	nEvents int
+	crc     uint32
+	off     uint64
+	length  uint64
+}
+
+// segmentFile is an opened segment: header and directory only, payload on
+// demand.
+type segmentFile struct {
+	path      string
+	firstSeq  uint64
+	lastSeq   uint64
+	nEntities int
+	entityOff uint64
+	entityLen uint64
+	entityCRC uint32
+	parts     []segPartInfo
+	// loaded marks segments whose data is already in memory: segments a
+	// compaction produced in this process (their batches arrived through
+	// Ingest) are born loaded; segments found at open load on WarmUp.
+	// Guarded by Persistent.segMu.
+	loaded bool
+}
+
+func segFileName(first, last uint64) string {
+	return fmt.Sprintf("seg-%016x-%016x.seg", first, last)
+}
+
+// writeSegment compacts one batch of entities and events — everything a
+// WAL range [firstSeq, lastSeq] carried — into an immutable segment file
+// in dir, returning it already opened (header + directory). Events are
+// partitioned by (agent, day), sorted, and indexed exactly as the
+// in-memory store would hold them.
+func writeSegment(dir string, firstSeq, lastSeq uint64, entities []types.Entity, events []types.Event) (*segmentFile, error) {
+	// Partition and sort.
+	parts := make(map[partKey][]types.Event)
+	for i := range events {
+		ev := &events[i]
+		key := partKey{agent: ev.AgentID, day: timeutil.DayIndex(ev.Start)}
+		parts[key] = append(parts[key], *ev)
+	}
+	keys := make([]partKey, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].day != keys[j].day {
+			return keys[i].day < keys[j].day
+		}
+		return keys[i].agent < keys[j].agent
+	})
+
+	// Build partition blocks.
+	dirEntries := make([]segPartInfo, 0, len(keys))
+	var blocks []byte
+	payloadBase := uint64(segHeaderLen + len(keys)*segDirEntry)
+	for _, k := range keys {
+		evs := parts[k]
+		sort.Slice(evs, func(i, j int) bool { return eventLess(&evs[i], &evs[j]) })
+		bySubject := make(map[types.EntityID][]int32)
+		byObject := make(map[types.EntityID][]int32)
+		for i := range evs {
+			bySubject[evs[i].Subject] = append(bySubject[evs[i].Subject], int32(i))
+			byObject[evs[i].Object] = append(byObject[evs[i].Object], int32(i))
+		}
+		block := make([]byte, 0, len(evs)*eventWireBytes)
+		for i := range evs {
+			block = appendEvent(block, &evs[i])
+		}
+		block = appendPostings(block, bySubject)
+		block = appendPostings(block, byObject)
+		dirEntries = append(dirEntries, segPartInfo{
+			key:     k,
+			nEvents: len(evs),
+			crc:     crc32.Checksum(block, castagnoli),
+			off:     payloadBase + uint64(len(blocks)),
+			length:  uint64(len(block)),
+		})
+		blocks = append(blocks, block...)
+	}
+
+	// Entity block.
+	var entBlock []byte
+	for i := range entities {
+		entBlock = appendEntity(entBlock, &entities[i])
+	}
+	entityOff := payloadBase + uint64(len(blocks))
+
+	// Directory bytes.
+	dirBytes := make([]byte, 0, len(dirEntries)*segDirEntry)
+	for _, e := range dirEntries {
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, uint64(int64(e.key.agent)))
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, uint64(int64(e.key.day)))
+		dirBytes = binary.LittleEndian.AppendUint32(dirBytes, uint32(e.nEvents))
+		dirBytes = binary.LittleEndian.AppendUint32(dirBytes, e.crc)
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, e.off)
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, e.length)
+	}
+
+	// Header.
+	hdr := make([]byte, 0, segHeaderLen)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, firstSeq)
+	hdr = binary.LittleEndian.AppendUint64(hdr, lastSeq)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(dirEntries)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(entities)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, entityOff)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(entBlock)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(entBlock, castagnoli))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(dirBytes, castagnoli))
+
+	final := filepath.Join(dir, segFileName(firstSeq, lastSeq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	for _, chunk := range [][]byte{hdr, dirBytes, blocks, entBlock} {
+		if _, err := f.Write(chunk); err != nil {
+			return nil, fmt.Errorf("storage: segment: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	// Validate the file BEFORE the rename makes it authoritative: once a
+	// parsed segment exists its WAL range can be deleted, so any failure
+	// from here on must leave either a sweepable .tmp or a good segment —
+	// never a renamed file the caller failed to track (a silently retried
+	// compaction would then write an overlapping segment and recovery
+	// would apply the range twice).
+	sf, err := openSegment(tmp)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	ok = true
+	sf.path = final
+	if err := syncDir(dir); err != nil {
+		return nil, err
+	}
+	return sf, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a power cut.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// openSegment reads a segment's header and directory — the lazy part of
+// lazy loading: O(partitions) work, no event payload touched.
+func openSegment(path string) (*segmentFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	size := uint64(fi.Size())
+	hdr := make([]byte, segHeaderLen)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("storage: segment %s: short header: %w", path, err)
+	}
+	if string(hdr[:8]) != segMagic {
+		return nil, fmt.Errorf("storage: segment %s: bad magic", path)
+	}
+	sf := &segmentFile{
+		path:      path,
+		firstSeq:  binary.LittleEndian.Uint64(hdr[8:]),
+		lastSeq:   binary.LittleEndian.Uint64(hdr[16:]),
+		nEntities: int(binary.LittleEndian.Uint32(hdr[28:])),
+		entityOff: binary.LittleEndian.Uint64(hdr[32:]),
+		entityLen: binary.LittleEndian.Uint64(hdr[40:]),
+		entityCRC: binary.LittleEndian.Uint32(hdr[48:]),
+	}
+	// The header itself carries no checksum, so every size/offset in it is
+	// untrusted until bounded against the actual file: a flipped bit in a
+	// length field must be a clean corruption error here, not a huge
+	// allocation (OOM) at load time.
+	if sf.entityOff > size || sf.entityLen > size-sf.entityOff {
+		return nil, fmt.Errorf("storage: segment %s: entity block [%d,+%d) exceeds file size %d", path, sf.entityOff, sf.entityLen, size)
+	}
+	if uint64(sf.nEntities) > sf.entityLen { // an entity encodes to >= 21 bytes
+		return nil, fmt.Errorf("storage: segment %s: implausible entity count %d for %d-byte block", path, sf.nEntities, sf.entityLen)
+	}
+	nParts := int(binary.LittleEndian.Uint32(hdr[24:]))
+	dirCRC := binary.LittleEndian.Uint32(hdr[52:])
+	if nParts < 0 || uint64(nParts) > size/segDirEntry {
+		return nil, fmt.Errorf("storage: segment %s: implausible partition count %d", path, nParts)
+	}
+	dirBytes := make([]byte, nParts*segDirEntry)
+	if _, err := f.ReadAt(dirBytes, segHeaderLen); err != nil {
+		return nil, fmt.Errorf("storage: segment %s: short directory: %w", path, err)
+	}
+	if crc32.Checksum(dirBytes, castagnoli) != dirCRC {
+		return nil, fmt.Errorf("storage: segment %s: directory checksum mismatch", path)
+	}
+	sf.parts = make([]segPartInfo, nParts)
+	for i := 0; i < nParts; i++ {
+		b := dirBytes[i*segDirEntry:]
+		pi := segPartInfo{
+			key: partKey{
+				agent: int(int64(binary.LittleEndian.Uint64(b[0:]))),
+				day:   int(int64(binary.LittleEndian.Uint64(b[8:]))),
+			},
+			nEvents: int(binary.LittleEndian.Uint32(b[16:])),
+			crc:     binary.LittleEndian.Uint32(b[20:]),
+			off:     binary.LittleEndian.Uint64(b[24:]),
+			length:  binary.LittleEndian.Uint64(b[32:]),
+		}
+		// Directory entries are CRC-protected, but bounding them too keeps
+		// loadPartition's allocations provably within the file.
+		if pi.off > size || pi.length > size-pi.off || uint64(pi.nEvents) > pi.length/eventWireBytes {
+			return nil, fmt.Errorf("storage: segment %s: partition (%d,%d) block out of bounds", path, pi.key.agent, pi.key.day)
+		}
+		sf.parts[i] = pi
+	}
+	return sf, nil
+}
+
+// loadPartition reads, verifies and decodes one partition block.
+func (sf *segmentFile) loadPartition(f *os.File, pi *segPartInfo) ([]types.Event, map[types.EntityID][]int32, map[types.EntityID][]int32, error) {
+	block := make([]byte, pi.length)
+	if _, err := f.ReadAt(block, int64(pi.off)); err != nil {
+		return nil, nil, nil, fmt.Errorf("storage: segment %s: read partition (%d,%d): %w", sf.path, pi.key.agent, pi.key.day, err)
+	}
+	if crc32.Checksum(block, castagnoli) != pi.crc {
+		return nil, nil, nil, fmt.Errorf("storage: segment %s: partition (%d,%d): checksum mismatch", sf.path, pi.key.agent, pi.key.day)
+	}
+	d := &decoder{b: block}
+	events := make([]types.Event, 0, pi.nEvents)
+	for i := 0; i < pi.nEvents && d.err == nil; i++ {
+		events = append(events, d.event())
+	}
+	bySubject := d.postings(pi.nEvents)
+	byObject := d.postings(pi.nEvents)
+	if d.err != nil {
+		return nil, nil, nil, fmt.Errorf("storage: segment %s: partition (%d,%d): %w", sf.path, pi.key.agent, pi.key.day, d.err)
+	}
+	if d.off != len(block) {
+		return nil, nil, nil, fmt.Errorf("storage: segment %s: partition (%d,%d): trailing bytes", sf.path, pi.key.agent, pi.key.day)
+	}
+	return events, bySubject, byObject, nil
+}
+
+// loadEntities reads, verifies and decodes the entity block.
+func (sf *segmentFile) loadEntities(f *os.File) ([]types.Entity, error) {
+	block := make([]byte, sf.entityLen)
+	if _, err := f.ReadAt(block, int64(sf.entityOff)); err != nil {
+		return nil, fmt.Errorf("storage: segment %s: read entities: %w", sf.path, err)
+	}
+	if crc32.Checksum(block, castagnoli) != sf.entityCRC {
+		return nil, fmt.Errorf("storage: segment %s: entity checksum mismatch", sf.path)
+	}
+	d := &decoder{b: block}
+	entities := make([]types.Entity, 0, sf.nEntities)
+	for i := 0; i < sf.nEntities && d.err == nil; i++ {
+		entities = append(entities, d.entity())
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("storage: segment %s: entities: %w", sf.path, d.err)
+	}
+	if d.off != len(block) {
+		return nil, fmt.Errorf("storage: segment %s: entities: trailing bytes", sf.path)
+	}
+	return entities, nil
+}
+
+// events returns the total event count across the segment's partitions.
+func (sf *segmentFile) events() int {
+	n := 0
+	for i := range sf.parts {
+		n += sf.parts[i].nEvents
+	}
+	return n
+}

@@ -171,6 +171,18 @@ func (sn *Snapshot) scan(ctx context.Context, q *DataQuery, onClose func()) Curs
 		return NewErrCursor(err)
 	}
 
+	// Count the cursor as live until its close hook runs. Every cursor
+	// constructed below runs its onClose exactly once (guarded by each
+	// cursor's own done/once state), on exhaustion, Close, or cancel alike.
+	sn.store.liveCursors.Add(1)
+	inner := onClose
+	onClose = func() {
+		sn.store.liveCursors.Add(-1)
+		if inner != nil {
+			inner()
+		}
+	}
+
 	var subjCand, objCand map[types.EntityID]struct{}
 	if !q.ForceScan {
 		subjCand = sn.candidateSet(q.SubjType, q.SubjPred, q.SubjAllowed)
@@ -453,6 +465,12 @@ func (sn *Snapshot) probeIndex(t types.EntityType, p pred.Pred) (map[types.Entit
 // selectPartitions applies spatial and temporal partition pruning over the
 // snapshot's ordered partition views.
 func (sn *Snapshot) selectPartitions(q *DataQuery) []*partView {
+	// An empty window (To <= From while bounded, including the To == 0
+	// "half-built" form some wire queries carry) matches no instant; probing
+	// DayIndex(To-1) for it would fabricate a day range ending at day -1.
+	if q.Window.Empty() {
+		return nil
+	}
 	if sn.opts.DisablePruning {
 		return sn.parts
 	}
@@ -463,8 +481,12 @@ func (sn *Snapshot) selectPartitions(q *DataQuery) []*partView {
 			agentSet[a] = struct{}{}
 		}
 	}
-	minDay, maxDay := -1, -1
-	if !q.Window.Unbounded() {
+	// dayBounded is an explicit flag, not a sentinel day value: with floor
+	// division, day indexes are negative for pre-epoch data, so no integer
+	// can double as "unbounded".
+	dayBounded := !q.Window.Unbounded()
+	var minDay, maxDay int
+	if dayBounded {
 		minDay = timeutil.DayIndex(q.Window.From)
 		maxDay = timeutil.DayIndex(q.Window.To - 1)
 	}
@@ -475,7 +497,7 @@ func (sn *Snapshot) selectPartitions(q *DataQuery) []*partView {
 				continue
 			}
 		}
-		if minDay >= 0 && (p.key.day < minDay || p.key.day > maxDay) {
+		if dayBounded && (p.key.day < minDay || p.key.day > maxDay) {
 			continue
 		}
 		out = append(out, p)

@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"aiql/internal/pred"
 	"aiql/internal/timeutil"
@@ -123,6 +124,11 @@ type Store struct {
 	// liveSnaps counts snapshots not yet closed. While zero, the shared
 	// flags are cleared lazily instead of triggering clones.
 	liveSnaps int
+	// liveCursors counts scan cursors opened against this store's
+	// snapshots and not yet finished — the cursor-level companion of
+	// liveSnaps for leak hunting (atomic: cursors close on consumer
+	// goroutines that must not take the store lock).
+	liveCursors atomic.Int64
 }
 
 // New creates an empty store with the given options.
@@ -189,6 +195,16 @@ func (s *Store) LiveSnapshots() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.liveSnaps
+}
+
+// LiveCursors returns the number of scan cursors opened against this
+// store's snapshots and not yet exhausted or closed. Together with
+// LiveSnapshots it is the leak diagnostic tests assert returns to baseline
+// after every execution path, error paths included: an execution that
+// errors without closing its cursor strands the producer goroutines and
+// the copy-on-write protection they rely on.
+func (s *Store) LiveCursors() int {
+	return int(s.liveCursors.Load())
 }
 
 // cowMetaLocked makes the entity maps safe to mutate: if a live snapshot
@@ -272,6 +288,42 @@ func (s *Store) addEventLocked(ev *types.Event) {
 	p.bySubject[ev.Subject] = append(p.bySubject[ev.Subject], pos)
 	p.byObject[ev.Object] = append(p.byObject[ev.Object], pos)
 	s.eventCount++
+}
+
+// installPartition installs a fully-formed partition decoded from an
+// on-disk segment: events already sorted by (Start, Seq) and posting lists
+// already built, so the common case is a pointer hand-off with no
+// re-indexing. When the partition key already exists — WAL replay ran
+// before the segment loaded, or two segments straddle the same (agent,
+// day) — the events are appended one by one and the partition marked
+// dirty, deferring the merge sort and posting rebuild to the next
+// snapshot, exactly like out-of-order ingest.
+func (s *Store) installPartition(key partKey, events []types.Event, bySubject, byObject map[types.EntityID][]int32) {
+	if len(events) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.parts[key]
+	if !ok {
+		p = &partition{key: key, events: events, bySubject: bySubject, byObject: byObject}
+		s.parts[key] = p
+		s.insertPartLocked(p)
+		s.eventCount += len(events)
+		return
+	}
+	s.cowPartLocked(p)
+	for i := range events {
+		ev := &events[i]
+		pos := int32(len(p.events))
+		if !p.dirty && pos > 0 && eventLess(ev, &p.events[pos-1]) {
+			p.dirty = true
+		}
+		p.events = append(p.events, *ev)
+		p.bySubject[ev.Subject] = append(p.bySubject[ev.Subject], pos)
+		p.byObject[ev.Object] = append(p.byObject[ev.Object], pos)
+	}
+	s.eventCount += len(events)
 }
 
 // insertPartLocked keeps partList sorted by (day, agent) with one binary

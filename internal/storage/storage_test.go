@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -402,4 +403,151 @@ func TestEmptyStore(t *testing.T) {
 	if st.Entity(1) != nil {
 		t.Error("empty store returned an entity")
 	}
+}
+
+// TestPreEpochPartitioning pins the floor-division day semantics at the
+// storage layer: events one millisecond either side of the epoch belong to
+// two distinct partitions (day -1 and day 0), day-windowed queries return
+// exactly their own day, and an epoch-straddling window finds both — with
+// truncating division both events collapsed onto day 0 and the pre-epoch
+// day was unreachable by pruning.
+func TestPreEpochPartitioning(t *testing.T) {
+	st := New(Options{})
+	proc := types.Entity{ID: 1, Type: types.EntityProcess, AgentID: 1, Attrs: map[string]string{types.AttrExeName: "/bin/x"}}
+	file := types.Entity{ID: 2, Type: types.EntityFile, AgentID: 1, Attrs: map[string]string{types.AttrName: "/f"}}
+	events := []types.Event{
+		{ID: 1, AgentID: 1, Subject: 1, Object: 2, Op: types.OpWrite, Start: -1, Seq: 1},
+		{ID: 2, AgentID: 1, Subject: 1, Object: 2, Op: types.OpWrite, Start: 0, Seq: 2},
+		{ID: 3, AgentID: 1, Subject: 1, Object: 2, Op: types.OpWrite, Start: -timeutil.DayMillis, Seq: 3},
+	}
+	st.Ingest(types.NewDataset([]types.Entity{proc, file}, events))
+
+	if got := st.PartitionCount(); got != 2 {
+		t.Fatalf("partitions = %d, want 2 (day -1 and day 0)", got)
+	}
+	if got := st.Days(); len(got) != 2 || got[0] != -1 || got[1] != 0 {
+		t.Fatalf("days = %v, want [-1 0]", got)
+	}
+
+	base := &DataQuery{SubjType: types.EntityProcess, ObjType: types.EntityFile, Ops: types.NewOpSet(types.OpWrite)}
+
+	dayQ := *base
+	dayQ.Window = timeutil.DayWindow(-1)
+	out := st.Run(&dayQ)
+	if len(out) != 2 {
+		t.Fatalf("day -1 query found %d events, want 2", len(out))
+	}
+	for _, m := range out {
+		if timeutil.DayIndex(m.Event.Start) != -1 {
+			t.Fatalf("day -1 query leaked event at t=%d", m.Event.Start)
+		}
+	}
+
+	straddle := *base
+	straddle.Window = timeutil.Window{From: -10, To: 10}
+	if out := st.Run(&straddle); len(out) != 2 {
+		t.Fatalf("epoch-straddling query found %d events, want 2 (t=-1 and t=0)", len(out))
+	}
+
+	// To == 0 with a bounded From is an empty window, not "unbounded
+	// above": it must match nothing rather than fabricate a day range.
+	empty := *base
+	empty.Window = timeutil.Window{From: -10, To: 0}
+	if out := st.Run(&empty); len(out) != 1 {
+		t.Fatalf("window [-10,0) found %d events, want 1 (t=-1)", len(out))
+	}
+	halfBuilt := *base
+	halfBuilt.Window = timeutil.Window{From: 10, To: 0}
+	if out := st.Run(&halfBuilt); len(out) != 0 {
+		t.Fatalf("empty window {10,0} found %d events, want 0", len(out))
+	}
+}
+
+// TestLiveCursorAccounting drives every way a cursor's life can end —
+// clean exhaustion, early Close, double Close, context cancellation before
+// and during the scan, limit cut-off, and the empty-result fast path — and
+// asserts the live-cursor and live-snapshot counters return to baseline
+// after each. A counter stuck above zero means some path stranded producer
+// goroutines or left the store paying copy-on-write for a dead reader.
+func TestLiveCursorAccounting(t *testing.T) {
+	st, _ := buildFixture(Options{})
+	q := &DataQuery{SubjType: types.EntityProcess, ObjType: types.EntityFile, Ops: types.NewOpSet(types.OpWrite)}
+	assertBaseline := func(step string) {
+		t.Helper()
+		if n := st.LiveCursors(); n != 0 {
+			t.Fatalf("%s: %d cursors live, want 0", step, n)
+		}
+		if n := st.LiveSnapshots(); n != 0 {
+			t.Fatalf("%s: %d snapshots live, want 0", step, n)
+		}
+	}
+
+	// Clean exhaustion via Drain (Close afterwards is a no-op).
+	c := st.Scan(context.Background(), q)
+	if got := st.LiveCursors(); got != 1 {
+		t.Fatalf("open scan: %d cursors live, want 1", got)
+	}
+	Drain(c)
+	c.Close()
+	assertBaseline("drain")
+
+	// Early close without reading anything.
+	st.Scan(context.Background(), q).Close()
+	assertBaseline("early close")
+
+	// Double close stays balanced.
+	c = st.Scan(context.Background(), q)
+	c.Close()
+	c.Close()
+	assertBaseline("double close")
+
+	// Context canceled before the scan starts: no cursor ever goes live.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	c = st.Scan(canceled, q)
+	if c.Err() == nil {
+		Drain(c)
+	}
+	c.Close()
+	assertBaseline("pre-canceled")
+
+	// Cancellation mid-stream.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	c = st.Scan(ctx, q)
+	batch := make([]Match, 8)
+	c.Next(batch)
+	cancel2()
+	for c.Next(batch) > 0 {
+	}
+	c.Close()
+	assertBaseline("mid-cancel")
+
+	// Limit cut-off.
+	lq := *q
+	lq.Limit = 3
+	c = st.Scan(context.Background(), &lq)
+	Drain(c)
+	c.Close()
+	assertBaseline("limit")
+
+	// Empty result fast path (impossible window).
+	eq := *q
+	eq.Window = timeutil.Window{From: 10, To: 0}
+	c = st.Scan(context.Background(), &eq)
+	Drain(c)
+	c.Close()
+	assertBaseline("empty")
+
+	// Snapshot-level scans count against the owning store too.
+	snap := st.Snapshot()
+	c = snap.Scan(context.Background(), q)
+	if got := st.LiveCursors(); got != 1 {
+		t.Fatalf("snapshot scan: %d cursors live, want 1", got)
+	}
+	c.Close()
+	if got := st.LiveCursors(); got != 0 {
+		t.Fatalf("closed snapshot scan: %d cursors live, want 0", got)
+	}
+	snap.Close()
+	assertBaseline("snapshot scan")
 }

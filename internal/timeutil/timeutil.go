@@ -46,8 +46,21 @@ func (w Window) Intersect(o Window) Window {
 	if out.To < out.From {
 		out.To = out.From // empty
 	}
+	if out == (Window{}) {
+		// An empty intersection landing exactly at the origin would read
+		// as the unbounded zero Window; any empty window is equivalent,
+		// so use one off the origin.
+		out = EmptyWindow()
+	}
 	return out
 }
+
+// EmptyWindow returns a canonical window containing no instants. It is
+// deliberately not the zero Window, which means "unbounded" — code
+// synthesizing possibly-empty windows from data (temporal joins over
+// pre-epoch timestamps can place an empty range exactly at the origin)
+// must use this form so the result never reads as "no constraint".
+func EmptyWindow() Window { return Window{From: 1, To: 1} }
 
 // Empty reports whether a bounded window contains no instants.
 func (w Window) Empty() bool { return !w.Unbounded() && w.To <= w.From }
@@ -72,9 +85,22 @@ const dayMillis = 24 * 60 * 60 * 1000
 // DayMillis is the length of one day in milliseconds.
 const DayMillis = dayMillis
 
+// MinMillis and MaxMillis are the sentinel bounds for half-unbounded
+// windows: a "no lower bound" window uses From = MinMillis and a "no upper
+// bound" window uses To = MaxMillis, keeping the window distinct from the
+// zero (fully unbounded) Window while containing every representable
+// timestamp — including pre-epoch (negative) ones, which a From of 0 or 1
+// would wrongly exclude.
+const (
+	MinMillis Millis = -(1 << 62)
+	MaxMillis Millis = 1 << 62
+)
+
 // SplitByDay partitions a bounded window at UTC day boundaries, producing
 // the per-day sub-windows the engine executes in parallel. An unbounded
-// window is returned unchanged as a single element.
+// window is returned unchanged as a single element. Day boundaries are
+// floor-aligned, so a window straddling the epoch splits at t=0 instead of
+// fusing the pre-epoch remainder into day 0's sub-window.
 func SplitByDay(w Window) []Window {
 	if w.Unbounded() || w.Empty() {
 		return []Window{w}
@@ -82,7 +108,7 @@ func SplitByDay(w Window) []Window {
 	var out []Window
 	cur := w.From
 	for cur < w.To {
-		next := (cur/dayMillis + 1) * dayMillis
+		next := int64(DayIndex(cur)+1) * dayMillis
 		if next > w.To {
 			next = w.To
 		}
@@ -93,8 +119,18 @@ func SplitByDay(w Window) []Window {
 }
 
 // DayIndex returns the UTC day number of a timestamp, the storage layer's
-// temporal partition key.
-func DayIndex(t Millis) int { return int(t / dayMillis) }
+// temporal partition key. The division floors: pre-epoch timestamps map to
+// negative day numbers (DayIndex(-1) == -1), so the day boundary at the
+// epoch separates two distinct days instead of collapsing [-day, day) onto
+// day 0 — truncating division here once made mpp.Placement shard
+// assignment disagree with partition selection for pre-epoch events.
+func DayIndex(t Millis) int {
+	day := t / dayMillis
+	if t%dayMillis != 0 && t < 0 {
+		day--
+	}
+	return int(day)
+}
 
 // DayWindow returns the window covering the given UTC day number.
 func DayWindow(day int) Window {

@@ -231,3 +231,117 @@ func TestFormatMillis(t *testing.T) {
 		t.Errorf("FormatMillis = %q", got)
 	}
 }
+
+// TestDayIndexFloorsPreEpoch pins the floor-division semantics: pre-epoch
+// timestamps belong to negative days, and every millisecond of day -1 maps
+// to -1 — truncating division used to fold [-DayMillis+1, DayMillis-1]
+// onto day 0, collapsing two distinct days.
+func TestDayIndexFloorsPreEpoch(t *testing.T) {
+	cases := []struct {
+		t    Millis
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{DayMillis - 1, 0},
+		{DayMillis, 1},
+		{-1, -1},
+		{-DayMillis + 1, -1},
+		{-DayMillis, -1},
+		{-DayMillis - 1, -2},
+		{-2 * DayMillis, -2},
+	}
+	for _, tc := range cases {
+		if got := DayIndex(tc.t); got != tc.want {
+			t.Errorf("DayIndex(%d) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+}
+
+// TestDayIndexWindowRoundTrip holds DayIndex and DayWindow inverse over
+// negative days too: every timestamp inside DayWindow(d) indexes back to d.
+func TestDayIndexWindowRoundTrip(t *testing.T) {
+	for _, day := range []int{-20000, -2, -1, 0, 1, 17155} {
+		w := DayWindow(day)
+		for _, ts := range []Millis{w.From, w.From + 1, w.To - 1} {
+			if got := DayIndex(ts); got != day {
+				t.Errorf("DayIndex(%d) = %d, want %d (window %v)", ts, got, day, w)
+			}
+			if !w.Contains(ts) {
+				t.Errorf("DayWindow(%d) does not contain %d", day, ts)
+			}
+		}
+	}
+	if err := quick.Check(func(ts int64) bool {
+		return DayWindow(DayIndex(ts)).Contains(ts)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitByDayStraddlesEpoch: a window crossing t=0 must split at the
+// epoch (a day boundary), not at the truncation artifact +DayMillis.
+func TestSplitByDayStraddlesEpoch(t *testing.T) {
+	w := Window{From: -1500, To: 2500}
+	parts := SplitByDay(w)
+	if len(parts) != 2 {
+		t.Fatalf("SplitByDay(%v) = %v, want 2 windows split at the epoch", w, parts)
+	}
+	if parts[0] != (Window{From: -1500, To: 0}) || parts[1] != (Window{From: 0, To: 2500}) {
+		t.Fatalf("SplitByDay(%v) = %v, want [{-1500 0} {0 2500}]", w, parts)
+	}
+	// Multi-day pre-epoch window: every piece stays within one day.
+	w = Window{From: -2*DayMillis - 7, To: DayMillis + 3}
+	for _, p := range SplitByDay(w) {
+		if DayIndex(p.From) != DayIndex(p.To-1) {
+			t.Errorf("sub-window %v spans days %d..%d", p, DayIndex(p.From), DayIndex(p.To-1))
+		}
+	}
+}
+
+// TestHalfUnboundedSentinels: the MinMillis/MaxMillis sentinels must form
+// valid bounded windows that contain every realistic timestamp, including
+// negative ones, without colliding with the zero (unbounded) Window.
+func TestHalfUnboundedSentinels(t *testing.T) {
+	low := Window{From: MinMillis, To: 42}
+	if low.Unbounded() || low.Empty() {
+		t.Fatalf("half-unbounded low window misclassified: %+v", low)
+	}
+	if !low.Contains(-DayMillis) || !low.Contains(0) || low.Contains(42) {
+		t.Error("half-unbounded low window bounds wrong")
+	}
+	high := Window{From: -42, To: MaxMillis}
+	if high.Unbounded() || high.Empty() {
+		t.Fatalf("half-unbounded high window misclassified: %+v", high)
+	}
+	if !high.Contains(1<<40) || high.Contains(-43) {
+		t.Error("half-unbounded high window bounds wrong")
+	}
+	// A To of 0 with a bounded From is an empty window, not an unbounded
+	// one; DayIndex(To-1) callers special-case it via Empty.
+	weird := Window{From: 5, To: 0}
+	if !weird.Empty() || weird.Contains(5) {
+		t.Error("Window{5, 0} must be empty")
+	}
+}
+
+// TestIntersectEmptyAtOriginIsNotUnbounded: an empty intersection landing
+// exactly at t=0 must not collapse to the zero Window, which means
+// "unbounded" — temporal pushdown over pre-epoch events produces exactly
+// this shape ([MinMillis, 0) ∩ [0, x)) and would otherwise silently lose
+// its constraint.
+func TestIntersectEmptyAtOriginIsNotUnbounded(t *testing.T) {
+	got := Window{From: MinMillis, To: 0}.Intersect(Window{From: 0, To: 500})
+	if got.Unbounded() {
+		t.Fatalf("empty-at-origin intersection = %+v, reads as unbounded", got)
+	}
+	if !got.Empty() {
+		t.Fatalf("intersection %+v should be empty", got)
+	}
+	if got.Contains(0) || got.Contains(-1) {
+		t.Fatal("empty intersection must contain nothing")
+	}
+	if w := EmptyWindow(); !w.Empty() || w.Unbounded() {
+		t.Fatalf("EmptyWindow() = %+v, want empty and bounded", w)
+	}
+}

@@ -1,0 +1,488 @@
+// Package wal implements the checksummed, sequence-numbered write-ahead
+// log underneath the storage layer's persistent mode. The log is a
+// directory of append-only files; every record carries a monotonically
+// increasing sequence number and a CRC-32C over its payload, so recovery
+// can (a) detect and discard a torn final record left by a crash
+// mid-append and (b) skip records that an immutable segment file already
+// covers, making "apply each record exactly once" a property of the
+// on-disk format rather than of careful shutdown.
+//
+// On-disk format (all integers little-endian):
+//
+//	file   := magic record*            magic = "AIQLWAL1"
+//	record := seq(u64) len(u32) crc(u32) payload[len]
+//
+// Files are named wal-<first-seq, 16 hex digits>.log. Only the highest-
+// numbered file is ever appended to; Rotate seals it and starts the next.
+// Corruption in a sealed file is an error (sealed files were synced before
+// their successor was created); a torn tail in the active file is the
+// expected signature of a crash and is truncated away on Open.
+//
+// The log knows nothing about what the payloads mean — the storage layer
+// encodes ingest batches into them and replays them through its own codec.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	magic     = "AIQLWAL1"
+	headerLen = 8 + 4 + 4 // seq + len + crc
+	// MaxRecordBytes bounds one record's payload: a length field beyond it
+	// is treated as corruption rather than attempted as an allocation.
+	MaxRecordBytes = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tune a Log. The zero value is usable.
+type Options struct {
+	// MaxFileBytes rotates the active file once it exceeds this size
+	// (default 64 MiB). Rotation also happens explicitly before
+	// compaction, so this only bounds individual file size.
+	MaxFileBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFileBytes == 0 {
+		o.MaxFileBytes = 64 << 20
+	}
+	return o
+}
+
+// FileInfo describes one log file's sequence range.
+type FileInfo struct {
+	Path    string
+	First   uint64 // first sequence number present (0 if the file is empty)
+	Last    uint64 // last sequence number present (0 if the file is empty)
+	Records int
+	Bytes   int64
+}
+
+// Log is an append-only record log in a directory. Append, Sync, Rotate
+// and RemoveThrough are safe for concurrent use; Replay must not run
+// concurrently with Append.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu          sync.Mutex
+	active      *os.File
+	activeInfo  FileInfo
+	activeFirst uint64 // seq the active file is named for
+	sealed      []FileInfo
+	nextSeq     uint64
+}
+
+// Open scans dir (creating it if needed), validates every file, truncates
+// a torn tail off the newest file, and returns a log ready to append. The
+// returned log's NextSeq continues the sequence where the files left off.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	names, err := listFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		info, err := validateFile(path, i == len(names)-1)
+		if err != nil {
+			return nil, err
+		}
+		if info.Records > 0 {
+			if info.First < l.nextSeq {
+				return nil, fmt.Errorf("wal: %s starts at seq %d, want >= %d (overlapping files)", name, info.First, l.nextSeq)
+			}
+			l.nextSeq = info.Last + 1
+		}
+		l.sealed = append(l.sealed, info)
+	}
+	// Reopen the newest file for appending; if none exists, the first
+	// Append creates one.
+	if n := len(l.sealed); n > 0 {
+		last := l.sealed[n-1]
+		f, err := os.OpenFile(last.Path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.active = f
+		l.activeInfo = last
+		l.activeFirst = seqFromName(filepath.Base(last.Path))
+		l.sealed = l.sealed[:n-1]
+	}
+	return l, nil
+}
+
+// listFiles returns the wal-*.log names in dir sorted by their first-seq
+// file name component.
+func listFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.Type().IsRegular() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return seqFromName(names[i]) < seqFromName(names[j]) })
+	return names, nil
+}
+
+func seqFromName(name string) uint64 {
+	s := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	n, _ := strconv.ParseUint(s, 16, 64)
+	return n
+}
+
+func fileName(first uint64) string { return fmt.Sprintf("wal-%016x.log", first) }
+
+// validateFile walks one file's records. For the newest (active-at-crash)
+// file a torn or corrupt tail is truncated away; anywhere else corruption
+// is an error, because sealed files were fully written and synced before
+// their successor existed.
+func validateFile(path string, tolerateTornTail bool) (FileInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FileInfo{}, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	info := FileInfo{Path: path}
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		if tolerateTornTail {
+			// A crash can land between file creation and the magic write.
+			info.Bytes = int64(len(magic))
+			return info, truncateAt(path, 0, true)
+		}
+		return FileInfo{}, fmt.Errorf("wal: %s: short magic: %w", path, err)
+	}
+	if string(hdr) != magic {
+		return FileInfo{}, fmt.Errorf("wal: %s: bad magic %q", path, hdr)
+	}
+	good := int64(len(magic))
+	rh := make([]byte, headerLen)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, rh); err != nil {
+			if err == io.EOF {
+				break // clean end
+			}
+			// Torn record header.
+			if tolerateTornTail {
+				info.Bytes = good
+				return info, truncateAt(path, good, false)
+			}
+			return FileInfo{}, fmt.Errorf("wal: %s: torn record header at %d in sealed file", path, good)
+		}
+		seq := binary.LittleEndian.Uint64(rh[0:8])
+		n := binary.LittleEndian.Uint32(rh[8:12])
+		crc := binary.LittleEndian.Uint32(rh[12:16])
+		bad := ""
+		if n > MaxRecordBytes {
+			bad = "implausible record length"
+		} else {
+			if cap(payload) < int(n) {
+				payload = make([]byte, n)
+			}
+			payload = payload[:n]
+			if _, err := io.ReadFull(f, payload); err != nil {
+				bad = "torn payload"
+			} else if crc32.Checksum(payload, castagnoli) != crc {
+				bad = "checksum mismatch"
+			} else if info.Records > 0 && seq != info.Last+1 {
+				bad = "sequence gap"
+			}
+		}
+		if bad != "" {
+			if tolerateTornTail {
+				info.Bytes = good
+				return info, truncateAt(path, good, false)
+			}
+			return FileInfo{}, fmt.Errorf("wal: %s: %s at offset %d in sealed file", path, bad, good)
+		}
+		if info.Records == 0 {
+			info.First = seq
+		}
+		info.Last = seq
+		info.Records++
+		good += headerLen + int64(len(payload))
+	}
+	info.Bytes = good
+	return info, nil
+}
+
+// truncateAt cuts a file to length n (rewriting the magic when the file
+// was torn before the magic finished).
+func truncateAt(path string, n int64, rewriteMagic bool) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	if rewriteMagic {
+		if err := f.Truncate(0); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Write([]byte(magic)); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	} else if err := f.Truncate(n); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return f.Sync()
+}
+
+// Append writes one record and returns its sequence number. The write is
+// buffered by the OS; call Sync to force it to stable storage (the
+// persistent store batches syncs across appends).
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecordBytes {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil || l.activeInfo.Bytes >= l.opts.MaxFileBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	seq := l.nextSeq
+	var hdr [headerLen]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], seq)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(payload, castagnoli))
+	if _, err := l.active.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.active.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if l.activeInfo.Records == 0 {
+		l.activeInfo.First = seq
+	}
+	l.activeInfo.Last = seq
+	l.activeInfo.Records++
+	l.activeInfo.Bytes += headerLen + int64(len(payload))
+	l.nextSeq = seq + 1
+	return seq, nil
+}
+
+// Sync forces appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Rotate seals the active file (sync + close) and arranges for the next
+// Append to start a fresh one. It returns the sealed files' infos — the
+// compactor's input set. Rotating an empty log is a no-op.
+func (l *Log) Rotate() ([]FileInfo, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active != nil {
+		if err := l.sealActiveLocked(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]FileInfo, len(l.sealed))
+	copy(out, l.sealed)
+	return out, nil
+}
+
+func (l *Log) sealActiveLocked() error {
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := l.active.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if l.activeInfo.Records == 0 {
+		// Nothing ever landed in it; reuse rather than accumulate empties.
+		if err := os.Remove(l.activeInfo.Path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	} else {
+		l.sealed = append(l.sealed, l.activeInfo)
+	}
+	l.active = nil
+	l.activeInfo = FileInfo{}
+	return nil
+}
+
+// rotateLocked seals the current file if any and opens the next one.
+func (l *Log) rotateLocked() error {
+	if l.active != nil {
+		if err := l.sealActiveLocked(); err != nil {
+			return err
+		}
+	}
+	path := filepath.Join(l.dir, fileName(l.nextSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write([]byte(magic)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.active = f
+	l.activeFirst = l.nextSeq
+	l.activeInfo = FileInfo{Path: path, Bytes: int64(len(magic))}
+	return nil
+}
+
+// Replay streams every record with seq > after, oldest first, to fn. A
+// non-nil error from fn aborts the replay. Replay reads from disk, so it
+// observes exactly what recovery would.
+func (l *Log) Replay(after uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	files := make([]FileInfo, 0, len(l.sealed)+1)
+	files = append(files, l.sealed...)
+	if l.active != nil && l.activeInfo.Records > 0 {
+		// Flush OS buffers? os.File writes land in the page cache
+		// immediately; a same-process reader sees them without a sync.
+		files = append(files, l.activeInfo)
+	}
+	l.mu.Unlock()
+	for _, info := range files {
+		if info.Records == 0 || info.Last <= after {
+			continue
+		}
+		if err := replayFile(info, after, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replayFile(info FileInfo, after uint64, fn func(uint64, []byte) error) error {
+	f, err := os.Open(info.Path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, hdr); err != nil || string(hdr) != magic {
+		return fmt.Errorf("wal: %s: bad magic on replay", info.Path)
+	}
+	rh := make([]byte, headerLen)
+	read := int64(len(magic))
+	for read < info.Bytes {
+		if _, err := io.ReadFull(f, rh); err != nil {
+			return fmt.Errorf("wal: %s: replay read: %w", info.Path, err)
+		}
+		seq := binary.LittleEndian.Uint64(rh[0:8])
+		n := binary.LittleEndian.Uint32(rh[8:12])
+		crc := binary.LittleEndian.Uint32(rh[12:16])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return fmt.Errorf("wal: %s: replay read: %w", info.Path, err)
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return fmt.Errorf("wal: %s: checksum mismatch on replay at seq %d", info.Path, seq)
+		}
+		read += headerLen + int64(n)
+		if seq <= after {
+			continue
+		}
+		if err := fn(seq, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveThrough deletes sealed files whose every record is <= seq — the
+// cleanup step after a compaction made those records redundant. Files that
+// straddle the boundary are kept (their covered records are skipped on
+// replay by sequence number).
+func (l *Log) RemoveThrough(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.sealed[:0]
+	for _, info := range l.sealed {
+		if info.Records > 0 && info.Last <= seq {
+			if err := os.Remove(info.Path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, info)
+	}
+	l.sealed = kept
+	return nil
+}
+
+// Depth reports the records and bytes currently held across all files —
+// the "WAL depth" a server exposes and the compactor's trigger input.
+func (l *Log) Depth() (records int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, info := range l.sealed {
+		records += info.Records
+		bytes += info.Bytes
+	}
+	records += l.activeInfo.Records
+	bytes += l.activeInfo.Bytes
+	return records, bytes
+}
+
+// LastSeq returns the highest sequence number ever appended (0 if none).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// AdvanceTo raises the next sequence number to at least seq+1. Callers
+// whose compacted segments cover sequences the log's files no longer hold
+// must advance past the covered range after Open — otherwise a log whose
+// every file was deleted by compaction would restart at 1 and new records
+// would collide with (and be skipped as) already-covered sequences.
+func (l *Log) AdvanceTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nextSeq <= seq {
+		l.nextSeq = seq + 1
+	}
+}
+
+// Close syncs and closes the active file. The log must not be used after.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active == nil {
+		return nil
+	}
+	err := l.active.Sync()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.active = nil
+	return err
+}
