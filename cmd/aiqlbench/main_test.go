@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildAiqlbench compiles the binary once per test into a temp dir,
+// mirroring the sibling command smoke tests.
+func buildAiqlbench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "aiqlbench")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestConcisenessExperimentsRun covers the dataset-free experiments
+// (fig8/table4/table5 need no generated events): exit code 0 and the
+// expected report headings on stdout.
+func TestConcisenessExperimentsRun(t *testing.T) {
+	bin := buildAiqlbench(t)
+	out, err := exec.Command(bin, "-exp", "table5").CombinedOutput()
+	if err != nil {
+		t.Fatalf("aiqlbench -exp table5 exited with %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"Table 5", "AIQL"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDatasetExperimentRuns boots one dataset-backed experiment on a tiny
+// configuration: the generator, storage, engine and report pipeline all
+// work end to end through the real binary.
+func TestDatasetExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping dataset generation")
+	}
+	bin := buildAiqlbench(t)
+	out, err := exec.Command(bin, "-exp", "table3", "-hosts", "10", "-days", "3", "-events", "20", "-seed", "7").CombinedOutput()
+	if err != nil {
+		t.Fatalf("aiqlbench -exp table3 exited with %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, want := range []string{"dataset ready", "Table 3"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestUnknownExperimentExitsNonZero pins the usage-error path.
+func TestUnknownExperimentExitsNonZero(t *testing.T) {
+	bin := buildAiqlbench(t)
+	out, err := exec.Command(bin, "-exp", "fig99").CombinedOutput()
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("expected non-zero exit, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "unknown experiment") {
+		t.Errorf("output missing the unknown-experiment hint:\n%s", out)
+	}
+}

@@ -18,6 +18,14 @@
 //	aiqlgen -hosts 2 -days 1 -o more.jsonl &&
 //	    curl -s -X POST localhost:7381/ingest --data-binary @more.jsonl
 //
+// Continuous queries (docs/STREAMING.md): standing AIQL rules are matched
+// against events as they are ingested, with live NDJSON/SSE delivery:
+//
+//	curl -s localhost:7381/rules -d '{"query": "proc p read file f[\"%id_rsa\"] return p, f", "backfill": true}'
+//	curl -Ns localhost:7381/subscribe/r1          # NDJSON stream
+//	curl -Ns -H 'Accept: text/event-stream' localhost:7381/subscribe/r1
+//	curl -s -X DELETE localhost:7381/rules/r1
+//
 // Durable deployment (docs/STORAGE.md): -data-dir makes the store
 // disk-backed — ingests append to a write-ahead log, a compactor folds the
 // log into immutable segment files, and a restart (even kill -9) recovers
@@ -82,11 +90,16 @@ func main() {
 		walFlush  = flag.Duration("wal-flush", 100*time.Millisecond, "group-commit fsync cadence for -wal-sync interval")
 		compactIv = flag.Duration("compact-interval", 30*time.Second, "background WAL-to-segment compaction cadence (-data-dir only)")
 		compactTh = flag.Int64("compact-threshold", 16<<20, "compact as soon as the WAL exceeds this many bytes (-data-dir only)")
+		maxRules  = flag.Int("max-rules", 64, "maximum registered continuous-query rules (POST /rules)")
+		streamBuf = flag.Int("stream-buffer", 256, "per-subscriber emission buffer and per-rule replay ring; a subscriber a full buffer behind is disconnected")
 	)
 	flag.Parse()
 
 	genCfg := gen.Config{Hosts: *hosts, Days: *days, BackgroundPerHostDay: *events, Seed: *seed}
-	srvOpts := server.Options{PlanCacheSize: *planCache, ResultCacheSize: *resCache}
+	srvOpts := server.Options{
+		PlanCacheSize: *planCache, ResultCacheSize: *resCache,
+		MaxRules: *maxRules, StreamBuffer: *streamBuf,
+	}
 
 	var srv *server.Server
 	var durable *storage.Persistent
@@ -169,9 +182,26 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "aiqld (%s) listening on %s (POST /query, POST /ingest, GET /stats, GET /healthz)\n", *role, *addr)
 
+	// closeDurable is the shutdown path every exit must take when the store
+	// is disk-backed: it flushes the group-commit WAL buffer (Close syncs
+	// the active file) and releases the directory lock, and announces
+	// success so operators — and the regression test — can assert the final
+	// sync actually ran rather than trusting the happy path.
+	closeDurable := func() {
+		if durable == nil {
+			return
+		}
+		if err := durable.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "aiqld: closing durable store: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "aiqld: durable store closed (wal synced)")
+	}
+
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			closeDurable()
 			fatalf("%v", err)
 		}
 	case <-ctx.Done():
@@ -180,13 +210,7 @@ func main() {
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}
-	if durable != nil {
-		// Final group-commit: batches acknowledged in the last flush
-		// interval reach stable storage before the process exits.
-		if err := durable.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "aiqld: closing durable store: %v\n", err)
-		}
-	}
+	closeDurable()
 }
 
 // durableConfig bundles the -data-dir companion flags.

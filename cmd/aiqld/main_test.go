@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -243,6 +244,69 @@ func TestRecoverySIGKILL(t *testing.T) {
 		if !strings.Contains(string(stats), key) {
 			t.Errorf("/stats missing %s after recovery:\n%s", key, stats)
 		}
+	}
+}
+
+// TestGracefulShutdownSIGTERM is the shutdown-path regression test: a
+// durable daemon whose group-commit flusher would not fire for an hour is
+// fed a batch and sent SIGTERM. The shutdown path must flush the WAL
+// buffer and close the store before exit — asserted by exit code 0, the
+// explicit close message, and a restart that still answers the marker
+// query (the restart also proves the directory lock was released).
+func TestGracefulShutdownSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping SIGTERM shutdown")
+	}
+	bin := buildAiqld(t)
+	dir := t.TempDir()
+	args := []string{
+		"-data-dir", dir,
+		// Group commit that never fires on its own: only the shutdown
+		// close path can sync the batch below within the test's lifetime.
+		"-wal-sync", "interval", "-wal-flush", "1h", "-compact-interval", "1h",
+	}
+	base, cmd := startDaemon(t, bin, args...)
+
+	extra := `{"kind":"entity","id":880001,"type":"proc","agentid":1,"attrs":{"exe_name":"/usr/bin/shutdown_proc","pid":"4243"}}
+{"kind":"entity","id":880002,"type":"file","agentid":1,"attrs":{"name":"/tmp/shutdown_file"}}
+{"kind":"event","id":880003,"agentid":1,"subject":880001,"object":880002,"op":"write","start":1488412800000,"seq":880003}
+`
+	resp, err := http.Post(base+"/ingest", "application/x-ndjson", strings.NewReader(extra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest returned %s", resp.Status)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+	stderr := cmd.Stderr.(*strings.Builder).String()
+	if !strings.Contains(stderr, "shutting down") {
+		t.Errorf("stderr missing shutdown notice:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "durable store closed") {
+		t.Errorf("stderr missing the store close confirmation:\n%s", stderr)
+	}
+
+	// Restart on the same directory: the batch acknowledged before SIGTERM
+	// must be there, and the lock must have been released.
+	base2, _ := startDaemon(t, bin, args...)
+	got := queryBody(t, base2, `proc p["/usr/bin/shutdown_proc"] write file f return p, f`)
+	if !strings.Contains(got, "shutdown_file") {
+		t.Errorf("batch lost across graceful shutdown: %s", got)
 	}
 }
 

@@ -71,6 +71,13 @@ type Coordinator struct {
 	// start across batches under ArrivalOrder so a stream of small /ingest
 	// batches stays balanced instead of piling onto shard 0.
 	scattered atomic.Uint64
+
+	// Continuous-query state (rules.go): the registry of coordinator rules
+	// and the merged-stream counters.
+	rulesMu         sync.Mutex
+	rules           map[string]*coordRule
+	ruleSeq         uint64
+	mergedEmissions atomic.Uint64
 }
 
 // New creates a coordinator over worker base URLs ("http://host:port").

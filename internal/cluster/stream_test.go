@@ -1,0 +1,324 @@
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"aiql/internal/cluster"
+	"aiql/internal/engine"
+	"aiql/internal/gen"
+	"aiql/internal/mpp"
+	"aiql/internal/parser"
+	"aiql/internal/queries"
+	"aiql/internal/server"
+	"aiql/internal/storage"
+	"aiql/internal/stream"
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+// streamWindowMs spans any test dataset: join-window expiry is exercised by
+// the stream package's own tests, not the cluster parity ones.
+const streamWindowMs = int64(1) << 41
+
+// startStreamWorkers boots workers sized for corpus replay: rings large
+// enough to retain every backfill emission and a rule budget covering
+// per-pattern sub-rule fan-out.
+func startStreamWorkers(n int) []*worker {
+	ws := make([]*worker, n)
+	for i := range ws {
+		st := storage.New(storage.Options{})
+		s := server.New(st, engine.New(st, engine.Options{}), server.Options{
+			MaxRules: 1024, StreamBuffer: 1 << 17,
+		})
+		s.SetShard(i)
+		w := &worker{store: st}
+		w.srv = httptest.NewServer(s.Handler())
+		ws[i] = w
+	}
+	return ws
+}
+
+func closeWorkers(ws []*worker) {
+	for _, w := range ws {
+		w.srv.Close()
+	}
+}
+
+// collectEmissions reads exactly want emissions then asserts the stream has
+// nothing further buffered.
+func collectEmissions(t *testing.T, rs *cluster.RuleStream, want int) [][]string {
+	t.Helper()
+	rows := make([][]string, 0, want)
+	deadline := time.After(30 * time.Second)
+	for len(rows) < want {
+		select {
+		case em, ok := <-rs.C():
+			if !ok {
+				t.Fatalf("stream ended after %d of %d emissions: err=%v reason=%q", len(rows), want, rs.Err(), rs.Reason())
+			}
+			rows = append(rows, em.Row)
+		case <-deadline:
+			t.Fatalf("timed out after %d of %d emissions", len(rows), want)
+		}
+	}
+	select {
+	case em, ok := <-rs.C():
+		if ok {
+			t.Fatalf("extra emission beyond the batch result: %v", em.Row)
+		}
+	case <-time.After(50 * time.Millisecond):
+	}
+	return rows
+}
+
+// TestClusterStreamCorpusParity is the distributed half of the golden
+// batch/stream parity criterion: every streamable corpus query, registered
+// through the coordinator over 3 workers (raw per-pattern fan-out +
+// coordinator-side join for multi-pattern rules) with backfill over the
+// scattered dataset, emits exactly the rows the batch engine returns over
+// the undivided store.
+func TestClusterStreamCorpusParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping corpus replay over the cluster")
+	}
+	ds := gen.Scenario(gen.Config{Hosts: 10, Days: 3, BackgroundPerHostDay: 300, Seed: 1})
+	single := storage.New(storage.Options{})
+	single.Ingest(ds)
+	batch := engine.New(single, engine.Options{})
+
+	workers := startStreamWorkers(3)
+	defer closeWorkers(workers)
+	coord, err := cluster.New(workerURLs(workers), cluster.Options{Placement: mpp.SemanticsAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Ingest(context.Background(), ds); err != nil {
+		t.Fatal(err)
+	}
+
+	corpus := append(queries.CaseStudy(), queries.Behaviors()...)
+	streamable := 0
+	for _, q := range corpus {
+		plan := compileOrSkip(t, q.Src)
+		if plan == nil || plan.Streamable() != nil {
+			continue
+		}
+		streamable++
+		want, err := batch.Query(q.Src)
+		if err != nil {
+			t.Fatalf("%s: batch execution failed: %v", q.ID, err)
+		}
+
+		info, err := coord.RegisterRule(context.Background(), stream.RuleSpec{
+			ID: "parity-" + q.ID, Query: q.Src, WindowMs: streamWindowMs, Backfill: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: register: %v", q.ID, err)
+		}
+		rs, _, err := coord.SubscribeRule(context.Background(), info.ID)
+		if err != nil {
+			t.Fatalf("%s: subscribe: %v", q.ID, err)
+		}
+		rows := collectEmissions(t, rs, len(want.Rows))
+		rs.Close()
+		if got, wantKey := queries.Canonical(rows), queries.Canonical(want.Rows); got != wantKey {
+			t.Errorf("%s: stream emitted a different result set than the batch engine (%d rows each)",
+				q.ID, len(rows))
+		}
+		if err := coord.DeleteRule(context.Background(), info.ID); err != nil {
+			t.Fatalf("%s: delete: %v", q.ID, err)
+		}
+	}
+	if streamable < 20 {
+		t.Fatalf("only %d corpus queries were streamable; the parity sweep is not exercising the corpus", streamable)
+	}
+	t.Logf("verified %d streamable corpus queries over a 3-worker cluster", streamable)
+}
+
+func compileOrSkip(t *testing.T, src string) *engine.Plan {
+	t.Helper()
+	q, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("corpus query no longer parses: %v", err)
+	}
+	plan, err := engine.Compile(q)
+	if err != nil {
+		t.Fatalf("corpus query no longer compiles: %v", err)
+	}
+	return plan
+}
+
+// TestClusterStreamCrossShardJoin pins the coordinator-side join: a
+// two-pattern rule whose constituent events land on different worker shards
+// still completes, which no worker-local matcher could do.
+func TestClusterStreamCrossShardJoin(t *testing.T) {
+	workers := startStreamWorkers(3)
+	defer closeWorkers(workers)
+	coord, err := cluster.New(workerURLs(workers), cluster.Options{Placement: mpp.SemanticsAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two days of the same agent whose (agent, day) homes differ.
+	agent := 1
+	day0 := gen.DayStart(0)
+	day1 := gen.DayStart(1)
+	s0 := mpp.SemanticsAware.Shard(agent, timeutil.DayIndex(day0), 3)
+	s1 := mpp.SemanticsAware.Shard(agent, timeutil.DayIndex(day1), 3)
+	for d := 2; s0 == s1 && d < 10; d++ {
+		day1 = gen.DayStart(d)
+		s1 = mpp.SemanticsAware.Shard(agent, timeutil.DayIndex(day1), 3)
+	}
+	if s0 == s1 {
+		t.Fatal("could not find two days on distinct shards")
+	}
+
+	ents := []types.Entity{
+		{ID: 1, Type: types.EntityProcess, AgentID: agent, Attrs: map[string]string{types.AttrExeName: "/usr/bin/dropper", types.AttrPID: "1"}},
+		{ID: 2, Type: types.EntityProcess, AgentID: agent, Attrs: map[string]string{types.AttrExeName: "/usr/bin/loader", types.AttrPID: "2"}},
+		{ID: 3, Type: types.EntityFile, AgentID: agent, Attrs: map[string]string{types.AttrName: "/tmp/payload"}},
+	}
+	evs := []types.Event{
+		{ID: 1, AgentID: agent, Subject: 1, Object: 3, Op: types.OpWrite, Start: day0 + 1000, Seq: 1},
+		{ID: 2, AgentID: agent, Subject: 2, Object: 3, Op: types.OpRead, Start: day1 + 1000, Seq: 2},
+	}
+
+	info, err := coord.RegisterRule(context.Background(), stream.RuleSpec{
+		Query: `proc p1 write file f as evt1
+proc p2 read file f as evt2
+with evt1 before evt2
+return p1, p2, f`,
+		WindowMs: streamWindowMs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Patterns != 2 {
+		t.Fatalf("info %+v", info)
+	}
+	rs, _, err := coord.SubscribeRule(context.Background(), info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if err := coord.Ingest(context.Background(), types.NewDataset(ents, evs)); err != nil {
+		t.Fatal(err)
+	}
+	// The two events are on different shards by construction.
+	if workers[s0].store.EventCount() == 0 || workers[s1].store.EventCount() == 0 {
+		t.Fatalf("placement did not split the events (shards %d, %d)", s0, s1)
+	}
+	rows := collectEmissions(t, rs, 1)
+	if got := rows[0][0] + " " + rows[0][1] + " " + rows[0][2]; got != "/usr/bin/dropper /usr/bin/loader /tmp/payload" {
+		t.Errorf("joined row = %q", got)
+	}
+}
+
+// TestClusterStreamWorkerFailure kills one worker mid-subscription: the
+// merged stream must end with a typed *PartialError naming the shard, the
+// same contract /scan failures carry.
+func TestClusterStreamWorkerFailure(t *testing.T) {
+	workers := startStreamWorkers(3)
+	defer closeWorkers(workers)
+	coord, err := cluster.New(workerURLs(workers), cluster.Options{Placement: mpp.SemanticsAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := coord.RegisterRule(context.Background(), stream.RuleSpec{
+		Query: "proc p read file f return p, f", WindowMs: streamWindowMs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := coord.SubscribeRule(context.Background(), info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	workers[1].srv.CloseClientConnections()
+	workers[1].srv.Close()
+	select {
+	case _, ok := <-rs.C():
+		if ok {
+			t.Fatal("emission from a dead cluster")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("merged stream did not end after worker death")
+	}
+	perr, ok := rs.Err().(*cluster.PartialError)
+	if !ok {
+		t.Fatalf("err = %v, want *PartialError", rs.Err())
+	}
+	found := false
+	for _, we := range perr.Failed {
+		if we.Shard == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("partial error does not name shard 1: %v", perr)
+	}
+}
+
+// TestClusterRegisterRollback: if any worker refuses a rule, registration
+// fails with a *PartialError and the workers that accepted roll back.
+func TestClusterRegisterRollback(t *testing.T) {
+	good := startStreamWorkers(2)
+	defer closeWorkers(good)
+	reject := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/rules" && r.Method == http.MethodPost {
+			http.Error(w, `{"error":"full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer reject.Close()
+	urls := append(workerURLs(good), reject.URL)
+	coord, err := cluster.New(urls, cluster.Options{Placement: mpp.SemanticsAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coord.RegisterRule(context.Background(), stream.RuleSpec{
+		Query: "proc p read file f return p", WindowMs: streamWindowMs,
+	})
+	perr, ok := err.(*cluster.PartialError)
+	if !ok {
+		t.Fatalf("err = %v, want *PartialError", err)
+	}
+	if len(perr.Failed) != 1 || perr.Failed[0].Shard != 2 {
+		t.Errorf("failures %v", perr.Failed)
+	}
+	// The accepting workers must have rolled back.
+	for i, w := range good {
+		resp, err := http.Get(w.URL() + "/rules")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var listing struct {
+			Rules []stream.RuleInfo `json:"rules"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(listing.Rules) != 0 {
+			ids := make([]string, 0, len(listing.Rules))
+			for _, ri := range listing.Rules {
+				ids = append(ids, ri.ID)
+			}
+			sort.Strings(ids)
+			t.Errorf("worker %d still holds rules %v after rollback", i, ids)
+		}
+	}
+	// And the coordinator must not list the rule either.
+	infos, err := coord.Rules(context.Background())
+	if err == nil && len(infos) != 0 {
+		t.Errorf("coordinator lists %d rules after failed registration", len(infos))
+	}
+}

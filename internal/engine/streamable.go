@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"fmt"
+
+	"aiql/internal/storage"
+)
+
+// Streamable reports whether the plan can run as a standing continuous
+// query: one whose matches can be produced incrementally, event by event,
+// without ever seeing "the whole result". Aggregations, sliding windows,
+// group-by/having, count, sort and top all need the complete result set (or
+// a closed window over it) before a single output row is final, so they are
+// rejected; plain pattern/join plans — with or without distinct — stream.
+// A nil return means the plan is streamable.
+func (p *Plan) Streamable() error {
+	switch {
+	case p.Slide != nil:
+		return fmt.Errorf("aiql: sliding-window (anomaly) queries cannot run as standing rules")
+	case p.HasAggregation() || len(p.GroupBy) > 0 || p.Having != nil:
+		return fmt.Errorf("aiql: aggregating queries cannot run as standing rules")
+	case p.Return.Count:
+		return fmt.Errorf("aiql: count queries cannot run as standing rules")
+	case len(p.SortBy) > 0 || p.Top > 0:
+		return fmt.Errorf("aiql: sort/top queries cannot run as standing rules (an unbounded stream has no final order)")
+	}
+	return nil
+}
+
+// ProjectRow projects one complete joined tuple — row[i] holding pattern
+// i's match — into the plan's return columns, exactly as the batch
+// projection would. Valid only for streamable plans (no aggregates); the
+// continuous-query matcher uses it so stream emissions and batch rows are
+// rendered by the same rules.
+func (p *Plan) ProjectRow(row []storage.Match) []string {
+	out := make([]string, len(p.Return.Items))
+	for i := range p.Return.Items {
+		ref := p.Return.Items[i].Ref
+		if ref == nil {
+			continue // unreachable for streamable plans
+		}
+		m := &row[ref.Pattern]
+		if ref.IsEvent {
+			out[i], _ = m.Event.Attr(ref.Attr)
+		} else {
+			out[i], _ = sideValue(m, ref.Side, ref.Attr)
+		}
+	}
+	return out
+}
+
+// Eval evaluates the compiled relationship between two concrete matches —
+// the exported face of the engine's join predicate, shared with the stream
+// matcher so incremental joins cannot drift from batch joins.
+func (j *Join) Eval(ma, mb *storage.Match) bool {
+	return evalJoin(j, ma, mb)
+}

@@ -56,10 +56,28 @@ func sideValue(m *storage.Match, side Side, attr string) (string, bool) {
 	return ent.Attr(attr)
 }
 
+// sideEntity picks a match's entity for one side.
+func sideEntity(m *storage.Match, side Side) *types.Entity {
+	if side == SideSubject {
+		return m.Subj
+	}
+	return m.Obj
+}
+
 // evalJoin evaluates a compiled relationship between two concrete matches.
 func evalJoin(j *Join, ma, mb *storage.Match) bool {
 	switch j.Kind {
 	case JoinAttr:
+		// Entity-id equality — every entity-variable reuse compiles to one —
+		// compares the ids numerically instead of formatting both to
+		// strings: same verdict, no allocation on the join hot path.
+		if j.Op == pred.CmpEq && j.AAttr == types.AttrID && j.BAttr == types.AttrID {
+			ea, eb := sideEntity(ma, j.ASide), sideEntity(mb, j.BSide)
+			if ea == nil || eb == nil {
+				return false
+			}
+			return ea.ID == eb.ID
+		}
 		av, aok := sideValue(ma, j.ASide, j.AAttr)
 		bv, bok := sideValue(mb, j.BSide, j.BAttr)
 		if !aok || !bok {

@@ -6,13 +6,16 @@
 //
 // Endpoints:
 //
-//	POST /query   execute one AIQL query (JSON {"query": "..."} or raw text)
-//	POST /ingest  append a JSON-lines trace batch (aiqlgen wire format)
-//	POST /scan    execute one storage-level data query, streaming NDJSON
-//	              matches (the worker-facing endpoint of the cluster tier;
-//	              store-backed servers only)
-//	GET  /stats   store statistics and cache hit/miss counters
-//	GET  /healthz liveness probe
+//	POST /query          execute one AIQL query (JSON {"query": "..."} or raw text)
+//	POST /ingest         append a JSON-lines trace batch (aiqlgen wire format)
+//	POST /scan           execute one storage-level data query, streaming NDJSON
+//	                     matches (the worker-facing endpoint of the cluster
+//	                     tier; store-backed servers only)
+//	POST /rules          register a standing AIQL rule (continuous query)
+//	GET  /rules          list standing rules; DELETE /rules/{id} unregisters
+//	GET  /subscribe/{id} live NDJSON/SSE stream of a rule's matches
+//	GET  /stats          store statistics, cache and streaming counters
+//	GET  /healthz        liveness probe
 //
 // A server runs in one of two modes. Store-backed (New): queries execute
 // against the local store, and /scan lets a cluster coordinator use this
@@ -53,6 +56,7 @@ import (
 	"aiql/internal/cluster"
 	"aiql/internal/engine"
 	"aiql/internal/storage"
+	"aiql/internal/stream"
 	"aiql/internal/trace"
 )
 
@@ -67,6 +71,14 @@ type Options struct {
 	// MaxIngestBytes bounds one /ingest request body (default 256 MiB) so
 	// a single client cannot OOM the daemon.
 	MaxIngestBytes int64
+	// MaxRules caps registered continuous-query rules (default 64). On a
+	// worker serving a coordinator, each multi-pattern coordinator rule
+	// costs one sub-rule per pattern.
+	MaxRules int
+	// StreamBuffer sizes each subscriber's emission buffer and each rule's
+	// replay ring (default 256); a subscriber a full buffer behind is
+	// disconnected.
+	StreamBuffer int
 }
 
 func (o Options) withDefaults() Options {
@@ -85,32 +97,40 @@ func (o Options) withDefaults() Options {
 // Server serves AIQL queries over a shared store and engine — or, in
 // coordinator mode, over a cluster of worker servers.
 type Server struct {
-	store     *storage.Store
-	durable   *storage.Persistent // non-nil when the store is disk-backed
-	coord     *cluster.Coordinator
-	eng       *engine.Engine
-	plans     *PlanCache
-	results   *ResultCache
-	maxIngest int64
-	shard     int // this worker's shard index; -1 when not a worker
-	started   time.Time
-	queries   atomic.Uint64
-	ingests   atomic.Uint64
-	scans     atomic.Uint64
+	store       *storage.Store
+	durable     *storage.Persistent // non-nil when the store is disk-backed
+	coord       *cluster.Coordinator
+	eng         *engine.Engine
+	matcher     *stream.Matcher // continuous queries (store-backed modes)
+	plans       *PlanCache
+	results     *ResultCache
+	maxIngest   int64
+	shard       int // this worker's shard index; -1 when not a worker
+	started     time.Time
+	queries     atomic.Uint64
+	ingests     atomic.Uint64
+	scans       atomic.Uint64
+	subscribers atomic.Int64
 }
 
-// New creates a service over an existing store and engine.
+// New creates a service over an existing store and engine. The store's
+// ingest tap is claimed for the service's continuous-query matcher: every
+// batch applied through /ingest (or directly on the store) is evaluated
+// against the registered standing rules.
 func New(st *storage.Store, eng *engine.Engine, opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
+	s := &Server{
 		store:     st,
 		eng:       eng,
+		matcher:   stream.NewMatcher(st, stream.Options{MaxRules: opts.MaxRules, BufferSize: opts.StreamBuffer}),
 		plans:     NewPlanCache(opts.PlanCacheSize),
 		results:   NewResultCache(opts.ResultCacheSize),
 		maxIngest: opts.MaxIngestBytes,
 		shard:     -1,
 		started:   time.Now(),
 	}
+	st.SetIngestObserver(s.matcher.OnIngest)
+	return s
 }
 
 // NewCoordinator creates a service that executes queries through a cluster
@@ -159,6 +179,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /rules", s.handleRuleCreate)
+	mux.HandleFunc("GET /rules", s.handleRuleList)
+	mux.HandleFunc("DELETE /rules/{id}", s.handleRuleDelete)
+	mux.HandleFunc("GET /subscribe/{id}", s.handleSubscribe)
 	if s.store != nil {
 		mux.HandleFunc("POST /scan", s.handleScan)
 	}
@@ -582,11 +606,17 @@ type StatsResponse struct {
 	// Durability carries the WAL depth, segment counts and recovery
 	// counters when the store is disk-backed (aiqld -data-dir).
 	Durability *storage.DurabilityStats `json:"durability,omitempty"`
+	// Streaming carries the continuous-query counters: registered rules,
+	// live subscribers, emissions, slow-consumer drops and join-state
+	// bounds. On a coordinator the numbers are the merge layer's.
+	Streaming *stream.Stats `json:"streaming,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.coord != nil {
 		cs := s.coord.Stats()
+		ss := s.coord.StreamingStats()
+		ss.Subscribers = int(s.subscribers.Load())
 		writeJSON(w, http.StatusOK, &StatsResponse{
 			Role:          "coordinator",
 			QueriesServed: s.queries.Load(),
@@ -596,6 +626,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ResultCache:   s.results.Stats(),
 			Cluster:       &cs,
 			Workers:       s.coord.Workers(),
+			Streaming:     &ss,
 		})
 		return
 	}
@@ -624,6 +655,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ds := s.durable.DurabilityStats()
 		resp.Durability = &ds
 	}
+	ss := s.matcher.Stats()
+	resp.Streaming = &ss
 	writeJSON(w, http.StatusOK, resp)
 }
 

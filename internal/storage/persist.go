@@ -340,7 +340,9 @@ func (p *Persistent) loadSegment(sf *segmentFile) error {
 // store. The batch is durable per the sync policy: immediately with
 // SyncEveryBatch, within FlushInterval otherwise. It is the persistent
 // counterpart of Store.Ingest and the only ingest path that survives a
-// restart.
+// restart. An IngestObserver installed on the embedded store fires inside
+// walMu here — the same batch boundary the journal uses — so streaming
+// consumers observe exactly the acknowledged batches, in WAL order.
 func (p *Persistent) Ingest(ds *types.Dataset) error {
 	if err := p.WarmUp(); err != nil {
 		return err

@@ -105,9 +105,29 @@ var indexedAttrs = map[types.EntityType][]string{
 	types.EntityNetwork: {types.AttrDstIP, types.AttrSrcIP, types.AttrDstPort},
 }
 
+// IngestObserver receives every applied mutation batch, after it has been
+// applied to the store, together with the generation the batch produced.
+// Invocations are strictly ordered by generation — the store serializes
+// apply+notify so no observer ever sees batch G+1 before batch G — and run
+// on the mutator's goroutine, outside the store's internal lock: the
+// observer may read the store (Entity, Snapshot) but must not mutate it.
+//
+// Under the persistent store the observer fires inside the same batch
+// boundary the WAL uses (Persistent.Ingest holds its journal lock across
+// append, apply and notify), so the durable log and a streaming consumer
+// agree exactly on which batches were acknowledged, and in which order.
+type IngestObserver func(d *types.Dataset, generation uint64)
+
 // Store is the AIQL-optimized event store.
 type Store struct {
 	opts Options
+
+	// tapMu serializes mutation apply + observer notification so the
+	// observer sees batches in generation order. It is taken before mu and
+	// held across the notification; readers (snapshots, queries) take only
+	// mu and are never blocked behind observer work.
+	tapMu sync.Mutex
+	obs   IngestObserver
 
 	mu         sync.RWMutex
 	entities   map[types.EntityID]*types.Entity
@@ -148,6 +168,18 @@ func New(opts Options) *Store {
 // any partition that did receive out-of-order events is re-sorted once at
 // the end of the batch, not per event.
 func (s *Store) Ingest(d *types.Dataset) {
+	s.tapMu.Lock()
+	defer s.tapMu.Unlock()
+	gen := s.applyBatch(d)
+	if s.obs != nil {
+		s.obs(d, gen)
+	}
+}
+
+// applyBatch applies one batch under the store lock (deferred, so a panic
+// mid-batch cannot leave the store wedged) and returns the new generation.
+// Callers hold tapMu.
+func (s *Store) applyBatch(d *types.Dataset) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := range d.Entities {
@@ -158,24 +190,50 @@ func (s *Store) Ingest(d *types.Dataset) {
 	}
 	s.sortDirtyLocked()
 	s.generation++
+	return s.generation
+}
+
+// SetIngestObserver installs the store's single ingest tap (nil removes
+// it). The observer is invoked post-apply for every mutation batch; see
+// IngestObserver for the ordering and locking contract.
+func (s *Store) SetIngestObserver(fn IngestObserver) {
+	s.tapMu.Lock()
+	defer s.tapMu.Unlock()
+	s.obs = fn
 }
 
 // AddEntity registers a single entity.
 func (s *Store) AddEntity(e *types.Entity) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.addEntityLocked(e)
-	s.generation++
+	s.tapMu.Lock()
+	defer s.tapMu.Unlock()
+	gen := func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.addEntityLocked(e)
+		s.generation++
+		return s.generation
+	}()
+	if s.obs != nil {
+		s.obs(types.NewDataset([]types.Entity{*e}, nil), gen)
+	}
 }
 
 // AddEvent appends a single event. Out-of-order ingestion is tolerated: the
 // partition is only marked dirty and re-sorted once, at the next Snapshot —
 // a run of N out-of-order AddEvents costs one sort, not N.
 func (s *Store) AddEvent(ev *types.Event) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.addEventLocked(ev)
-	s.generation++
+	s.tapMu.Lock()
+	defer s.tapMu.Unlock()
+	gen := func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.addEventLocked(ev)
+		s.generation++
+		return s.generation
+	}()
+	if s.obs != nil {
+		s.obs(types.NewDataset(nil, []types.Event{*ev}), gen)
+	}
 }
 
 // Generation returns a counter that increases monotonically with every
@@ -394,6 +452,15 @@ func (s *Store) Entity(id types.EntityID) *types.Entity {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.entities[id]
+}
+
+// EntityPair resolves two entities under one lock acquisition. The ingest
+// tap resolves every event's subject and object on the hot path; the paired
+// lookup halves its lock traffic.
+func (s *Store) EntityPair(a, b types.EntityID) (*types.Entity, *types.Entity) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.entities[a], s.entities[b]
 }
 
 // DataQuery is the storage-level query synthesized from one AIQL event

@@ -1,0 +1,478 @@
+package stream
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"aiql/internal/engine"
+	"aiql/internal/pred"
+	"aiql/internal/storage"
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+// Emission is one delivery on a rule's stream: a monotonically increasing
+// per-rule sequence number plus either the projected result row (normal
+// rules) or the raw match (per-pattern sub-rules, the cluster tier's
+// distributed-join feed).
+type Emission struct {
+	Rule string `json:"rule"`
+	// Seq increases by one per emission of the rule, starting at 1. A
+	// subscriber that reconnects with ?since=<last seen seq> resumes without
+	// duplicates as long as the rule's replay ring still holds the gap.
+	Seq uint64 `json:"seq"`
+	// Ts is the newest constituent event's start time (unix ms).
+	Ts int64 `json:"ts"`
+	// Backfill marks emissions produced by replaying the store's history
+	// through a newly registered rule, before it went live.
+	Backfill bool `json:"backfill,omitempty"`
+	// Row is the projected result row (plan return columns), for normal
+	// rules.
+	Row []string `json:"row,omitempty"`
+	// Pattern and Match carry raw per-pattern matches for sub-rules
+	// registered with RuleSpec.Pattern.
+	Pattern int       `json:"pattern,omitempty"`
+	Match   *RawMatch `json:"match,omitempty"`
+	// Shard and WorkerSeq are set by the cluster coordinator's merged
+	// streams: the originating worker shard and that worker's own sequence
+	// number, so per-shard order remains auditable after the fan-in
+	// re-stamps Seq.
+	Shard     *int   `json:"shard,omitempty"`
+	WorkerSeq uint64 `json:"worker_seq,omitempty"`
+}
+
+// RawMatch is one unprojected pattern match on the wire: the event by value
+// plus its resolved endpoint entities.
+type RawMatch struct {
+	Event types.Event   `json:"event"`
+	Subj  *types.Entity `json:"subj"`
+	Obj   *types.Entity `json:"obj"`
+}
+
+// StorageMatch reconstructs the storage-level match (Event pointing at the
+// RawMatch's own copy).
+func (rm *RawMatch) StorageMatch() storage.Match {
+	return storage.Match{Event: &rm.Event, Subj: rm.Subj, Obj: rm.Obj}
+}
+
+// pendingOffer is one matched event queued while a rule backfills.
+type pendingOffer struct {
+	pattern int
+	ev      types.Event
+	subj    *types.Entity
+	obj     *types.Entity
+}
+
+// rule is one registered standing query. Its mutex guards everything below
+// it; the matcher takes it per offered event (brief) and the backfill takes
+// it per scan batch, so ingest is never blocked for long.
+type rule struct {
+	m           *Matcher
+	id          string
+	src         string
+	plan        *engine.Plan
+	windowMs    int64
+	patternOnly int  // -1 = all patterns; >= 0 restricts to one (raw mode)
+	raw         bool // emit RawMatch instead of projected rows
+	distinct    bool
+
+	mu       sync.Mutex
+	deleted  bool
+	live     bool
+	sinceGen uint64 // batches at or below this generation are not offered
+	pending  []pendingOffer
+
+	// subjMemo/objMemo cache per-pattern entity predicate verdicts by
+	// entity id — the stream-side analogue of the storage layer's entity
+	// pre-resolution. Entities are immutable once registered (the store is
+	// first-write-wins), so a verdict never goes stale. The maps are
+	// touched only on the OnIngest path, which the store tap serializes;
+	// they are allocated before the rule becomes visible and are NOT
+	// guarded by mu (the backfill path deliberately evaluates predicates
+	// directly instead).
+	subjMemo []map[types.EntityID]bool
+	objMemo  []map[types.EntityID]bool
+
+	js   *JoinState
+	seen *Dedup // distinct row dedup, FIFO-bounded
+	// pairSeen short-circuits distinct single-pattern rules: a (subject,
+	// object) pair projects to the same row every time, so repeats skip
+	// projection and row dedup entirely. Reset on overflow — the row-level
+	// dedup still guarantees correctness, this only buys speed.
+	pairSeen       map[[2]uint64]struct{}
+	seq            uint64
+	matched        uint64
+	emitted        uint64
+	dropped        uint64
+	pendingDropped uint64
+	backfilled     bool
+
+	ring ring
+	subs map[*Subscription]struct{}
+}
+
+// offer routes one fully-matched event (pattern-level predicates already
+// checked by the matcher) into the rule: skipped if it predates the rule,
+// queued while backfilling, joined and emitted when live.
+func (r *rule) offer(pattern int, ev *types.Event, subj, obj *types.Entity, gen uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.deleted || gen <= r.sinceGen {
+		return
+	}
+	if !r.live {
+		// The backfill hand-off queue is bounded like every other piece of
+		// per-rule state: heavy ingest during a long backfill drops the
+		// overflow (counted), never grows without limit or blocks ingest.
+		if len(r.pending) >= r.m.opts.MaxStatePerRule {
+			r.pendingDropped++
+			return
+		}
+		r.pending = append(r.pending, pendingOffer{pattern: pattern, ev: *ev, subj: subj, obj: obj})
+		return
+	}
+	r.process(pattern, storage.Match{Event: ev, Subj: subj, Obj: obj}, false)
+}
+
+// process joins one matched event and emits completions. Callers hold r.mu.
+func (r *rule) process(pattern int, m storage.Match, backfill bool) {
+	r.matched++
+	if r.pairSeen != nil {
+		key := [2]uint64{uint64(m.Subj.ID), uint64(m.Obj.ID)}
+		if _, dup := r.pairSeen[key]; dup {
+			return
+		}
+		if len(r.pairSeen) >= memoLimit {
+			r.pairSeen = make(map[[2]uint64]struct{})
+		}
+		r.pairSeen[key] = struct{}{}
+	}
+	if r.raw {
+		r.emit(Emission{
+			Ts: m.Event.Start, Backfill: backfill, Pattern: pattern,
+			Match: &RawMatch{Event: *m.Event, Subj: m.Subj, Obj: m.Obj},
+		})
+		return
+	}
+	r.js.Offer(pattern, m, func(row []storage.Match) {
+		projected := r.plan.ProjectRow(row)
+		if r.distinct && !r.seen.FirstSeen(strings.Join(projected, "\x1f")) {
+			return
+		}
+		r.emit(Emission{Ts: RowTs(row), Backfill: backfill, Row: projected})
+	})
+}
+
+// RowTs returns the newest constituent event time of a joined tuple —
+// the Ts an emission for that tuple carries. Shared with the cluster
+// coordinator's merged-stream joins.
+func RowTs(row []storage.Match) int64 {
+	ts := row[0].Event.Start
+	for _, m := range row[1:] {
+		if m.Event.Start > ts {
+			ts = m.Event.Start
+		}
+	}
+	return ts
+}
+
+// Dedup is a FIFO-bounded distinct set: FirstSeen reports true exactly
+// once per key while the key remains in the set. Evicting a key means its
+// row could re-emit later — bounded state trades exactness at the margin,
+// never memory. Matcher rules and the coordinator's merged streams share
+// it so the two distinct implementations cannot drift.
+type Dedup struct {
+	seen  map[string]struct{}
+	queue []string
+	limit int
+}
+
+// NewDedup builds a dedup set bounded to limit keys.
+func NewDedup(limit int) *Dedup {
+	return &Dedup{seen: make(map[string]struct{}), limit: limit}
+}
+
+// FirstSeen reports whether key is new, recording it (and evicting the
+// oldest key past the bound). Not safe for concurrent use; callers
+// serialize.
+func (d *Dedup) FirstSeen(key string) bool {
+	if _, dup := d.seen[key]; dup {
+		return false
+	}
+	if len(d.queue) >= d.limit {
+		oldest := d.queue[0]
+		d.queue = d.queue[1:]
+		delete(d.seen, oldest)
+	}
+	d.seen[key] = struct{}{}
+	d.queue = append(d.queue, key)
+	return true
+}
+
+// emit stamps, rings, and fans one emission out to subscribers. A
+// subscriber whose buffer is full is dropped on the spot — ingest never
+// blocks on a slow consumer. Callers hold r.mu.
+func (r *rule) emit(em Emission) {
+	r.seq++
+	em.Rule = r.id
+	em.Seq = r.seq
+	r.emitted++
+	r.m.emitted.Add(1)
+	r.ring.push(em)
+	for s := range r.subs {
+		select {
+		case s.ch <- em:
+		default:
+			r.dropSubLocked(s, DropSlowConsumer)
+		}
+	}
+}
+
+// backfill replays the snapshot through the rule, then drains the offers
+// queued meanwhile and flips the rule live. Work happens under short lock
+// acquisitions so concurrent ingest only ever waits one chunk.
+//
+// History must replay in global event-time order: the snapshot scan yields
+// partitions in (day, agent) order, which would race a multi-pattern rule's
+// watermark to the end of one agent's day before another agent's same-day
+// events arrive — silently expiring within-window joins. Replaying one day
+// at a time and sorting that day's matches restores the arrival order live
+// ingestion has, so backfill and live replay emit the same tuples for any
+// window. The cost is materializing one day's matching events at a time —
+// the same order of magnitude the batch engine materializes per pattern.
+func (r *rule) backfill(snap *storage.Snapshot) {
+	q := &storage.DataQuery{Ops: r.opsUnion()}
+	if r.patternOnly >= 0 {
+		pp := r.plan.Patterns[r.patternOnly]
+		q.Agents, q.Window = pp.Agents, pp.Window
+	} else {
+		q.Agents, q.Window = r.plan.Agents, r.plan.Window
+	}
+	for _, day := range r.m.store.Days() { // superset of the snapshot's days
+		sub := *q
+		sub.Window = q.Window.Intersect(timeutil.DayWindow(day))
+		if sub.Window.Empty() {
+			continue
+		}
+		ms := snap.Run(&sub)
+		sort.Slice(ms, func(i, j int) bool {
+			if ms[i].Event.Start != ms[j].Event.Start {
+				return ms[i].Event.Start < ms[j].Event.Start
+			}
+			return ms[i].Event.Seq < ms[j].Event.Seq
+		})
+		for lo := 0; lo < len(ms); lo += storage.ScanBatchSize {
+			hi := lo + storage.ScanBatchSize
+			if hi > len(ms) {
+				hi = len(ms)
+			}
+			r.mu.Lock()
+			if r.deleted {
+				r.mu.Unlock()
+				return
+			}
+			for i := lo; i < hi; i++ {
+				m := ms[i]
+				for _, pi := range r.candidatePatterns(m.Event.Op) {
+					pp := r.plan.Patterns[pi]
+					if patternAdmits(pp, m.Event) && patternAcceptsEntities(pp, m.Subj, m.Obj) {
+						r.process(pi, m, true)
+					}
+				}
+			}
+			r.mu.Unlock()
+		}
+	}
+	r.mu.Lock()
+	for i := range r.pending {
+		po := &r.pending[i]
+		r.process(po.pattern, storage.Match{Event: &po.ev, Subj: po.subj, Obj: po.obj}, false)
+	}
+	r.pending = nil
+	r.live = true
+	r.backfilled = true
+	r.mu.Unlock()
+}
+
+// candidatePatterns lists the rule's pattern indexes whose operation sets
+// admit op.
+func (r *rule) candidatePatterns(op types.Op) []int {
+	var out []int
+	for pi, pp := range r.plan.Patterns {
+		if r.patternOnly >= 0 && pi != r.patternOnly {
+			continue
+		}
+		if pp.Ops.Contains(op) {
+			out = append(out, pi)
+		}
+	}
+	return out
+}
+
+// opsUnion returns the union of the rule's pattern operation sets (the
+// backfill scan's coarse filter).
+func (r *rule) opsUnion() types.OpSet {
+	var set types.OpSet
+	for pi, pp := range r.plan.Patterns {
+		if r.patternOnly >= 0 && pi != r.patternOnly {
+			continue
+		}
+		set = set.Union(pp.Ops)
+	}
+	return set
+}
+
+// dropSubLocked removes a subscriber with the given reason and closes its
+// channel. Callers hold r.mu.
+func (r *rule) dropSubLocked(s *Subscription, reason string) {
+	if s.closed {
+		return
+	}
+	delete(r.subs, s)
+	s.closed = true
+	s.reason = reason
+	close(s.ch)
+	if reason == DropSlowConsumer {
+		r.dropped++
+		r.m.dropped.Add(1)
+	}
+}
+
+// memoLimit bounds each predicate-verdict cache; past it the map resets —
+// correctness is unaffected (verdicts recompute), only the amortization.
+const memoLimit = 1 << 20
+
+// acceptsEntities is the OnIngest-path entity check: endpoint types
+// directly, attribute predicates through the per-entity verdict memo.
+// Serialized by the ingest tap; never called under r.mu.
+func (r *rule) acceptsEntities(pi int, subj, obj *types.Entity) bool {
+	if subj == nil || obj == nil {
+		return false
+	}
+	pp := r.plan.Patterns[pi]
+	if pp.Subj.Type != types.EntityInvalid && subj.Type != pp.Subj.Type {
+		return false
+	}
+	if pp.Obj.Type != types.EntityInvalid && obj.Type != pp.Obj.Type {
+		return false
+	}
+	if pp.Subj.Pred != nil && !memoEval(&r.subjMemo[pi], pp.Subj.Pred, subj) {
+		return false
+	}
+	if pp.Obj.Pred != nil && !memoEval(&r.objMemo[pi], pp.Obj.Pred, obj) {
+		return false
+	}
+	return true
+}
+
+func memoEval(mp *map[types.EntityID]bool, p pred.Pred, e *types.Entity) bool {
+	m := *mp
+	if m == nil {
+		m = make(map[types.EntityID]bool)
+		*mp = m
+	}
+	v, ok := m[e.ID]
+	if !ok {
+		v = p.Eval(e)
+		if len(m) >= memoLimit {
+			m = make(map[types.EntityID]bool)
+			*mp = m
+		}
+		m[e.ID] = v
+	}
+	return v
+}
+
+// patternAdmits checks the event-only half of a pattern's predicate:
+// operation, agents, window, event attributes. It mirrors exactly what the
+// storage scan checks for the same pattern.
+func patternAdmits(pp *engine.PatternPlan, ev *types.Event) bool {
+	if !pp.Ops.Contains(ev.Op) {
+		return false
+	}
+	if len(pp.Agents) > 0 {
+		ok := false
+		for _, a := range pp.Agents {
+			if a == ev.AgentID {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if !pp.Window.Contains(ev.Start) {
+		return false
+	}
+	if pp.EvtPred != nil && !pp.EvtPred.Eval(ev) {
+		return false
+	}
+	return true
+}
+
+// patternAcceptsEntities checks the entity half: endpoint types and
+// attribute predicates.
+func patternAcceptsEntities(pp *engine.PatternPlan, subj, obj *types.Entity) bool {
+	if subj == nil || obj == nil {
+		return false
+	}
+	if pp.Subj.Type != types.EntityInvalid && subj.Type != pp.Subj.Type {
+		return false
+	}
+	if pp.Obj.Type != types.EntityInvalid && obj.Type != pp.Obj.Type {
+		return false
+	}
+	if pp.Subj.Pred != nil && !pp.Subj.Pred.Eval(subj) {
+		return false
+	}
+	if pp.Obj.Pred != nil && !pp.Obj.Pred.Eval(obj) {
+		return false
+	}
+	return true
+}
+
+// ring is the rule's bounded replay buffer: the last cap emissions, so a
+// subscriber arriving after a burst (or requesting ?since=) can catch up
+// without the matcher retaining unbounded history. Storage grows lazily up
+// to cap — a quiet rule with a large configured buffer costs nothing.
+type ring struct {
+	cap  int
+	buf  []Emission
+	next int // next write position once buf reached cap
+}
+
+func newRing(capacity int) ring { return ring{cap: capacity} }
+
+func (rg *ring) push(em Emission) {
+	if rg.cap <= 0 {
+		return
+	}
+	if len(rg.buf) < rg.cap {
+		rg.buf = append(rg.buf, em)
+		return
+	}
+	rg.buf[rg.next] = em
+	rg.next = (rg.next + 1) % rg.cap
+}
+
+// replay returns the retained emissions with Seq > since, oldest first.
+func (rg *ring) replay(since uint64) []Emission {
+	n := len(rg.buf)
+	if n == 0 {
+		return nil
+	}
+	start := 0
+	if n == rg.cap {
+		start = rg.next
+	}
+	var out []Emission
+	for i := 0; i < n; i++ {
+		em := rg.buf[(start+i)%n]
+		if em.Seq > since {
+			out = append(out, em)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package stream
+
+// Subscription is one consumer of a rule's emission stream. Emissions
+// arrive on C in sequence order: first the replay of retained emissions
+// newer than the requested since, then live emissions as they happen. The
+// channel closes when the subscriber is dropped (slow consumer), the rule
+// is deleted, or Close is called; Reason distinguishes the cases.
+type Subscription struct {
+	r  *rule
+	ch chan Emission
+
+	// firstSeq is the first sequence number this subscription will deliver
+	// (set at attach time; immutable after).
+	firstSeq uint64
+
+	// guarded by r.mu
+	closed bool
+	reason string
+}
+
+// FirstSeq returns the first sequence number the subscription delivers. A
+// value greater than since+1 means emissions in (since, FirstSeq) had
+// already rotated out of the rule's replay ring — the gap is visible, not
+// silent (clients see it in the stream header's first_seq).
+func (s *Subscription) FirstSeq() uint64 { return s.firstSeq }
+
+// C is the emission channel. It is closed when the subscription ends.
+func (s *Subscription) C() <-chan Emission { return s.ch }
+
+// Close detaches the subscriber. Idempotent; safe concurrently with
+// publishes.
+func (s *Subscription) Close() {
+	s.r.mu.Lock()
+	if !s.closed {
+		delete(s.r.subs, s)
+		s.closed = true
+		close(s.ch)
+	}
+	s.r.mu.Unlock()
+}
+
+// Reason reports why the stream ended: DropSlowConsumer, DropRuleDeleted,
+// or "" for a consumer-initiated Close. Meaningful once C is closed.
+func (s *Subscription) Reason() string {
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	return s.reason
+}
+
+// Subscribe attaches a consumer to a rule's stream, replaying the retained
+// emissions with Seq > since before going live. The returned channel's
+// capacity covers the replay plus a full live buffer; a consumer that falls
+// a whole buffer behind is disconnected (counted as a slow-consumer drop)
+// rather than ever back-pressuring ingest.
+func (m *Matcher) Subscribe(id string, since uint64) (*Subscription, RuleInfo, error) {
+	m.mu.Lock()
+	r, ok := m.rules[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, RuleInfo{}, ErrUnknownRule
+	}
+	r.mu.Lock()
+	if r.deleted {
+		r.mu.Unlock()
+		return nil, RuleInfo{}, ErrUnknownRule
+	}
+	replay := r.ring.replay(since)
+	s := &Subscription{r: r, ch: make(chan Emission, len(replay)+m.opts.BufferSize)}
+	if len(replay) > 0 {
+		s.firstSeq = replay[0].Seq
+	} else {
+		s.firstSeq = r.seq + 1 // next live emission
+	}
+	for _, em := range replay {
+		s.ch <- em
+	}
+	r.subs[s] = struct{}{}
+	r.mu.Unlock()
+	return s, m.infoOf(r), nil
+}
