@@ -1,0 +1,63 @@
+// Command benchregress gates CI on allocation regressions: it parses one or
+// more `go test -bench -benchmem` output files, compares each baselined
+// benchmark's B/op against internal/bench/testdata/bop_baseline.txt, and
+// exits non-zero when any exceeds the tolerance factor.
+//
+//	go test -run '^$' -bench BenchmarkCursorVsMaterialize -benchmem -benchtime 5x . > out.txt
+//	benchregress -baseline internal/bench/testdata/bop_baseline.txt out.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aiql/internal/bench"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "internal/bench/testdata/bop_baseline.txt",
+		"baseline file of `name b/op` pairs")
+	factor := flag.Float64("factor", 2, "fail when measured B/op exceeds factor x baseline")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchregress [-baseline file] [-factor n] bench-output.txt...")
+		os.Exit(2)
+	}
+
+	bf, err := os.Open(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	baseline, err := bench.ParseBaseline(bf)
+	bf.Close()
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", *baselinePath, err))
+	}
+
+	measured := make(map[string]float64)
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := bench.ParseBenchBOp(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		for name, v := range m {
+			measured[name] = v
+		}
+	}
+
+	if err := bench.CheckBOpRegression(baseline, measured, *factor); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bench-regress: %d benchmarks within %.1fx of baseline\n", len(baseline), *factor)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchregress:", err)
+	os.Exit(1)
+}

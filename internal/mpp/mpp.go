@@ -14,6 +14,7 @@ package mpp
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"aiql/internal/storage"
 	"aiql/internal/types"
@@ -43,6 +44,38 @@ func (p Placement) String() string {
 type Cluster struct {
 	placement Placement
 	segs      []*storage.Store
+
+	scans              atomic.Uint64
+	segmentsScanned    atomic.Uint64
+	segmentsEliminated atomic.Uint64
+}
+
+// Stats is the cluster's partition-elimination accounting: how many
+// scatter/gather scans ran, how many segment nodes they touched versus
+// proved empty by placement, and the block-level zone-map counters
+// aggregated across every segment's local store.
+type Stats struct {
+	Scans              uint64            `json:"scans"`
+	SegmentsScanned    uint64            `json:"segments_scanned"`
+	SegmentsEliminated uint64            `json:"segments_eliminated"`
+	Scan               storage.ScanStats `json:"scan"`
+}
+
+// Stats returns the cluster's cumulative elimination counters.
+func (c *Cluster) Stats() Stats {
+	st := Stats{
+		Scans:              c.scans.Load(),
+		SegmentsScanned:    c.segmentsScanned.Load(),
+		SegmentsEliminated: c.segmentsEliminated.Load(),
+	}
+	for _, s := range c.segs {
+		ss := s.ScanStats()
+		st.Scan.BlocksConsidered += ss.BlocksConsidered
+		st.Scan.BlocksSkipped += ss.BlocksSkipped
+		st.Scan.BlocksDecoded += ss.BlocksDecoded
+		st.Scan.Thaws += ss.Thaws
+	}
+	return st
 }
 
 // New creates a cluster of n segments (the paper's deployment used 5).
@@ -100,6 +133,9 @@ func (c *Cluster) EventCount() int {
 // partition and must search.
 func (c *Cluster) Scan(ctx context.Context, q *storage.DataQuery) storage.Cursor {
 	targets := c.placement.Targets(len(c.segs), q)
+	c.scans.Add(1)
+	c.segmentsScanned.Add(uint64(len(targets)))
+	c.segmentsEliminated.Add(uint64(len(c.segs) - len(targets)))
 	cs := make([]storage.Cursor, len(targets))
 	for i, seg := range targets {
 		cs[i] = c.segs[seg].Scan(ctx, q)

@@ -119,6 +119,42 @@ func TestArrivalOrderScatters(t *testing.T) {
 	}
 }
 
+// TestStatsCountSegmentElimination: a spatially and temporally constrained
+// query under semantics-aware placement must show eliminated segments in
+// the cluster counters, while arrival-order placement (no content-derived
+// home shard) can never eliminate any.
+func TestStatsCountSegmentElimination(t *testing.T) {
+	ds := smallDataset()
+	q := &storage.DataQuery{
+		Agents:   []int{1},
+		Window:   timeutil.DayWindow(timeutil.DayIndex(gen.DayStart(0))),
+		SubjType: types.EntityProcess,
+		Ops:      types.AllOps(),
+	}
+
+	semantic := New(5, SemanticsAware, storage.Options{})
+	semantic.Ingest(ds)
+	semantic.Run(q)
+	st := semantic.Stats()
+	if st.Scans != 1 {
+		t.Fatalf("scans = %d, want 1", st.Scans)
+	}
+	if st.SegmentsEliminated == 0 {
+		t.Error("single (agent, day) query eliminated no segments under semantics-aware placement")
+	}
+	if st.SegmentsScanned+st.SegmentsEliminated != 5 {
+		t.Errorf("scanned %d + eliminated %d != 5 segments", st.SegmentsScanned, st.SegmentsEliminated)
+	}
+
+	arrival := New(5, ArrivalOrder, storage.Options{})
+	arrival.Ingest(ds)
+	arrival.Run(q)
+	if st := arrival.Stats(); st.SegmentsEliminated != 0 || st.SegmentsScanned != 5 {
+		t.Errorf("arrival-order scanned %d, eliminated %d; want 5 scanned, 0 eliminated",
+			st.SegmentsScanned, st.SegmentsEliminated)
+	}
+}
+
 func ids(ms []storage.Match) []types.EventID {
 	out := make([]types.EventID, len(ms))
 	for i, m := range ms {

@@ -1,0 +1,301 @@
+package pred
+
+import (
+	"math/bits"
+	"strconv"
+
+	"aiql/internal/types"
+)
+
+// Batch (vectorized) predicate evaluation. The columnar storage path hands
+// the kernel one block of events at a time as typed columns; BatchEval
+// evaluates a compiled predicate over the whole block into a selection
+// bitmap instead of calling Eval once per row. The semantics are exactly
+// Eval's — including its string-vs-numeric comparison rules — which is why
+// BatchEval refuses (returns false) whenever a subtree cannot be proven to
+// produce bit-for-bit identical verdicts; the caller then falls back to
+// row-at-a-time Eval for the block.
+
+// Bitmap is a dense selection vector: bit i set means row i is selected.
+// All operations treat the bitmap as sized by the row count passed to them;
+// bits past the row count are undefined and must never be read unbounded.
+type Bitmap []uint64
+
+// NewBitmap allocates a bitmap able to hold n rows.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Reset clears every word so the bitmap can be reused across blocks.
+func (b Bitmap) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// SetAll selects rows [0, n).
+func (b Bitmap) SetAll(n int) {
+	full := n / 64
+	for i := 0; i < full; i++ {
+		b[i] = ^uint64(0)
+	}
+	if rem := n % 64; rem > 0 {
+		b[full] = (uint64(1) << rem) - 1
+	}
+	for i := full + 1; i < len(b); i++ {
+		b[i] = 0
+	}
+	if n%64 == 0 && full < len(b) {
+		b[full] = 0
+	}
+}
+
+// Set selects row i.
+func (b Bitmap) Set(i int) { b[i/64] |= 1 << (i % 64) }
+
+// Get reports whether row i is selected.
+func (b Bitmap) Get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// And intersects o into b.
+func (b Bitmap) And(o Bitmap) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+// Or unions o into b.
+func (b Bitmap) Or(o Bitmap) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// Not complements the first n rows of b in place (tail bits cleared).
+func (b Bitmap) Not(n int) {
+	full := n / 64
+	for i := 0; i < full; i++ {
+		b[i] = ^b[i]
+	}
+	if rem := n % 64; rem > 0 {
+		b[full] = ^b[full] & ((uint64(1) << rem) - 1)
+	}
+}
+
+// Count returns the number of selected rows among the first n.
+func (b Bitmap) Count(n int) int {
+	total := 0
+	full := n / 64
+	for i := 0; i < full; i++ {
+		total += bits.OnesCount64(b[i])
+	}
+	if rem := n % 64; rem > 0 {
+		total += bits.OnesCount64(b[full] & ((uint64(1) << rem) - 1))
+	}
+	return total
+}
+
+// ForEach invokes fn for every selected row among the first n, ascending;
+// fn returning false stops the walk early and ForEach returns false.
+func (b Bitmap) ForEach(n int, fn func(i int) bool) bool {
+	for w := 0; w*64 < n; w++ {
+		word := b[w]
+		if rem := n - w*64; rem < 64 {
+			word &= (uint64(1) << rem) - 1
+		}
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			if !fn(w*64 + bit) {
+				return false
+			}
+			word &= word - 1
+		}
+	}
+	return true
+}
+
+// ColumnSource exposes one block of events as typed columns. Int64Column
+// serves the numeric event attributes (amount, failcode, sequence,
+// starttime, endtime, agentid, id); OpColumn serves the operation code,
+// from which the string attributes optype and access derive.
+type ColumnSource interface {
+	// NumRows returns the number of rows in the block.
+	NumRows() int
+	// Int64Column returns the named attribute as an int64 column, or false
+	// when the attribute has no numeric column.
+	Int64Column(attr string) ([]int64, bool)
+	// OpColumn returns the per-row operation codes, or false when
+	// unavailable.
+	OpColumn() ([]types.Op, bool)
+}
+
+// opDerivedAttrs are event attributes fully determined by the operation
+// code; a Cond over one of them vectorizes through a per-op truth table no
+// matter which comparison it uses (LIKE patterns included).
+func opDerived(attr string) bool {
+	return attr == types.EvtAttrOpType || attr == types.EvtAttrAccess
+}
+
+// BatchEval evaluates p over the block's rows, writing the selection into
+// out (which must hold src.NumRows() rows; prior contents are overwritten).
+// It returns false — leaving out unspecified — when p contains a subtree
+// whose vectorized verdict cannot be guaranteed identical to Eval's; the
+// caller must then fall back to per-row evaluation.
+func BatchEval(p Pred, src ColumnSource, out Bitmap) bool {
+	n := src.NumRows()
+	switch v := p.(type) {
+	case nil, truePred:
+		out.SetAll(n)
+		return true
+	case *Cond:
+		return batchCond(v, src, out)
+	case *Not:
+		if !BatchEval(v.X, src, out) {
+			return false
+		}
+		out.Not(n)
+		return true
+	case *And:
+		out.SetAll(n)
+		tmp := NewBitmap(n)
+		for _, x := range v.Xs {
+			if !BatchEval(x, src, tmp) {
+				return false
+			}
+			out.And(tmp)
+		}
+		return true
+	case *Or:
+		if len(v.Xs) == 0 {
+			// Eval returns true for an empty Or.
+			out.SetAll(n)
+			return true
+		}
+		out.Reset()
+		tmp := NewBitmap(n)
+		for _, x := range v.Xs {
+			if !BatchEval(x, src, tmp) {
+				return false
+			}
+			out.Or(tmp)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func batchCond(c *Cond, src ColumnSource, out Bitmap) bool {
+	if opDerived(c.Attr) {
+		return batchOpCond(c, src, out)
+	}
+	col, ok := src.Int64Column(c.Attr)
+	if !ok {
+		return false
+	}
+	n := src.NumRows()
+	switch c.Op {
+	case CmpEq, CmpNe:
+		// Eval compares the formatted column value against c.Val as
+		// strings (modulo LIKE). Vectorize only the exact-integer case:
+		// c.Val must be the canonical decimal rendering of some int64, so
+		// string equality and integer equality coincide.
+		if c.pattern != nil {
+			return false
+		}
+		want, canonical := canonicalInt(c.Val)
+		out.Reset()
+		if !canonical {
+			// No formatted int64 ever equals a non-canonical literal.
+			if c.Op == CmpNe {
+				out.SetAll(n)
+			}
+			return true
+		}
+		for i := 0; i < n; i++ {
+			if (col[i] == want) == (c.Op == CmpEq) {
+				out.Set(i)
+			}
+		}
+		return true
+	case CmpIn, CmpNotIn:
+		want := make(map[int64]struct{}, len(c.Vals))
+		for _, v := range c.Vals {
+			iv, canonical := canonicalInt(v)
+			if !canonical {
+				// A wildcard or non-canonical member can still match via
+				// LIKE / string rules; don't risk divergence.
+				return false
+			}
+			want[iv] = struct{}{}
+		}
+		out.Reset()
+		for i := 0; i < n; i++ {
+			_, hit := want[col[i]]
+			if hit == (c.Op == CmpIn) {
+				out.Set(i)
+			}
+		}
+		return true
+	case CmpLt, CmpLe, CmpGt, CmpGe:
+		if !c.numValOK {
+			// Eval would fall back to lexical comparison of decimal
+			// strings; not worth replicating.
+			return false
+		}
+		out.Reset()
+		for i := 0; i < n; i++ {
+			// Eval parses the formatted value back through ParseFloat;
+			// float64(col[i]) reproduces that rounding exactly.
+			got := float64(col[i])
+			var cmp int
+			switch {
+			case got < c.numVal:
+				cmp = -1
+			case got > c.numVal:
+				cmp = 1
+			}
+			if orderedResult(c.Op, cmp) {
+				out.Set(i)
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// batchOpCond vectorizes any condition over an op-derived attribute by
+// precomputing the verdict per operation code — Eval on a synthetic event
+// carrying just the op is exact for these attributes, whatever the
+// comparison (LIKE patterns and IN lists included).
+func batchOpCond(c *Cond, src ColumnSource, out Bitmap) bool {
+	ops, ok := src.OpColumn()
+	if !ok {
+		return false
+	}
+	var lut [256]bool
+	for o := 0; o < 256; o++ {
+		ev := types.Event{Op: types.Op(o)}
+		lut[o] = c.Eval(&ev)
+	}
+	n := src.NumRows()
+	out.Reset()
+	for i := 0; i < n; i++ {
+		if lut[ops[i]] {
+			out.Set(i)
+		}
+	}
+	return true
+}
+
+// canonicalInt reports whether s is the canonical base-10 rendering of an
+// int64 (so integer comparison agrees with string comparison against
+// formatted column values), returning the value when it is.
+func canonicalInt(s string) (int64, bool) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	if strconv.FormatInt(v, 10) != s {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,249 @@
+package pred
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aiql/internal/types"
+)
+
+// eventColumns adapts a slice of events to ColumnSource the same way the
+// columnar storage path does, so the differential test exercises the exact
+// contract BatchEval is specified against.
+type eventColumns struct {
+	evs []types.Event
+}
+
+func (s *eventColumns) NumRows() int { return len(s.evs) }
+
+func (s *eventColumns) Int64Column(attr string) ([]int64, bool) {
+	col := make([]int64, len(s.evs))
+	for i := range s.evs {
+		ev := &s.evs[i]
+		switch attr {
+		case types.EvtAttrAmount:
+			col[i] = ev.Amount
+		case types.EvtAttrFailCode:
+			col[i] = int64(ev.FailCode)
+		case types.EvtAttrSeq:
+			col[i] = int64(ev.Seq)
+		case types.EvtAttrStart:
+			col[i] = ev.Start
+		case types.EvtAttrEnd:
+			col[i] = ev.End
+		case types.AttrAgentID:
+			col[i] = int64(ev.AgentID)
+		case types.AttrID:
+			col[i] = int64(ev.ID)
+		default:
+			return nil, false
+		}
+	}
+	return col, true
+}
+
+func (s *eventColumns) OpColumn() ([]types.Op, bool) {
+	ops := make([]types.Op, len(s.evs))
+	for i := range s.evs {
+		ops[i] = s.evs[i].Op
+	}
+	return ops, true
+}
+
+func randomEvents(rng *rand.Rand, n int) []types.Event {
+	evs := make([]types.Event, n)
+	for i := range evs {
+		evs[i] = types.Event{
+			ID:       types.EventID(rng.Intn(1 << 20)),
+			AgentID:  rng.Intn(16),
+			Op:       types.Op(1 + rng.Intn(types.NumOps)),
+			Start:    1700000000000 + int64(rng.Intn(86400000)),
+			Seq:      uint64(rng.Intn(1 << 16)),
+			Amount:   int64(rng.Intn(1 << 14)),
+			FailCode: rng.Intn(4),
+		}
+		evs[i].End = evs[i].Start + int64(rng.Intn(2000))
+	}
+	return evs
+}
+
+// randomPred builds a predicate from the comparison shapes the parser can
+// produce, at the given nesting depth.
+func randomPred(rng *rand.Rand, depth int) Pred {
+	if depth > 0 && rng.Intn(2) == 0 {
+		n := 1 + rng.Intn(3)
+		kids := make([]Pred, n)
+		for i := range kids {
+			kids[i] = randomPred(rng, depth-1)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return &And{Xs: kids}
+		case 1:
+			return &Or{Xs: kids}
+		default:
+			return &Not{X: kids[0]}
+		}
+	}
+	attrs := []string{
+		types.EvtAttrAmount, types.EvtAttrFailCode, types.EvtAttrOpType,
+		types.EvtAttrAccess, types.EvtAttrSeq, types.EvtAttrStart,
+		types.AttrAgentID,
+	}
+	attr := attrs[rng.Intn(len(attrs))]
+	switch attr {
+	case types.EvtAttrOpType:
+		vals := []string{"read", "write", "execute", "send", "re%", "%e", "%"}
+		v := vals[rng.Intn(len(vals))]
+		switch rng.Intn(3) {
+		case 0:
+			return NewCond(attr, CmpEq, v)
+		case 1:
+			return NewCond(attr, CmpNe, v)
+		default:
+			return NewCond(attr, CmpIn, "", "read", "write", v)
+		}
+	case types.EvtAttrAccess:
+		v := []string{"r", "w", "x", "-"}[rng.Intn(4)]
+		if rng.Intn(2) == 0 {
+			return NewCond(attr, CmpEq, v)
+		}
+		return NewCond(attr, CmpNotIn, "", v, "w")
+	default:
+		var v string
+		switch attr {
+		case types.EvtAttrStart:
+			v = fmt.Sprint(1700000000000 + int64(rng.Intn(86400000)))
+		case types.AttrAgentID:
+			v = fmt.Sprint(rng.Intn(16))
+		case types.EvtAttrFailCode:
+			v = fmt.Sprint(rng.Intn(4))
+		default:
+			v = fmt.Sprint(rng.Intn(1 << 14))
+		}
+		ops := []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe, CmpIn, CmpNotIn}
+		op := ops[rng.Intn(len(ops))]
+		if op == CmpIn || op == CmpNotIn {
+			return NewCond(attr, op, "", v, fmt.Sprint(rng.Intn(1<<14)))
+		}
+		return NewCond(attr, op, v)
+	}
+}
+
+// TestBatchEvalMatchesEval is the differential harness: for random
+// predicates over random event blocks, whenever BatchEval claims the
+// predicate vectorizes, the resulting bitmap must agree with per-row Eval
+// on every row.
+func TestBatchEvalMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	vectorized := 0
+	for trial := 0; trial < 500; trial++ {
+		evs := randomEvents(rng, 1+rng.Intn(200))
+		p := randomPred(rng, 2)
+		src := &eventColumns{evs: evs}
+		out := NewBitmap(len(evs))
+		if !BatchEval(p, src, out) {
+			continue
+		}
+		vectorized++
+		for i := range evs {
+			want := p.Eval(&evs[i])
+			if got := out.Get(i); got != want {
+				t.Fatalf("trial %d row %d: BatchEval=%v Eval=%v for %s on %+v",
+					trial, i, got, want, p.String(), evs[i])
+			}
+		}
+	}
+	if vectorized < 100 {
+		t.Fatalf("only %d/500 predicates vectorized; harness is not exercising the kernel", vectorized)
+	}
+}
+
+// TestBatchEvalRefusesUnvectorizable pins the fallback contract: predicates
+// whose semantics the kernel cannot reproduce bit-exactly must be refused,
+// not approximated.
+func TestBatchEvalRefusesUnvectorizable(t *testing.T) {
+	evs := randomEvents(rand.New(rand.NewSource(7)), 8)
+	src := &eventColumns{evs: evs}
+	out := NewBitmap(len(evs))
+	cases := []struct {
+		name string
+		p    Pred
+	}{
+		{"unknown attribute", NewCond("exe_name", CmpEq, "bash")},
+		{"like on numeric column", NewCond(types.EvtAttrAmount, CmpEq, "40%")},
+		{"wildcard in numeric IN list", NewCond(types.EvtAttrAmount, CmpIn, "", "1%", "2")},
+		{"non-numeric ordered literal", NewCond(types.EvtAttrAmount, CmpGt, "abc")},
+		{"nested unvectorizable", &And{Xs: []Pred{True, NewCond("cmd", CmpEq, "x")}}},
+	}
+	for _, tc := range cases {
+		if BatchEval(tc.p, src, out) {
+			t.Errorf("%s: expected refusal, got vectorized", tc.name)
+		}
+	}
+}
+
+// TestBatchEvalVacuous covers the constant edges: nil and True select all
+// rows, an empty Or matches Eval's everything-matches behaviour, and a
+// non-canonical equality literal matches nothing (Ne: everything).
+func TestBatchEvalVacuous(t *testing.T) {
+	evs := randomEvents(rand.New(rand.NewSource(11)), 70)
+	src := &eventColumns{evs: evs}
+	n := len(evs)
+	out := NewBitmap(n)
+	for _, p := range []Pred{nil, True, &Or{}} {
+		if !BatchEval(p, src, out) {
+			t.Fatalf("constant predicate refused")
+		}
+		if out.Count(n) != n {
+			t.Fatalf("constant predicate selected %d/%d", out.Count(n), n)
+		}
+	}
+	if !BatchEval(NewCond(types.EvtAttrAmount, CmpEq, "007"), src, out) {
+		t.Fatal("non-canonical Eq refused")
+	}
+	if out.Count(n) != 0 {
+		t.Fatal("non-canonical Eq selected rows")
+	}
+	if !BatchEval(NewCond(types.EvtAttrAmount, CmpNe, "007"), src, out) {
+		t.Fatal("non-canonical Ne refused")
+	}
+	if out.Count(n) != n {
+		t.Fatal("non-canonical Ne dropped rows")
+	}
+}
+
+// TestBitmapOps exercises the word-boundary arithmetic of the bitmap
+// helpers at sizes around multiples of 64.
+func TestBitmapOps(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 200} {
+		b := NewBitmap(n)
+		b.SetAll(n)
+		if b.Count(n) != n {
+			t.Fatalf("n=%d: SetAll count %d", n, b.Count(n))
+		}
+		b.Not(n)
+		if b.Count(n) != 0 {
+			t.Fatalf("n=%d: Not(all) count %d", n, b.Count(n))
+		}
+		for i := 0; i < n; i += 3 {
+			b.Set(i)
+		}
+		var visited []int
+		b.ForEach(n, func(i int) bool { visited = append(visited, i); return true })
+		if len(visited) != b.Count(n) {
+			t.Fatalf("n=%d: ForEach visited %d, count %d", n, len(visited), b.Count(n))
+		}
+		for k, i := range visited {
+			if i%3 != 0 || (k > 0 && visited[k-1] >= i) {
+				t.Fatalf("n=%d: bad visit order %v", n, visited)
+			}
+		}
+		stopped := 0
+		b.ForEach(n, func(i int) bool { stopped++; return stopped < 2 })
+		if n >= 6 && stopped != 2 {
+			t.Fatalf("n=%d: early stop visited %d", n, stopped)
+		}
+	}
+}

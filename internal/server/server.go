@@ -606,6 +606,10 @@ type StatsResponse struct {
 	// Durability carries the WAL depth, segment counts and recovery
 	// counters when the store is disk-backed (aiqld -data-dir).
 	Durability *storage.DurabilityStats `json:"durability,omitempty"`
+	// Scan carries the store's block-level scan counters: zone-map skips
+	// versus decodes over sealed columnar segments, and cold-partition
+	// thaws. Absent on coordinators, which hold no data themselves.
+	Scan *storage.ScanStats `json:"scan,omitempty"`
 	// Streaming carries the continuous-query counters: registered rules,
 	// live subscribers, emissions, slow-consumer drops and join-state
 	// bounds. On a coordinator the numbers are the merge layer's.
@@ -655,6 +659,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ds := s.durable.DurabilityStats()
 		resp.Durability = &ds
 	}
+	sc := s.store.ScanStats()
+	resp.Scan = &sc
 	ss := s.matcher.Stats()
 	resp.Streaming = &ss
 	writeJSON(w, http.StatusOK, resp)

@@ -93,20 +93,33 @@ func (c *sliceCursor) Close() {
 // it (poll and return early). A canceled or closed cursor discards the
 // result.
 func NewAsyncCursor(ctx context.Context, produce func(context.Context) []Match) Cursor {
-	return newAsyncCursor(ctx, produce, nil)
+	return newAsyncErrCursor(ctx, func(cctx context.Context) ([]Match, error) {
+		return produce(cctx), nil
+	}, nil)
 }
 
-func newAsyncCursor(ctx context.Context, produce func(context.Context) []Match, onClose func()) Cursor {
+// newAsyncErrCursor is the error-aware form: a non-nil produce error
+// surfaces through Err after Next returns 0, so a failed scan (cold-segment
+// corruption, say) cannot pass for an empty result.
+func newAsyncErrCursor(ctx context.Context, produce func(context.Context) ([]Match, error), onClose func()) Cursor {
 	cctx, cancel := context.WithCancel(ctx)
-	c := &asyncCursor{ctx: ctx, cancel: cancel, ch: make(chan []Match, 1), onClose: onClose}
-	go func() { c.ch <- produce(cctx) }()
+	c := &asyncCursor{ctx: ctx, cancel: cancel, ch: make(chan asyncResult, 1), onClose: onClose}
+	go func() {
+		ms, err := produce(cctx)
+		c.ch <- asyncResult{ms: ms, err: err}
+	}()
 	return c
+}
+
+type asyncResult struct {
+	ms  []Match
+	err error
 }
 
 type asyncCursor struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
-	ch      chan []Match
+	ch      chan asyncResult
 	ms      []Match
 	ready   bool
 	err     error
@@ -120,8 +133,13 @@ func (c *asyncCursor) Next(batch []Match) int {
 	}
 	if !c.ready {
 		select {
-		case c.ms = <-c.ch:
+		case res := <-c.ch:
 			c.ready = true
+			if res.err != nil {
+				c.finish(res.err)
+				return 0
+			}
+			c.ms = res.ms
 			if err := c.ctx.Err(); err != nil {
 				// produce aborted early; a partial result must not pass
 				// for a complete one.

@@ -39,6 +39,10 @@ func (sn *Snapshot) Estimate(q *DataQuery) int {
 	parts := sn.selectPartitions(q)
 	total := 0
 	for _, p := range parts {
+		// Cold (columnar) runs contribute their directory-level row counts
+		// for overlapping windows — no meta or block decode, so estimates
+		// stay deterministic regardless of scan history.
+		total += coldEstimate(p, q.Window)
 		lo, hi := p.timeRange(q.Window)
 		if lo >= hi {
 			continue

@@ -1,0 +1,21 @@
+//go:build !unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile on platforms without a memory-mapping syscall shim falls back to
+// reading the whole file; the lazy per-block decode path works the same,
+// only the paging economics differ.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	b := make([]byte, size)
+	if _, err := f.ReadAt(b, 0); err != nil {
+		return nil, false, fmt.Errorf("storage: read %s: %w", f.Name(), err)
+	}
+	return b, false, nil
+}
+
+func unmapFile([]byte) error { return nil }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the first size bytes of f read-only. The returned bool
+// reports whether the bytes are a true mapping (and must eventually go back
+// through unmapFile) or an ordinary heap copy.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("storage: mmap %s: %w", f.Name(), err)
+	}
+	return b, true, nil
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }

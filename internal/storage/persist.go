@@ -34,6 +34,11 @@ type PersistOptions struct {
 	// CompactThresholdBytes triggers a compaction as soon as the WAL
 	// exceeds this size, without waiting for the interval (default 16 MiB).
 	CompactThresholdBytes int64
+	// LegacySegmentV1 makes the compactor emit v1 (row-encoded) segments
+	// instead of v2 columnar ones — an escape hatch for rolling back to a
+	// build that predates the v2 reader. Segments of either version are
+	// always readable regardless of this setting.
+	LegacySegmentV1 bool
 	// WAL passes through to the log (file rotation size).
 	WAL wal.Options
 }
@@ -88,7 +93,7 @@ type Persistent struct {
 	// segMu guards the segment list and coveredSeq — held only for the
 	// brief reads/mutations, never across disk work.
 	segMu      sync.Mutex
-	segs       []*segmentFile
+	segs       []*segEntry
 	coveredSeq uint64 // highest WAL seq the segments cover
 
 	loadOnce sync.Once
@@ -171,15 +176,15 @@ func OpenPersistent(dir string, opts PersistOptions) (*Persistent, error) {
 		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".seg") {
 			continue
 		}
-		sf, err := openSegment(filepath.Join(segDir, name))
+		sf, err := openSegmentAny(filepath.Join(segDir, name))
 		if err != nil {
 			// Segments are fsynced before their WAL range is deleted;
 			// a segment that does not parse is real corruption.
 			return nil, err
 		}
-		p.segs = append(p.segs, sf)
-		if sf.lastSeq > p.coveredSeq {
-			p.coveredSeq = sf.lastSeq
+		p.segs = append(p.segs, &segEntry{seg: sf})
+		if _, last := sf.seqRange(); last > p.coveredSeq {
+			p.coveredSeq = last
 		}
 	}
 	// Entities load eagerly, in segment sequence order, BEFORE the WAL
@@ -189,9 +194,13 @@ func OpenPersistent(dir string, opts PersistOptions) (*Persistent, error) {
 	// segment ranges oldest first, then the WAL suffix. The event
 	// payloads — the bulk — still load lazily. Entity blocks are
 	// dimension-table sized.
-	sort.Slice(p.segs, func(i, j int) bool { return p.segs[i].firstSeq < p.segs[j].firstSeq })
-	for _, sf := range p.segs {
-		if err := p.loadSegmentEntities(sf); err != nil {
+	sort.Slice(p.segs, func(i, j int) bool {
+		fi, _ := p.segs[i].seg.seqRange()
+		fj, _ := p.segs[j].seg.seqRange()
+		return fi < fj
+	})
+	for _, e := range p.segs {
+		if err := p.loadSegmentEntities(e.seg); err != nil {
 			return nil, err
 		}
 	}
@@ -252,30 +261,45 @@ func OpenPersistent(dir string, opts PersistOptions) (*Persistent, error) {
 // Dir returns the store's root directory.
 func (p *Persistent) Dir() string { return p.dir }
 
-// WarmUp loads every segment's event partitions into memory, verifying
-// block checksums (entities were installed at open, where ordering
-// matters). It is idempotent and implied by the first mutation; servers
-// call it before accepting queries so recovery cost is paid at startup,
-// not on the first analyst's request.
+// WarmUp makes every segment's event partitions queryable (entities were
+// installed at open, where ordering matters). v1 segments decode fully, in
+// parallel — their partitions are order-independent. v2 segments install as
+// memory-mapped cold runs, sequentially in WAL order (the cold fast path
+// needs runs oldest-first) — near-free, since no event is decoded until a
+// scan touches its block. Idempotent and implied by the first mutation;
+// servers call it before accepting queries so v1 recovery cost is paid at
+// startup, not on the first analyst's request.
 func (p *Persistent) WarmUp() error {
 	p.loadOnce.Do(func() {
 		p.segMu.Lock()
-		var segs []*segmentFile
-		for _, sf := range p.segs {
-			if !sf.loaded {
-				sf.loaded = true
-				segs = append(segs, sf)
+		var segs []segment
+		for _, e := range p.segs {
+			if !e.loaded {
+				e.loaded = true
+				segs = append(segs, e.seg)
 			}
 		}
 		p.segMu.Unlock()
 		var wg sync.WaitGroup
-		errs := make([]error, len(segs))
+		errs := make([]error, len(segs)+1)
 		for i, sf := range segs {
+			if sf.formatVersion() >= 2 {
+				continue
+			}
 			wg.Add(1)
-			go func(i int, sf *segmentFile) {
+			go func(i int, sf segment) {
 				defer wg.Done()
-				errs[i] = p.loadSegment(sf)
+				errs[i] = sf.install(p.Store)
 			}(i, sf)
+		}
+		for _, sf := range segs {
+			if sf.formatVersion() < 2 {
+				continue
+			}
+			if err := sf.install(p.Store); err != nil {
+				errs[len(segs)] = err
+				break
+			}
 		}
 		wg.Wait()
 		for _, err := range errs {
@@ -284,6 +308,9 @@ func (p *Persistent) WarmUp() error {
 				return
 			}
 		}
+		p.Store.mu.Lock()
+		p.Store.generation++
+		p.Store.mu.Unlock()
 		p.loaded.Store(true)
 	})
 	return p.loadErr
@@ -294,13 +321,8 @@ func (p *Persistent) WarmUp() error {
 // first-write-wins, so install order decides which attributes a re-used
 // entity id keeps, and recovery must decide it the way the live process
 // did.
-func (p *Persistent) loadSegmentEntities(sf *segmentFile) error {
-	f, err := os.Open(sf.path)
-	if err != nil {
-		return fmt.Errorf("storage: segment: %w", err)
-	}
-	defer f.Close()
-	entities, err := sf.loadEntities(f)
+func (p *Persistent) loadSegmentEntities(sf segment) error {
+	entities, err := sf.readEntities()
 	if err != nil {
 		return err
 	}
@@ -312,28 +334,14 @@ func (p *Persistent) loadSegmentEntities(sf *segmentFile) error {
 	return nil
 }
 
-// loadSegment decodes one segment file's event partitions into the store,
-// each installed with its serialized posting lists. Partitions are
-// order-independent (events carry their own positions), so segments load
-// in parallel.
-func (p *Persistent) loadSegment(sf *segmentFile) error {
-	f, err := os.Open(sf.path)
-	if err != nil {
-		return fmt.Errorf("storage: segment: %w", err)
-	}
-	defer f.Close()
-	for i := range sf.parts {
-		pi := &sf.parts[i]
-		events, bySubject, byObject, err := sf.loadPartition(f, pi)
-		if err != nil {
-			return err
-		}
-		p.Store.installPartition(pi.key, events, bySubject, byObject)
-	}
-	p.Store.mu.Lock()
-	p.Store.generation++
-	p.Store.mu.Unlock()
-	return nil
+// segEntry tracks one segment in the persistent store's list, with the
+// load state that belongs to this process rather than to the file:
+// segments a compaction produced here are born loaded (their batches
+// arrived through Ingest); segments found at open install on WarmUp.
+// Guarded by segMu.
+type segEntry struct {
+	seg    segment
+	loaded bool
 }
 
 // Ingest journals one batch to the WAL, then applies it to the in-memory
@@ -465,7 +473,12 @@ func (p *Persistent) Compact() error {
 		return err
 	}
 
-	sf, err := writeSegment(filepath.Join(p.dir, "seg"), covered+1, last, entities, events)
+	var sf segment
+	if p.opts.LegacySegmentV1 {
+		sf, err = writeSegment(filepath.Join(p.dir, "seg"), covered+1, last, entities, events)
+	} else {
+		sf, err = writeSegmentV2(filepath.Join(p.dir, "seg"), covered+1, last, entities, events)
+	}
 	if err != nil {
 		return err
 	}
@@ -476,8 +489,7 @@ func (p *Persistent) Compact() error {
 	// is already in memory (it arrived through Ingest), so it is born
 	// loaded — WarmUp must never re-apply it in this process.
 	p.segMu.Lock()
-	sf.loaded = true
-	p.segs = append(p.segs, sf)
+	p.segs = append(p.segs, &segEntry{seg: sf, loaded: true})
 	p.coveredSeq = last
 	p.segMu.Unlock()
 	p.compactions.Add(1)
@@ -485,6 +497,65 @@ func (p *Persistent) Compact() error {
 		return err
 	}
 	return p.log.RemoveThrough(last)
+}
+
+// RewriteLegacySegments rewrites every v1 row segment into the v2 columnar
+// format in place — same file name, atomic rename — returning how many were
+// rewritten. The in-memory store is untouched (v1 partitions already warmed
+// stay hot); the payoff comes at the next open, which maps the v2 files and
+// recovers without decoding a single event. Every step is crash-safe: until
+// a rename lands the v1 file is intact and a half-written temp is swept at
+// the next open; after it, the v2 file carries exactly the same WAL range,
+// entities, events, and postings, so recovery replays nothing twice.
+func (p *Persistent) RewriteLegacySegments() (int, error) {
+	if err := p.WarmUp(); err != nil {
+		return 0, err
+	}
+	p.compactMu.Lock()
+	defer p.compactMu.Unlock()
+	p.segMu.Lock()
+	entries := append([]*segEntry(nil), p.segs...)
+	p.segMu.Unlock()
+	n := 0
+	for _, e := range entries {
+		v1, ok := e.seg.(*segmentFile)
+		if !ok {
+			continue
+		}
+		entities, err := v1.readEntities()
+		if err != nil {
+			return n, err
+		}
+		var events []types.Event
+		f, err := os.Open(v1.path)
+		if err != nil {
+			return n, fmt.Errorf("storage: segment: %w", err)
+		}
+		for i := range v1.parts {
+			evs, _, _, err := v1.loadPartition(f, &v1.parts[i])
+			if err != nil {
+				f.Close()
+				return n, err
+			}
+			events = append(events, evs...)
+		}
+		f.Close()
+		if err := p.crash("rewrite-collected"); err != nil {
+			return n, err
+		}
+		sf2, err := writeSegmentV2(filepath.Dir(v1.path), v1.firstSeq, v1.lastSeq, entities, events)
+		if err != nil {
+			return n, err
+		}
+		if err := p.crash("rewrite-renamed"); err != nil {
+			return n, err
+		}
+		p.segMu.Lock()
+		e.seg = sf2
+		p.segMu.Unlock()
+		n++
+	}
+	return n, nil
 }
 
 func (p *Persistent) crash(point string) error {
@@ -561,8 +632,10 @@ type DurabilityStats struct {
 	WALRecords int   `json:"wal_records"`
 	WALBytes   int64 `json:"wal_bytes"`
 	// Segments is the number of immutable segment files; SegmentEvents
-	// the events they hold.
+	// the events they hold; SegmentsV2 how many are in the columnar v2
+	// format (the rest are legacy v1 row segments).
 	Segments      int `json:"segments"`
+	SegmentsV2    int `json:"segments_v2"`
 	SegmentEvents int `json:"segment_events"`
 	// CoveredSeq and LastSeq bound the recovery replay: records in
 	// (CoveredSeq, LastSeq] replay from the WAL on restart.
@@ -579,9 +652,12 @@ type DurabilityStats struct {
 func (p *Persistent) DurabilityStats() DurabilityStats {
 	records, bytes := p.log.Depth()
 	p.segMu.Lock()
-	segs, events := len(p.segs), 0
-	for _, sf := range p.segs {
-		events += sf.events()
+	segs, segsV2, events := len(p.segs), 0, 0
+	for _, e := range p.segs {
+		events += e.seg.events()
+		if e.seg.formatVersion() >= 2 {
+			segsV2++
+		}
 	}
 	covered := p.coveredSeq
 	p.segMu.Unlock()
@@ -589,6 +665,7 @@ func (p *Persistent) DurabilityStats() DurabilityStats {
 		WALRecords:    records,
 		WALBytes:      bytes,
 		Segments:      segs,
+		SegmentsV2:    segsV2,
 		SegmentEvents: events,
 		CoveredSeq:    covered,
 		LastSeq:       p.log.LastSeq(),

@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"aiql/internal/types"
+)
+
+// segment abstracts one immutable on-disk segment file regardless of format
+// version. v1 (AIQLSEG1) row segments decode eagerly at install, exactly as
+// recovery always has; v2 (AIQLSEG2) columnar segments install lazily —
+// header-only at open, memory-mapped cold runs whose blocks decode on first
+// scan contact.
+type segment interface {
+	// segPath is the file's path, for diagnostics.
+	segPath() string
+	// seqRange is the closed WAL sequence range the segment covers.
+	seqRange() (first, last uint64)
+	// events is the directory-level event total across partitions.
+	events() int
+	// formatVersion is the on-disk format: 1 (row) or 2 (columnar).
+	formatVersion() int
+	// readEntities reads and checksums the segment's entity block.
+	readEntities() ([]types.Entity, error)
+	// install makes the segment's event partitions queryable in s.
+	install(s *Store) error
+}
+
+func (sf *segmentFile) segPath() string            { return sf.path }
+func (sf *segmentFile) seqRange() (uint64, uint64) { return sf.firstSeq, sf.lastSeq }
+func (sf *segmentFile) formatVersion() int         { return 1 }
+
+func (sf *segmentFile) readEntities() ([]types.Entity, error) {
+	f, err := os.Open(sf.path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	defer f.Close()
+	return sf.loadEntities(f)
+}
+
+// install decodes every v1 partition into the store with its serialized
+// posting lists — the full recovery cost, paid up front. Partitions are
+// order-independent (events carry their own positions), so callers may
+// install v1 segments in parallel.
+func (sf *segmentFile) install(s *Store) error {
+	f, err := os.Open(sf.path)
+	if err != nil {
+		return fmt.Errorf("storage: segment: %w", err)
+	}
+	defer f.Close()
+	for i := range sf.parts {
+		pi := &sf.parts[i]
+		events, bySubject, byObject, err := sf.loadPartition(f, pi)
+		if err != nil {
+			return err
+		}
+		s.installPartition(pi.key, events, bySubject, byObject)
+	}
+	return nil
+}
+
+func (sf *segmentV2File) segPath() string            { return sf.path }
+func (sf *segmentV2File) seqRange() (uint64, uint64) { return sf.firstSeq, sf.lastSeq }
+func (sf *segmentV2File) formatVersion() int         { return 2 }
+
+func (sf *segmentV2File) readEntities() ([]types.Entity, error) {
+	f, err := os.Open(sf.path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	defer f.Close()
+	return sf.loadEntities(f)
+}
+
+// install maps the file read-only and registers each partition as a cold
+// run: no event is decoded, so recovery touches headers and the entity
+// block only, and later scans decode just the blocks their predicates can
+// match. Cold runs covering the same (agent, day) must arrive oldest-first
+// for the pointer hand-off fast path, so callers install v2 segments
+// sequentially in firstSeq order — the work per segment is trivial.
+func (sf *segmentV2File) install(s *Store) error {
+	if err := sf.ensureMapped(); err != nil {
+		return err
+	}
+	for i := range sf.parts {
+		if err := s.installColdRun(sf, &sf.parts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openSegmentAny opens a segment file of either format, dispatching on the
+// magic in the first eight bytes. Header and directory only; no payload.
+func openSegmentAny(path string) (segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	magic := make([]byte, 8)
+	_, rerr := io.ReadFull(f, magic)
+	f.Close()
+	if rerr != nil {
+		return nil, corruptf(path, "short magic: %v", rerr)
+	}
+	switch string(magic) {
+	case segMagic:
+		return openSegment(path)
+	case segV2Magic:
+		return openSegmentV2(path)
+	default:
+		return nil, corruptf(path, "bad magic %q", magic)
+	}
+}

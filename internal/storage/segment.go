@@ -65,11 +65,6 @@ type segmentFile struct {
 	entityLen uint64
 	entityCRC uint32
 	parts     []segPartInfo
-	// loaded marks segments whose data is already in memory: segments a
-	// compaction produced in this process (their batches arrived through
-	// Ingest) are born loaded; segments found at open load on WarmUp.
-	// Guarded by Persistent.segMu.
-	loaded bool
 }
 
 func segFileName(first, last uint64) string {
@@ -318,23 +313,29 @@ func (sf *segmentFile) loadPartition(f *os.File, pi *segPartInfo) ([]types.Event
 
 // loadEntities reads, verifies and decodes the entity block.
 func (sf *segmentFile) loadEntities(f *os.File) ([]types.Entity, error) {
-	block := make([]byte, sf.entityLen)
-	if _, err := f.ReadAt(block, int64(sf.entityOff)); err != nil {
-		return nil, fmt.Errorf("storage: segment %s: read entities: %w", sf.path, err)
+	return readEntityBlock(sf.path, f, sf.entityOff, sf.entityLen, sf.entityCRC, sf.nEntities)
+}
+
+// readEntityBlock reads, verifies and decodes an entity block — the same
+// codec in both segment format versions.
+func readEntityBlock(path string, f *os.File, off, length uint64, wantCRC uint32, n int) ([]types.Entity, error) {
+	block := make([]byte, length)
+	if _, err := f.ReadAt(block, int64(off)); err != nil {
+		return nil, corruptf(path, "read entities: %v", err)
 	}
-	if crc32.Checksum(block, castagnoli) != sf.entityCRC {
-		return nil, fmt.Errorf("storage: segment %s: entity checksum mismatch", sf.path)
+	if crc32.Checksum(block, castagnoli) != wantCRC {
+		return nil, corruptf(path, "entity checksum mismatch")
 	}
 	d := &decoder{b: block}
-	entities := make([]types.Entity, 0, sf.nEntities)
-	for i := 0; i < sf.nEntities && d.err == nil; i++ {
+	entities := make([]types.Entity, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
 		entities = append(entities, d.entity())
 	}
 	if d.err != nil {
-		return nil, fmt.Errorf("storage: segment %s: entities: %w", sf.path, d.err)
+		return nil, corruptf(path, "entities: %v", d.err)
 	}
 	if d.off != len(block) {
-		return nil, fmt.Errorf("storage: segment %s: entities: trailing bytes", sf.path)
+		return nil, corruptf(path, "entities: trailing bytes")
 	}
 	return entities, nil
 }

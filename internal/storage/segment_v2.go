@@ -1,0 +1,912 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aiql/internal/timeutil"
+	"aiql/internal/types"
+)
+
+// Version 2 of the sealed-segment format replaces v1's row-oriented
+// partition blocks with a columnar layout built for the scan path:
+//
+//   - Events live in fixed-size blocks (segV2BlockRows rows) of contiguous
+//     per-attribute columns, so a predicate over one attribute walks one
+//     dense array instead of striding through 73-byte row structs.
+//   - Subject/object entity ids are dictionary-encoded per partition: the
+//     columns hold u32 indexes into a sorted id dictionary, and the posting
+//     lists become slices of one shared position array addressed through a
+//     bounds table — no per-entity map materialization on load.
+//   - Start timestamps are delta-encoded (u32) against the block's zone-map
+//     minimum; a partition spans one UTC day, so the delta always fits.
+//   - Every block carries a zone map — min/max start time, an OpSet bitmap,
+//     and the min/max dictionary index of its subjects and objects — letting
+//     a query skip whole blocks its predicates cannot match without reading
+//     them.
+//
+// The file is opened header-and-directory-only (same O(partitions) recovery
+// cost as v1) and the payload is memory-mapped read-only on first use:
+// WarmUp maps the file, and per-partition metadata (dictionary, zones,
+// postings) decodes lazily on first scan of that partition. Cold queries
+// therefore touch only the blocks their windows and predicates select.
+//
+// On-disk layout (integers little-endian; header mirrors v1 field-for-field
+// so version dispatch is by magic alone):
+//
+//	magic "AIQLSEG2" (8)
+//	firstSeq u64  lastSeq u64
+//	nParts u32    nEntities u32
+//	entityOff u64 entityLen u64 entityCRC u32
+//	dirCRC u32
+//	directory: nParts × {agent i64, day i64, nEvents u32, nBlocks u32,
+//	                     nDict u32, metaCRC u32, minStart i64, maxStart i64,
+//	                     metaOff u64, metaLen u64, dataOff u64, dataLen u64}
+//	per-partition meta region:
+//	    dict      nDict × u64          (sorted ascending entity ids)
+//	    zones     nBlocks × 42 bytes   {count u32, crc u32, minStart i64,
+//	                                    maxStart i64, ops u16, minSubj u32,
+//	                                    maxSubj u32, minObj u32, maxObj u32}
+//	    bounds    (2·nDict+1) × u32    (posting-list boundaries)
+//	    posts     2·nEvents × u32      (event positions; subject list of
+//	                                    dict entry i is posts[bounds[2i]:
+//	                                    bounds[2i+1]], object list is
+//	                                    posts[bounds[2i+1]:bounds[2i+2]])
+//	per-partition data region: nBlocks × block, each block columns in order
+//	    starts u32 (delta) | ends i64 | ids u64 | seqs u64 | amounts i64 |
+//	    fails i64 | subj u32 (dict idx) | obj u32 (dict idx) | ops u8
+//	entity block (identical codec to v1)
+//
+// Every length in the directory is arithmetically determined by the counts
+// next to it, so a corrupted directory is caught at open by consistency
+// checks rather than surfacing later as an over-allocation.
+
+const (
+	segV2Magic     = "AIQLSEG2"
+	segV2DirEntry  = 8 + 8 + 4 + 4 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 8
+	segV2ZoneBytes = 4 + 4 + 8 + 8 + 2 + 4 + 4 + 4 + 4
+	segV2RowBytes  = 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + 1
+
+	// segV2BlockRows is the zone-map granularity: rows per column block.
+	segV2BlockRows = 1024
+)
+
+// ErrSegmentCorrupt is wrapped by every error reporting on-disk segment
+// corruption (bad checksum, impossible count, out-of-range index…), so
+// callers can distinguish data damage from I/O failure with errors.Is.
+var ErrSegmentCorrupt = errors.New("storage: segment corrupt")
+
+func corruptf(path, format string, args ...any) error {
+	return fmt.Errorf("%w: %s: %s", ErrSegmentCorrupt, path, fmt.Sprintf(format, args...))
+}
+
+// segV2Zone is one block's zone map.
+type segV2Zone struct {
+	count    int
+	crc      uint32
+	minStart int64
+	maxStart int64
+	ops      types.OpSet
+	minSubj  uint32
+	maxSubj  uint32
+	minObj   uint32
+	maxObj   uint32
+}
+
+// segV2Meta is a partition's decoded metadata: everything a scan needs to
+// decide which blocks to touch, plus the posting lists for index probes.
+type segV2Meta struct {
+	dict   []types.EntityID // sorted ascending
+	zones  []segV2Zone
+	bounds []uint32
+	posts  []uint32
+}
+
+// subjectPostings returns the event positions for dict entry i as subject.
+func (m *segV2Meta) subjectPostings(i int) []uint32 {
+	return m.posts[m.bounds[2*i]:m.bounds[2*i+1]]
+}
+
+// objectPostings returns the event positions for dict entry i as object.
+func (m *segV2Meta) objectPostings(i int) []uint32 {
+	return m.posts[m.bounds[2*i+1]:m.bounds[2*i+2]]
+}
+
+// dictIndex returns the dictionary slot of id, or -1.
+func (m *segV2Meta) dictIndex(id types.EntityID) int {
+	i := sort.Search(len(m.dict), func(j int) bool { return m.dict[j] >= id })
+	if i < len(m.dict) && m.dict[i] == id {
+		return i
+	}
+	return -1
+}
+
+// segV2PartInfo is the plain directory-entry payload — everything the
+// writer computes and the reader trusts after checkV2PartInfo. It is
+// separate from segV2Part so the writer can copy it freely (segV2Part
+// carries lock state). The directory includes the partition's [minStart,
+// maxStart] time range so the store can prune, order, and overlap-check
+// cold partitions without touching the meta region.
+type segV2PartInfo struct {
+	key      partKey
+	nEvents  int
+	nBlocks  int
+	nDict    int
+	metaCRC  uint32
+	minStart int64
+	maxStart int64
+	metaOff  uint64
+	metaLen  uint64
+	dataOff  uint64
+	dataLen  uint64
+}
+
+// segV2Part is one directory entry plus its lazily-decoded metadata.
+type segV2Part struct {
+	segV2PartInfo
+
+	metaOnce sync.Once
+	metaErr  error
+	// meta is published atomically so Estimate can peek at already-decoded
+	// metadata without forcing (or racing with) the decode.
+	meta atomic.Pointer[segV2Meta]
+}
+
+// peekMeta returns the decoded metadata if some scan already produced it,
+// without triggering a decode.
+func (pi *segV2Part) peekMeta() *segV2Meta { return pi.meta.Load() }
+
+// segmentV2File is an opened v2 segment: header and directory eagerly, the
+// payload memory-mapped on first use and partition metadata decoded on
+// first scan.
+type segmentV2File struct {
+	path      string
+	firstSeq  uint64
+	lastSeq   uint64
+	nEntities int
+	entityOff uint64
+	entityLen uint64
+	entityCRC uint32
+	parts     []segV2Part
+
+	mapOnce sync.Once
+	mapErr  error
+	data    []byte
+	mapped  bool // data came from mmap (vs. a read-whole-file fallback)
+}
+
+// ensureMapped maps (or, off unix, reads) the whole file read-only exactly
+// once. The fd is closed immediately — the mapping outlives it.
+func (sf *segmentV2File) ensureMapped() error {
+	sf.mapOnce.Do(func() {
+		f, err := os.Open(sf.path)
+		if err != nil {
+			sf.mapErr = fmt.Errorf("storage: segment: %w", err)
+			return
+		}
+		defer f.Close()
+		fi, err := f.Stat()
+		if err != nil {
+			sf.mapErr = fmt.Errorf("storage: segment: %w", err)
+			return
+		}
+		sf.data, sf.mapped, sf.mapErr = mapFile(f, fi.Size())
+	})
+	return sf.mapErr
+}
+
+// unmap releases the mapping; only tests call it (stores keep segments
+// mapped for their lifetime — the kernel pages them in and out as needed).
+func (sf *segmentV2File) unmap() {
+	if sf.mapped && sf.data != nil {
+		unmapFile(sf.data)
+	}
+	sf.data = nil
+	sf.mapped = false
+}
+
+// writeSegmentV2 compacts one batch of entities and events into an
+// immutable v2 segment file in dir, returning it opened (header +
+// directory, payload unmapped). The partitioning, sort order, and posting
+// semantics match v1's writeSegment exactly; only the encoding differs.
+func writeSegmentV2(dir string, firstSeq, lastSeq uint64, entities []types.Entity, events []types.Event) (*segmentV2File, error) {
+	parts := make(map[partKey][]types.Event)
+	for i := range events {
+		ev := &events[i]
+		key := partKey{agent: ev.AgentID, day: timeutil.DayIndex(ev.Start)}
+		parts[key] = append(parts[key], *ev)
+	}
+	keys := make([]partKey, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].day != keys[j].day {
+			return keys[i].day < keys[j].day
+		}
+		return keys[i].agent < keys[j].agent
+	})
+
+	type builtPart struct {
+		info segV2PartInfo
+		meta []byte
+		data []byte
+	}
+	built := make([]builtPart, 0, len(keys))
+	for _, k := range keys {
+		evs := parts[k]
+		sort.Slice(evs, func(i, j int) bool { return eventLess(&evs[i], &evs[j]) })
+		bp, err := buildV2Partition(k, evs)
+		if err != nil {
+			return nil, err
+		}
+		built = append(built, builtPart{info: bp.info, meta: bp.meta, data: bp.data})
+	}
+
+	// Assign offsets: header | directory | meta+data per partition | entities.
+	off := uint64(segHeaderLen + len(built)*segV2DirEntry)
+	for i := range built {
+		bp := &built[i]
+		bp.info.metaOff, bp.info.metaLen = off, uint64(len(bp.meta))
+		off += uint64(len(bp.meta))
+		bp.info.dataOff, bp.info.dataLen = off, uint64(len(bp.data))
+		off += uint64(len(bp.data))
+	}
+	var entBlock []byte
+	for i := range entities {
+		entBlock = appendEntity(entBlock, &entities[i])
+	}
+	entityOff := off
+
+	dirBytes := make([]byte, 0, len(built)*segV2DirEntry)
+	for i := range built {
+		e := &built[i].info
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, uint64(int64(e.key.agent)))
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, uint64(int64(e.key.day)))
+		dirBytes = binary.LittleEndian.AppendUint32(dirBytes, uint32(e.nEvents))
+		dirBytes = binary.LittleEndian.AppendUint32(dirBytes, uint32(e.nBlocks))
+		dirBytes = binary.LittleEndian.AppendUint32(dirBytes, uint32(e.nDict))
+		dirBytes = binary.LittleEndian.AppendUint32(dirBytes, e.metaCRC)
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, uint64(e.minStart))
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, uint64(e.maxStart))
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, e.metaOff)
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, e.metaLen)
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, e.dataOff)
+		dirBytes = binary.LittleEndian.AppendUint64(dirBytes, e.dataLen)
+	}
+
+	hdr := make([]byte, 0, segHeaderLen)
+	hdr = append(hdr, segV2Magic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, firstSeq)
+	hdr = binary.LittleEndian.AppendUint64(hdr, lastSeq)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(built)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(entities)))
+	hdr = binary.LittleEndian.AppendUint64(hdr, entityOff)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(entBlock)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(entBlock, castagnoli))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(dirBytes, castagnoli))
+
+	final := filepath.Join(dir, segFileName(firstSeq, lastSeq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	chunks := [][]byte{hdr, dirBytes}
+	for i := range built {
+		chunks = append(chunks, built[i].meta, built[i].data)
+	}
+	chunks = append(chunks, entBlock)
+	for _, chunk := range chunks {
+		if _, err := f.Write(chunk); err != nil {
+			return nil, fmt.Errorf("storage: segment: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	// Validate before the rename makes the file authoritative — same
+	// contract as v1: a failure leaves a sweepable .tmp, never a renamed
+	// file the caller failed to track.
+	sf, err := openSegmentV2(tmp)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	ok = true
+	sf.path = final
+	if err := syncDir(dir); err != nil {
+		return nil, err
+	}
+	return sf, nil
+}
+
+type v2PartBuild struct {
+	info segV2PartInfo
+	meta []byte
+	data []byte
+}
+
+// buildV2Partition encodes one sorted partition into its meta and data
+// regions.
+func buildV2Partition(k partKey, evs []types.Event) (v2PartBuild, error) {
+	n := len(evs)
+	// Dictionary: sorted unique subject ∪ object ids.
+	idSet := make(map[types.EntityID]struct{}, n)
+	for i := range evs {
+		idSet[evs[i].Subject] = struct{}{}
+		idSet[evs[i].Object] = struct{}{}
+	}
+	dict := make([]types.EntityID, 0, len(idSet))
+	for id := range idSet {
+		dict = append(dict, id)
+	}
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	slot := make(map[types.EntityID]uint32, len(dict))
+	for i, id := range dict {
+		slot[id] = uint32(i)
+	}
+
+	// Posting lists: event positions per dict entry, naturally ascending
+	// because events are appended in sorted order.
+	subjPos := make([][]uint32, len(dict))
+	objPos := make([][]uint32, len(dict))
+	for i := range evs {
+		s, o := slot[evs[i].Subject], slot[evs[i].Object]
+		subjPos[s] = append(subjPos[s], uint32(i))
+		objPos[o] = append(objPos[o], uint32(i))
+	}
+
+	// Blocks + zone maps.
+	nBlocks := (n + segV2BlockRows - 1) / segV2BlockRows
+	zones := make([]segV2Zone, 0, nBlocks)
+	data := make([]byte, 0, n*segV2RowBytes)
+	for lo := 0; lo < n; lo += segV2BlockRows {
+		hi := lo + segV2BlockRows
+		if hi > n {
+			hi = n
+		}
+		block := evs[lo:hi]
+		z := segV2Zone{
+			count:    len(block),
+			minStart: block[0].Start,
+			maxStart: block[len(block)-1].Start,
+			minSubj:  slot[block[0].Subject],
+			minObj:   slot[block[0].Object],
+		}
+		z.maxSubj, z.maxObj = z.minSubj, z.minObj
+		for i := range block {
+			ev := &block[i]
+			z.ops = z.ops.Add(ev.Op)
+			s, o := slot[ev.Subject], slot[ev.Object]
+			if s < z.minSubj {
+				z.minSubj = s
+			}
+			if s > z.maxSubj {
+				z.maxSubj = s
+			}
+			if o < z.minObj {
+				z.minObj = o
+			}
+			if o > z.maxObj {
+				z.maxObj = o
+			}
+		}
+		if delta := z.maxStart - z.minStart; delta < 0 || delta > int64(^uint32(0)) {
+			return v2PartBuild{}, fmt.Errorf("storage: segment: partition (%d,%d) start span %d overflows delta encoding", k.agent, k.day, delta)
+		}
+		bb := make([]byte, 0, len(block)*segV2RowBytes)
+		for i := range block {
+			bb = binary.LittleEndian.AppendUint32(bb, uint32(block[i].Start-z.minStart))
+		}
+		for i := range block {
+			bb = binary.LittleEndian.AppendUint64(bb, uint64(block[i].End))
+		}
+		for i := range block {
+			bb = binary.LittleEndian.AppendUint64(bb, uint64(block[i].ID))
+		}
+		for i := range block {
+			bb = binary.LittleEndian.AppendUint64(bb, block[i].Seq)
+		}
+		for i := range block {
+			bb = binary.LittleEndian.AppendUint64(bb, uint64(block[i].Amount))
+		}
+		for i := range block {
+			bb = binary.LittleEndian.AppendUint64(bb, uint64(int64(block[i].FailCode)))
+		}
+		for i := range block {
+			bb = binary.LittleEndian.AppendUint32(bb, slot[block[i].Subject])
+		}
+		for i := range block {
+			bb = binary.LittleEndian.AppendUint32(bb, slot[block[i].Object])
+		}
+		for i := range block {
+			bb = append(bb, byte(block[i].Op))
+		}
+		z.crc = crc32.Checksum(bb, castagnoli)
+		zones = append(zones, z)
+		data = append(data, bb...)
+	}
+
+	// Meta region: dict | zones | bounds | posts.
+	meta := make([]byte, 0, len(dict)*8+nBlocks*segV2ZoneBytes+(2*len(dict)+1)*4+2*n*4)
+	for _, id := range dict {
+		meta = binary.LittleEndian.AppendUint64(meta, uint64(id))
+	}
+	for i := range zones {
+		z := &zones[i]
+		meta = binary.LittleEndian.AppendUint32(meta, uint32(z.count))
+		meta = binary.LittleEndian.AppendUint32(meta, z.crc)
+		meta = binary.LittleEndian.AppendUint64(meta, uint64(z.minStart))
+		meta = binary.LittleEndian.AppendUint64(meta, uint64(z.maxStart))
+		meta = binary.LittleEndian.AppendUint16(meta, uint16(z.ops))
+		meta = binary.LittleEndian.AppendUint32(meta, z.minSubj)
+		meta = binary.LittleEndian.AppendUint32(meta, z.maxSubj)
+		meta = binary.LittleEndian.AppendUint32(meta, z.minObj)
+		meta = binary.LittleEndian.AppendUint32(meta, z.maxObj)
+	}
+	bound := uint32(0)
+	meta = binary.LittleEndian.AppendUint32(meta, bound)
+	for i := range dict {
+		bound += uint32(len(subjPos[i]))
+		meta = binary.LittleEndian.AppendUint32(meta, bound)
+		bound += uint32(len(objPos[i]))
+		meta = binary.LittleEndian.AppendUint32(meta, bound)
+	}
+	for i := range dict {
+		for _, p := range subjPos[i] {
+			meta = binary.LittleEndian.AppendUint32(meta, p)
+		}
+		for _, p := range objPos[i] {
+			meta = binary.LittleEndian.AppendUint32(meta, p)
+		}
+	}
+
+	return v2PartBuild{
+		info: segV2PartInfo{
+			key:      k,
+			nEvents:  n,
+			nBlocks:  nBlocks,
+			nDict:    len(dict),
+			metaCRC:  crc32.Checksum(meta, castagnoli),
+			minStart: evs[0].Start,
+			maxStart: evs[n-1].Start,
+		},
+		meta: meta,
+		data: data,
+	}, nil
+}
+
+// openSegmentV2 reads a v2 segment's header and directory only, bounding
+// and cross-checking every count and offset so later lazy loads can trust
+// the directory arithmetic.
+func openSegmentV2(path string) (*segmentV2File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment: %w", err)
+	}
+	size := uint64(fi.Size())
+	hdr := make([]byte, segHeaderLen)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		return nil, corruptf(path, "short header: %v", err)
+	}
+	if string(hdr[:8]) != segV2Magic {
+		return nil, corruptf(path, "bad magic")
+	}
+	sf := &segmentV2File{
+		path:      path,
+		firstSeq:  binary.LittleEndian.Uint64(hdr[8:]),
+		lastSeq:   binary.LittleEndian.Uint64(hdr[16:]),
+		nEntities: int(binary.LittleEndian.Uint32(hdr[28:])),
+		entityOff: binary.LittleEndian.Uint64(hdr[32:]),
+		entityLen: binary.LittleEndian.Uint64(hdr[40:]),
+		entityCRC: binary.LittleEndian.Uint32(hdr[48:]),
+	}
+	if sf.entityOff > size || sf.entityLen > size-sf.entityOff {
+		return nil, corruptf(path, "entity block [%d,+%d) exceeds file size %d", sf.entityOff, sf.entityLen, size)
+	}
+	if uint64(sf.nEntities) > sf.entityLen {
+		return nil, corruptf(path, "implausible entity count %d for %d-byte block", sf.nEntities, sf.entityLen)
+	}
+	nParts := int(binary.LittleEndian.Uint32(hdr[24:]))
+	dirCRC := binary.LittleEndian.Uint32(hdr[52:])
+	if nParts < 0 || uint64(nParts) > size/segV2DirEntry {
+		return nil, corruptf(path, "implausible partition count %d", nParts)
+	}
+	dirBytes := make([]byte, nParts*segV2DirEntry)
+	if _, err := f.ReadAt(dirBytes, segHeaderLen); err != nil {
+		return nil, corruptf(path, "short directory: %v", err)
+	}
+	if crc32.Checksum(dirBytes, castagnoli) != dirCRC {
+		return nil, corruptf(path, "directory checksum mismatch")
+	}
+	sf.parts = make([]segV2Part, nParts)
+	for i := 0; i < nParts; i++ {
+		b := dirBytes[i*segV2DirEntry:]
+		pi := &sf.parts[i]
+		pi.key = partKey{
+			agent: int(int64(binary.LittleEndian.Uint64(b[0:]))),
+			day:   int(int64(binary.LittleEndian.Uint64(b[8:]))),
+		}
+		pi.nEvents = int(binary.LittleEndian.Uint32(b[16:]))
+		pi.nBlocks = int(binary.LittleEndian.Uint32(b[20:]))
+		pi.nDict = int(binary.LittleEndian.Uint32(b[24:]))
+		pi.metaCRC = binary.LittleEndian.Uint32(b[28:])
+		pi.minStart = int64(binary.LittleEndian.Uint64(b[32:]))
+		pi.maxStart = int64(binary.LittleEndian.Uint64(b[40:]))
+		pi.metaOff = binary.LittleEndian.Uint64(b[48:])
+		pi.metaLen = binary.LittleEndian.Uint64(b[56:])
+		pi.dataOff = binary.LittleEndian.Uint64(b[64:])
+		pi.dataLen = binary.LittleEndian.Uint64(b[72:])
+		if err := checkV2PartInfo(path, pi, size); err != nil {
+			return nil, err
+		}
+	}
+	return sf, nil
+}
+
+// checkV2PartInfo verifies one directory entry's internal arithmetic: all
+// lengths are functions of the counts, all regions sit inside the file.
+func checkV2PartInfo(path string, pi *segV2Part, size uint64) error {
+	at := func(format string, args ...any) error {
+		return corruptf(path, "partition (%d,%d): %s", pi.key.agent, pi.key.day, fmt.Sprintf(format, args...))
+	}
+	if pi.nEvents <= 0 {
+		return at("implausible event count %d", pi.nEvents)
+	}
+	if want := (pi.nEvents + segV2BlockRows - 1) / segV2BlockRows; pi.nBlocks != want {
+		return at("block count %d, want %d for %d events", pi.nBlocks, want, pi.nEvents)
+	}
+	if pi.nDict <= 0 || pi.nDict > 2*pi.nEvents {
+		return at("implausible dictionary size %d for %d events", pi.nDict, pi.nEvents)
+	}
+	if pi.minStart > pi.maxStart {
+		return at("time range inverted")
+	}
+	wantMeta := uint64(pi.nDict)*8 + uint64(pi.nBlocks)*segV2ZoneBytes + uint64(2*pi.nDict+1)*4 + uint64(2*pi.nEvents)*4
+	if pi.metaLen != wantMeta {
+		return at("meta length %d, want %d", pi.metaLen, wantMeta)
+	}
+	if wantData := uint64(pi.nEvents) * segV2RowBytes; pi.dataLen != wantData {
+		return at("data length %d, want %d", pi.dataLen, wantData)
+	}
+	if pi.metaOff > size || pi.metaLen > size-pi.metaOff {
+		return at("meta region [%d,+%d) exceeds file size %d", pi.metaOff, pi.metaLen, size)
+	}
+	if pi.dataOff > size || pi.dataLen > size-pi.dataOff {
+		return at("data region [%d,+%d) exceeds file size %d", pi.dataOff, pi.dataLen, size)
+	}
+	return nil
+}
+
+// loadMeta decodes (once) a partition's dictionary, zone maps and posting
+// lists from the mapped file, verifying the region checksum and every
+// structural invariant the scan path will rely on.
+func (sf *segmentV2File) loadMeta(pi *segV2Part) (*segV2Meta, error) {
+	pi.metaOnce.Do(func() {
+		m, err := sf.decodeMeta(pi)
+		if err != nil {
+			pi.metaErr = err
+			return
+		}
+		pi.meta.Store(m)
+	})
+	return pi.meta.Load(), pi.metaErr
+}
+
+func (sf *segmentV2File) decodeMeta(pi *segV2Part) (*segV2Meta, error) {
+	if err := sf.ensureMapped(); err != nil {
+		return nil, err
+	}
+	at := func(format string, args ...any) error {
+		return corruptf(sf.path, "partition (%d,%d): %s", pi.key.agent, pi.key.day, fmt.Sprintf(format, args...))
+	}
+	if pi.metaOff+pi.metaLen > uint64(len(sf.data)) {
+		return nil, at("meta region exceeds mapped size %d", len(sf.data))
+	}
+	raw := sf.data[pi.metaOff : pi.metaOff+pi.metaLen]
+	if crc32.Checksum(raw, castagnoli) != pi.metaCRC {
+		return nil, at("meta checksum mismatch")
+	}
+	m := &segV2Meta{
+		dict:   make([]types.EntityID, pi.nDict),
+		zones:  make([]segV2Zone, pi.nBlocks),
+		bounds: make([]uint32, 2*pi.nDict+1),
+		posts:  make([]uint32, 2*pi.nEvents),
+	}
+	off := 0
+	for i := range m.dict {
+		m.dict[i] = types.EntityID(binary.LittleEndian.Uint64(raw[off:]))
+		if i > 0 && m.dict[i] <= m.dict[i-1] {
+			return nil, at("dictionary not strictly ascending at slot %d", i)
+		}
+		off += 8
+	}
+	total := 0
+	for i := range m.zones {
+		z := &m.zones[i]
+		z.count = int(binary.LittleEndian.Uint32(raw[off:]))
+		z.crc = binary.LittleEndian.Uint32(raw[off+4:])
+		z.minStart = int64(binary.LittleEndian.Uint64(raw[off+8:]))
+		z.maxStart = int64(binary.LittleEndian.Uint64(raw[off+16:]))
+		z.ops = types.OpSet(binary.LittleEndian.Uint16(raw[off+24:]))
+		z.minSubj = binary.LittleEndian.Uint32(raw[off+26:])
+		z.maxSubj = binary.LittleEndian.Uint32(raw[off+30:])
+		z.minObj = binary.LittleEndian.Uint32(raw[off+34:])
+		z.maxObj = binary.LittleEndian.Uint32(raw[off+38:])
+		off += segV2ZoneBytes
+		if z.count <= 0 || z.count > segV2BlockRows {
+			return nil, at("block %d: implausible row count %d", i, z.count)
+		}
+		if z.minStart > z.maxStart {
+			return nil, at("block %d: zone time range inverted", i)
+		}
+		if i > 0 && z.minStart < m.zones[i-1].maxStart {
+			return nil, at("block %d: zone time range overlaps previous block", i)
+		}
+		if z.minSubj > z.maxSubj || int(z.maxSubj) >= pi.nDict ||
+			z.minObj > z.maxObj || int(z.maxObj) >= pi.nDict {
+			return nil, at("block %d: zone dictionary range out of bounds", i)
+		}
+		total += z.count
+	}
+	if total != pi.nEvents {
+		return nil, at("zone row counts sum to %d, want %d", total, pi.nEvents)
+	}
+	if m.zones[0].minStart != pi.minStart || m.zones[len(m.zones)-1].maxStart != pi.maxStart {
+		return nil, at("zone time ranges disagree with directory")
+	}
+	for i := range m.bounds {
+		m.bounds[i] = binary.LittleEndian.Uint32(raw[off:])
+		off += 4
+		if i > 0 && m.bounds[i] < m.bounds[i-1] {
+			return nil, at("posting bounds not monotone at %d", i)
+		}
+	}
+	if m.bounds[0] != 0 || int(m.bounds[len(m.bounds)-1]) != 2*pi.nEvents {
+		return nil, at("posting bounds do not cover the position array")
+	}
+	for i := range m.posts {
+		m.posts[i] = binary.LittleEndian.Uint32(raw[off:])
+		off += 4
+		if int(m.posts[i]) >= pi.nEvents {
+			return nil, at("posting position %d out of range", m.posts[i])
+		}
+	}
+	// Each individual posting list must be ascending — the scan path merges
+	// them positionally.
+	for i := 1; i < len(m.bounds); i++ {
+		list := m.posts[m.bounds[i-1]:m.bounds[i]]
+		for j := 1; j < len(list); j++ {
+			if list[j] <= list[j-1] {
+				return nil, at("posting list %d not ascending", i-1)
+			}
+		}
+	}
+	return m, nil
+}
+
+// blockCols is a decoded column block, reused across blocks by one scan.
+// Starts are absolute (delta already applied); subject/object are
+// dictionary indexes; agents is the partition's constant agent id so the
+// block satisfies pred.ColumnSource for every numeric event attribute.
+type blockCols struct {
+	n       int
+	starts  []int64
+	ends    []int64
+	ids     []int64
+	seqs    []int64
+	amounts []int64
+	fails   []int64
+	agents  []int64
+	subj    []uint32
+	obj     []uint32
+	ops     []types.Op
+}
+
+func (c *blockCols) reset(n int, agent int) {
+	if cap(c.starts) < n {
+		c.starts = make([]int64, n)
+		c.ends = make([]int64, n)
+		c.ids = make([]int64, n)
+		c.seqs = make([]int64, n)
+		c.amounts = make([]int64, n)
+		c.fails = make([]int64, n)
+		c.agents = make([]int64, n)
+		c.subj = make([]uint32, n)
+		c.obj = make([]uint32, n)
+		c.ops = make([]types.Op, n)
+	}
+	c.n = n
+	c.starts = c.starts[:n]
+	c.ends = c.ends[:n]
+	c.ids = c.ids[:n]
+	c.seqs = c.seqs[:n]
+	c.amounts = c.amounts[:n]
+	c.fails = c.fails[:n]
+	c.agents = c.agents[:n]
+	c.subj = c.subj[:n]
+	c.obj = c.obj[:n]
+	c.ops = c.ops[:n]
+	for i := 0; i < n; i++ {
+		c.agents[i] = int64(agent)
+	}
+}
+
+// NumRows implements pred.ColumnSource.
+func (c *blockCols) NumRows() int { return c.n }
+
+// Int64Column implements pred.ColumnSource.
+func (c *blockCols) Int64Column(attr string) ([]int64, bool) {
+	switch attr {
+	case types.EvtAttrAmount:
+		return c.amounts, true
+	case types.EvtAttrFailCode:
+		return c.fails, true
+	case types.EvtAttrSeq:
+		return c.seqs, true
+	case types.EvtAttrStart:
+		return c.starts, true
+	case types.EvtAttrEnd:
+		return c.ends, true
+	case types.AttrAgentID:
+		return c.agents, true
+	case types.AttrID:
+		return c.ids, true
+	}
+	return nil, false
+}
+
+// OpColumn implements pred.ColumnSource.
+func (c *blockCols) OpColumn() ([]types.Op, bool) { return c.ops, true }
+
+// event materializes row i into ev. The caller resolves subject/object
+// through the partition dictionary.
+func (c *blockCols) event(i int, m *segV2Meta, ev *types.Event) {
+	ev.ID = types.EventID(c.ids[i])
+	ev.AgentID = int(c.agents[i])
+	ev.Subject = m.dict[c.subj[i]]
+	ev.Object = m.dict[c.obj[i]]
+	ev.Op = c.ops[i]
+	ev.Start = c.starts[i]
+	ev.End = c.ends[i]
+	ev.Seq = uint64(c.seqs[i])
+	ev.Amount = c.amounts[i]
+	ev.FailCode = int(c.fails[i])
+}
+
+// blockRange returns the partition-relative row range [lo, hi) of block b.
+func blockRange(m *segV2Meta, b int) (int, int) {
+	lo := 0
+	for i := 0; i < b; i++ {
+		lo += m.zones[i].count
+	}
+	return lo, lo + m.zones[b].count
+}
+
+// decodeBlock verifies and decodes block b of a partition into cols. It
+// checks everything the zone map promised about the block — checksum,
+// delta monotonicity within the zone's time range, dictionary indexes in
+// the advertised range, valid operation codes in the advertised set — so a
+// zone map inconsistent with its block is a typed corruption error, not a
+// silently wrong prune.
+func (sf *segmentV2File) decodeBlock(pi *segV2Part, m *segV2Meta, b int, rowBase int, cols *blockCols) error {
+	if err := sf.ensureMapped(); err != nil {
+		return err
+	}
+	at := func(format string, args ...any) error {
+		return corruptf(sf.path, "partition (%d,%d) block %d: %s", pi.key.agent, pi.key.day, b, fmt.Sprintf(format, args...))
+	}
+	z := &m.zones[b]
+	n := z.count
+	off := pi.dataOff + uint64(rowBase)*segV2RowBytes
+	length := uint64(n) * segV2RowBytes
+	if off+length > uint64(len(sf.data)) {
+		return at("exceeds mapped size %d", len(sf.data))
+	}
+	raw := sf.data[off : off+length]
+	if crc32.Checksum(raw, castagnoli) != z.crc {
+		return at("checksum mismatch")
+	}
+	cols.reset(n, pi.key.agent)
+	p := 0
+	prev := int64(-1)
+	span := z.maxStart - z.minStart
+	for i := 0; i < n; i++ {
+		delta := int64(binary.LittleEndian.Uint32(raw[p:]))
+		p += 4
+		if delta > span {
+			return at("row %d: start outside zone time range", i)
+		}
+		start := z.minStart + delta
+		if start < prev {
+			return at("row %d: starts not sorted", i)
+		}
+		prev = start
+		cols.starts[i] = start
+	}
+	for i := 0; i < n; i++ {
+		cols.ends[i] = int64(binary.LittleEndian.Uint64(raw[p:]))
+		p += 8
+	}
+	for i := 0; i < n; i++ {
+		cols.ids[i] = int64(binary.LittleEndian.Uint64(raw[p:]))
+		p += 8
+	}
+	for i := 0; i < n; i++ {
+		cols.seqs[i] = int64(binary.LittleEndian.Uint64(raw[p:]))
+		p += 8
+	}
+	for i := 0; i < n; i++ {
+		cols.amounts[i] = int64(binary.LittleEndian.Uint64(raw[p:]))
+		p += 8
+	}
+	for i := 0; i < n; i++ {
+		cols.fails[i] = int64(binary.LittleEndian.Uint64(raw[p:]))
+		p += 8
+	}
+	for i := 0; i < n; i++ {
+		s := binary.LittleEndian.Uint32(raw[p:])
+		p += 4
+		if s < z.minSubj || s > z.maxSubj {
+			return at("row %d: out-of-range dictionary index %d", i, s)
+		}
+		cols.subj[i] = s
+	}
+	for i := 0; i < n; i++ {
+		o := binary.LittleEndian.Uint32(raw[p:])
+		p += 4
+		if o < z.minObj || o > z.maxObj {
+			return at("row %d: out-of-range dictionary index %d", i, o)
+		}
+		cols.obj[i] = o
+	}
+	for i := 0; i < n; i++ {
+		op := types.Op(raw[p])
+		p++
+		if !z.ops.Contains(op) {
+			return at("row %d: operation %d outside zone op set", i, op)
+		}
+		cols.ops[i] = op
+	}
+	return nil
+}
+
+// loadEntities reads, verifies and decodes the entity block via the file
+// handle (called at open, before any mapping exists).
+func (sf *segmentV2File) loadEntities(f *os.File) ([]types.Entity, error) {
+	return readEntityBlock(sf.path, f, sf.entityOff, sf.entityLen, sf.entityCRC, sf.nEntities)
+}
+
+// events returns the total event count across the segment's partitions.
+func (sf *segmentV2File) events() int {
+	n := 0
+	for i := range sf.parts {
+		n += sf.parts[i].nEvents
+	}
+	return n
+}

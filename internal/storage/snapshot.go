@@ -21,6 +21,15 @@ type partView struct {
 	events    []types.Event
 	bySubject map[types.EntityID][]int32
 	byObject  map[types.EntityID][]int32
+
+	// cold is the partition's sealed columnar prefix as of acquisition:
+	// every cold row is strictly older than every hot event above. The runs
+	// are immutable; a concurrent thaw only appends to the hot array (past
+	// the captured prefix) and clears the live partition's cold pointer —
+	// this captured view stays self-consistent either way.
+	cold    []*coldRun
+	coldN   int
+	coldErr error
 }
 
 // timeRange binary-searches the sorted visible prefix for the window bounds.
@@ -101,12 +110,18 @@ func (s *Store) Snapshot() *Snapshot {
 	for i, p := range s.partList {
 		p.mapsShared = true
 		p.eventsShared = true
-		snap.parts[i] = &partView{
+		pv := &partView{
 			key:       p.key,
 			events:    p.events,
 			bySubject: p.bySubject,
 			byObject:  p.byObject,
 		}
+		if p.cold != nil {
+			pv.cold = p.cold.runs
+			pv.coldN = p.cold.n
+			pv.coldErr = p.cold.bad
+		}
+		snap.parts[i] = pv
 	}
 	s.metaShared = true
 	s.liveSnaps++
@@ -218,13 +233,13 @@ func (sn *Snapshot) scan(ctx context.Context, q *DataQuery, onClose func()) Curs
 	// did for every query. Limit still caps the scan.
 	if len(parts) == 1 {
 		p := parts[0]
-		return newAsyncCursor(ctx, func(cctx context.Context) []Match {
+		return newAsyncErrCursor(ctx, func(cctx context.Context) ([]Match, error) {
 			var out []Match
-			sn.scanPartition(cctx, p, q, subjCand, objCand, agentSet, func(m Match) bool {
+			err := sn.scanPartition(cctx, p, q, subjCand, objCand, agentSet, func(m Match) bool {
 				out = append(out, m)
 				return q.Limit == 0 || len(out) < q.Limit
 			})
-			return out
+			return out, err
 		}, onClose)
 	}
 
@@ -232,12 +247,12 @@ func (sn *Snapshot) scan(ctx context.Context, q *DataQuery, onClose func()) Curs
 	c := &scanCursor{
 		parent:  ctx,
 		cancel:  cancel,
-		chans:   make([]chan []Match, len(parts)),
+		chans:   make([]chan scanBatch, len(parts)),
 		limit:   q.Limit,
 		onClose: onClose,
 	}
 	for i := range c.chans {
-		c.chans[i] = make(chan []Match, 2)
+		c.chans[i] = make(chan scanBatch, 2)
 	}
 
 	workers := sn.opts.workers()
@@ -276,10 +291,19 @@ func (sn *Snapshot) scan(ctx context.Context, q *DataQuery, onClose func()) Curs
 	return c
 }
 
+// scanBatch is one hand-off from a partition producer to the consuming
+// cursor: a batch of matches, or a terminal scan error.
+type scanBatch struct {
+	ms  []Match
+	err error
+}
+
 // producePartition scans one partition and streams its matches, batched, to
 // out. It always closes out, and aborts between batches (and every 1024
-// scanned rows) when ctx is canceled.
-func (sn *Snapshot) producePartition(ctx context.Context, p *partView, q *DataQuery, subjCand, objCand map[types.EntityID]struct{}, agentSet map[int]struct{}, out chan<- []Match) {
+// scanned rows) when ctx is canceled. A scan error (cold-segment
+// corruption) is sent as the final batch so the consumer fails the whole
+// cursor rather than passing off a partial result as complete.
+func (sn *Snapshot) producePartition(ctx context.Context, p *partView, q *DataQuery, subjCand, objCand map[types.EntityID]struct{}, agentSet map[int]struct{}, out chan<- scanBatch) {
 	defer close(out)
 	batch := make([]Match, 0, ScanBatchSize)
 	flush := func() bool {
@@ -287,7 +311,7 @@ func (sn *Snapshot) producePartition(ctx context.Context, p *partView, q *DataQu
 			return true
 		}
 		select {
-		case out <- batch:
+		case out <- scanBatch{ms: batch}:
 			batch = make([]Match, 0, ScanBatchSize)
 			return true
 		case <-ctx.Done():
@@ -310,28 +334,64 @@ func (sn *Snapshot) producePartition(ctx context.Context, p *partView, q *DataQu
 		}
 		return true
 	}
-	sn.scanPartition(ctx, p, q, subjCand, objCand, agentSet, emit)
+	err := sn.scanPartition(ctx, p, q, subjCand, objCand, agentSet, emit)
+	if err != nil {
+		select {
+		case out <- scanBatch{err: err}:
+		case <-ctx.Done():
+		}
+		return
+	}
 	flush()
 }
 
+// postingThreshold is the candidate-set size below which walking posting
+// lists beats scanning the time range, for hot and cold partitions alike.
+const postingThreshold = 128
+
 // scanPartition matches a data query against one partition view, invoking
 // emit for every match in temporal order; emit returning false stops the
-// scan. When candidate entity sets are small, posting lists replace the
-// range scan.
-func (sn *Snapshot) scanPartition(ctx context.Context, p *partView, q *DataQuery, subjCand, objCand map[types.EntityID]struct{}, agentSet map[int]struct{}, emit func(Match) bool) {
+// scan. The partition's cold (columnar) prefix streams first — its rows are
+// strictly older than every hot event — then the hot range. When candidate
+// entity sets are small, posting lists replace the range scans on both
+// sides. The returned error is always cold-segment corruption; a canceled
+// context is a silent stop (the cursor layer reports it).
+func (sn *Snapshot) scanPartition(ctx context.Context, p *partView, q *DataQuery, subjCand, objCand map[types.EntityID]struct{}, agentSet map[int]struct{}, emit func(Match) bool) error {
 	if agentSet != nil {
 		if _, ok := agentSet[p.key.agent]; !ok {
-			return
+			return nil
 		}
 	}
+
+	if len(p.cold) > 0 {
+		if p.coldErr != nil {
+			// A failed thaw already proved this partition's cold half
+			// unreadable; fail closed instead of returning hot-only rows.
+			return p.coldErr
+		}
+		stopped := false
+		wrap := func(m Match) bool {
+			if !emit(m) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		if err := sn.scanCold(ctx, p, q, subjCand, objCand, wrap); err != nil {
+			return err
+		}
+		if stopped || ctx.Err() != nil {
+			return nil
+		}
+	}
+
 	lo, hi := p.timeRange(q.Window)
 	if lo >= hi {
-		return
+		return nil
 	}
 
 	// Posting-list strategy: pick the smaller candidate set if one is
 	// small enough that walking its postings beats scanning the range.
-	const postingThreshold = 128
 	usePostings, fromSubject := false, false
 	if !sn.opts.DisableIndexes && !q.ForceScan {
 		switch {
@@ -383,22 +443,23 @@ func (sn *Snapshot) scanPartition(ctx context.Context, p *partView, q *DataQuery
 		positions := p.postingsInRange(subjCand, objCand, fromSubject, lo, hi)
 		for k, pos := range positions {
 			if k&1023 == 0 && ctx.Err() != nil {
-				return
+				return nil
 			}
 			if m, ok := check(int(pos)); ok && !emit(m) {
-				return
+				return nil
 			}
 		}
-		return
+		return nil
 	}
 	for pos := lo; pos < hi; pos++ {
 		if (pos-lo)&1023 == 0 && ctx.Err() != nil {
-			return
+			return nil
 		}
 		if m, ok := check(pos); ok && !emit(m) {
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 // candidateSet resolves the set of entity ids that can satisfy the
@@ -512,7 +573,7 @@ type scanCursor struct {
 	parent  context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
-	chans   []chan []Match
+	chans   []chan scanBatch
 	cur     int
 	pending []Match
 	limit   int
@@ -560,7 +621,14 @@ func (c *scanCursor) Next(batch []Match) int {
 				c.cur++
 				continue
 			}
-			c.pending = b
+			if b.err != nil {
+				// A failed partition fails the whole scan: matches already
+				// handed out are a prefix, but nothing after this point may
+				// pass for a complete result.
+				c.finish(b.err)
+				return n
+			}
+			c.pending = b.ms
 		case <-c.parent.Done():
 			c.finish(c.parent.Err())
 			return n

@@ -53,6 +53,11 @@ type Options struct {
 	// spatial/temporal constraints (the partitions still exist; only the
 	// pruning is turned off).
 	DisablePruning bool
+	// DisableZoneMaps turns off per-block zone-map pruning on cold (v2
+	// segment) partitions: every block in a selected partition is decoded
+	// and filtered row by row. Results are identical; only the work done
+	// differs — the pruning differential test runs on exactly this toggle.
+	DisableZoneMaps bool
 	// Workers bounds scan parallelism; 0 means GOMAXPROCS.
 	Workers int
 }
@@ -78,6 +83,11 @@ type partition struct {
 	events    []types.Event
 	bySubject map[types.EntityID][]int32
 	byObject  map[types.EntityID][]int32
+
+	// cold, when non-nil, is the partition's sealed columnar prefix: rows
+	// that live in mmap'ed v2 segments, strictly older than every event in
+	// the hot array above. See colpart.go.
+	cold *coldPart
 
 	// mapsShared marks the posting maps as possibly referenced by a live
 	// snapshot: the next insertion must clone them first.
@@ -149,6 +159,43 @@ type Store struct {
 	// liveSnaps for leak hunting (atomic: cursors close on consumer
 	// goroutines that must not take the store lock).
 	liveCursors atomic.Int64
+
+	// scanStats counts cold-scan block traffic (atomic: incremented from
+	// producer goroutines).
+	scanStats scanCounters
+	// coldErr latches the first cold-decode failure observed by a thaw, so
+	// the persistent layer can surface corruption discovered off the read
+	// path. Guarded by mu.
+	coldErr error
+}
+
+// scanCounters aggregates zone-map effectiveness across all scans.
+type scanCounters struct {
+	blocksConsidered atomic.Int64
+	blocksSkipped    atomic.Int64
+	blocksDecoded    atomic.Int64
+	thaws            atomic.Int64
+}
+
+// ScanStats is a point-in-time copy of the cold-scan counters: how many
+// column blocks queries considered, how many the zone maps pruned without
+// touching, how many actually decoded, and how many partitions had to thaw
+// back to the hot representation.
+type ScanStats struct {
+	BlocksConsidered int64 `json:"blocks_considered"`
+	BlocksSkipped    int64 `json:"blocks_skipped"`
+	BlocksDecoded    int64 `json:"blocks_decoded"`
+	Thaws            int64 `json:"thaws"`
+}
+
+// ScanStats returns the store's cumulative cold-scan counters.
+func (s *Store) ScanStats() ScanStats {
+	return ScanStats{
+		BlocksConsidered: s.scanStats.blocksConsidered.Load(),
+		BlocksSkipped:    s.scanStats.blocksSkipped.Load(),
+		BlocksDecoded:    s.scanStats.blocksDecoded.Load(),
+		Thaws:            s.scanStats.thaws.Load(),
+	}
 }
 
 // New creates an empty store with the given options.
@@ -337,6 +384,11 @@ func (s *Store) addEventLocked(ev *types.Event) {
 		s.parts[key] = p
 		s.insertPartLocked(p)
 	}
+	// An append at or before the cold maximum would break the
+	// cold-before-hot ordering invariant; decode the cold prefix first.
+	if p.cold != nil && ev.Start <= p.cold.maxStart {
+		s.thawLocked(p)
+	}
 	s.cowPartLocked(p)
 	pos := int32(len(p.events))
 	if !p.dirty && pos > 0 && eventLess(ev, &p.events[pos-1]) {
@@ -369,6 +421,9 @@ func (s *Store) installPartition(key partKey, events []types.Event, bySubject, b
 		s.insertPartLocked(p)
 		s.eventCount += len(events)
 		return
+	}
+	if p.cold != nil && events[0].Start <= p.cold.maxStart {
+		s.thawLocked(p)
 	}
 	s.cowPartLocked(p)
 	for i := range events {
