@@ -53,7 +53,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -92,8 +94,17 @@ func main() {
 		compactTh = flag.Int64("compact-threshold", 16<<20, "compact as soon as the WAL exceeds this many bytes (-data-dir only)")
 		maxRules  = flag.Int("max-rules", 64, "maximum registered continuous-query rules (POST /rules)")
 		streamBuf = flag.Int("stream-buffer", 256, "per-subscriber emission buffer and per-rule replay ring; a subscriber a full buffer behind is disconnected")
+		pprofAddr = flag.String("pprof", "", "listen address for net/http/pprof profiling endpoints (e.g. localhost:6060); empty = disabled. Kept off the query listener so profiling is never exposed with the service port")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		ln, err := startPprof(*pprofAddr)
+		if err != nil {
+			fatalf("pprof listener: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "aiqld: pprof listening on %s (/debug/pprof/)\n", ln)
+	}
 
 	genCfg := gen.Config{Hosts: *hosts, Days: *days, BackgroundPerHostDay: *events, Seed: *seed}
 	srvOpts := server.Options{
@@ -280,6 +291,31 @@ func openDurable(dir string, cfg durableConfig, srvOpts server.Options) (*server
 	fmt.Fprintf(os.Stderr, "loaded %d events / %d entities across %d agents into %s in %.1fs (%d partitions)\n",
 		stats.Events, stats.Entities, stats.Agents, dir, time.Since(start).Seconds(), p.PartitionCount())
 	return srv, p, nil
+}
+
+// startPprof serves the net/http/pprof endpoints on their own listener.
+// The handlers are registered on a private mux — not http.DefaultServeMux —
+// so importing pprof cannot leak profiling routes onto the query listener,
+// and the query handler never gains debug endpoints by accident. Returns
+// the bound address (useful when addr asked for port 0).
+func startPprof(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "aiqld: pprof server: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
 }
 
 func fatalf(format string, args ...any) {

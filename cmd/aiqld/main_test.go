@@ -310,6 +310,49 @@ func TestGracefulShutdownSIGTERM(t *testing.T) {
 	}
 }
 
+// TestPprofListener verifies the -pprof flag serves the profiling
+// endpoints on its own listener and — just as important — that the query
+// listener does NOT expose /debug/pprof/, so enabling profiling never
+// widens the public surface.
+func TestPprofListener(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping daemon boot")
+	}
+	bin := buildAiqld(t)
+	pprofAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	base, _ := startDaemon(t, bin,
+		"-generate", "-hosts", "10", "-days", "3", "-events", "50",
+		"-pprof", pprofAddr)
+
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index returned %s:\n%s", resp.Status, body)
+	}
+
+	resp, err = http.Get("http://" + pprofAddr + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatalf("pprof heap: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof heap profile returned %s", resp.Status)
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("query-listener probe: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("query listener serves /debug/pprof/ — profiling leaked onto the service port")
+	}
+}
+
 // normalizeResult strips the fields that legitimately differ across
 // processes — timing and cache temperature — so the comparison pins
 // exactly the result set.

@@ -36,6 +36,37 @@ func TestParseBenchBOp(t *testing.T) {
 	}
 }
 
+func TestParseBenchNsOp(t *testing.T) {
+	got, err := ParseBenchNsOp(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkCursorVsMaterialize/materialize": 15305787,
+		"BenchmarkCursorVsMaterialize/cursor":      40785,
+		"BenchmarkStreamMatch/rules=0":             7252467,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v", name, got[name], v)
+		}
+	}
+}
+
+func TestCheckNsOpRegression(t *testing.T) {
+	baseline := map[string]float64{"BenchA": 1000}
+	if err := CheckNsOpRegression(baseline, map[string]float64{"BenchA": 4900}, 5); err != nil {
+		t.Errorf("within 5×: %v", err)
+	}
+	err := CheckNsOpRegression(baseline, map[string]float64{"BenchA": 5100}, 5)
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Errorf("5.1× wall-time collapse not flagged: %v", err)
+	}
+}
+
 func TestParseBaselineRejectsMalformed(t *testing.T) {
 	if _, err := ParseBaseline(strings.NewReader("name extra 12\n")); err == nil {
 		t.Error("three-field line accepted")
@@ -80,9 +111,26 @@ func TestShippedBaselineParses(t *testing.T) {
 		"BenchmarkCursorVsMaterialize/materialize",
 		"BenchmarkCursorVsMaterialize/cursor",
 		"BenchmarkStreamMatch/rules=20+broad",
+		"BenchmarkHotScanLike/columnar",
+		"BenchmarkHotScanLike/scalar",
 	} {
 		if _, ok := base[name]; !ok {
 			t.Errorf("baseline file missing %s", name)
+		}
+	}
+
+	nf, err := os.Open("testdata/nsop_baseline.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Close()
+	nsBase, err := ParseBaseline(nf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range base {
+		if _, ok := nsBase[name]; !ok {
+			t.Errorf("ns/op baseline file missing %s", name)
 		}
 	}
 }

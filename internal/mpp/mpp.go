@@ -74,6 +74,11 @@ func (c *Cluster) Stats() Stats {
 		st.Scan.BlocksSkipped += ss.BlocksSkipped
 		st.Scan.BlocksDecoded += ss.BlocksDecoded
 		st.Scan.Thaws += ss.Thaws
+		st.Scan.HotBatches += ss.HotBatches
+		st.Scan.DictVerdictHits += ss.DictVerdictHits
+		st.Scan.AttrZoneSkips += ss.AttrZoneSkips
+		st.Scan.CompressedBytesRead += ss.CompressedBytesRead
+		st.Scan.CompressedBytesDecode += ss.CompressedBytesDecode
 	}
 	return st
 }

@@ -324,6 +324,40 @@ func collectKeys(p Pred, out *[]IndexKey) {
 	}
 }
 
+// RequiredSubstrings mines a predicate for substrings that must appear in
+// some attribute value of the subject whenever the predicate holds: the
+// chunks of a top-level LIKE pattern and the values of top-level exact
+// equalities, gathered across conjunctions. The result is a necessary
+// condition only — an entity containing every substring may still fail the
+// predicate — which is exactly the contract attribute zone maps need: a
+// block whose entities provably lack a required substring cannot contain a
+// match and may be skipped. Disjunctions, negations, IN lists and ordered
+// comparisons contribute nothing (their satisfying values are not bounded
+// below by any substring).
+func RequiredSubstrings(p Pred) []string {
+	var subs []string
+	collectRequired(p, &subs)
+	return subs
+}
+
+func collectRequired(p Pred, out *[]string) {
+	switch v := p.(type) {
+	case *Cond:
+		if v.Op != CmpEq {
+			return
+		}
+		if v.pattern != nil {
+			*out = append(*out, v.pattern.chunks...)
+			return
+		}
+		*out = append(*out, v.Val)
+	case *And:
+		for _, x := range v.Xs {
+			collectRequired(x, out)
+		}
+	}
+}
+
 // likePattern implements SQL-LIKE matching restricted to the '%' wildcard,
 // which is the only wildcard AIQL queries use.
 type likePattern struct {

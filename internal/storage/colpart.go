@@ -9,10 +9,11 @@ import (
 	"aiql/internal/types"
 )
 
-// Cold partitions: a partition whose sealed history lives in mmap'ed v2
-// segments instead of decoded []Event arrays. A coldRun is one v2 segment
-// partition; a partition's cold prefix is an ordered list of runs that are
-// strictly older than every hot (in-memory) event in the partition:
+// Cold partitions: a partition whose sealed history lives in mmap'ed
+// columnar (v2/v3) segments instead of decoded []Event arrays. A coldRun is
+// one segment partition; a partition's cold prefix is an ordered list of
+// runs that are strictly older than every hot (in-memory) event in the
+// partition:
 //
 //	run[0] < run[1] < … < run[k] < hot events        (by (Start, Seq))
 //
@@ -162,6 +163,7 @@ func (s *Store) thawLocked(p *partition) {
 		all = append(all, events...)
 	}
 	p.cold = nil
+	p.shadow.Store(nil)
 	s.cowPartLocked(p)
 	for i := range all {
 		ev := &all[i]
@@ -252,6 +254,25 @@ func (sn *Snapshot) scanCold(ctx context.Context, p *partView, q *DataQuery, sub
 	var cols blockCols
 	var sel pred.Bitmap
 
+	// Attribute zone maps (v3 runs only): trigram bits every matching
+	// subject/object entity must exhibit. Valid in candidate-set mode too —
+	// candidate membership implies the predicate holds, which implies the
+	// entity carries the required substrings. Zero masks never prune.
+	var subjTriMask, objTriMask uint64
+	if zoneMaps && !q.ForceScan {
+		subjTriMask = requiredTriMask(q.SubjPred)
+		objTriMask = requiredTriMask(q.ObjPred)
+	}
+
+	// countDecoded records one block decode, with v3 compression traffic.
+	countDecoded := func(run *coldRun, z *segV2Zone) {
+		stats.blocksDecoded.Add(1)
+		if run.sf.version >= 3 {
+			stats.compressedBytesRead.Add(int64(z.dataLen))
+			stats.compressedBytesDecode.Add(int64(z.rawLen))
+		}
+	}
+
 	// checkRow mirrors the hot path's check() over column data; it
 	// materializes the event only after every filter passed. evtDone marks
 	// the event predicate as already applied by the vectorized kernel.
@@ -330,7 +351,7 @@ func (sn *Snapshot) scanCold(ctx context.Context, p *partView, q *DataQuery, sub
 				}
 				if !decoded {
 					stats.blocksConsidered.Add(1)
-					stats.blocksDecoded.Add(1)
+					countDecoded(run, &m.zones[b])
 					if err := run.sf.decodeBlock(run.pi, m, b, rowBase, &cols); err != nil {
 						return err
 					}
@@ -381,8 +402,16 @@ func (sn *Snapshot) scanCold(ctx context.Context, p *partView, q *DataQuery, sub
 					rowBase += z.count
 					continue
 				}
+				if run.sf.version >= 3 &&
+					((subjTriMask != 0 && z.subjTri&subjTriMask != subjTriMask) ||
+						(objTriMask != 0 && z.objTri&objTriMask != objTriMask)) {
+					stats.blocksSkipped.Add(1)
+					stats.attrZoneSkips.Add(1)
+					rowBase += z.count
+					continue
+				}
 			}
-			stats.blocksDecoded.Add(1)
+			countDecoded(run, z)
 			if err := run.sf.decodeBlock(run.pi, m, b, rowBase, &cols); err != nil {
 				return err
 			}

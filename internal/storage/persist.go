@@ -35,10 +35,14 @@ type PersistOptions struct {
 	// exceeds this size, without waiting for the interval (default 16 MiB).
 	CompactThresholdBytes int64
 	// LegacySegmentV1 makes the compactor emit v1 (row-encoded) segments
-	// instead of v2 columnar ones — an escape hatch for rolling back to a
-	// build that predates the v2 reader. Segments of either version are
-	// always readable regardless of this setting.
+	// instead of the current columnar format — an escape hatch for rolling
+	// back to a build that predates the columnar readers. Segments of every
+	// version are always readable regardless of these settings.
 	LegacySegmentV1 bool
+	// LegacySegmentV2 makes the compactor emit uncompressed v2 columnar
+	// segments instead of the default v3 (compressed blocks + attribute
+	// zone maps) — the rollback hatch for builds predating the v3 reader.
+	LegacySegmentV2 bool
 	// WAL passes through to the log (file rotation size).
 	WAL wal.Options
 }
@@ -474,10 +478,17 @@ func (p *Persistent) Compact() error {
 	}
 
 	var sf segment
-	if p.opts.LegacySegmentV1 {
+	switch {
+	case p.opts.LegacySegmentV1:
 		sf, err = writeSegment(filepath.Join(p.dir, "seg"), covered+1, last, entities, events)
-	} else {
+	case p.opts.LegacySegmentV2:
 		sf, err = writeSegmentV2(filepath.Join(p.dir, "seg"), covered+1, last, entities, events)
+	default:
+		// The store's Entity lookup resolves ids the batch itself does not
+		// carry (events referencing entities sealed earlier) for the v3
+		// attribute zone maps; the store keeps all entities in memory, and
+		// Compact does not hold the store lock here.
+		sf, err = writeSegmentV3(filepath.Join(p.dir, "seg"), covered+1, last, entities, events, p.Entity)
 	}
 	if err != nil {
 		return err
@@ -499,14 +510,15 @@ func (p *Persistent) Compact() error {
 	return p.log.RemoveThrough(last)
 }
 
-// RewriteLegacySegments rewrites every v1 row segment into the v2 columnar
-// format in place — same file name, atomic rename — returning how many were
-// rewritten. The in-memory store is untouched (v1 partitions already warmed
-// stay hot); the payoff comes at the next open, which maps the v2 files and
-// recovers without decoding a single event. Every step is crash-safe: until
-// a rename lands the v1 file is intact and a half-written temp is swept at
-// the next open; after it, the v2 file carries exactly the same WAL range,
-// entities, events, and postings, so recovery replays nothing twice.
+// RewriteLegacySegments rewrites every v1 row segment into the current
+// columnar format in place — same file name, atomic rename — returning how
+// many were rewritten. The in-memory store is untouched (v1 partitions
+// already warmed stay hot); the payoff comes at the next open, which maps
+// the columnar files and recovers without decoding a single event. Every
+// step is crash-safe: until a rename lands the v1 file is intact and a
+// half-written temp is swept at the next open; after it, the new file
+// carries exactly the same WAL range, entities, events, and postings, so
+// recovery replays nothing twice.
 func (p *Persistent) RewriteLegacySegments() (int, error) {
 	if err := p.WarmUp(); err != nil {
 		return 0, err
@@ -543,7 +555,12 @@ func (p *Persistent) RewriteLegacySegments() (int, error) {
 		if err := p.crash("rewrite-collected"); err != nil {
 			return n, err
 		}
-		sf2, err := writeSegmentV2(filepath.Dir(v1.path), v1.firstSeq, v1.lastSeq, entities, events)
+		var sf2 segment
+		if p.opts.LegacySegmentV2 {
+			sf2, err = writeSegmentV2(filepath.Dir(v1.path), v1.firstSeq, v1.lastSeq, entities, events)
+		} else {
+			sf2, err = writeSegmentV3(filepath.Dir(v1.path), v1.firstSeq, v1.lastSeq, entities, events, p.Entity)
+		}
 		if err != nil {
 			return n, err
 		}
@@ -632,10 +649,12 @@ type DurabilityStats struct {
 	WALRecords int   `json:"wal_records"`
 	WALBytes   int64 `json:"wal_bytes"`
 	// Segments is the number of immutable segment files; SegmentEvents
-	// the events they hold; SegmentsV2 how many are in the columnar v2
-	// format (the rest are legacy v1 row segments).
+	// the events they hold; SegmentsV2 how many are columnar (v2 or newer;
+	// the rest are legacy v1 row segments); SegmentsV3 how many of those
+	// additionally carry compressed blocks and attribute zone maps.
 	Segments      int `json:"segments"`
 	SegmentsV2    int `json:"segments_v2"`
+	SegmentsV3    int `json:"segments_v3"`
 	SegmentEvents int `json:"segment_events"`
 	// CoveredSeq and LastSeq bound the recovery replay: records in
 	// (CoveredSeq, LastSeq] replay from the WAL on restart.
@@ -652,11 +671,14 @@ type DurabilityStats struct {
 func (p *Persistent) DurabilityStats() DurabilityStats {
 	records, bytes := p.log.Depth()
 	p.segMu.Lock()
-	segs, segsV2, events := len(p.segs), 0, 0
+	segs, segsV2, segsV3, events := len(p.segs), 0, 0, 0
 	for _, e := range p.segs {
 		events += e.seg.events()
 		if e.seg.formatVersion() >= 2 {
 			segsV2++
+		}
+		if e.seg.formatVersion() >= 3 {
+			segsV3++
 		}
 	}
 	covered := p.coveredSeq
@@ -666,6 +688,7 @@ func (p *Persistent) DurabilityStats() DurabilityStats {
 		WALBytes:      bytes,
 		Segments:      segs,
 		SegmentsV2:    segsV2,
+		SegmentsV3:    segsV3,
 		SegmentEvents: events,
 		CoveredSeq:    covered,
 		LastSeq:       p.log.LastSeq(),

@@ -10,9 +10,9 @@ import (
 
 // segment abstracts one immutable on-disk segment file regardless of format
 // version. v1 (AIQLSEG1) row segments decode eagerly at install, exactly as
-// recovery always has; v2 (AIQLSEG2) columnar segments install lazily —
-// header-only at open, memory-mapped cold runs whose blocks decode on first
-// scan contact.
+// recovery always has; v2 (AIQLSEG2) and v3 (AIQLSEG3, compressed) columnar
+// segments install lazily — header-only at open, memory-mapped cold runs
+// whose blocks decode on first scan contact.
 type segment interface {
 	// segPath is the file's path, for diagnostics.
 	segPath() string
@@ -20,7 +20,8 @@ type segment interface {
 	seqRange() (first, last uint64)
 	// events is the directory-level event total across partitions.
 	events() int
-	// formatVersion is the on-disk format: 1 (row) or 2 (columnar).
+	// formatVersion is the on-disk format: 1 (row), 2 (columnar) or 3
+	// (columnar, compressed blocks + attribute zone maps).
 	formatVersion() int
 	// readEntities reads and checksums the segment's entity block.
 	readEntities() ([]types.Entity, error)
@@ -64,7 +65,7 @@ func (sf *segmentFile) install(s *Store) error {
 
 func (sf *segmentV2File) segPath() string            { return sf.path }
 func (sf *segmentV2File) seqRange() (uint64, uint64) { return sf.firstSeq, sf.lastSeq }
-func (sf *segmentV2File) formatVersion() int         { return 2 }
+func (sf *segmentV2File) formatVersion() int         { return sf.version }
 
 func (sf *segmentV2File) readEntities() ([]types.Entity, error) {
 	f, err := os.Open(sf.path)
@@ -111,6 +112,8 @@ func openSegmentAny(path string) (segment, error) {
 		return openSegment(path)
 	case segV2Magic:
 		return openSegmentV2(path)
+	case segV3Magic:
+		return openSegmentV3(path)
 	default:
 		return nil, corruptf(path, "bad magic %q", magic)
 	}

@@ -87,7 +87,11 @@ func corruptf(path, format string, args ...any) error {
 	return fmt.Errorf("%w: %s: %s", ErrSegmentCorrupt, path, fmt.Sprintf(format, args...))
 }
 
-// segV2Zone is one block's zone map.
+// segV2Zone is one block's zone map. The trailing fields exist only in the
+// v3 (compressed) encoding: attribute trigram filters over the block's
+// subject/object entities, and the block's position in the partition data
+// region — compressed blocks are variable-length, so offsets can no longer
+// be derived arithmetically from row counts. v2 zones leave them zero.
 type segV2Zone struct {
 	count    int
 	crc      uint32
@@ -98,6 +102,13 @@ type segV2Zone struct {
 	maxSubj  uint32
 	minObj   uint32
 	maxObj   uint32
+
+	// v3 only:
+	subjTri uint64 // trigram filter over subject entities' attribute values
+	objTri  uint64 // trigram filter over object entities' attribute values
+	dataOff uint64 // block offset relative to the partition data region
+	dataLen uint32 // stored (possibly compressed) block length
+	rawLen  uint32 // encoded length before byte compression
 }
 
 // segV2Meta is a partition's decoded metadata: everything a scan needs to
@@ -163,11 +174,15 @@ type segV2Part struct {
 // without triggering a decode.
 func (pi *segV2Part) peekMeta() *segV2Meta { return pi.meta.Load() }
 
-// segmentV2File is an opened v2 segment: header and directory eagerly, the
-// payload memory-mapped on first use and partition metadata decoded on
-// first scan.
+// segmentV2File is an opened columnar segment — v2 (raw blocks) or v3
+// (compressed blocks; see segment_v3.go) — header and directory eagerly,
+// the payload memory-mapped on first use and partition metadata decoded on
+// first scan. The two versions share every structure except the zone
+// encoding and the block codec, so one type serves both, dispatching on
+// version where they differ.
 type segmentV2File struct {
 	path      string
+	version   int // 2 or 3
 	firstSeq  uint64
 	lastSeq   uint64
 	nEntities int
@@ -217,6 +232,19 @@ func (sf *segmentV2File) unmap() {
 // directory, payload unmapped). The partitioning, sort order, and posting
 // semantics match v1's writeSegment exactly; only the encoding differs.
 func writeSegmentV2(dir string, firstSeq, lastSeq uint64, entities []types.Entity, events []types.Event) (*segmentV2File, error) {
+	return writeSegmentCols(dir, firstSeq, lastSeq, entities, events, 2, nil)
+}
+
+// writeSegmentCols is the shared columnar writer behind writeSegmentV2 and
+// writeSegmentV3. lookup resolves entity ids the batch itself does not
+// carry (events referencing entities sealed in earlier segments) so the v3
+// attribute zone maps can cover them; ids neither the batch nor lookup
+// resolve saturate their block's filter instead of weakening it.
+func writeSegmentCols(dir string, firstSeq, lastSeq uint64, entities []types.Entity, events []types.Event, version int, lookup func(types.EntityID) *types.Entity) (*segmentV2File, error) {
+	magic := segV2Magic
+	if version >= 3 {
+		magic = segV3Magic
+	}
 	parts := make(map[partKey][]types.Event)
 	for i := range events {
 		ev := &events[i]
@@ -234,6 +262,23 @@ func writeSegmentV2(dir string, firstSeq, lastSeq uint64, entities []types.Entit
 		return keys[i].agent < keys[j].agent
 	})
 
+	var resolve func(types.EntityID) *types.Entity
+	if version >= 3 {
+		byID := make(map[types.EntityID]*types.Entity, len(entities))
+		for i := range entities {
+			byID[entities[i].ID] = &entities[i]
+		}
+		resolve = func(id types.EntityID) *types.Entity {
+			if e, ok := byID[id]; ok {
+				return e
+			}
+			if lookup != nil {
+				return lookup(id)
+			}
+			return nil
+		}
+	}
+
 	type builtPart struct {
 		info segV2PartInfo
 		meta []byte
@@ -243,7 +288,13 @@ func writeSegmentV2(dir string, firstSeq, lastSeq uint64, entities []types.Entit
 	for _, k := range keys {
 		evs := parts[k]
 		sort.Slice(evs, func(i, j int) bool { return eventLess(&evs[i], &evs[j]) })
-		bp, err := buildV2Partition(k, evs)
+		var bp v2PartBuild
+		var err error
+		if version >= 3 {
+			bp, err = buildV3Partition(k, evs, resolve)
+		} else {
+			bp, err = buildV2Partition(k, evs)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -283,7 +334,7 @@ func writeSegmentV2(dir string, firstSeq, lastSeq uint64, entities []types.Entit
 	}
 
 	hdr := make([]byte, 0, segHeaderLen)
-	hdr = append(hdr, segV2Magic...)
+	hdr = append(hdr, magic...)
 	hdr = binary.LittleEndian.AppendUint64(hdr, firstSeq)
 	hdr = binary.LittleEndian.AppendUint64(hdr, lastSeq)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(built)))
@@ -325,7 +376,7 @@ func writeSegmentV2(dir string, firstSeq, lastSeq uint64, entities []types.Entit
 	// Validate before the rename makes the file authoritative — same
 	// contract as v1: a failure leaves a sweepable .tmp, never a renamed
 	// file the caller failed to track.
-	sf, err := openSegmentV2(tmp)
+	sf, err := openSegmentCols(tmp, magic, version)
 	if err != nil {
 		return nil, err
 	}
@@ -500,6 +551,13 @@ func buildV2Partition(k partKey, evs []types.Event) (v2PartBuild, error) {
 // and cross-checking every count and offset so later lazy loads can trust
 // the directory arithmetic.
 func openSegmentV2(path string) (*segmentV2File, error) {
+	return openSegmentCols(path, segV2Magic, 2)
+}
+
+// openSegmentCols is the shared open path behind openSegmentV2 and
+// openSegmentV3: identical header and directory layout, version-specific
+// per-partition arithmetic.
+func openSegmentCols(path, magic string, version int) (*segmentV2File, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: segment: %w", err)
@@ -514,11 +572,12 @@ func openSegmentV2(path string) (*segmentV2File, error) {
 	if _, err := f.ReadAt(hdr, 0); err != nil {
 		return nil, corruptf(path, "short header: %v", err)
 	}
-	if string(hdr[:8]) != segV2Magic {
+	if string(hdr[:8]) != magic {
 		return nil, corruptf(path, "bad magic")
 	}
 	sf := &segmentV2File{
 		path:      path,
+		version:   version,
 		firstSeq:  binary.LittleEndian.Uint64(hdr[8:]),
 		lastSeq:   binary.LittleEndian.Uint64(hdr[16:]),
 		nEntities: int(binary.LittleEndian.Uint32(hdr[28:])),
@@ -562,7 +621,7 @@ func openSegmentV2(path string) (*segmentV2File, error) {
 		pi.metaLen = binary.LittleEndian.Uint64(b[56:])
 		pi.dataOff = binary.LittleEndian.Uint64(b[64:])
 		pi.dataLen = binary.LittleEndian.Uint64(b[72:])
-		if err := checkV2PartInfo(path, pi, size); err != nil {
+		if err := checkV2PartInfo(path, pi, size, version); err != nil {
 			return nil, err
 		}
 	}
@@ -571,7 +630,10 @@ func openSegmentV2(path string) (*segmentV2File, error) {
 
 // checkV2PartInfo verifies one directory entry's internal arithmetic: all
 // lengths are functions of the counts, all regions sit inside the file.
-func checkV2PartInfo(path string, pi *segV2Part, size uint64) error {
+// v3 data regions are variable-length (compressed), so their length is
+// bounded rather than exact; the per-zone offsets are validated against it
+// when the meta region decodes.
+func checkV2PartInfo(path string, pi *segV2Part, size uint64, version int) error {
 	at := func(format string, args ...any) error {
 		return corruptf(path, "partition (%d,%d): %s", pi.key.agent, pi.key.day, fmt.Sprintf(format, args...))
 	}
@@ -587,11 +649,23 @@ func checkV2PartInfo(path string, pi *segV2Part, size uint64) error {
 	if pi.minStart > pi.maxStart {
 		return at("time range inverted")
 	}
-	wantMeta := uint64(pi.nDict)*8 + uint64(pi.nBlocks)*segV2ZoneBytes + uint64(2*pi.nDict+1)*4 + uint64(2*pi.nEvents)*4
+	zoneBytes := uint64(segV2ZoneBytes)
+	if version >= 3 {
+		zoneBytes = segV3ZoneBytes
+	}
+	wantMeta := uint64(pi.nDict)*8 + uint64(pi.nBlocks)*zoneBytes + uint64(2*pi.nDict+1)*4 + uint64(2*pi.nEvents)*4
 	if pi.metaLen != wantMeta {
 		return at("meta length %d, want %d", pi.metaLen, wantMeta)
 	}
-	if wantData := uint64(pi.nEvents) * segV2RowBytes; pi.dataLen != wantData {
+	if version >= 3 {
+		// Compressed blocks are variable-length: bound the region instead of
+		// equating it. Each block stores at least its flag byte, at most the
+		// flag plus an encoding that never exceeds segV3MaxRowEnc per row.
+		maxData := uint64(pi.nEvents)*segV3MaxRowEnc + uint64(pi.nBlocks)
+		if pi.dataLen < uint64(pi.nBlocks) || pi.dataLen > maxData {
+			return at("data length %d outside [%d,%d]", pi.dataLen, pi.nBlocks, maxData)
+		}
+	} else if wantData := uint64(pi.nEvents) * segV2RowBytes; pi.dataLen != wantData {
 		return at("data length %d, want %d", pi.dataLen, wantData)
 	}
 	if pi.metaOff > size || pi.metaLen > size-pi.metaOff {
@@ -647,6 +721,7 @@ func (sf *segmentV2File) decodeMeta(pi *segV2Part) (*segV2Meta, error) {
 		off += 8
 	}
 	total := 0
+	nextDataOff := uint64(0)
 	for i := range m.zones {
 		z := &m.zones[i]
 		z.count = int(binary.LittleEndian.Uint32(raw[off:]))
@@ -659,6 +734,14 @@ func (sf *segmentV2File) decodeMeta(pi *segV2Part) (*segV2Meta, error) {
 		z.minObj = binary.LittleEndian.Uint32(raw[off+34:])
 		z.maxObj = binary.LittleEndian.Uint32(raw[off+38:])
 		off += segV2ZoneBytes
+		if sf.version >= 3 {
+			z.subjTri = binary.LittleEndian.Uint64(raw[off:])
+			z.objTri = binary.LittleEndian.Uint64(raw[off+8:])
+			z.dataOff = binary.LittleEndian.Uint64(raw[off+16:])
+			z.dataLen = binary.LittleEndian.Uint32(raw[off+24:])
+			z.rawLen = binary.LittleEndian.Uint32(raw[off+28:])
+			off += segV3ZoneBytes - segV2ZoneBytes
+		}
 		if z.count <= 0 || z.count > segV2BlockRows {
 			return nil, at("block %d: implausible row count %d", i, z.count)
 		}
@@ -672,10 +755,31 @@ func (sf *segmentV2File) decodeMeta(pi *segV2Part) (*segV2Meta, error) {
 			z.minObj > z.maxObj || int(z.maxObj) >= pi.nDict {
 			return nil, at("block %d: zone dictionary range out of bounds", i)
 		}
+		if sf.version >= 3 {
+			// Stored blocks must tile the data region exactly; the raw
+			// (decompressed) length is bounded per row so a corrupt zone can
+			// never request an unbounded allocation.
+			if z.dataOff != nextDataOff {
+				return nil, at("block %d: data offset %d, want %d", i, z.dataOff, nextDataOff)
+			}
+			if z.dataLen < 1 || uint64(z.dataLen) > pi.dataLen-z.dataOff {
+				return nil, at("block %d: stored length %d exceeds data region", i, z.dataLen)
+			}
+			if z.rawLen < 1 || int(z.rawLen) > z.count*segV3MaxRowEnc {
+				return nil, at("block %d: implausible raw length %d for %d rows", i, z.rawLen, z.count)
+			}
+			if z.dataLen > z.rawLen+1 {
+				return nil, at("block %d: stored length %d exceeds raw length %d", i, z.dataLen, z.rawLen)
+			}
+			nextDataOff += uint64(z.dataLen)
+		}
 		total += z.count
 	}
 	if total != pi.nEvents {
 		return nil, at("zone row counts sum to %d, want %d", total, pi.nEvents)
+	}
+	if sf.version >= 3 && nextDataOff != pi.dataLen {
+		return nil, at("blocks cover %d data bytes, want %d", nextDataOff, pi.dataLen)
 	}
 	if m.zones[0].minStart != pi.minStart || m.zones[len(m.zones)-1].maxStart != pi.maxStart {
 		return nil, at("zone time ranges disagree with directory")
@@ -726,6 +830,11 @@ type blockCols struct {
 	subj    []uint32
 	obj     []uint32
 	ops     []types.Op
+
+	// v3 decode scratch: decompression target and bit-unpack buffer, reused
+	// across blocks like the columns themselves.
+	enc         []byte
+	packScratch []uint32
 }
 
 func (c *blockCols) reset(n int, agent int) {
@@ -817,6 +926,9 @@ func blockRange(m *segV2Meta, b int) (int, int) {
 func (sf *segmentV2File) decodeBlock(pi *segV2Part, m *segV2Meta, b int, rowBase int, cols *blockCols) error {
 	if err := sf.ensureMapped(); err != nil {
 		return err
+	}
+	if sf.version >= 3 {
+		return sf.decodeBlockV3(pi, m, b, cols)
 	}
 	at := func(format string, args ...any) error {
 		return corruptf(sf.path, "partition (%d,%d) block %d: %s", pi.key.agent, pi.key.day, b, fmt.Sprintf(format, args...))

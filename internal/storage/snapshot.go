@@ -22,6 +22,11 @@ type partView struct {
 	bySubject map[types.EntityID][]int32
 	byObject  map[types.EntityID][]int32
 
+	// host is the live partition the view was captured from — used only to
+	// reach its columnar-shadow slot (hotcol.go), which carries its own
+	// synchronization; everything else a scan needs is captured above.
+	host *partition
+
 	// cold is the partition's sealed columnar prefix as of acquisition:
 	// every cold row is strictly older than every hot event above. The runs
 	// are immutable; a concurrent thaw only appends to the hot array (past
@@ -115,6 +120,7 @@ func (s *Store) Snapshot() *Snapshot {
 			events:    p.events,
 			bySubject: p.bySubject,
 			byObject:  p.byObject,
+			host:      p,
 		}
 		if p.cold != nil {
 			pv.cold = p.cold.runs
@@ -400,6 +406,16 @@ func (sn *Snapshot) scanPartition(ctx context.Context, p *partView, q *DataQuery
 			usePostings, fromSubject = true, true
 		case objCand != nil && len(objCand) <= postingThreshold:
 			usePostings, fromSubject = true, false
+		}
+	}
+
+	// Large enough hot ranges go through the partition's columnar shadow:
+	// batch kernel plus dictionary verdict bitmaps instead of per-event
+	// interface calls. The posting path already touches only candidate rows,
+	// so it stays as is.
+	if !q.ForceScan && !sn.opts.DisableHotColumnar && !usePostings && hi-lo >= hotShadowMinRows {
+		if sn.scanHot(ctx, p, q, subjCand, objCand, lo, hi, emit) {
+			return nil
 		}
 	}
 

@@ -58,6 +58,11 @@ type Options struct {
 	// and filtered row by row. Results are identical; only the work done
 	// differs — the pruning differential test runs on exactly this toggle.
 	DisableZoneMaps bool
+	// DisableHotColumnar turns off the hot partitions' columnar shadow:
+	// in-memory range scans evaluate predicates event by event instead of
+	// through the batch kernel and dictionary verdict bitmaps. Results are
+	// identical; the hot/columnar differential test runs on this toggle.
+	DisableHotColumnar bool
 	// Workers bounds scan parallelism; 0 means GOMAXPROCS.
 	Workers int
 }
@@ -88,6 +93,15 @@ type partition struct {
 	// that live in mmap'ed v2 segments, strictly older than every event in
 	// the hot array above. See colpart.go.
 	cold *coldPart
+
+	// shadow is the partition's lazily-built columnar shadow over a prefix
+	// of events (see hotcol.go). It is published atomically so scans read
+	// it without the store lock; shadowMu serializes builders/extenders.
+	// The shadow pins the events array it was built from by identity — a
+	// re-sort or thaw replaces the array and the stale shadow is both
+	// detected (base pointer mismatch) and proactively dropped.
+	shadow   atomic.Pointer[hotShadow]
+	shadowMu sync.Mutex
 
 	// mapsShared marks the posting maps as possibly referenced by a live
 	// snapshot: the next insertion must clone them first.
@@ -169,32 +183,52 @@ type Store struct {
 	coldErr error
 }
 
-// scanCounters aggregates zone-map effectiveness across all scans.
+// scanCounters aggregates zone-map and hot-path effectiveness across all
+// scans.
 type scanCounters struct {
-	blocksConsidered atomic.Int64
-	blocksSkipped    atomic.Int64
-	blocksDecoded    atomic.Int64
-	thaws            atomic.Int64
+	blocksConsidered      atomic.Int64
+	blocksSkipped         atomic.Int64
+	blocksDecoded         atomic.Int64
+	thaws                 atomic.Int64
+	hotBatches            atomic.Int64
+	dictVerdictHits       atomic.Int64
+	attrZoneSkips         atomic.Int64
+	compressedBytesRead   atomic.Int64
+	compressedBytesDecode atomic.Int64
 }
 
-// ScanStats is a point-in-time copy of the cold-scan counters: how many
-// column blocks queries considered, how many the zone maps pruned without
-// touching, how many actually decoded, and how many partitions had to thaw
-// back to the hot representation.
+// ScanStats is a point-in-time copy of the scan counters: how many column
+// blocks queries considered, how many the zone maps pruned without touching
+// (AttrZoneSkips counting the subset pruned by attribute trigram filters),
+// how many actually decoded, how many partitions had to thaw back to the
+// hot representation, how many hot row batches went through the vectorized
+// kernel, how many hot rows had their entity predicates answered from
+// dictionary verdict bitmaps, and how many stored vs. decoded bytes v3
+// block decompression moved.
 type ScanStats struct {
-	BlocksConsidered int64 `json:"blocks_considered"`
-	BlocksSkipped    int64 `json:"blocks_skipped"`
-	BlocksDecoded    int64 `json:"blocks_decoded"`
-	Thaws            int64 `json:"thaws"`
+	BlocksConsidered      int64 `json:"blocks_considered"`
+	BlocksSkipped         int64 `json:"blocks_skipped"`
+	BlocksDecoded         int64 `json:"blocks_decoded"`
+	Thaws                 int64 `json:"thaws"`
+	HotBatches            int64 `json:"hot_batches"`
+	DictVerdictHits       int64 `json:"dict_verdict_hits"`
+	AttrZoneSkips         int64 `json:"attr_zone_skips"`
+	CompressedBytesRead   int64 `json:"compressed_bytes_read"`
+	CompressedBytesDecode int64 `json:"compressed_bytes_decoded"`
 }
 
-// ScanStats returns the store's cumulative cold-scan counters.
+// ScanStats returns the store's cumulative scan counters.
 func (s *Store) ScanStats() ScanStats {
 	return ScanStats{
-		BlocksConsidered: s.scanStats.blocksConsidered.Load(),
-		BlocksSkipped:    s.scanStats.blocksSkipped.Load(),
-		BlocksDecoded:    s.scanStats.blocksDecoded.Load(),
-		Thaws:            s.scanStats.thaws.Load(),
+		BlocksConsidered:      s.scanStats.blocksConsidered.Load(),
+		BlocksSkipped:         s.scanStats.blocksSkipped.Load(),
+		BlocksDecoded:         s.scanStats.blocksDecoded.Load(),
+		Thaws:                 s.scanStats.thaws.Load(),
+		HotBatches:            s.scanStats.hotBatches.Load(),
+		DictVerdictHits:       s.scanStats.dictVerdictHits.Load(),
+		AttrZoneSkips:         s.scanStats.attrZoneSkips.Load(),
+		CompressedBytesRead:   s.scanStats.compressedBytesRead.Load(),
+		CompressedBytesDecode: s.scanStats.compressedBytesDecode.Load(),
 	}
 }
 
@@ -472,6 +506,10 @@ func (s *Store) sortDirtyLocked() {
 			p.events = events
 		}
 		p.eventsShared = false
+		// The re-sort reorders rows, so any columnar shadow over the old
+		// array is stale; readers would detect the base-pointer mismatch
+		// anyway, but dropping it eagerly frees the columns.
+		p.shadow.Store(nil)
 		sort.Slice(p.events, func(i, j int) bool {
 			return eventLess(&p.events[i], &p.events[j])
 		})
