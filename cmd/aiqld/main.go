@@ -58,6 +58,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -74,27 +75,30 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7381", "listen address")
-		role      = flag.String("role", "single", "process role: single, worker, or coordinator")
-		workers   = flag.String("workers", "", "comma-separated worker base URLs in shard order (coordinator role)")
-		placement = flag.String("placement", "semantics-aware", "event placement across workers: semantics-aware ((agent, day) home shards + worker pruning) or arrival-order (round-robin, no pruning)")
-		shard     = flag.Int("shard", -1, "this worker's shard index, for /stats and logs (worker role)")
-		data      = flag.String("data", "", "JSON-lines trace to load (from aiqlgen)")
-		generate  = flag.Bool("generate", false, "generate the evaluation scenario in-process instead of loading a file")
-		hosts     = flag.Int("hosts", 15, "hosts for -generate")
-		days      = flag.Int("days", 4, "days for -generate")
-		events    = flag.Int("events", 20000, "background events per host per day for -generate")
-		seed      = flag.Int64("seed", 1, "seed for -generate")
-		planCache = flag.Int("plan-cache", 0, "compiled-plan cache capacity (0 = default 256, negative = off)")
-		resCache  = flag.Int("result-cache", 0, "result cache capacity (0 = default 128, negative = off)")
-		dataDir   = flag.String("data-dir", "", "directory for the durable store (WAL + segments); empty = memory only, data is lost on restart (single and worker roles)")
-		walSync   = flag.String("wal-sync", "interval", "WAL durability: batch (fsync every ingest) or interval (group commit every -wal-flush)")
-		walFlush  = flag.Duration("wal-flush", 100*time.Millisecond, "group-commit fsync cadence for -wal-sync interval")
-		compactIv = flag.Duration("compact-interval", 30*time.Second, "background WAL-to-segment compaction cadence (-data-dir only)")
-		compactTh = flag.Int64("compact-threshold", 16<<20, "compact as soon as the WAL exceeds this many bytes (-data-dir only)")
-		maxRules  = flag.Int("max-rules", 64, "maximum registered continuous-query rules (POST /rules)")
-		streamBuf = flag.Int("stream-buffer", 256, "per-subscriber emission buffer and per-rule replay ring; a subscriber a full buffer behind is disconnected")
-		pprofAddr = flag.String("pprof", "", "listen address for net/http/pprof profiling endpoints (e.g. localhost:6060); empty = disabled. Kept off the query listener so profiling is never exposed with the service port")
+		addr          = flag.String("addr", ":7381", "listen address")
+		role          = flag.String("role", "single", "process role: single, worker, or coordinator")
+		workers       = flag.String("workers", "", "comma-separated worker base URLs in shard order (coordinator role)")
+		replicas      = flag.Int("replicas", 1, "copies per home shard (coordinator role): 1 = no replication, 2 = dual-write each shard to its primary and the next worker in ring order, with scan failover")
+		catchupFrom   = flag.String("catchup-from", "", "peer worker base URL to pull missed replicated batches from at startup (worker role with -data-dir); see docs/CLUSTER.md")
+		catchupShards = flag.String("catchup-shards", "", "comma-separated shard indexes to catch up from -catchup-from (default: all shards the peer holds)")
+		placement     = flag.String("placement", "semantics-aware", "event placement across workers: semantics-aware ((agent, day) home shards + worker pruning) or arrival-order (round-robin, no pruning)")
+		shard         = flag.Int("shard", -1, "this worker's shard index, for /stats and logs (worker role)")
+		data          = flag.String("data", "", "JSON-lines trace to load (from aiqlgen)")
+		generate      = flag.Bool("generate", false, "generate the evaluation scenario in-process instead of loading a file")
+		hosts         = flag.Int("hosts", 15, "hosts for -generate")
+		days          = flag.Int("days", 4, "days for -generate")
+		events        = flag.Int("events", 20000, "background events per host per day for -generate")
+		seed          = flag.Int64("seed", 1, "seed for -generate")
+		planCache     = flag.Int("plan-cache", 0, "compiled-plan cache capacity (0 = default 256, negative = off)")
+		resCache      = flag.Int("result-cache", 0, "result cache capacity (0 = default 128, negative = off)")
+		dataDir       = flag.String("data-dir", "", "directory for the durable store (WAL + segments); empty = memory only, data is lost on restart (single and worker roles)")
+		walSync       = flag.String("wal-sync", "interval", "WAL durability: batch (fsync every ingest) or interval (group commit every -wal-flush)")
+		walFlush      = flag.Duration("wal-flush", 100*time.Millisecond, "group-commit fsync cadence for -wal-sync interval")
+		compactIv     = flag.Duration("compact-interval", 30*time.Second, "background WAL-to-segment compaction cadence (-data-dir only)")
+		compactTh     = flag.Int64("compact-threshold", 16<<20, "compact as soon as the WAL exceeds this many bytes (-data-dir only)")
+		maxRules      = flag.Int("max-rules", 64, "maximum registered continuous-query rules (POST /rules)")
+		streamBuf     = flag.Int("stream-buffer", 256, "per-subscriber emission buffer and per-rule replay ring; a subscriber a full buffer behind is disconnected")
+		pprofAddr     = flag.String("pprof", "", "listen address for net/http/pprof profiling endpoints (e.g. localhost:6060); empty = disabled. Kept off the query listener so profiling is never exposed with the service port")
 	)
 	flag.Parse()
 
@@ -145,8 +149,29 @@ func main() {
 		if *role == "worker" && *shard >= 0 {
 			srv.SetShard(*shard)
 		}
+		if *catchupFrom != "" {
+			// Pull replicated batches this store missed while it was down,
+			// before the listener opens — queries never see the half-caught-up
+			// state.
+			if durable == nil {
+				fatalf("-catchup-from requires -data-dir (the WAL is the replication log)")
+			}
+			shards, err := splitShards(*catchupShards)
+			if err != nil {
+				fatalf("-catchup-shards: %v", err)
+			}
+			cr, err := server.CatchUp(context.Background(), durable, *catchupFrom, shards)
+			if err != nil {
+				fatalf("catch-up from %s: %v", *catchupFrom, err)
+			}
+			fmt.Fprintf(os.Stderr, "caught up from %s: %d batches applied, %d already present\n",
+				*catchupFrom, cr.Applied, cr.Duplicates)
+		}
 	case "coordinator":
-		urls := splitWorkers(*workers)
+		urls, err := splitWorkers(*workers)
+		if err != nil {
+			fatalf("-workers: %v", err)
+		}
 		if len(urls) == 0 {
 			fatalf("-role coordinator requires -workers url1,url2,...")
 		}
@@ -159,7 +184,7 @@ func main() {
 		default:
 			fatalf("unknown -placement %q (want semantics-aware or arrival-order)", *placement)
 		}
-		coord, err := cluster.New(urls, cluster.Options{Placement: place})
+		coord, err := cluster.New(urls, cluster.Options{Placement: place, Replicas: *replicas})
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -176,7 +201,7 @@ func main() {
 			}
 		}
 		srv = server.NewCoordinator(coord, engine.New(coord, engine.Options{}), srvOpts)
-		fmt.Fprintf(os.Stderr, "coordinating %d workers (%s placement)\n", len(urls), coord.Placement())
+		fmt.Fprintf(os.Stderr, "coordinating %d workers (%s placement, %d replica(s) per shard)\n", len(urls), coord.Placement(), coord.Replicas())
 	default:
 		fatalf("unknown -role %q (want single, worker, or coordinator)", *role)
 	}
@@ -323,14 +348,47 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-func splitWorkers(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
+// splitWorkers parses the -workers list. The position of each URL is its
+// shard assignment, so the list is validated strictly: an empty entry (a
+// typo'd trailing or doubled comma) would silently renumber every shard
+// after it, and a duplicate URL would assign two shards to one process —
+// both corrupt placement rather than fail a request, so both are errors.
+func splitWorkers(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
 	}
-	return out
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	seen := make(map[string]int, len(parts))
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty worker URL at position %d (stray comma?) — shard order is positional, so empties are rejected rather than skipped", i)
+		}
+		normalized := strings.TrimRight(part, "/")
+		if j, dup := seen[normalized]; dup {
+			return nil, fmt.Errorf("duplicate worker URL %q at positions %d and %d — each shard needs its own worker", part, j, i)
+		}
+		seen[normalized] = i
+		out = append(out, part)
+	}
+	return out, nil
+}
+
+// splitShards parses a comma-separated shard index list (empty = nil).
+func splitShards(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad shard index %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // loadDataset resolves the -data/-generate flags. Roles that can be fed

@@ -370,3 +370,120 @@ func normalizeResult(body string) string {
 	}
 	return string(out)
 }
+
+// TestSplitWorkers covers the -workers parsing rules: shard order is
+// positional, so empty entries (stray commas) and duplicate URLs are
+// configuration mistakes that must be rejected, not silently skipped.
+func TestSplitWorkers(t *testing.T) {
+	got, err := splitWorkers("http://a:1, http://b:2 ,http://c:3")
+	if err != nil {
+		t.Fatalf("valid list rejected: %v", err)
+	}
+	if len(got) != 3 || got[0] != "http://a:1" || got[1] != "http://b:2" || got[2] != "http://c:3" {
+		t.Fatalf("parsed %v", got)
+	}
+	if got, err := splitWorkers(""); err != nil || got != nil {
+		t.Fatalf("empty input: got %v, %v", got, err)
+	}
+
+	bad := []struct {
+		in   string
+		want string
+	}{
+		{"http://a:1,,http://b:2", "empty worker URL"},
+		{"http://a:1,http://b:2,", "empty worker URL"},
+		{",http://a:1", "empty worker URL"},
+		{"http://a:1,http://a:1", "duplicate worker URL"},
+		{"http://a:1,http://a:1/", "duplicate worker URL"}, // trailing slash is the same worker
+	}
+	for _, tc := range bad {
+		if _, err := splitWorkers(tc.in); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("splitWorkers(%q) = %v, want error containing %q", tc.in, err, tc.want)
+		}
+	}
+}
+
+// TestWorkersFlagErrorsExitNonZero drives the same rejections through the
+// real binary: a coordinator booted with a malformed -workers list must
+// die with the parse error, never start serving with misnumbered shards.
+func TestWorkersFlagErrorsExitNonZero(t *testing.T) {
+	bin := buildAiqld(t)
+	cases := []struct {
+		name    string
+		workers string
+		want    string
+	}{
+		{"stray comma", "http://127.0.0.1:1,,http://127.0.0.1:2", "empty worker URL"},
+		{"trailing comma", "http://127.0.0.1:1,http://127.0.0.1:2,", "empty worker URL"},
+		{"duplicate URL", "http://127.0.0.1:1,http://127.0.0.1:1", "duplicate worker URL"},
+	}
+	for _, tc := range cases {
+		out, err := exec.Command(bin, "-role", "coordinator", "-workers", tc.workers).CombinedOutput()
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%s: expected non-zero exit, got err=%v\n%s", tc.name, err, out)
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%s: output missing %q:\n%s", tc.name, tc.want, out)
+		}
+	}
+}
+
+// TestFailoverSIGKILL is the process-level failover smoke test: a 3-worker
+// replicated cluster is seeded through the coordinator, one worker is
+// killed with SIGKILL, and the same query must still succeed with the
+// identical answer — counter-proven by the coordinator's failovers stat.
+func TestFailoverSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping cluster boot")
+	}
+	bin := buildAiqld(t)
+
+	urls := make([]string, 3)
+	cmds := make([]*exec.Cmd, 3)
+	for i := range urls {
+		urls[i], cmds[i] = startDaemon(t, bin, "-role", "worker", "-shard", fmt.Sprint(i))
+	}
+	coord, _ := startDaemon(t, bin,
+		"-role", "coordinator", "-workers", strings.Join(urls, ","),
+		"-replicas", "2",
+		"-generate", "-hosts", "10", "-days", "3", "-events", "50")
+
+	const probe = "proc p read file f return distinct p sort by p"
+	before := queryBody(t, coord, probe)
+	if !strings.Contains(before, `"rows"`) {
+		t.Fatalf("baseline query returned no result document: %s", before)
+	}
+
+	// kill -9 one worker: every shard it served has a live replica.
+	if err := cmds[2].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmds[2].Wait()
+
+	after := queryBody(t, coord, probe)
+	if normalizeResult(after) != normalizeResult(before) {
+		t.Errorf("answer changed after worker death:\nbefore: %s\nafter:  %s", before, after)
+	}
+
+	// The success must have come through the failover path, not luck.
+	resp, err := http.Get(coord + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Cluster struct {
+			Replicas  int    `json:"replicas"`
+			Failovers uint64 `json:"failovers"`
+		} `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Cluster.Replicas != 2 {
+		t.Errorf("coordinator reports %d replicas, want 2", stats.Cluster.Replicas)
+	}
+	if stats.Cluster.Failovers == 0 {
+		t.Error("failovers counter is zero; the post-kill query did not use the replica")
+	}
+}

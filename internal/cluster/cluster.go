@@ -27,6 +27,8 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -53,6 +55,23 @@ type Options struct {
 	// sensible connection pooling and no overall timeout (scans stream
 	// indefinitely; cancellation comes from the request context).
 	Client *http.Client
+	// Replicas is the copy count per home shard. The default (0 or 1) is
+	// the pre-replication topology: each shard lives on exactly one
+	// worker. 2 turns on R=2 replication — scatter ingest dual-writes each
+	// home shard to its primary and to the next worker in ring order
+	// (mpp.Placement.Replica), and /scan fan-out fails over to the replica
+	// before declaring a partial failure. Requires mpp.SemanticsAware
+	// placement (ArrivalOrder has no home shard to replicate) and at least
+	// two workers. Values above 2 are rejected.
+	Replicas int
+	// SubscribeRetries bounds how many times a rule subscription's worker
+	// stream is re-dialed after a mid-stream failure before the merged
+	// stream fails (resuming with ?since= so no emission is lost or
+	// duplicated). Defaults to 2 when Replicas > 1, else 0 — a
+	// single-copy cluster keeps its fail-fast semantics.
+	SubscribeRetries int
+	// RetryDelay spaces subscription re-dials (default 250ms).
+	RetryDelay time.Duration
 }
 
 // Coordinator fans data queries out to worker shards. It implements
@@ -61,6 +80,13 @@ type Coordinator struct {
 	workers   []string
 	placement mpp.Placement
 	client    *http.Client
+	replicas  int
+	// epoch is this coordinator process's replication-stream nonce: batch
+	// tags are (epoch, shard, seq), so a restarted coordinator's sequence
+	// numbers can never collide with a previous life's.
+	epoch      string
+	subRetries int
+	retryDelay time.Duration
 
 	scans    atomic.Uint64
 	requests atomic.Uint64
@@ -71,6 +97,16 @@ type Coordinator struct {
 	// start across batches under ArrivalOrder so a stream of small /ingest
 	// batches stays balanced instead of piling onto shard 0.
 	scattered atomic.Uint64
+	// failovers counts scans served by a replica after the primary failed
+	// mid-stream; degraded counts ingests where exactly one of a shard's
+	// two copies landed; ingestRetries counts re-posted ingest requests.
+	failovers     atomic.Uint64
+	degraded      atomic.Uint64
+	ingestRetries atomic.Uint64
+
+	// rseqMu guards rseq, the per-shard replication batch sequence.
+	rseqMu sync.Mutex
+	rseq   map[int]uint64
 
 	// Continuous-query state (rules.go): the registry of coordinator rules
 	// and the merged-stream counters.
@@ -88,6 +124,7 @@ func New(workers []string, opts Options) (*Coordinator, error) {
 		return nil, fmt.Errorf("cluster: no workers")
 	}
 	urls := make([]string, len(workers))
+	seen := make(map[string]int, len(workers))
 	for i, w := range workers {
 		for len(w) > 0 && w[len(w)-1] == '/' {
 			w = w[:len(w)-1]
@@ -95,7 +132,35 @@ func New(workers []string, opts Options) (*Coordinator, error) {
 		if w == "" {
 			return nil, fmt.Errorf("cluster: empty worker URL at index %d", i)
 		}
+		if j, dup := seen[w]; dup {
+			// Two shards mapped to one process would silently halve the
+			// cluster: the worker identifies as one shard and every scan
+			// routed to the other would be rejected (or worse, under
+			// ArrivalOrder, double-counted).
+			return nil, fmt.Errorf("cluster: duplicate worker URL %q at indexes %d and %d", w, j, i)
+		}
+		seen[w] = i
 		urls[i] = w
+	}
+	switch {
+	case opts.Replicas > 2:
+		return nil, fmt.Errorf("cluster: replication factor %d not supported (max 2)", opts.Replicas)
+	case opts.Replicas == 2 && opts.Placement != mpp.SemanticsAware:
+		return nil, fmt.Errorf("cluster: replication requires the semantics-aware placement (%s has no home shard to replicate)", opts.Placement)
+	case opts.Replicas == 2 && len(urls) < 2:
+		return nil, fmt.Errorf("cluster: replication factor 2 needs at least 2 workers, have %d", len(urls))
+	}
+	replicas := opts.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	subRetries := opts.SubscribeRetries
+	if subRetries == 0 && replicas > 1 {
+		subRetries = 2
+	}
+	retryDelay := opts.RetryDelay
+	if retryDelay == 0 {
+		retryDelay = 250 * time.Millisecond
 	}
 	client := opts.Client
 	if client == nil {
@@ -104,8 +169,24 @@ func New(workers []string, opts Options) (*Coordinator, error) {
 			IdleConnTimeout:     90 * time.Second,
 		}}
 	}
-	return &Coordinator{workers: urls, placement: opts.Placement, client: client}, nil
+	var nonce [8]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("cluster: epoch nonce: %w", err)
+	}
+	return &Coordinator{
+		workers:    urls,
+		placement:  opts.Placement,
+		client:     client,
+		replicas:   replicas,
+		epoch:      hex.EncodeToString(nonce[:]),
+		subRetries: subRetries,
+		retryDelay: retryDelay,
+		rseq:       make(map[int]uint64),
+	}, nil
 }
+
+// Replicas returns the configured copy count per home shard (1 or 2).
+func (c *Coordinator) Replicas() int { return c.replicas }
 
 // Workers returns the worker base URLs in shard order.
 func (c *Coordinator) Workers() []string { return c.workers }
@@ -139,7 +220,22 @@ func (c *Coordinator) Scan(ctx context.Context, q *storage.DataQuery) storage.Cu
 	cs := make([]storage.Cursor, len(targets))
 	for i, shard := range targets {
 		c.requests.Add(1)
-		cs[i] = newRemoteCursor(cctx, c.client, c.workers[shard], shard, body)
+		if c.replicas > 1 {
+			// Replicated: the worker's store also holds its neighbour
+			// shard's copy, so the query carries a home-shard filter —
+			// which makes the body per-shard — and the cursor fails over
+			// to the replica before surfacing a worker error.
+			swq := *wq
+			swq.Shard, swq.NShards = shard, len(c.workers)
+			sbody, err := json.Marshal(&swq)
+			if err != nil {
+				cancel()
+				return storage.NewErrCursor(err)
+			}
+			cs[i] = newFailoverCursor(cctx, c, shard, sbody)
+		} else {
+			cs[i] = newRemoteCursor(cctx, c.client, c.workers[shard], shard, shard, body)
+		}
 	}
 	return &gatherCursor{
 		coord:   c,
@@ -162,22 +258,58 @@ func (c *Coordinator) Run(q *storage.DataQuery) ([]storage.Match, error) {
 // Ingest scatters a dataset across the workers: events go to their home
 // shard under the coordinator's placement (round-robin under
 // mpp.ArrivalOrder), entities are broadcast to every worker — the same
-// dimension-table replication the in-process cluster applies. Worker
-// batches post concurrently; any failure returns a *PartialError naming
-// the workers whose shards did not land.
+// dimension-table replication the in-process cluster applies. Every
+// shard's batch carries a replication tag (epoch, shard, seq), so the
+// worker-side apply is idempotent and a transient failure is retried
+// without double-counting events. Under Replicas: 2 each batch posts to
+// the shard's primary and its ring-successor replica with the same tag; a
+// shard fails only when both copies fail, and a shard that landed on only
+// one copy counts as degraded, not failed (the missing copy catches up
+// from the survivor's WAL). Any shard failure returns a *PartialError
+// naming the shards that did not land.
 func (c *Coordinator) Ingest(ctx context.Context, ds *types.Dataset) error {
 	c.ingests.Add(1)
 	n := len(c.workers)
 	offset := c.scattered.Add(uint64(len(ds.Events))) - uint64(len(ds.Events))
 	shards := c.placement.Scatter(ds.Events, n, offset)
+	// One tag per home shard, allocated up front so concurrent Ingest
+	// calls get non-overlapping sequences.
+	tags := make([]storage.ReplTag, n)
+	c.rseqMu.Lock()
+	for s := 0; s < n; s++ {
+		c.rseq[s]++
+		tags[s] = storage.ReplTag{Epoch: c.epoch, Shard: s, Seq: c.rseq[s]}
+	}
+	c.rseqMu.Unlock()
+
 	errs := make([]*WorkerError, n)
 	var wg sync.WaitGroup
 	for i := range c.workers {
 		wg.Add(1)
-		go func(i int) {
+		go func(s int) {
 			defer wg.Done()
-			if err := c.ingestWorker(ctx, i, types.NewDataset(ds.Entities, shards[i])); err != nil {
-				errs[i] = &WorkerError{Worker: c.workers[i], Shard: i, Err: err}
+			d := types.NewDataset(ds.Entities, shards[s])
+			perr := c.postIngest(ctx, s, s, d, tags[s], "primary")
+			replica := -1
+			if c.replicas > 1 {
+				replica = c.placement.Replica(s, n)
+			}
+			if replica < 0 {
+				if perr != nil {
+					errs[s] = &WorkerError{Worker: c.workers[s], Shard: s, Err: perr}
+				}
+				return
+			}
+			rerr := c.postIngest(ctx, s, replica, d, tags[s], "replica")
+			switch {
+			case perr == nil && rerr == nil:
+			case perr != nil && rerr != nil:
+				errs[s] = &WorkerError{Worker: c.workers[s], Shard: s,
+					Err: fmt.Errorf("both copies failed: primary: %v; replica (%s): %v", perr, c.workers[replica], rerr)}
+			default:
+				// One copy landed: the batch is durable and queryable; the
+				// missing copy is a catch-up away, not a data loss.
+				c.degraded.Add(1)
 			}
 		}(i)
 	}
@@ -195,16 +327,56 @@ func (c *Coordinator) Ingest(ctx context.Context, ds *types.Dataset) error {
 	return nil
 }
 
-func (c *Coordinator) ingestWorker(ctx context.Context, shard int, ds *types.Dataset) error {
+// postIngest posts one shard's batch to one worker, retrying once on a
+// transient failure (transport error or 5xx status). The retry is safe
+// because the tag makes the worker-side apply idempotent: a response lost
+// after the worker applied the batch re-posts as a no-op.
+func (c *Coordinator) postIngest(ctx context.Context, shard, worker int, ds *types.Dataset, tag storage.ReplTag, role string) error {
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			c.ingestRetries.Add(1)
+		}
+		err = c.ingestWorker(ctx, worker, ds, tag, role)
+		if err == nil || ctx.Err() != nil || !retryableIngest(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// ingestStatusError is a non-200 /ingest response; retryableIngest treats
+// 5xx as transient and 4xx as permanent.
+type ingestStatusError struct {
+	code int
+	msg  string
+}
+
+func (e *ingestStatusError) Error() string {
+	return fmt.Sprintf("ingest returned status %d: %s", e.code, e.msg)
+}
+
+func retryableIngest(err error) bool {
+	if se, ok := err.(*ingestStatusError); ok {
+		return se.code >= 500
+	}
+	return true // transport-level failure: connection refused/reset, EOF
+}
+
+func (c *Coordinator) ingestWorker(ctx context.Context, worker int, ds *types.Dataset, tag storage.ReplTag, role string) error {
 	var buf bytes.Buffer
 	if err := trace.Write(&buf, ds); err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.workers[shard]+"/ingest", &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.workers[worker]+"/ingest", &buf)
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("X-Aiql-Repl-Epoch", tag.Epoch)
+	req.Header.Set("X-Aiql-Repl-Shard", fmt.Sprint(tag.Shard))
+	req.Header.Set("X-Aiql-Repl-Seq", fmt.Sprint(tag.Seq))
+	req.Header.Set("X-Aiql-Repl-Role", role)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return err
@@ -212,7 +384,7 @@ func (c *Coordinator) ingestWorker(ctx context.Context, shard int, ds *types.Dat
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("ingest returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+		return &ingestStatusError{code: resp.StatusCode, msg: string(bytes.TrimSpace(msg))}
 	}
 	return nil
 }
@@ -221,11 +393,18 @@ func (c *Coordinator) ingestWorker(ctx context.Context, shard int, ds *types.Dat
 type Stats struct {
 	Workers        int    `json:"workers"`
 	Placement      string `json:"placement"`
+	Replicas       int    `json:"replicas"`
 	Scans          uint64 `json:"scans"`
 	WorkerRequests uint64 `json:"worker_requests"`
 	WorkersPruned  uint64 `json:"workers_pruned"`
 	WorkerFailures uint64 `json:"worker_failures"`
 	IngestBatches  uint64 `json:"ingest_batches"`
+	// Failovers counts scans a replica served after the primary failed;
+	// DegradedIngests counts shard batches that landed on only one of
+	// their two copies; IngestRetries counts re-posted ingest requests.
+	Failovers       uint64 `json:"failovers"`
+	DegradedIngests uint64 `json:"degraded_ingests"`
+	IngestRetries   uint64 `json:"ingest_retries"`
 }
 
 // Stats returns the coordinator's cumulative counters. WorkersPruned counts
@@ -233,13 +412,17 @@ type Stats struct {
 // WorkersPruned == Scans * Workers.
 func (c *Coordinator) Stats() Stats {
 	return Stats{
-		Workers:        len(c.workers),
-		Placement:      c.placement.String(),
-		Scans:          c.scans.Load(),
-		WorkerRequests: c.requests.Load(),
-		WorkersPruned:  c.pruned.Load(),
-		WorkerFailures: c.failures.Load(),
-		IngestBatches:  c.ingests.Load(),
+		Workers:         len(c.workers),
+		Placement:       c.placement.String(),
+		Replicas:        c.replicas,
+		Scans:           c.scans.Load(),
+		WorkerRequests:  c.requests.Load(),
+		WorkersPruned:   c.pruned.Load(),
+		WorkerFailures:  c.failures.Load(),
+		IngestBatches:   c.ingests.Load(),
+		Failovers:       c.failovers.Load(),
+		DegradedIngests: c.degraded.Load(),
+		IngestRetries:   c.ingestRetries.Load(),
 	}
 }
 

@@ -472,3 +472,194 @@ func TestScanStatusErrorSurfacesAsWorkerError(t *testing.T) {
 		t.Fatalf("error is %T (%v), want *cluster.PartialError", err, err)
 	}
 }
+
+// truncatingWriter passes /scan bytes through (flushing each chunk so the
+// client actually receives them) until limit bytes have gone out, then
+// drops the connection — a data node dying while it streams its answer.
+type truncatingWriter struct {
+	http.ResponseWriter
+	limit int
+	sent  int
+}
+
+func (t *truncatingWriter) Write(p []byte) (int, error) {
+	n, err := t.ResponseWriter.Write(p)
+	t.sent += n
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	if err == nil && t.sent > t.limit {
+		panic(http.ErrAbortHandler)
+	}
+	return n, err
+}
+
+func (t *truncatingWriter) Flush() {
+	if f, ok := t.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// replicatedDyingCluster is deadWorkerCluster's R=2 counterpart: three real
+// store-backed workers with dual-write replication, where the last worker
+// streams a real prefix of every /scan answer and then drops the
+// connection. Unlike the fake dying worker above, its partial rows are
+// genuine data — exactly what a failover retry must deduplicate.
+func replicatedDyingCluster(t *testing.T) (*cluster.Coordinator, []*worker, *storage.Store, int) {
+	t.Helper()
+	const deadShard = 2
+	ws := make([]*worker, 3)
+	for i := range ws {
+		st := storage.New(storage.Options{})
+		s := server.New(st, engine.New(st, engine.Options{}), server.Options{})
+		s.SetShard(i)
+		h := s.Handler()
+		w := &worker{store: st}
+		idx := i
+		w.srv = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/scan" {
+				w.scans.Add(1)
+				if idx == deadShard {
+					rw = &truncatingWriter{ResponseWriter: rw, limit: 2048}
+				}
+			}
+			h.ServeHTTP(rw, r)
+		}))
+		t.Cleanup(w.srv.Close)
+		ws[i] = w
+	}
+
+	ds := gen.Scenario(gen.Config{Hosts: 10, Days: 3, BackgroundPerHostDay: 100, Seed: 5})
+	single := storage.New(storage.Options{})
+	single.Ingest(ds)
+
+	coord, err := cluster.New(workerURLs(ws), cluster.Options{Placement: mpp.SemanticsAware, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Ingest(context.Background(), ds); err != nil {
+		t.Fatalf("replicated ingest: %v", err)
+	}
+	return coord, ws, single, deadShard
+}
+
+// TestWorkerDeathMidStreamFailsOverToReplica is the replicated flip of
+// TestWorkerDeathMidStreamIsTypedPartialFailure: the same mid-stream worker
+// death, but with R=2 the coordinator retries the shard on its replica and
+// the query SUCCEEDS with the exact single-store answer — no PartialError,
+// and no duplicated rows from the truncated first attempt.
+func TestWorkerDeathMidStreamFailsOverToReplica(t *testing.T) {
+	coord, ws, single, _ := replicatedDyingCluster(t)
+	eng := engine.New(coord, engine.Options{})
+	singleEng := engine.New(single, engine.Options{})
+	const src = "proc p read file f return p, f"
+
+	before := coord.Stats()
+	done := make(chan struct{})
+	var res *engine.Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = eng.Query(src)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("query hung after worker death")
+	}
+	if err != nil {
+		t.Fatalf("query failed despite a live replica of every shard: %v", err)
+	}
+
+	want, err := singleEng.Query(src)
+	if err != nil {
+		t.Fatalf("reference query: %v", err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("reference query returned no rows; the failover proved nothing")
+	}
+	if queries.Canonical(res.Rows) != queries.Canonical(want.Rows) {
+		t.Errorf("failover answer has %d rows, single store %d (row sets differ)",
+			len(res.Rows), len(want.Rows))
+	}
+	if d := coord.Stats().Failovers - before.Failovers; d == 0 {
+		t.Error("failovers counter did not move; the dead worker's stream was never retried on the replica")
+	}
+
+	// Satellite check: the failover path must release every snapshot and
+	// cursor it opened on every worker — including the aborted first
+	// attempt on the dead worker. The unwind is asynchronous, so poll.
+	deadline := time.Now().Add(10 * time.Second)
+	for i, w := range ws {
+		for {
+			if w.store.LiveSnapshots() == 0 && w.store.LiveCursors() == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d leaked after failover: %d snapshots, %d cursors live",
+					i, w.store.LiveSnapshots(), w.store.LiveCursors())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestIngestRetryDoesNotDuplicate reproduces the retry-storm bug: a worker
+// applies an ingest batch but the acknowledgement is lost, the coordinator
+// retries, and — without the (epoch, shard, seq) tag — the batch would land
+// twice. The tagged ingest path must count every event exactly once.
+func TestIngestRetryDoesNotDuplicate(t *testing.T) {
+	var ackLost atomic.Bool
+	ws := make([]*worker, 2)
+	for i := range ws {
+		st := storage.New(storage.Options{})
+		s := server.New(st, engine.New(st, engine.Options{}), server.Options{})
+		s.SetShard(i)
+		h := s.Handler()
+		w := &worker{store: st}
+		idx := i
+		w.srv = httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/ingest" && idx == 0 && ackLost.CompareAndSwap(false, true) {
+				// Apply the batch for real, then fail the response: the
+				// work landed but the coordinator sees a retryable error.
+				h.ServeHTTP(httptest.NewRecorder(), r)
+				rw.WriteHeader(http.StatusInternalServerError)
+				return
+			}
+			h.ServeHTTP(rw, r)
+		}))
+		t.Cleanup(w.srv.Close)
+		ws[i] = w
+	}
+
+	coord, err := cluster.New(workerURLs(ws), cluster.Options{Placement: mpp.SemanticsAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Scenario(gen.Config{Hosts: 10, Days: 3, BackgroundPerHostDay: 50, Seed: 11})
+	if err := coord.Ingest(context.Background(), ds); err != nil {
+		t.Fatalf("ingest with lost ack: %v", err)
+	}
+	if !ackLost.Load() {
+		t.Fatal("the fault was never injected; the test exercised nothing")
+	}
+
+	n := len(ws)
+	want := make([]int, n)
+	for i := range ds.Events {
+		ev := &ds.Events[i]
+		want[mpp.SemanticsAware.Shard(ev.AgentID, timeutil.DayIndex(ev.Start), n)]++
+	}
+	for i, w := range ws {
+		if got := w.store.EventCount(); got != want[i] {
+			t.Errorf("worker %d holds %d events, placement assigns %d — retry duplicated or lost a batch",
+				i, got, want[i])
+		}
+	}
+	if stats := coord.Stats(); stats.IngestRetries == 0 {
+		t.Error("ingest retries counter did not move despite the injected 500")
+	}
+	if rs := ws[0].store.ReplStats(); rs.Duplicates == 0 {
+		t.Error("worker 0 recorded no duplicate suppression; the retry was not deduplicated by tag")
+	}
+}

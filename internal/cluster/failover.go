@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+
+	"aiql/internal/storage"
+	"aiql/internal/types"
+)
+
+// failoverCursor gathers one logical shard from a replicated cluster: it
+// streams from the shard's primary worker and, if that stream dies with a
+// worker failure, re-issues the query against the replica. Rows already
+// emitted from the failed stream are remembered by event id and filtered
+// out of the retry stream, so the consumer sees each matching row exactly
+// once no matter where mid-stream the primary died. A cancellation is
+// never failed over — the caller hung up.
+type failoverCursor struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	coord  *Coordinator
+	shard  int
+	body   []byte
+
+	// attempts lists worker indexes to try in order: primary, then
+	// replica.
+	attempts []int
+	next     int // next attempt index to open
+	cur      *remoteCursor
+
+	// emitted records event ids already handed to the consumer; only
+	// maintained while a further attempt remains (after the last attempt
+	// starts there is nothing left to dedupe against).
+	emitted map[types.EventID]struct{}
+
+	err  error
+	done bool
+}
+
+// newFailoverCursor builds the per-shard cursor for a replicated scan. The
+// first worker request is issued immediately (like newRemoteCursor); the
+// replica is contacted only on failure.
+func newFailoverCursor(ctx context.Context, c *Coordinator, shard int, body []byte) *failoverCursor {
+	cctx, cancel := context.WithCancel(ctx)
+	attempts := []int{shard}
+	if r := c.placement.Replica(shard, len(c.workers)); r >= 0 {
+		attempts = append(attempts, r)
+	}
+	f := &failoverCursor{
+		ctx:      cctx,
+		cancel:   cancel,
+		coord:    c,
+		shard:    shard,
+		body:     body,
+		attempts: attempts,
+	}
+	if len(attempts) > 1 {
+		f.emitted = make(map[types.EventID]struct{})
+	}
+	f.open()
+	return f
+}
+
+// open starts the next attempt's stream.
+func (f *failoverCursor) open() {
+	w := f.attempts[f.next]
+	f.next++
+	f.cur = newRemoteCursor(f.ctx, f.coord.client, f.coord.workers[w], f.shard, w, f.body)
+}
+
+func (f *failoverCursor) Next(batch []storage.Match) int {
+	if f.done || len(batch) == 0 {
+		return 0
+	}
+	for {
+		n := f.cur.Next(batch)
+		if n > 0 {
+			if f.next < len(f.attempts) {
+				// More attempts remain: remember what we hand out, so a
+				// retry stream can skip it.
+				for i := 0; i < n; i++ {
+					f.emitted[batch[i].Event.ID] = struct{}{}
+				}
+			} else if f.next > 1 && len(f.emitted) > 0 {
+				// Retry stream: drop rows the failed stream already
+				// delivered. A batch can filter down to empty — loop for
+				// more rather than return 0, which means exhausted.
+				n = f.filter(batch, n)
+				if n == 0 {
+					continue
+				}
+			}
+			return n
+		}
+		err := f.cur.Err()
+		if err == nil {
+			f.finish(nil)
+			return 0
+		}
+		if _, isWorker := err.(*WorkerError); !isWorker || f.ctx.Err() != nil || f.next >= len(f.attempts) {
+			f.finish(err)
+			return 0
+		}
+		// The primary died mid-stream (or refused the connection); the
+		// replica holds a full copy of this shard. Start over there.
+		f.cur.Close()
+		f.coord.failovers.Add(1)
+		f.open()
+	}
+}
+
+// filter compacts batch[:n] in place, dropping rows whose event id was
+// already emitted by the failed stream.
+func (f *failoverCursor) filter(batch []storage.Match, n int) int {
+	kept := 0
+	for i := 0; i < n; i++ {
+		if _, dup := f.emitted[batch[i].Event.ID]; dup {
+			continue
+		}
+		batch[kept] = batch[i]
+		kept++
+	}
+	return kept
+}
+
+func (f *failoverCursor) Err() error { return f.err }
+
+func (f *failoverCursor) Close() { f.finish(nil) }
+
+func (f *failoverCursor) finish(err error) {
+	if f.done {
+		return
+	}
+	f.done = true
+	if err != nil && f.err == nil {
+		f.err = err
+	}
+	f.cancel()
+	if f.cur != nil {
+		f.cur.Close()
+	}
+	f.emitted = nil
+}

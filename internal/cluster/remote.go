@@ -26,7 +26,11 @@ type remoteCursor struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	worker string
-	shard  int
+	// shard is the logical shard this cursor gathers (reported in worker
+	// errors); workerIdx is the index of the worker actually contacted.
+	// They differ when a failover sends a shard's query to its replica.
+	shard     int
+	workerIdx int
 
 	respCh chan respOrErr
 	body   io.ReadCloser
@@ -49,15 +53,16 @@ type respOrErr struct {
 // newRemoteCursor starts a /scan request against one worker. ctx should be
 // the coordinator's per-scan context: canceling it aborts the request (or
 // the in-flight body read) promptly.
-func newRemoteCursor(ctx context.Context, client *http.Client, worker string, shard int, body []byte) *remoteCursor {
+func newRemoteCursor(ctx context.Context, client *http.Client, worker string, shard, workerIdx int, body []byte) *remoteCursor {
 	cctx, cancel := context.WithCancel(ctx)
 	c := &remoteCursor{
-		ctx:      cctx,
-		cancel:   cancel,
-		worker:   worker,
-		shard:    shard,
-		respCh:   make(chan respOrErr, 1),
-		entities: make(map[types.EntityID]*types.Entity),
+		ctx:       cctx,
+		cancel:    cancel,
+		worker:    worker,
+		shard:     shard,
+		workerIdx: workerIdx,
+		respCh:    make(chan respOrErr, 1),
+		entities:  make(map[types.EntityID]*types.Entity),
 	}
 	// The goroutine sends on its own captured copy of the channel: the
 	// consumer side nils c.respCh when it is done with it, and the send
@@ -128,14 +133,16 @@ func (c *remoteCursor) Next(batch []storage.Match) int {
 				c.fail(fmt.Errorf("stream opened with %q record, want %q", rec.Kind, RecHdr))
 				return 0
 			}
-			// A worker that knows its own shard (-shard flag) must be the
-			// shard the coordinator routed to: answering from the wrong
-			// shard means the -workers order no longer matches the order
+			// A worker that knows its own index (-shard flag) must be the
+			// worker the coordinator contacted: answering from the wrong
+			// slot means the -workers order no longer matches the order
 			// the data was placed in, and every pruned query would be
-			// silently wrong. Workers without a shard label (-1) skip the
-			// check.
-			if rec.Shard >= 0 && rec.Shard != c.shard {
-				c.fail(fmt.Errorf("worker identifies as shard %d, coordinator routed shard %d here (is -workers in placement order?)", rec.Shard, c.shard))
+			// silently wrong. The check is against the contacted worker's
+			// index, not the logical shard — under replication a replica
+			// legitimately answers for a shard it is not. Workers without
+			// a shard label (-1) skip the check.
+			if rec.Shard >= 0 && rec.Shard != c.workerIdx {
+				c.fail(fmt.Errorf("worker identifies as shard %d, coordinator routed shard %d here (is -workers in placement order?)", rec.Shard, c.workerIdx))
 				return 0
 			}
 			c.sawHdr = true

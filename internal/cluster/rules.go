@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"aiql/internal/engine"
 	"aiql/internal/parser"
@@ -55,6 +56,30 @@ func (cr *coordRule) workerRuleIDs() []string {
 		ids[i] = fmt.Sprintf("%s#p%d", cr.id, i)
 	}
 	return ids
+}
+
+// workerSpecs builds the worker-side rule specs backing this rule: the
+// spec verbatim for single-pattern rules, one raw per-pattern sub-rule
+// otherwise. Registration fans these out; a subscription keeps them so it
+// can re-register on a worker that restarted and lost its rules.
+func (cr *coordRule) workerSpecs() []stream.RuleSpec {
+	if len(cr.plan.Patterns) == 1 {
+		ws := cr.spec
+		ws.ID = cr.id
+		return []stream.RuleSpec{ws}
+	}
+	specs := make([]stream.RuleSpec, 0, len(cr.plan.Patterns))
+	for i := range cr.plan.Patterns {
+		pi := i
+		specs = append(specs, stream.RuleSpec{
+			ID:       fmt.Sprintf("%s#p%d", cr.id, i),
+			Query:    cr.spec.Query,
+			WindowMs: cr.spec.WindowMs,
+			Backfill: cr.spec.Backfill,
+			Pattern:  &pi,
+		})
+	}
+	return specs
 }
 
 // RegisterRule compiles the rule, registers it (or its per-pattern raw
@@ -105,24 +130,7 @@ func (c *Coordinator) RegisterRule(ctx context.Context, spec stream.RuleSpec) (*
 	c.rules[id] = cr
 	c.rulesMu.Unlock()
 
-	// Build the worker-side specs.
-	var specs []stream.RuleSpec
-	if len(plan.Patterns) == 1 {
-		ws := spec
-		ws.ID = id
-		specs = []stream.RuleSpec{ws}
-	} else {
-		for i := range plan.Patterns {
-			pi := i
-			specs = append(specs, stream.RuleSpec{
-				ID:       fmt.Sprintf("%s#p%d", id, i),
-				Query:    spec.Query,
-				WindowMs: spec.WindowMs,
-				Backfill: spec.Backfill,
-				Pattern:  &pi,
-			})
-		}
-	}
+	specs := cr.workerSpecs()
 
 	type regTarget struct {
 		shard int
@@ -437,9 +445,9 @@ func (c *Coordinator) SubscribeRule(ctx context.Context, id string) (*RuleStream
 		rs.seen = stream.NewDedup(stream.DefaultMaxStatePerRule)
 	}
 	for shard := range c.workers {
-		for _, wid := range cr.workerRuleIDs() {
+		for _, ws := range cr.workerSpecs() {
 			rs.wg.Add(1)
-			go rs.consumeWorker(cctx, c, shard, wid)
+			go rs.consumeWorker(cctx, c, shard, ws)
 		}
 	}
 	go func() {
@@ -468,39 +476,82 @@ type subLine struct {
 	Error   *string  `json:"error"`
 }
 
-// consumeWorker reads one worker subscription stream until it ends,
-// routing emissions into the merge.
-func (rs *RuleStream) consumeWorker(ctx context.Context, c *Coordinator, shard int, wid string) {
+// errSubNotFound marks a subscribe attempt the worker answered 404: the
+// worker does not know the rule — typically because it restarted and lost
+// its in-memory registrations — and must be re-registered before the
+// subscription can resume.
+var errSubNotFound = errors.New("worker does not know the rule")
+
+// consumeWorker keeps one worker's subscription stream flowing into the
+// merge until it ends. A mid-stream failure is retried up to the
+// coordinator's SubscribeRetries budget, resuming with ?since=<last seq
+// delivered> so the worker's retained ring replays exactly the gap —
+// emissions are neither lost nor duplicated across the reconnect. A worker
+// that answers 404 (it restarted and lost its rules) is re-registered and
+// the stream restarts from its fresh ring; emissions the dead ring held
+// that were never delivered are gone, which is the documented R=1 coverage
+// gap of worker-local rule state. When the budget is exhausted the merged
+// stream fails with the usual typed *PartialError.
+func (rs *RuleStream) consumeWorker(ctx context.Context, c *Coordinator, shard int, ws stream.RuleSpec) {
 	defer rs.wg.Done()
-	fail := func(err error) {
-		if ctx.Err() != nil {
-			return // canceled: the consumer hung up, not a worker failure
+	var lastSeq uint64
+	retries := 0
+	for {
+		err := rs.streamWorker(ctx, c, shard, ws.ID, &lastSeq)
+		if err == nil || ctx.Err() != nil {
+			return // clean end, deliberate close, or the consumer hung up
 		}
-		// Cancel before taking the merge lock: a sibling's deliver may be
-		// blocked on the output channel while holding it, and the
-		// cancellation is what unblocks it.
+		if retries < c.subRetries {
+			retries++
+			if errors.Is(err, errSubNotFound) {
+				// Best-effort: if the re-registration fails too, the next
+				// subscribe attempt reports the real error.
+				_ = c.postRule(ctx, shard, &ws)
+				lastSeq = 0 // the restarted worker's ring numbers from 1
+			}
+			select {
+			case <-time.After(c.retryDelay):
+				continue
+			case <-ctx.Done():
+				return
+			}
+		}
+		// Terminal. Cancel before taking the merge lock: a sibling's
+		// deliver may be blocked on the output channel while holding it,
+		// and the cancellation is what unblocks it.
 		rs.cancel()
 		rs.mu.Lock()
 		rs.failed = append(rs.failed, &WorkerError{Worker: c.workers[shard], Shard: shard, Err: err})
 		rs.mu.Unlock()
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.workers[shard]+"/subscribe/"+url.PathEscape(wid), nil)
-	if err != nil {
-		fail(err)
 		return
+	}
+}
+
+// streamWorker dials one worker subscription and pumps it into the merge.
+// It returns nil on a clean end (deliberate close or consumer
+// cancellation) and the stream failure otherwise, recording the worker
+// sequence of every delivered emission in *lastSeq so a retry can resume.
+func (rs *RuleStream) streamWorker(ctx context.Context, c *Coordinator, shard int, wid string, lastSeq *uint64) error {
+	target := c.workers[shard] + "/subscribe/" + url.PathEscape(wid)
+	if *lastSeq > 0 {
+		target += "?since=" + fmt.Sprint(*lastSeq)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return err
 	}
 	req.Header.Set("Accept", "application/x-ndjson")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		fail(err)
-		return
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		fail(fmt.Errorf("subscribe returned %s: %s", resp.Status, bytes.TrimSpace(msg)))
-		return
+		if resp.StatusCode == http.StatusNotFound {
+			return fmt.Errorf("%w: %s", errSubNotFound, bytes.TrimSpace(msg))
+		}
+		return fmt.Errorf("subscribe returned %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
@@ -512,44 +563,42 @@ func (rs *RuleStream) consumeWorker(ctx context.Context, c *Coordinator, shard i
 		}
 		var line subLine
 		if err := json.Unmarshal(raw, &line); err != nil {
-			fail(fmt.Errorf("malformed stream line: %w", err))
-			return
+			return fmt.Errorf("malformed stream line: %w", err)
 		}
 		switch {
 		case !sawHeader:
 			if line.Columns == nil && line.Rule == "" {
-				fail(errors.New("stream did not open with a header"))
-				return
+				return errors.New("stream did not open with a header")
 			}
 			sawHeader = true
 		case line.Error != nil:
-			fail(fmt.Errorf("worker stream error: %s", *line.Error))
-			return
+			return fmt.Errorf("worker stream error: %s", *line.Error)
 		case line.Closed != nil:
 			// slow-consumer means the coordinator itself fell behind: that
 			// is a stream failure, not a clean end. rule-deleted ends the
 			// whole merged stream deliberately.
 			if *line.Closed == stream.DropSlowConsumer {
-				fail(errors.New("worker dropped the coordinator as a slow consumer"))
-				return
+				return errors.New("worker dropped the coordinator as a slow consumer")
 			}
 			rs.mu.Lock()
 			rs.closed = *line.Closed
 			rs.mu.Unlock()
 			rs.cancel()
-			return
+			return nil
 		default:
 			if !rs.deliver(ctx, shard, line.Emission) {
-				return
+				return nil // canceled mid-send
+			}
+			if line.Emission.Seq > *lastSeq {
+				*lastSeq = line.Emission.Seq
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fail(err)
-		return
+		return err
 	}
 	// EOF without a closed record: the worker died mid-stream.
-	fail(fmt.Errorf("subscription truncated: %w", io.ErrUnexpectedEOF))
+	return fmt.Errorf("subscription truncated: %w", io.ErrUnexpectedEOF)
 }
 
 // deliver merges one worker emission: raw matches feed the coordinator-side

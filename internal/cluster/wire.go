@@ -35,6 +35,14 @@ type WireQuery struct {
 	HasObjAllowed  bool     `json:"has_obj_allowed,omitempty"`
 	Limit          int      `json:"limit,omitempty"`
 	ForceScan      bool     `json:"force_scan,omitempty"`
+	// Shard/NShards, when NShards > 0, ask the worker to return only rows
+	// whose home shard (under the semantics-aware placement over NShards
+	// workers) is Shard. A replicated worker's store holds two shards'
+	// data — its own and the one it replicates — and an unfiltered scan
+	// would double-count rows across the gather. The worker applies any
+	// Limit after this filter.
+	Shard   int `json:"shard,omitempty"`
+	NShards int `json:"nshards,omitempty"`
 }
 
 // EncodeQuery converts a data query to its wire form.

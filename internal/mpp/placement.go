@@ -27,6 +27,20 @@ func (p Placement) Shard(agentID, day, n int) int {
 	return seg
 }
 
+// Replica returns the worker index holding the replica copy of a logical
+// shard under R=2 replication: the next worker in ring order. It is the
+// single definition of replica placement — the coordinator's dual-write
+// ingest, the scan failover order, and a recovering worker's catch-up peer
+// selection all derive from it, so the two copy holders of a shard can
+// never disagree. Meaningless (-1) under ArrivalOrder, which has no
+// content-derived home shard to replicate, or with fewer than two workers.
+func (p Placement) Replica(shard, n int) int {
+	if p == ArrivalOrder || n < 2 || shard < 0 || shard >= n {
+		return -1
+	}
+	return (shard + 1) % n
+}
+
 // Scatter splits events into n shard slices: each event goes to its home
 // shard (Shard), or round-robin when the placement has none
 // (ArrivalOrder). The in-process Cluster and the networked coordinator

@@ -122,3 +122,37 @@ func TestPreEpochPlacementAgreement(t *testing.T) {
 		t.Fatalf("empty window shard set = %v, want empty non-nil", got)
 	}
 }
+
+func TestReplicaPlacement(t *testing.T) {
+	// Ring successor: the replica of a shard is the next worker, wrapping.
+	for n := 2; n <= 5; n++ {
+		for shard := 0; shard < n; shard++ {
+			got := SemanticsAware.Replica(shard, n)
+			want := (shard + 1) % n
+			if got != want {
+				t.Fatalf("Replica(%d, %d) = %d, want %d", shard, n, got, want)
+			}
+			if got == shard {
+				t.Fatalf("Replica(%d, %d) placed the copy on its own primary", shard, n)
+			}
+		}
+	}
+	// Meaningless cases return -1: arrival-order placement has no home
+	// shard to replicate; a single worker has nowhere to put a copy;
+	// out-of-range shards are not placements.
+	cases := []struct {
+		p        Placement
+		shard, n int
+	}{
+		{ArrivalOrder, 0, 3},
+		{SemanticsAware, 0, 1},
+		{SemanticsAware, 0, 0},
+		{SemanticsAware, -1, 3},
+		{SemanticsAware, 3, 3},
+	}
+	for _, c := range cases {
+		if got := c.p.Replica(c.shard, c.n); got != -1 {
+			t.Fatalf("Replica(%d, %d) under placement %v = %d, want -1", c.shard, c.n, c.p, got)
+		}
+	}
+}

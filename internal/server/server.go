@@ -186,6 +186,13 @@ func (s *Server) Handler() http.Handler {
 	if s.store != nil {
 		mux.HandleFunc("POST /scan", s.handleScan)
 	}
+	if s.durable != nil {
+		// Replication transport (durable workers only): a peer pulls this
+		// worker's tagged WAL history to catch a replica up, and /catchup
+		// asks this worker to pull from a peer.
+		mux.HandleFunc("GET /walship", s.handleWalShip)
+		mux.HandleFunc("POST /catchup", s.handleCatchup)
+	}
 	return mux
 }
 
@@ -354,7 +361,23 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	s.scans.Add(1)
 
-	cur := s.store.Scan(r.Context(), q)
+	var cur storage.Cursor
+	if wq.NShards > 0 {
+		// Replicated cluster: this store holds two shards' data (its own
+		// plus the one it replicates), and the coordinator asked for one.
+		// The limit moves out of the pushed-down query — applied before
+		// the home-shard filter it would undercount.
+		limit := q.Limit
+		q.Limit = 0
+		cur = &shardFilterCursor{
+			inner:   s.store.Scan(r.Context(), q),
+			shard:   wq.Shard,
+			nshards: wq.NShards,
+			limit:   limit,
+		}
+	} else {
+		cur = s.store.Scan(r.Context(), q)
+	}
 	defer cur.Close()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -526,6 +549,10 @@ type IngestResponse struct {
 	// Workers is the number of worker shards the batch was scattered to
 	// (coordinator mode only).
 	Workers int `json:"workers,omitempty"`
+	// Duplicate reports that a replication-tagged batch was already
+	// applied and this request was a no-op — the idempotent answer to a
+	// coordinator retry or an overlapping catch-up.
+	Duplicate bool `json:"duplicate,omitempty"`
 }
 
 // handleIngest appends a batch of records in the aiqlgen JSON-lines wire
@@ -557,14 +584,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	if s.durable != nil {
+	tag, role, hasTag, err := replTagFromRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	duplicate := false
+	switch {
+	case hasTag && s.durable != nil:
+		applied, err := s.durable.IngestTagged(tag, ds, replQuiet(role))
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, fmt.Errorf("durable ingest: %w", err))
+			return
+		}
+		duplicate = !applied
+	case hasTag:
+		duplicate = !s.store.IngestTagged(tag, ds, replQuiet(role))
+	case s.durable != nil:
 		// Journal before applying: the batch is only acknowledged once the
 		// WAL accepted it, so an acknowledged ingest survives a crash.
 		if err := s.durable.Ingest(ds); err != nil {
 			httpError(w, http.StatusInternalServerError, fmt.Errorf("durable ingest: %w", err))
 			return
 		}
-	} else {
+	default:
 		s.store.Ingest(ds)
 	}
 	// The generation bump already invalidates cached results; purging
@@ -575,6 +618,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Entities:   len(ds.Entities),
 		Events:     len(ds.Events),
 		Generation: s.store.Generation(),
+		Duplicate:  duplicate,
 	})
 }
 
@@ -614,6 +658,10 @@ type StatsResponse struct {
 	// live subscribers, emissions, slow-consumer drops and join-state
 	// bounds. On a coordinator the numbers are the merge layer's.
 	Streaming *stream.Stats `json:"streaming,omitempty"`
+	// Replication carries the store's replicated-ingest applied/duplicate
+	// counters and per-(epoch, shard) applied-state (store-backed modes);
+	// on a coordinator the replication counters live in Cluster.
+	Replication *storage.ReplStats `json:"replication,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -663,6 +711,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Scan = &sc
 	ss := s.matcher.Stats()
 	resp.Streaming = &ss
+	rs := s.store.ReplStats()
+	resp.Replication = &rs
 	writeJSON(w, http.StatusOK, resp)
 }
 

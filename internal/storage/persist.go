@@ -216,7 +216,35 @@ func OpenPersistent(dir string, opts PersistOptions) (*Persistent, error) {
 		return nil, err
 	}
 	p.log = log
+	// Replication state rebuilds from two sources, layered idempotently:
+	// the sidecar snapshot a past compaction saved (covering tags whose
+	// WAL records were folded into segments) and a tag scan over every
+	// WAL file still on disk. The scan runs before RemoveThrough below —
+	// a crash between a compaction's segment rename and its sidecar write
+	// leaves covered WAL files holding the only copy of their tags.
+	if err := p.loadReplSidecar(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	err = log.Replay(0, func(seq uint64, payload []byte) error {
+		if tag := peekTag(payload); tag != nil {
+			p.Store.replRecord(*tag)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
 	if p.coveredSeq > 0 {
+		// RemoveThrough below deletes covered WAL files — for tags whose
+		// compaction crashed before its sidecar write, the only durable
+		// copy. Snapshot the just-rebuilt state first, or a restart after
+		// this one would forget them and re-apply a coordinator retry.
+		if err := p.saveReplSidecar(); err != nil {
+			log.Close()
+			return nil, err
+		}
 		// A crash between a compaction's segment rename and its WAL
 		// deletion leaves files the segment fully covers — possibly
 		// including the one Open just adopted as active. Seal everything
@@ -241,11 +269,15 @@ func OpenPersistent(dir string, opts PersistOptions) (*Persistent, error) {
 	// coveredSeq are already in segments; replaying by sequence number is
 	// what makes "apply exactly once" hold across any crash point.
 	err = log.Replay(p.coveredSeq, func(seq uint64, payload []byte) error {
-		entities, events, err := decodeBatch(payload)
+		tag, entities, events, err := decodeMaybeTagged(payload)
 		if err != nil {
 			return fmt.Errorf("wal seq %d: %w", seq, err)
 		}
-		p.Store.Ingest(&types.Dataset{Entities: entities, Events: events})
+		// Apply unconditionally: Replay already skips covered sequence
+		// numbers, and the tag dedup must not second-guess it — the tag
+		// scan above recorded this record's tag, but its data exists
+		// nowhere else than right here.
+		p.Store.ingestRecovered(tag, &types.Dataset{Entities: entities, Events: events})
 		p.replayed.Add(1)
 		return nil
 	})
@@ -456,7 +488,7 @@ func (p *Persistent) Compact() error {
 		if seq > last {
 			return nil // active-file records stay in the WAL
 		}
-		ents, evs, err := decodeBatch(payload)
+		_, ents, evs, err := decodeMaybeTagged(payload)
 		if err != nil {
 			return fmt.Errorf("wal seq %d: %w", seq, err)
 		}
@@ -504,6 +536,13 @@ func (p *Persistent) Compact() error {
 	p.coveredSeq = last
 	p.segMu.Unlock()
 	p.compactions.Add(1)
+	// The consumed WAL records may carry replication tags; once the files
+	// are deleted the sidecar is the only durable copy of those tags, so
+	// it must land first. On failure the WAL files stay (recovery re-scans
+	// them) and the next compaction retries the deletion.
+	if err := p.saveReplSidecar(); err != nil {
+		return err
+	}
 	if err := p.crash("before-wal-remove"); err != nil {
 		return err
 	}

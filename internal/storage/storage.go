@@ -174,6 +174,14 @@ type Store struct {
 	// goroutines that must not take the store lock).
 	liveCursors atomic.Int64
 
+	// replMu guards the replicated-ingest applied-set (see repl.go). A
+	// leaf lock: taken briefly under tapMu (or the persistent store's
+	// walMu), never while holding mu, never across apply work.
+	replMu         sync.Mutex
+	repl           map[replKey]*replShard
+	replApplied    uint64
+	replDuplicates uint64
+
 	// scanStats counts cold-scan block traffic (atomic: incremented from
 	// producer goroutines).
 	scanStats scanCounters
