@@ -7,6 +7,7 @@ package aiql_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -101,7 +102,7 @@ func runCorpus(b *testing.B, e *engine.Engine, qs []queries.Query) {
 	for _, q := range qs {
 		res, err := e.Query(q.Src)
 		if err != nil {
-			if err == engine.ErrTooLarge {
+			if errors.Is(err, engine.ErrTooLarge) {
 				continue
 			}
 			b.Fatalf("%s: %v", q.ID, err)
@@ -391,7 +392,7 @@ func BenchmarkCursorVsMaterialize(b *testing.B) {
 	b.Run("materialize", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			all := st.Run(q)
+			all := st.Run(context.Background(), q)
 			if len(all) < k {
 				b.Fatalf("only %d matches", len(all))
 			}

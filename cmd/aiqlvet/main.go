@@ -1,0 +1,230 @@
+// Command aiqlvet runs aiql's project-invariant static-analysis suite
+// (internal/lint): cursorclose, lockguard, boundedmake, errcmp, ctxflow
+// and wallclock. It speaks the `go vet -vettool` unit-checker protocol,
+// so the canonical invocation is
+//
+//	go vet -vettool=$(which aiqlvet) ./...
+//
+// and it also runs standalone over package patterns:
+//
+//	aiqlvet ./...
+//
+// Exit status: 0 clean, 1 usage/internal error, 2 diagnostics reported
+// (matching the x/tools unitchecker convention go vet expects).
+//
+// Suppress a finding with an annotation that must carry a reason:
+//
+//	//aiql:ignore <analyzer> -- <reason>
+//
+// See docs/ANALYSIS.md for the contract of each analyzer.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"aiql/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	// Protocol probes from the go command come first: it asks for the
+	// tool's version (cache key) and its flags before any analysis.
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "-V"):
+			printVersion()
+			return
+		case a == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// printVersion emits the `name version ...` line the go command embeds in
+// its action cache key. The executable's own hash keys it, so rebuilding
+// aiqlvet with changed analyzers invalidates cached vet results.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))[:32]
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("aiqlvet version devel buildID=%s\n", id)
+}
+
+// vetConfig is the configuration file the go command hands a vettool for
+// each package unit, mirroring x/tools' unitchecker.Config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one go vet unit described by a .cfg file.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aiqlvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "aiqlvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The facts file must exist for the go command to cache the unit;
+	// the aiql analyzers exchange no facts, so it is always empty.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "aiqlvet:", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+	pkg, err := typecheckUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "aiqlvet:", err)
+		return 1
+	}
+	diags, err := lint.Analyze(pkg, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aiqlvet:", err)
+		return 1
+	}
+	writeVetx()
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2
+}
+
+// typecheckUnit parses and type-checks the unit's files, resolving
+// imports through the export data the go command listed in PackageFile.
+func typecheckUnit(cfg *vetConfig) (*lint.Package, error) {
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	for _, name := range cfg.GoFiles {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+	return &lint.Package{
+		PkgPath:   cfg.ImportPath,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// runStandalone loads package patterns itself (default ./...) and runs
+// the suite over every matched package and test variant.
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aiqlvet:", err)
+		return 1
+	}
+	seen := make(map[lint.Diagnostic]bool)
+	n := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Analyze(pkg, lint.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aiqlvet:", err)
+			return 1
+		}
+		for _, d := range diags {
+			if seen[d] {
+				continue // plain package + test variant overlap
+			}
+			seen[d] = true
+			fmt.Fprintln(os.Stderr, d)
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "aiqlvet: %d diagnostic(s)\n", n)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildAiqlvet compiles the vettool once per test into a temp dir.
+func buildAiqlvet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "aiqlvet")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// repoRoot walks up from the package dir to the module root so the tests
+// can run the tool over repo-relative package patterns.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// TestVersionProbe covers the -V=full handshake the go command opens
+// with: a single `name version ...` line and exit 0.
+func TestVersionProbe(t *testing.T) {
+	bin := buildAiqlvet(t)
+	out, err := exec.Command(bin, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full exited with %v\n%s", err, out)
+	}
+	line := strings.TrimSpace(string(out))
+	if !strings.HasPrefix(line, "aiqlvet version ") || strings.Count(line, "\n") != 0 {
+		t.Errorf("version line %q, want single `aiqlvet version ...` line", line)
+	}
+}
+
+// TestStandaloneFindsFixtureViolations runs the binary directly over a
+// known-dirty fixture package and asserts the diagnostic contract: exit
+// status 2, findings on stderr, and the trailing count line.
+func TestStandaloneFindsFixtureViolations(t *testing.T) {
+	bin := buildAiqlvet(t)
+	cmd := exec.Command(bin, "aiql/internal/lint/testdata/src/errcmpfix")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("exit %v, want status 2 for a package with findings\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "errcmp: sentinel error ErrBoom") {
+		t.Errorf("stderr missing the errcmp finding:\n%s", text)
+	}
+	if !strings.Contains(text, "diagnostic(s)") {
+		t.Errorf("stderr missing the summary count line:\n%s", text)
+	}
+}
+
+// TestVettoolProtocol drives the binary through the real go vet
+// -vettool cfg protocol — version probe, flags probe, per-unit .cfg
+// files, facts exchange — against a dirty fixture, asserting the run
+// fails and surfaces the finding.
+func TestVettoolProtocol(t *testing.T) {
+	bin := buildAiqlvet(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "aiql/internal/lint/testdata/src/errcmpfix")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on a package with findings\n%s", out)
+	}
+	if !strings.Contains(string(out), "errcmp: sentinel error ErrBoom") {
+		t.Errorf("go vet output missing the errcmp finding:\n%s", out)
+	}
+}
+
+// TestVettoolCleanPackage is the inverse: a fixture with only suppressed
+// or conforming code passes under the full protocol.
+func TestVettoolCleanPackage(t *testing.T) {
+	bin := buildAiqlvet(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "aiql/internal/lint/testdata/src/mainskip")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed on a clean package: %v\n%s", err, out)
+	}
+}
+
+// TestRepoIsClean pins the PR's acceptance gate: the suite reports zero
+// diagnostics over the whole repository, so reintroducing a cursor leak
+// or an unguarded walMu-class access fails this test before CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole repo; skipped in -short")
+	}
+	bin := buildAiqlvet(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("aiqlvet ./... reported diagnostics: %v\n%s", err, out)
+	}
+}

@@ -89,8 +89,10 @@ func runOnce(r Runner, q queries.Query) Timing {
 	// The timeout is enforced for real now that the engine is cancelable:
 	// a baseline that blows the budget stops scanning mid-cursor instead of
 	// running to completion after the measurement window closed.
+	//aiql:ignore ctxflow -- the harness owns the measurement deadline; there is no caller context to inherit
 	ctx, cancel := context.WithTimeout(context.Background(), Timeout)
 	defer cancel()
+	//aiql:ignore wallclock -- wall-clock latency is the measurement itself
 	start := time.Now()
 	res, err := r.Engine.QueryContext(ctx, q.Src)
 	t.Elapsed = time.Since(start)

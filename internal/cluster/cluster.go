@@ -248,8 +248,9 @@ func (c *Coordinator) Scan(ctx context.Context, q *storage.DataQuery) storage.Cu
 
 // Run is the materializing adapter over Scan, mirroring the other backends.
 // The error is the gathered cursor's (typically a *PartialError).
-func (c *Coordinator) Run(q *storage.DataQuery) ([]storage.Match, error) {
-	cur := c.Scan(context.Background(), q)
+// Canceling ctx propagates into the in-flight worker requests.
+func (c *Coordinator) Run(ctx context.Context, q *storage.DataQuery) ([]storage.Match, error) {
+	cur := c.Scan(ctx, q)
 	defer cur.Close()
 	out := storage.Drain(cur)
 	return out, cur.Err()

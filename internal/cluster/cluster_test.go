@@ -185,11 +185,11 @@ func TestCoordinatorPrunesWorkers(t *testing.T) {
 	statsBefore := f.coord.Stats()
 
 	q := scanDay(gen.AgentWinClient, 1)
-	got, err := f.coord.Run(q)
+	got, err := f.coord.Run(context.Background(), q)
 	if err != nil {
 		t.Fatalf("constrained scan: %v", err)
 	}
-	if want := f.single.Run(q); len(got) != len(want) {
+	if want := f.single.Run(context.Background(), q); len(got) != len(want) {
 		t.Fatalf("pruned scan returned %d matches, single store %d", len(got), len(want))
 	}
 
@@ -217,7 +217,7 @@ func TestUnconstrainedScanFansOutEverywhere(t *testing.T) {
 	f := clusterFixture(t)
 	before := f.coord.Stats()
 	q := &storage.DataQuery{Ops: types.NewOpSet(types.OpExecute)}
-	if _, err := f.coord.Run(q); err != nil {
+	if _, err := f.coord.Run(context.Background(), q); err != nil {
 		t.Fatalf("unconstrained scan: %v", err)
 	}
 	after := f.coord.Stats()
@@ -412,7 +412,7 @@ func TestMisorderedWorkersDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = coord.Run(&storage.DataQuery{Ops: types.AllOps()})
+	_, err = coord.Run(context.Background(), &storage.DataQuery{Ops: types.AllOps()})
 	var partial *cluster.PartialError
 	if !errors.As(err, &partial) {
 		t.Fatalf("misordered workers: error is %T (%v), want *cluster.PartialError", err, err)
@@ -466,7 +466,7 @@ func TestScanStatusErrorSurfacesAsWorkerError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = coord.Run(&storage.DataQuery{Ops: types.AllOps()})
+	_, err = coord.Run(context.Background(), &storage.DataQuery{Ops: types.AllOps()})
 	var partial *cluster.PartialError
 	if !errors.As(err, &partial) {
 		t.Fatalf("error is %T (%v), want *cluster.PartialError", err, err)

@@ -147,6 +147,7 @@ type Result struct {
 // Query parses, compiles and executes AIQL source without a deadline — the
 // convenience form for CLIs, tests and examples.
 func (e *Engine) Query(src string) (*Result, error) {
+	//aiql:ignore ctxflow -- Query is the deliberately context-free public root; callers with a deadline use QueryContext
 	return e.QueryContext(context.Background(), src)
 }
 
@@ -179,6 +180,7 @@ func (e *Engine) Run(ctx context.Context, plan *Plan) (*Result, error) {
 // is replayed against a per-request storage snapshot.
 func (e *Engine) runOn(ctx context.Context, plan *Plan, b Backend) (*Result, error) {
 	if ctx == nil {
+		//aiql:ignore ctxflow -- nil-ctx backstop for direct Run callers, not a new context root
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {

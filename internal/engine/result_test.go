@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"errors"
 	"strconv"
 	"strings"
@@ -74,7 +75,7 @@ func TestStorageEstimateTracksSelectivity(t *testing.T) {
 	if selEst >= broadEst {
 		t.Errorf("estimates: selective %d >= broad %d", selEst, broadEst)
 	}
-	if actual := len(st.Run(selective)); selEst < actual {
+	if actual := len(st.Run(context.Background(), selective)); selEst < actual {
 		t.Errorf("estimate %d below actual %d", selEst, actual)
 	}
 }

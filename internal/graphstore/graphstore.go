@@ -104,9 +104,9 @@ func (g *Graph) Scan(ctx context.Context, q *storage.DataQuery) storage.Cursor {
 // Run executes a data query with graph-traversal semantics: resolve one
 // endpoint to candidate nodes (schema index for exact values, label scan
 // plus property filter otherwise), then expand and filter their adjacency
-// lists edge by edge.
-func (g *Graph) Run(q *storage.DataQuery) []storage.Match {
-	return g.run(context.Background(), q)
+// lists edge by edge. The traversal polls ctx and aborts when canceled.
+func (g *Graph) Run(ctx context.Context, q *storage.DataQuery) []storage.Match {
+	return g.run(ctx, q)
 }
 
 func (g *Graph) run(ctx context.Context, q *storage.DataQuery) []storage.Match {

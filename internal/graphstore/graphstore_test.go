@@ -1,6 +1,7 @@
 package graphstore
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -58,8 +59,8 @@ func TestAgreesWithStore(t *testing.T) {
 			Ops:     types.AllOps()},
 	}
 	for i, q := range queries {
-		a := ids(g.Run(q))
-		b := ids(st.Run(q))
+		a := ids(g.Run(context.Background(), q))
+		b := ids(st.Run(context.Background(), q))
 		if !equal(a, b) {
 			t.Errorf("query %d: graph %d events, store %d events", i, len(a), len(b))
 		}
@@ -101,7 +102,7 @@ func TestAllowedSets(t *testing.T) {
 	if sbblv == 0 {
 		t.Fatal("sbblv entity not found in scenario")
 	}
-	out := g.Run(&storage.DataQuery{
+	out := g.Run(context.Background(), &storage.DataQuery{
 		SubjType:    types.EntityProcess,
 		SubjAllowed: map[types.EntityID]struct{}{sbblv: {}},
 		Ops:         types.AllOps(),
@@ -120,7 +121,7 @@ func TestResultsAreTimeSorted(t *testing.T) {
 	ds := smallDataset()
 	g := New()
 	g.Ingest(ds)
-	out := g.Run(&storage.DataQuery{
+	out := g.Run(context.Background(), &storage.DataQuery{
 		SubjType: types.EntityProcess,
 		ObjType:  types.EntityFile,
 		Ops:      types.NewOpSet(types.OpRead),
@@ -136,7 +137,7 @@ func TestLimit(t *testing.T) {
 	ds := smallDataset()
 	g := New()
 	g.Ingest(ds)
-	out := g.Run(&storage.DataQuery{
+	out := g.Run(context.Background(), &storage.DataQuery{
 		SubjType: types.EntityProcess,
 		Ops:      types.AllOps(),
 		Limit:    5,
@@ -150,7 +151,7 @@ func TestEmptyCandidates(t *testing.T) {
 	ds := smallDataset()
 	g := New()
 	g.Ingest(ds)
-	out := g.Run(&storage.DataQuery{
+	out := g.Run(context.Background(), &storage.DataQuery{
 		SubjType: types.EntityProcess,
 		SubjPred: pred.NewCond(types.AttrExeName, pred.CmpEq, "/no/such/binary"),
 		Ops:      types.AllOps(),

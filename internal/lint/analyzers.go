@@ -1,0 +1,23 @@
+package lint
+
+// All returns the full aiqlvet suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		BoundedMake,
+		CtxFlow,
+		CursorClose,
+		ErrCmp,
+		LockGuard,
+		WallClock,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

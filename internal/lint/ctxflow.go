@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFlow reports calls to context.Background or context.TODO outside
+// package main and test files. Library code that mints its own root
+// context breaks cancellation threading: the aiqld request context (and
+// the bench harness timeout) must reach every storage scan, so internal
+// packages take a ctx parameter instead. Legitimate roots (a public
+// convenience API, a harness entry point) carry an explicit
+// //aiql:ignore ctxflow -- <reason> annotation, which is the allowlist.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "no context.Background/TODO outside main, tests, and annotated roots",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if pathOf(obj) != "context" {
+				return true
+			}
+			if name := obj.Name(); name == "Background" || name == "TODO" {
+				pass.Reportf(call.Pos(), "context.%s in library code; thread a context.Context from the caller instead", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aiql/internal/lint"
+	"aiql/internal/lint/linttest"
+)
+
+// TestCtxFlow runs wallclock alongside ctxflow so the fixture's
+// comma-separated multi-analyzer directive is exercised for real.
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "aiql/internal/lint/testdata/src/ctxfix", lint.CtxFlow, lint.WallClock)
+}
+
+// TestMainPackagesExempt pins the package-main allowance for the two
+// edge-of-binary analyzers.
+func TestMainPackagesExempt(t *testing.T) {
+	linttest.Run(t, "aiql/internal/lint/testdata/src/mainskip", lint.CtxFlow, lint.WallClock)
+}

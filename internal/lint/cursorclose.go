@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CursorClose reports storage cursors and snapshots that are acquired but
+// can leak: every storage.Cursor obtained from a Scan and every
+// *storage.Snapshot obtained from Snapshot()/Acquire must reach Close (or
+// Release) on all control-flow paths — the PR 4 leak class, where an
+// unclosed cursor pins its snapshot and the snapshot pins the store's
+// copy-on-write state forever.
+//
+// The analysis is flow-lite but strict where it matters:
+//
+//   - a tracked value whose result is discarded, or never closed and
+//     never handed off, is reported;
+//   - a value closed only on the straight-line path is reported when an
+//     earlier return can skip the Close (use defer);
+//   - handing the value off — returning it, storing it in a struct or
+//     slice, passing it (or its Close method) to another function —
+//     transfers the obligation and ends local tracking.
+var CursorClose = &Analyzer{
+	Name: "cursorclose",
+	Doc:  "storage cursors/snapshots must reach Close on every path",
+	Run:  runCursorClose,
+}
+
+// closeMethods are the release methods accepted for tracked types.
+var closeMethods = map[string]bool{"Close": true, "Release": true}
+
+func runCursorClose(pass *Pass) error {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			idx, typeName := trackedResult(pass, call)
+			if idx < 0 {
+				return true
+			}
+			checkAcquisition(pass, call, idx, typeName, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// trackedResult returns the index and type name of the first tracked
+// result of the call (a storage Cursor or Snapshot), or -1.
+func trackedResult(pass *Pass, call *ast.CallExpr) (int, string) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.IsType() {
+		return -1, "" // conversion, not a call
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if name := trackedTypeName(t.At(i).Type()); name != "" {
+				return i, name
+			}
+		}
+	default:
+		if name := trackedTypeName(tv.Type); name != "" {
+			return 0, name
+		}
+	}
+	return -1, ""
+}
+
+// trackedTypeName reports "Cursor" or "Snapshot" when t is one of the
+// storage package's scan-lifetime types, else "".
+func trackedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.Contains(obj.Pkg().Path(), "storage") {
+		return ""
+	}
+	if name := obj.Name(); name == "Cursor" || name == "Snapshot" {
+		return name
+	}
+	return ""
+}
+
+func checkAcquisition(pass *Pass, call *ast.CallExpr, resultIdx int, typeName string, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	enclosing, _ := enclosingFuncs(stack)
+	if enclosing == nil {
+		return // package-level initialization; lifetime is the process
+	}
+	parent := stack[len(stack)-1]
+	switch parent := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "%s returned by this call is discarded and never closed", typeName)
+		return
+	case *ast.AssignStmt:
+		id := assignedIdent(parent, call, resultIdx)
+		if id == nil {
+			return // stored into a field/element: ownership handed off
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "%s returned by this call is assigned to _ and never closed", typeName)
+			return
+		}
+		trackValue(pass, enclosing, id, call, typeName)
+	case *ast.ValueSpec:
+		for i, v := range parent.Values {
+			if v == ast.Expr(call) && i < len(parent.Names) {
+				trackValue(pass, enclosing, parent.Names[i], call, typeName)
+			}
+		}
+	}
+	// Any other parent (return statement, call argument, composite
+	// literal, channel send, ...) hands the value off immediately.
+}
+
+// assignedIdent finds the identifier the call's tracked result lands in,
+// or nil when the destination is not a plain identifier.
+func assignedIdent(assign *ast.AssignStmt, call *ast.CallExpr, resultIdx int) *ast.Ident {
+	var lhs ast.Expr
+	if len(assign.Rhs) == 1 && assign.Rhs[0] == ast.Expr(call) {
+		if resultIdx < len(assign.Lhs) {
+			lhs = assign.Lhs[resultIdx] // v, err := f()
+		}
+	} else {
+		for i, r := range assign.Rhs {
+			if r == ast.Expr(call) && i < len(assign.Lhs) {
+				lhs = assign.Lhs[i] // a, b := f(), g()
+			}
+		}
+	}
+	id, _ := lhs.(*ast.Ident)
+	return id
+}
+
+// trackValue inspects every use of the acquired value inside the
+// enclosing function and reports leaks.
+func trackValue(pass *Pass, enclosing ast.Node, lhs *ast.Ident, acq *ast.CallExpr, typeName string) {
+	obj := identObj(pass, lhs)
+	if obj == nil {
+		return
+	}
+	body := funcBody(enclosing)
+	if body == nil {
+		return
+	}
+	var (
+		releases []token.Pos
+		deferred bool
+		escapes  bool
+		returns  []token.Pos
+	)
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok && r.Pos() > acq.Pos() {
+			returns = append(returns, r.Pos())
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id == lhs || identObj(pass, id) != obj {
+			return true
+		}
+		switch use := useKind(id, stack); use {
+		case useRelease:
+			releases = append(releases, id.Pos())
+			if withinDefer(stack) {
+				deferred = true
+			}
+		case useEscape:
+			escapes = true
+		}
+		return true
+	})
+	if escapes {
+		return
+	}
+	if len(releases) == 0 {
+		pass.Reportf(acq.Pos(), "%s %q is never closed on any path (missing %s.Close, the PR 4 leak class)", typeName, lhs.Name, lhs.Name)
+		return
+	}
+	if deferred {
+		return
+	}
+	first := releases[0]
+	for _, p := range releases {
+		if p < first {
+			first = p
+		}
+	}
+	for _, r := range returns {
+		if r < first {
+			pass.Reportf(acq.Pos(), "%s %q is closed only after an earlier return can leak it; defer %s.Close() right after acquisition", typeName, lhs.Name, lhs.Name)
+			return
+		}
+	}
+}
+
+type use int
+
+const (
+	useOther use = iota
+	useRelease
+	useEscape
+)
+
+// useKind classifies how the identifier id is used, given its ancestor
+// stack (id's parent is the stack top).
+func useKind(id *ast.Ident, stack []ast.Node) use {
+	if len(stack) == 0 {
+		return useOther
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		// v.M — a release when M is Close/Release and the selector is
+		// called; an escape when the method value itself is passed on.
+		called := false
+		if len(stack) >= 2 {
+			if c, ok := stack[len(stack)-2].(*ast.CallExpr); ok && c.Fun == ast.Expr(parent) {
+				called = true
+			}
+		}
+		if closeMethods[parent.Sel.Name] {
+			if called {
+				return useRelease
+			}
+			return useEscape // snap.Close passed as a value
+		}
+		return useOther // other method/field use keeps tracking
+	case *ast.CallExpr:
+		for _, a := range parent.Args {
+			if a == ast.Expr(id) {
+				return useEscape // passed to another function
+			}
+		}
+		return useOther
+	case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		return useEscape
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND {
+			return useEscape
+		}
+	case *ast.AssignStmt:
+		for _, r := range parent.Rhs {
+			if r == ast.Expr(id) {
+				return useEscape // aliased into another variable/field
+			}
+		}
+	}
+	return useOther
+}
+
+func withinDefer(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.FuncLit:
+			// a Close inside a nested function runs when that function
+			// runs; only a defer in the same frame chain counts, but a
+			// deferred closure calling Close is the common idiom:
+			// keep scanning outward so `defer func(){ c.Close() }()`
+			// still registers as deferred.
+		}
+	}
+	return false
+}

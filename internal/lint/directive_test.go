@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"aiql/internal/lint"
+)
+
+// TestIgnoreDirective pins the escape-hatch contract directly: a
+// well-formed //aiql:ignore suppresses the finding it covers, while a
+// reason-less directive suppresses nothing and is itself reported under
+// the ignoredirective pseudo-analyzer.
+func TestIgnoreDirective(t *testing.T) {
+	pkgs, err := lint.Load("", "aiql/internal/lint/testdata/src/ignorefix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	diags, err := lint.Analyze(pkgs[0], []*lint.Analyzer{lint.ErrCmp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErrcmp, gotDirective bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "errcmp":
+			gotErrcmp = true
+			if !strings.Contains(d.Message, "ErrOops") {
+				t.Errorf("errcmp diagnostic message %q does not name the sentinel", d.Message)
+			}
+		case lint.DirectiveAnalyzer:
+			gotDirective = true
+			if !strings.Contains(d.Message, "reason") {
+				t.Errorf("directive diagnostic %q does not demand a reason", d.Message)
+			}
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+	if len(diags) != 2 || !gotErrcmp || !gotDirective {
+		t.Fatalf("got %d diagnostics %v; want exactly one unsuppressed errcmp finding and one ignoredirective report", len(diags), diags)
+	}
+	// Both land on the reason-less line; the well-formed directive's line
+	// must be clean.
+	for _, d := range diags {
+		if !strings.Contains(d.Pos.Filename, "ignorefix.go") {
+			t.Errorf("diagnostic outside the fixture: %s", d)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrCmp reports comparisons of sentinel error values with == or != (or
+// switch cases), which break as soon as any layer wraps the error with
+// %w. The repo's sentinels (storage.ErrSegmentCorrupt, engine.ErrTooLarge,
+// stream.ErrUnknownRule, ...) are all returned wrapped somewhere; only
+// errors.Is matches them reliably.
+var ErrCmp = &Analyzer{
+	Name: "errcmp",
+	Doc:  "sentinel errors must be compared with errors.Is, never == or !=",
+	Run:  runErrCmp,
+}
+
+func runErrCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if name := sentinelName(pass, side); name != "" {
+						pass.Reportf(n.Pos(), "sentinel error %s compared with %s; use errors.Is", name, n.Op)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(pass.TypesInfo.Types[n.Tag].Type) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name := sentinelName(pass, e); name != "" {
+							pass.Reportf(e.Pos(), "sentinel error %s used as a switch case; use errors.Is", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelName returns the qualified name of e when it denotes a
+// package-level error variable following the ErrXxx convention, else "".
+func sentinelName(pass *Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok {
+		return ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "" // not package-level
+	}
+	if !strings.HasPrefix(v.Name(), "Err") && !strings.HasPrefix(v.Name(), "err") {
+		return ""
+	}
+	if !isErrorType(v.Type()) {
+		return ""
+	}
+	return v.Name()
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

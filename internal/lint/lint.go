@@ -1,0 +1,196 @@
+// Package lint is aiql's project-invariant static-analysis suite: a set
+// of analyzers that encode, as machine-checked rules, the invariants the
+// repo previously enforced only by hand audits and regression tests —
+// cursor/snapshot lifetimes, mutex discipline, bounds-checked decoding of
+// untrusted bytes, sentinel-error comparison via errors.Is, context
+// threading, and deterministic time handling.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) so the passes read like standard vet
+// checks, but it is built on the standard library alone: packages load
+// through `go list -export -json` plus the stdlib gc importer (load.go),
+// and cmd/aiqlvet speaks the `go vet -vettool` unit-checker protocol
+// itself. See docs/ANALYSIS.md for each analyzer's contract.
+//
+// Findings can be suppressed with an escape hatch that requires a reason:
+//
+//	//aiql:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// placed on the offending line or on the line directly above it. A
+// directive with no reason is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //aiql:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one package to an analyzer and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(pos token.Pos, msg string) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  msg,
+	})
+}
+
+// Reportf records a formatted diagnostic.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// DirectiveAnalyzer is the name under which malformed //aiql:ignore
+// directives are reported. It is not a runnable pass: the check runs as
+// part of Analyze, so the escape hatch itself cannot rot.
+const DirectiveAnalyzer = "ignoredirective"
+
+// Analyze runs the analyzers over one loaded package, applies the
+// //aiql:ignore directives, and returns the surviving diagnostics sorted
+// by position. Malformed directives (no "-- <reason>") are reported under
+// DirectiveAnalyzer and cannot be suppressed.
+func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
+		}
+	}
+	ignores, bad := parseDirectives(pkg.Fset, pkg.Syntax)
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignores.covers(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = append(kept, bad...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreSet records, per file and line, which analyzers are suppressed.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) add(file string, line int, analyzer string) {
+	if s[file] == nil {
+		s[file] = make(map[int]map[string]bool)
+	}
+	if s[file][line] == nil {
+		s[file][line] = make(map[string]bool)
+	}
+	s[file][line][analyzer] = true
+}
+
+func (s ignoreSet) covers(d Diagnostic) bool {
+	return s[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+}
+
+const ignorePrefix = "aiql:ignore"
+
+// parseDirectives extracts //aiql:ignore directives from the package's
+// comments. A directive covers its own line and the line directly below
+// it (so it can trail the offending statement or sit on its own line
+// above). Directives without a ` -- reason` suffix are returned as
+// diagnostics instead of suppressions.
+func parseDirectives(fset *token.FileSet, files []*ast.File) (ignoreSet, []Diagnostic) {
+	ignores := make(ignoreSet)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				pos := fset.Position(c.Pos())
+				names, reason, ok := strings.Cut(rest, "--")
+				reason = strings.TrimSpace(reason)
+				names = strings.TrimSpace(names)
+				if !ok || reason == "" || names == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: DirectiveAnalyzer,
+						Message:  `aiql:ignore requires an analyzer name and a reason: //aiql:ignore <analyzer> -- <reason>`,
+					})
+					continue
+				}
+				for _, name := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' }) {
+					ignores.add(pos.Filename, pos.Line, name)
+					ignores.add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return ignores, bad
+}
+
+// isTestFile reports whether the file a position belongs to is a _test.go
+// file. Several analyzers relax their rules inside tests.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// pathOf returns the import path of the types.Object's package, or "".
+func pathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}

@@ -1,0 +1,134 @@
+// Package linttest is the test harness for the lint analyzers: it loads
+// a fixture package, runs a set of analyzers over it, and compares the
+// diagnostics against inline expectations in the fixture source,
+// analysistest-style:
+//
+//	return err == ErrBoom // want `sentinel error ErrBoom compared with ==`
+//
+// Each expectation is a regular expression matched against
+// "analyzer: message" of a diagnostic reported on the same line. Every
+// diagnostic must be matched by an expectation and every expectation must
+// be matched by a diagnostic; either direction failing fails the test.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aiql/internal/lint"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantArgRe tokenizes the body of a want comment into back-quoted or
+// double-quoted regular expressions.
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads pkgPath (an import path; the fixture packages live under
+// testdata/src), applies the analyzers, and reports any mismatch between
+// the diagnostics and the fixture's want comments on t.
+func Run(t *testing.T, pkgPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.Load("", pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded for %s", pkgPath)
+	}
+
+	// The plain package and its test variant both appear as roots when the
+	// fixture has _test.go files; dedupe diagnostics and files across them.
+	seen := make(map[lint.Diagnostic]bool)
+	var diags []lint.Diagnostic
+	wants := make(map[string][]*want)
+	seenFile := make(map[string]bool)
+	for _, pkg := range pkgs {
+		ds, err := lint.Analyze(pkg, analyzers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ds {
+			if !seen[d] {
+				seen[d] = true
+				diags = append(diags, d)
+			}
+		}
+		collectWants(t, pkg, wants, seenFile)
+	}
+
+	for _, d := range diags {
+		if !matchWant(wants[d.Pos.Filename], d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// matchWant consumes the first unmatched expectation on the diagnostic's
+// line whose pattern matches it.
+func matchWant(ws []*want, d lint.Diagnostic) bool {
+	text := d.Analyzer + ": " + d.Message
+	for _, w := range ws {
+		if !w.matched && w.line == d.Pos.Line && w.re.MatchString(text) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the `// want` comments out of every file of the
+// package not already collected.
+func collectWants(t *testing.T, pkg *lint.Package, wants map[string][]*want, seenFile map[string]bool) {
+	t.Helper()
+	for _, f := range pkg.Syntax {
+		file := pkg.Fset.Position(f.Pos()).Filename
+		if seenFile[file] {
+			continue
+		}
+		seenFile[file] = true
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				args := wantArgRe.FindAllString(strings.TrimPrefix(text, "want "), -1)
+				if len(args) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", file, line, c.Text)
+					continue
+				}
+				for _, a := range args {
+					pat := a
+					if a[0] == '`' {
+						pat = a[1 : len(a)-1]
+					} else if unq, err := strconv.Unquote(a); err == nil {
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", file, line, pat, err)
+						continue
+					}
+					wants[file] = append(wants[file], &want{file: file, line: line, re: re})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath      string
+	Dir             string
+	Name            string
+	Export          string
+	GoFiles         []string
+	CompiledGoFiles []string
+	ImportMap       map[string]string
+	DepOnly         bool
+	Standard        bool
+	ForTest         string
+	Module          *struct{ GoVersion string }
+	Error           *struct{ Err string }
+}
+
+// Load lists the packages matching patterns (in dir, "" for the current
+// directory), including their in-package and external test variants, and
+// type-checks each from source. Dependencies are resolved through the gc
+// export data the go command produces for `go list -export`, so the
+// loader needs no third-party machinery and works offline.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-compiled", "-deps", "-test",
+		"-json=ImportPath,Dir,Name,Export,GoFiles,CompiledGoFiles,ImportMap,DepOnly,Standard,ForTest,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	exportFile := make(map[string]string)
+	goVersion := ""
+	var roots []*listEntry
+	for {
+		e := new(listEntry)
+		if err := dec.Decode(e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: go list output: %w", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exportFile[e.ImportPath] = e.Export
+		}
+		// Roots are the matched packages and their test variants; the
+		// synthesized test main ("pkg.test") carries only generated code.
+		if e.DepOnly || e.Standard || strings.HasSuffix(e.ImportPath, ".test") {
+			continue
+		}
+		if len(e.GoFiles) == 0 && len(e.CompiledGoFiles) == 0 {
+			continue
+		}
+		if e.Module != nil && e.Module.GoVersion != "" {
+			goVersion = e.Module.GoVersion
+		}
+		roots = append(roots, e)
+	}
+	var pkgs []*Package
+	for _, e := range roots {
+		pkg, err := typecheck(e, exportFile, goVersion)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and type-checks one go list entry, resolving imports
+// through the export data recorded for its dependency closure.
+func typecheck(e *listEntry, exportFile map[string]string, goVersion string) (*Package, error) {
+	fset := token.NewFileSet()
+	files := e.CompiledGoFiles
+	if len(files) == 0 {
+		files = e.GoFiles
+	}
+	var syntax []*ast.File
+	for _, name := range files {
+		if !strings.HasSuffix(name, ".go") {
+			continue // cgo-compiled units may list non-Go inputs
+		}
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(e.Dir, name)
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		syntax = append(syntax, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := e.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	if goVersion != "" {
+		conf.GoVersion = "go" + strings.TrimPrefix(goVersion, "go")
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(e.ImportPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", e.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   e.ImportPath,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// LockGuard enforces the repo's documented mutex discipline by machine
+// instead of by comment. A struct field annotated
+//
+//	// aiql:guarded-by <mu>
+//
+// may only be accessed in a function that (a) locks <mu> earlier in its
+// body, (b) is itself annotated `// aiql:locked <mu>` (caller holds the
+// lock — the xxxLocked helper convention), or (c) is constructing the
+// owning value locally (a composite literal not yet shared). This is the
+// walMu/compactMu/tapMu/shadowMu discipline from PRs 4-8, previously
+// enforced by prose.
+//
+// The check is positional, not path-sensitive: a Lock anywhere earlier in
+// the function satisfies it. That is deliberate — the bug class it kills
+// is the new call site that never takes the lock at all.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated aiql:guarded-by must be accessed under their mutex",
+	Run:  runLockGuard,
+}
+
+var (
+	guardedByRe = regexp.MustCompile(`aiql:guarded-by\s+([A-Za-z_][A-Za-z0-9_]*)`)
+	lockedRe    = regexp.MustCompile(`aiql:locked\s+([A-Za-z_][A-Za-z0-9_]*)`)
+)
+
+func runLockGuard(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		state := &fileLockState{
+			pass:      pass,
+			lockPos:   make(map[*ast.FuncDecl][]lockCall),
+			fresh:     make(map[*ast.FuncDecl]map[types.Object]bool),
+			annotated: make(map[*ast.FuncDecl]map[string]bool),
+		}
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			mu, guarded := guards[obj]
+			if !guarded {
+				return true
+			}
+			_, fd := enclosingFuncs(stack)
+			if fd == nil {
+				return true // package-level: initialization order, no races yet
+			}
+			if state.held(fd, mu, sel.Pos()) || state.freshReceiver(fd, sel) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "field %s is guarded by %s but accessed without holding it (lock %s first, or annotate the function // aiql:locked %s)", sel.Sel.Name, mu, mu, mu)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectGuards maps annotated field objects to their guarding mutex
+// name.
+func collectGuards(pass *Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := ""
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+						mu = m[1]
+					}
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+type lockCall struct {
+	mu  string
+	pos token.Pos
+}
+
+// fileLockState lazily computes, per function declaration, the lock
+// calls, locally-constructed values, and aiql:locked annotations.
+type fileLockState struct {
+	pass      *Pass
+	lockPos   map[*ast.FuncDecl][]lockCall
+	fresh     map[*ast.FuncDecl]map[types.Object]bool
+	annotated map[*ast.FuncDecl]map[string]bool
+}
+
+// held reports whether mu is locked earlier in fd, or fd is annotated as
+// called with mu held.
+func (s *fileLockState) held(fd *ast.FuncDecl, mu string, at token.Pos) bool {
+	if _, ok := s.annotated[fd][""]; !ok {
+		s.scan(fd)
+	}
+	if s.annotated[fd][mu] {
+		return true
+	}
+	for _, lc := range s.lockPos[fd] {
+		if lc.mu == mu && lc.pos < at {
+			return true
+		}
+	}
+	return false
+}
+
+// freshReceiver reports whether the base of the selector is a local
+// variable initialized from a composite literal in fd — a value under
+// construction that no other goroutine can see yet.
+func (s *fileLockState) freshReceiver(fd *ast.FuncDecl, sel *ast.SelectorExpr) bool {
+	base := sel.X
+	for {
+		if inner, ok := base.(*ast.SelectorExpr); ok {
+			base = inner.X
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := s.pass.TypesInfo.Uses[id]
+	return obj != nil && s.fresh[fd][obj]
+}
+
+// scan walks fd once, recording mutex Lock/RLock calls, locally
+// constructed values, and aiql:locked annotations.
+func (s *fileLockState) scan(fd *ast.FuncDecl) {
+	ann := map[string]bool{"": true} // sentinel: scanned
+	if fd.Doc != nil {
+		for _, m := range lockedRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+			ann[m[1]] = true
+		}
+	}
+	s.annotated[fd] = ann
+	fresh := make(map[types.Object]bool)
+	s.fresh[fd] = fresh
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if mu := mutexLockName(n); mu != "" {
+				s.lockPos[fd] = append(s.lockPos[fd], lockCall{mu: mu, pos: n.Pos()})
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if !isCompositeConstruction(n.Rhs[i]) {
+					continue
+				}
+				if obj := s.pass.TypesInfo.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexLockName returns the mutex field/variable name when the call is
+// <...>.<mu>.Lock(), .RLock(), .TryLock() or .TryRLock(), else "".
+func mutexLockName(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+	default:
+		return ""
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name // p.segMu.Lock()
+	case *ast.Ident:
+		return x.Name // mu.Lock()
+	}
+	return ""
+}
+
+// isCompositeConstruction reports whether e is T{...} or &T{...}.
+func isCompositeConstruction(e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = u.X
+	}
+	_, ok := e.(*ast.CompositeLit)
+	return ok
+}

@@ -1,0 +1,18 @@
+// Package clockfix exercises the wallclock analyzer: no time.Now in
+// library packages.
+package clockfix
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixMilli() // want `wallclock: time.Now in library code`
+}
+
+// since uses time arithmetic without reading the wall clock directly
+// through time.Now; no finding.
+func since(t0, t1 time.Time) time.Duration { return t1.Sub(t0) }
+
+// annotated uses the trailing directive form.
+func annotated() time.Time {
+	return time.Now() //aiql:ignore wallclock -- fixture: trailing-directive form
+}

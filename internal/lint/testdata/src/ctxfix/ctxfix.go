@@ -1,0 +1,34 @@
+// Package ctxfix exercises the ctxflow analyzer: no context.Background
+// or context.TODO in library code.
+package ctxfix
+
+import (
+	"context"
+	"time"
+)
+
+func root() context.Context {
+	return context.Background() // want `ctxflow: context.Background in library code`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `ctxflow: context.TODO in library code`
+}
+
+// threaded takes the context from its caller; no finding.
+func threaded(ctx context.Context) context.Context { return ctx }
+
+// annotated is an allowlisted root; the directive suppresses the finding.
+func annotated() context.Context {
+	//aiql:ignore ctxflow -- fixture: an allowlisted context root
+	return context.Background()
+}
+
+type ctxKey struct{}
+
+// combined pins the comma-separated analyzer list: one directive
+// suppresses two analyzers on the next line.
+func combined() context.Context {
+	//aiql:ignore ctxflow,wallclock -- fixture: one directive covering several analyzers
+	return context.WithValue(context.Background(), ctxKey{}, time.Now())
+}

@@ -1,0 +1,92 @@
+// Package cursorfix exercises the cursorclose analyzer against the
+// miniature storage package: every acquired Cursor/Snapshot must reach
+// Close (or Release) on all paths, or be handed off.
+package cursorfix
+
+import "aiql/internal/lint/testdata/src/storage"
+
+func leak(st *storage.Store) int {
+	c := st.Scan() // want `cursorclose: Cursor "c" is never closed on any path`
+	n, _ := c.Next()
+	return n
+}
+
+func discard(st *storage.Store) {
+	st.Scan() // want `cursorclose: Cursor returned by this call is discarded and never closed`
+}
+
+func blank(st *storage.Store) {
+	_, _ = st.ScanErr() // want `cursorclose: Cursor returned by this call is assigned to _ and never closed`
+}
+
+func earlyReturn(st *storage.Store, bail bool) int {
+	c := st.Scan() // want `cursorclose: Cursor "c" is closed only after an earlier return can leak it`
+	if bail {
+		return 0
+	}
+	n, _ := c.Next()
+	c.Close()
+	return n
+}
+
+// deferred is the demanded idiom: defer Close right after acquisition.
+func deferred(st *storage.Store, bail bool) int {
+	c := st.Scan()
+	defer c.Close()
+	if bail {
+		return 0
+	}
+	n, _ := c.Next()
+	return n
+}
+
+// deferredClosure pins the common `defer func(){ ... }()` form.
+func deferredClosure(st *storage.Store) int {
+	c := st.Scan()
+	defer func() { c.Close() }()
+	n, _ := c.Next()
+	return n
+}
+
+// handoff returns the cursor: the obligation transfers to the caller.
+func handoff(st *storage.Store) *storage.Cursor {
+	return st.Scan()
+}
+
+// aliasedHandoff escapes through an assignment and ends tracking.
+func aliasedHandoff(st *storage.Store, sink *struct{ c *storage.Cursor }) {
+	c := st.Scan()
+	sink.c = c
+}
+
+// passed hands the cursor to another function, transferring ownership.
+func passed(st *storage.Store, drain func(*storage.Cursor)) {
+	c := st.Scan()
+	drain(c)
+}
+
+func snapshotLeak(st *storage.Store) bool {
+	sn := st.Snapshot() // want `cursorclose: Snapshot "sn" is never closed on any path`
+	return sn != nil
+}
+
+// released accepts Release as the closing method for snapshots.
+func released(st *storage.Store) {
+	sn := st.Snapshot()
+	defer sn.Release()
+}
+
+// acquired pins the multi-result form: the tracked value is the first
+// result of Acquire.
+func acquired(st *storage.Store) bool {
+	sn, ok := st.Acquire() // want `cursorclose: Snapshot "sn" is never closed on any path`
+	return ok && sn != nil
+}
+
+// ignored proves the escape hatch applies to cursorclose too.
+func ignored(st *storage.Store) int {
+	//aiql:ignore cursorclose -- fixture: cursor lifetime owned by a harness
+	c := st.Scan()
+	n, _ := c.Next()
+	return n
+}

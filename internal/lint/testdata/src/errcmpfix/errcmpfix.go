@@ -1,0 +1,40 @@
+// Package errcmpfix exercises the errcmp analyzer: sentinel errors must
+// be compared with errors.Is, never == or !=.
+package errcmpfix
+
+import "errors"
+
+// ErrBoom is a package-level sentinel following the ErrXxx convention.
+var ErrBoom = errors.New("boom")
+
+func eq(err error) bool {
+	return err == ErrBoom // want `errcmp: sentinel error ErrBoom compared with ==; use errors.Is`
+}
+
+func neq(err error) bool {
+	if ErrBoom != err { // want `errcmp: sentinel error ErrBoom compared with !=`
+		return true
+	}
+	return false
+}
+
+func sw(err error) int {
+	switch err {
+	case ErrBoom: // want `errcmp: sentinel error ErrBoom used as a switch case`
+		return 1
+	}
+	return 0
+}
+
+// ok is the idiom the analyzer demands; it must stay silent here.
+func ok(err error) bool { return errors.Is(err, ErrBoom) }
+
+// nilCheck compares against nil, not a sentinel; no finding.
+func nilCheck(err error) bool { return err == nil }
+
+// ignored proves the escape hatch: a well-formed directive on the line
+// above suppresses the finding.
+func ignored(err error) bool {
+	//aiql:ignore errcmp -- fixture: proves the escape hatch suppresses a finding
+	return err == ErrBoom
+}

@@ -1,0 +1,24 @@
+// Package ignorefix exercises the //aiql:ignore directive contract
+// itself: a well-formed directive (analyzer names plus a reason after
+// `--`) suppresses findings on its line and the next; a reason-less
+// directive suppresses nothing and is reported as a diagnostic.
+package ignorefix
+
+import "errors"
+
+// ErrOops is the sentinel the fixture compares against.
+var ErrOops = errors.New("oops")
+
+// suppressed carries a well-formed directive; the errcmp finding on the
+// next line must not surface.
+func suppressed(err error) bool {
+	//aiql:ignore errcmp -- fixture: demonstrating the escape hatch
+	return err == ErrOops
+}
+
+// missingReason carries a reason-less directive on the offending line:
+// the directive must NOT suppress the errcmp finding, and must itself be
+// reported under the ignoredirective pseudo-analyzer.
+func missingReason(err error) bool {
+	return err != ErrOops //aiql:ignore errcmp
+}

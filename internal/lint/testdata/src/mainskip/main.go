@@ -1,0 +1,15 @@
+// Command mainskip pins the package-main exemption: ctxflow and
+// wallclock are silent at the binary edge, where minting a root context
+// and reading the wall clock are exactly right.
+package main
+
+import (
+	"context"
+	"time"
+)
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	_ = time.Now()
+}

@@ -1,0 +1,25 @@
+// Package storage is a miniature mirror of the real storage API surface,
+// just enough for the cursorclose fixtures to type-check: the analyzer
+// tracks any named Cursor or Snapshot type from a package whose import
+// path contains "storage".
+package storage
+
+// Cursor is a scan-lifetime handle that must reach Close on every path.
+type Cursor struct{ closed bool }
+
+func (c *Cursor) Next() (int, bool) { return 0, !c.closed }
+func (c *Cursor) Close()            { c.closed = true }
+
+// Snapshot pins copy-on-write state until Close or Release.
+type Snapshot struct{ released bool }
+
+func (s *Snapshot) Close()   { s.released = true }
+func (s *Snapshot) Release() { s.released = true }
+
+// Store hands out cursors and snapshots.
+type Store struct{}
+
+func (s *Store) Scan() *Cursor              { return &Cursor{} }
+func (s *Store) ScanErr() (*Cursor, error)  { return &Cursor{}, nil }
+func (s *Store) Snapshot() *Snapshot        { return &Snapshot{} }
+func (s *Store) Acquire() (*Snapshot, bool) { return &Snapshot{}, true }

@@ -1,0 +1,63 @@
+// Package walcodec exercises the boundedmake analyzer on a miniature
+// decoder mirroring the shape of the storage/WAL codecs. The package
+// path contains "wal", which puts it in the analyzer's scope.
+package walcodec
+
+import "encoding/binary"
+
+const maxItems = 1 << 20
+
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u32() uint32 {
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func unchecked(r *reader) []byte {
+	n := r.u32()
+	return make([]byte, n) // want `boundedmake: allocation sized from decoded value "n" without a dominating bounds check`
+}
+
+func direct(r *reader) []byte {
+	return make([]byte, binary.BigEndian.Uint32(r.b)) // want `boundedmake: allocation sized directly from decoded input`
+}
+
+// flows pins taint propagation through an intermediate local.
+func flows(r *reader) []uint64 {
+	n := r.u32()
+	count := int(n)
+	return make([]uint64, count) // want `boundedmake: allocation sized from decoded value "count"`
+}
+
+// checked is the bounds-check idiom the invariant demands: corruption
+// errors out before the count can size an allocation.
+func checked(r *reader) []byte {
+	n := r.u32()
+	if n > maxItems {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// clamped passes the decoded count through min(); inherently bounded.
+func clamped(r *reader) []byte {
+	n := r.u32()
+	return make([]byte, min(int(n), maxItems))
+}
+
+// fromLen sizes from in-memory data, which cannot exceed what was read.
+func fromLen(r *reader) []byte {
+	return make([]byte, len(r.b))
+}
+
+// annotated proves the escape hatch applies to boundedmake too.
+func annotated(r *reader) []byte {
+	n := r.u32()
+	//aiql:ignore boundedmake -- fixture: frame length validated by the caller
+	return make([]byte, n)
+}

@@ -1,0 +1,51 @@
+package lint
+
+import "go/ast"
+
+// inspectStack walks the tree rooted at n, calling fn with each node and
+// the stack of its ancestors (outermost first, not including the node
+// itself). Returning false from fn prunes the subtree.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFuncs returns the innermost *ast.FuncLit or *ast.FuncDecl body
+// containing the stack top, and the outermost enclosing *ast.FuncDecl.
+func enclosingFuncs(stack []ast.Node) (innermost ast.Node, decl *ast.FuncDecl) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			if innermost == nil {
+				innermost = n
+			}
+		case *ast.FuncDecl:
+			if innermost == nil {
+				innermost = n
+			}
+			return innermost, n
+		}
+	}
+	return innermost, nil
+}
+
+// funcBody returns the body of a *ast.FuncDecl or *ast.FuncLit node.
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		return n.Body
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// WallClock reports time.Now calls in library packages. Query evaluation,
+// storage, streaming joins and predicate code must be deterministic —
+// replay, golden fixtures and the recovery differentials all depend on a
+// run being a pure function of the ingested data — so those layers use
+// timeutil or injected clocks. Wall time is legitimate at the serving
+// edge (request latency, uptime) and in the bench harness; those sites
+// carry //aiql:ignore wallclock -- <reason> so the allowlist is explicit.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "no time.Now in library packages; use timeutil or an injected clock",
+	Run:  runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil // wall time at the binary edge is fine
+	}
+	if strings.Contains(pass.Pkg.Path(), "timeutil") {
+		return nil // the clock abstraction itself
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if pathOf(obj) == "time" && obj.Name() == "Now" {
+				pass.Report(call.Pos(), "time.Now in library code; use timeutil or an injected clock for determinism")
+			}
+			return true
+		})
+	}
+	return nil
+}

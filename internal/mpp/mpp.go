@@ -148,9 +148,10 @@ func (c *Cluster) Scan(ctx context.Context, q *storage.DataQuery) storage.Cursor
 	return storage.NewMultiCursor(q.Limit, cs...)
 }
 
-// Run is the materializing adapter over Scan.
-func (c *Cluster) Run(q *storage.DataQuery) []storage.Match {
-	cur := c.Scan(context.Background(), q)
+// Run is the materializing adapter over Scan. Canceling ctx aborts the
+// per-segment scans between batches.
+func (c *Cluster) Run(ctx context.Context, q *storage.DataQuery) []storage.Match {
+	cur := c.Scan(ctx, q)
 	defer cur.Close()
 	return storage.Drain(cur)
 }

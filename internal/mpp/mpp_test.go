@@ -1,6 +1,7 @@
 package mpp
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -56,9 +57,9 @@ func TestPlacementsAgree(t *testing.T) {
 			Ops:      types.AllOps()},
 	}
 	for i, q := range queries {
-		a := ids(arrival.Run(q))
-		b := ids(semantic.Run(q))
-		c := ids(single.Run(q))
+		a := ids(arrival.Run(context.Background(), q))
+		b := ids(semantic.Run(context.Background(), q))
+		c := ids(single.Run(context.Background(), q))
 		if !equal(a, c) {
 			t.Errorf("query %d: arrival-order differs from single store (%d vs %d)", i, len(a), len(c))
 		}
@@ -84,7 +85,7 @@ func TestSemanticsAwarePlacementLocality(t *testing.T) {
 			}
 			withData := 0
 			for _, seg := range c.segs {
-				if len(seg.Run(q)) > 0 {
+				if len(seg.Run(context.Background(), q)) > 0 {
 					withData++
 				}
 			}
@@ -110,7 +111,7 @@ func TestArrivalOrderScatters(t *testing.T) {
 	}
 	withData := 0
 	for _, seg := range c.segs {
-		if len(seg.Run(q)) > 0 {
+		if len(seg.Run(context.Background(), q)) > 0 {
 			withData++
 		}
 	}
@@ -134,7 +135,7 @@ func TestStatsCountSegmentElimination(t *testing.T) {
 
 	semantic := New(5, SemanticsAware, storage.Options{})
 	semantic.Ingest(ds)
-	semantic.Run(q)
+	semantic.Run(context.Background(), q)
 	st := semantic.Stats()
 	if st.Scans != 1 {
 		t.Fatalf("scans = %d, want 1", st.Scans)
@@ -148,7 +149,7 @@ func TestStatsCountSegmentElimination(t *testing.T) {
 
 	arrival := New(5, ArrivalOrder, storage.Options{})
 	arrival.Ingest(ds)
-	arrival.Run(q)
+	arrival.Run(context.Background(), q)
 	if st := arrival.Stats(); st.SegmentsEliminated != 0 || st.SegmentsScanned != 5 {
 		t.Errorf("arrival-order scanned %d, eliminated %d; want 5 scanned, 0 eliminated",
 			st.SegmentsScanned, st.SegmentsEliminated)

@@ -1,6 +1,7 @@
 package mpp
 
 import (
+	"context"
 	"testing"
 
 	"aiql/internal/gen"
@@ -76,8 +77,8 @@ func TestClusterScanSkipsEliminatedSegments(t *testing.T) {
 	single.Ingest(ds)
 
 	q := &storage.DataQuery{Agents: []int{gen.AgentWinClient}, Window: dayWindow(1)}
-	want := single.Run(q)
-	got := c.Run(q)
+	want := single.Run(context.Background(), q)
+	got := c.Run(context.Background(), q)
 	if len(got) != len(want) {
 		t.Fatalf("pruned cluster scan returned %d matches, single store %d", len(got), len(want))
 	}

@@ -127,7 +127,7 @@ func New(st *storage.Store, eng *engine.Engine, opts Options) *Server {
 		results:   NewResultCache(opts.ResultCacheSize),
 		maxIngest: opts.MaxIngestBytes,
 		shard:     -1,
-		started:   time.Now(),
+		started:   time.Now(), //aiql:ignore wallclock -- uptime reporting is operational, not query-determinism-sensitive
 	}
 	st.SetIngestObserver(s.matcher.OnIngest)
 	return s
@@ -149,7 +149,7 @@ func NewCoordinator(coord *cluster.Coordinator, eng *engine.Engine, opts Options
 		results:   NewResultCache(-1),
 		maxIngest: opts.MaxIngestBytes,
 		shard:     -1,
-		started:   time.Now(),
+		started:   time.Now(), //aiql:ignore wallclock -- uptime reporting is operational, not query-determinism-sensitive
 	}
 }
 
@@ -229,6 +229,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+	//aiql:ignore wallclock -- request latency metric for /stats, observability only
 	start := time.Now()
 	var resp *QueryResponse
 	if s.coord != nil {

@@ -136,6 +136,13 @@ func (d *decoder) entity() types.Entity {
 	if d.err != nil {
 		return e
 	}
+	// Bound the decoded count before sizing the map: every attribute pair
+	// costs at least two u32 length prefixes, so a count beyond the
+	// remaining bytes is corruption, not a size hint.
+	if int(n) > (len(d.b)-d.off)/8+1 {
+		d.fail()
+		return e
+	}
 	e.Attrs = make(map[string]string, n)
 	for i := uint32(0); i < n && d.err == nil; i++ {
 		k := d.str()
@@ -223,6 +230,12 @@ func appendPostings(buf []byte, lists map[types.EntityID][]int32) []byte {
 func (d *decoder) postings(maxPos int) map[types.EntityID][]int32 {
 	n := d.u32()
 	if d.err != nil {
+		return nil
+	}
+	// Each posting list costs at least an id (u64) plus a count (u32);
+	// a corrupt list count must error, never size an allocation.
+	if int(n) > (len(d.b)-d.off)/12+1 {
+		d.fail()
 		return nil
 	}
 	lists := make(map[types.EntityID][]int32, n)

@@ -145,6 +145,8 @@ func (s *Store) installColdRun(sf *segmentV2File, pi *segV2Part) error {
 // to violate the cold-before-hot invariant. On decode failure the error is
 // latched: the partition's data is still safe on disk, but queries over it
 // fail closed until the store reopens.
+//
+// aiql:locked mu
 func (s *Store) thawLocked(p *partition) {
 	cold := p.cold
 	if cold == nil || cold.bad != nil {

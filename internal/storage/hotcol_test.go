@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -123,7 +124,7 @@ func TestHotColumnarDifferential(t *testing.T) {
 		label := fmt.Sprintf("query %d", i)
 		qc := *q
 		qs := *q
-		matchesEqual(t, label, hot.Run(&qc), scalar.Run(&qs))
+		matchesEqual(t, label, hot.Run(context.Background(), &qc), scalar.Run(context.Background(), &qs))
 	}
 
 	hs, ss := hot.ScanStats(), scalar.ScanStats()
@@ -235,16 +236,16 @@ func TestHotShadowInvalidationOnResort(t *testing.T) {
 		s.Ingest(types.NewDataset(entities, events))
 	}
 	all := func() *DataQuery { return &DataQuery{Ops: types.AllOps()} }
-	matchesEqual(t, "pre-resort", hot.Run(all()), scalar.Run(all()))
+	matchesEqual(t, "pre-resort", hot.Run(context.Background(), all()), scalar.Run(context.Background(), all()))
 
 	hot.Ingest(&types.Dataset{Events: late})
 	scalar.Ingest(&types.Dataset{Events: late})
-	matchesEqual(t, "post-resort", hot.Run(all()), scalar.Run(all()))
+	matchesEqual(t, "post-resort", hot.Run(context.Background(), all()), scalar.Run(context.Background(), all()))
 
 	q := &DataQuery{Ops: types.AllOps(), SubjType: types.EntityProcess,
 		SubjPred: pred.NewCond(types.AttrExeName, pred.CmpEq, "%alpha%")}
 	q2 := *q
-	matchesEqual(t, "post-resort pred", hot.Run(q), scalar.Run(&q2))
+	matchesEqual(t, "post-resort pred", hot.Run(context.Background(), q), scalar.Run(context.Background(), &q2))
 }
 
 // TestHotShadowSnapshotPinned interleaves snapshot scans with mutating
@@ -258,7 +259,7 @@ func TestHotShadowSnapshotPinned(t *testing.T) {
 	sn := st.Snapshot()
 	defer sn.Close()
 	all := func() *DataQuery { return &DataQuery{Ops: types.AllOps()} }
-	before := sn.Run(all())
+	before := sn.Run(context.Background(), all())
 	if len(before) != 1000 {
 		t.Fatalf("snapshot scan saw %d events, want 1000", len(before))
 	}
@@ -275,12 +276,12 @@ func TestHotShadowSnapshotPinned(t *testing.T) {
 	}
 	st.Ingest(&types.Dataset{Events: lateCopy})
 
-	after := sn.Run(all())
+	after := sn.Run(context.Background(), all())
 	matchesEqual(t, "snapshot frozen", after, before)
-	if live := st.Run(all()); len(live) != 1200 {
+	if live := st.Run(context.Background(), all()); len(live) != 1200 {
 		t.Fatalf("live scan saw %d events, want 1200", len(live))
 	}
-	matchesEqual(t, "snapshot still frozen", sn.Run(all()), before)
+	matchesEqual(t, "snapshot still frozen", sn.Run(context.Background(), all()), before)
 }
 
 // TestHotConcurrentScanIngest hammers one store with parallel scans while
@@ -307,7 +308,7 @@ func TestHotConcurrentScanIngest(t *testing.T) {
 				default:
 				}
 				q := *qs[rng.Intn(len(qs))]
-				_ = st.Run(&q)
+				_ = st.Run(context.Background(), &q)
 			}
 		}(g)
 	}
@@ -339,6 +340,6 @@ func TestHotConcurrentScanIngest(t *testing.T) {
 	}
 	for i, q := range hotDiffQueries() {
 		qc, qr := *q, *q
-		matchesEqual(t, fmt.Sprintf("final query %d", i), st.Run(&qc), ref.Run(&qr))
+		matchesEqual(t, fmt.Sprintf("final query %d", i), st.Run(context.Background(), &qc), ref.Run(context.Background(), &qr))
 	}
 }

@@ -97,8 +97,8 @@ type Persistent struct {
 	// segMu guards the segment list and coveredSeq — held only for the
 	// brief reads/mutations, never across disk work.
 	segMu      sync.Mutex
-	segs       []*segEntry
-	coveredSeq uint64 // highest WAL seq the segments cover
+	segs       []*segEntry // aiql:guarded-by segMu
+	coveredSeq uint64      // highest WAL seq the segments cover; aiql:guarded-by segMu
 
 	loadOnce sync.Once
 	loadErr  error

@@ -88,7 +88,7 @@ func assertStoresEqual(t *testing.T, got, want *Store, label string) {
 	}
 
 	all := &DataQuery{Ops: types.AllOps()}
-	gm, wm := got.Run(all), want.Run(all)
+	gm, wm := got.Run(context.Background(), all), want.Run(context.Background(), all)
 	if len(gm) != len(wm) {
 		t.Fatalf("%s: full scan %d matches, want %d", label, len(gm), len(wm))
 	}
@@ -106,7 +106,7 @@ func assertStoresEqual(t *testing.T, got, want *Store, label string) {
 		ObjType:  types.EntityFile,
 		Ops:      types.NewOpSet(types.OpRead, types.OpWrite),
 	}
-	if g, w := len(got.Run(idx)), len(want.Run(idx)); g != w {
+	if g, w := len(got.Run(context.Background(), idx)), len(want.Run(context.Background(), idx)); g != w {
 		t.Fatalf("%s: indexed query %d matches, want %d", label, g, w)
 	}
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"testing"
 
 	"aiql/internal/timeutil"
@@ -69,7 +70,7 @@ func BenchmarkSegmentScan(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if ms := st.Run(q); len(ms) != wantMatches {
+			if ms := st.Run(context.Background(), q); len(ms) != wantMatches {
 				b.Fatalf("scan returned %d matches, want %d", len(ms), wantMatches)
 			}
 		}

@@ -321,7 +321,7 @@ func TestColdScanLazyBlocks(t *testing.T) {
 
 	// A window covering only the first 100 events: one block can match.
 	w := timeutil.Window{From: timeutil.Millis(events[0].Start), To: timeutil.Millis(events[100].Start)}
-	got := st.Run(&DataQuery{Ops: types.AllOps(), Window: w})
+	got := st.Run(context.Background(), &DataQuery{Ops: types.AllOps(), Window: w})
 	if len(got) != 100 {
 		t.Fatalf("narrow window matched %d events, want 100", len(got))
 	}
@@ -337,7 +337,7 @@ func TestColdScanLazyBlocks(t *testing.T) {
 	}
 
 	// A full scan decodes the remaining blocks — everything stays readable.
-	if n := len(st.Run(&DataQuery{Ops: types.AllOps()})); n != len(events) {
+	if n := len(st.Run(context.Background(), &DataQuery{Ops: types.AllOps()})); n != len(events) {
 		t.Fatalf("full scan matched %d events, want %d", n, len(events))
 	}
 	if stats := st.ScanStats(); stats.BlocksDecoded != 1+3 {
@@ -369,7 +369,7 @@ func TestZoneMapPruningDifferentialStorage(t *testing.T) {
 	}
 
 	for i, q := range queries {
-		a, b := pruned.Run(q), exhaustive.Run(q)
+		a, b := pruned.Run(context.Background(), q), exhaustive.Run(context.Background(), q)
 		if len(a) != len(b) {
 			t.Fatalf("query %d: pruned %d matches, exhaustive %d", i, len(a), len(b))
 		}
@@ -593,7 +593,7 @@ func FuzzSegmentV2(f *testing.F) {
 
 		want := New(Options{})
 		want.Ingest(&types.Dataset{Entities: entities, Events: events})
-		wantMatches := want.Run(&DataQuery{Ops: types.AllOps()})
+		wantMatches := want.Run(context.Background(), &DataQuery{Ops: types.AllOps()})
 
 		err = func() error {
 			seg, err := openSegmentAny(sf.path)

@@ -89,7 +89,7 @@ func TestSegmentV3CompressionSavesSpace(t *testing.T) {
 func TestSegmentV3CompressedCounters(t *testing.T) {
 	entities, events := v2TestData(4000)
 	st, _ := coldStoreFromV3(t, t.TempDir(), Options{}, entities, events)
-	if n := len(st.Run(&DataQuery{Ops: types.AllOps()})); n != 4000 {
+	if n := len(st.Run(context.Background(), &DataQuery{Ops: types.AllOps()})); n != 4000 {
 		t.Fatalf("full scan returned %d matches, want 4000", n)
 	}
 	ss := st.ScanStats()
@@ -236,7 +236,7 @@ func TestSegmentV3AttrZonePruning(t *testing.T) {
 	}
 	defer sfRe.unmap()
 
-	pm, em := pruned.Run(q()), exhaustive.Run(q())
+	pm, em := pruned.Run(context.Background(), q()), exhaustive.Run(context.Background(), q())
 	if len(pm) != len(em) {
 		t.Fatalf("pruned scan %d matches, exhaustive %d", len(pm), len(em))
 	}
@@ -357,7 +357,7 @@ func FuzzSegmentV3(f *testing.F) {
 
 		want := New(Options{})
 		want.Ingest(&types.Dataset{Entities: entities, Events: events})
-		wantMatches := want.Run(&DataQuery{Ops: types.AllOps()})
+		wantMatches := want.Run(context.Background(), &DataQuery{Ops: types.AllOps()})
 
 		err = func() error {
 			seg, err := openSegmentAny(sf.path)

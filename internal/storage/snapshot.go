@@ -162,9 +162,10 @@ func (sn *Snapshot) PartitionCount() int { return len(sn.parts) }
 func (sn *Snapshot) Entity(id types.EntityID) *types.Entity { return sn.entities[id] }
 
 // Run drains a full scan — the materializing convenience mirror of
-// Store.Run for callers already holding a snapshot.
-func (sn *Snapshot) Run(q *DataQuery) []Match {
-	c := sn.Scan(context.Background(), q)
+// Store.Run for callers already holding a snapshot. Canceling ctx aborts
+// the scan between batches.
+func (sn *Snapshot) Run(ctx context.Context, q *DataQuery) []Match {
+	c := sn.Scan(ctx, q)
 	defer c.Close()
 	return Drain(c)
 }

@@ -23,7 +23,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	if snap.Generation() != st.Generation() {
 		t.Fatalf("snapshot generation %d != store generation %d", snap.Generation(), st.Generation())
 	}
-	before := snap.Run(allEvents())
+	before := snap.Run(context.Background(), allEvents())
 	if len(before) != len(ds.Events) {
 		t.Fatalf("snapshot sees %d events, want %d", len(before), len(ds.Events))
 	}
@@ -38,14 +38,14 @@ func TestSnapshotIsolation(t *testing.T) {
 	}
 	st.Ingest(types.NewDataset(nil, extra))
 
-	after := snap.Run(allEvents())
+	after := snap.Run(context.Background(), allEvents())
 	if len(after) != len(before) {
 		t.Fatalf("snapshot grew after ingest: %d -> %d events", len(before), len(after))
 	}
 	if snap.EventCount() != len(before) {
 		t.Fatalf("snapshot EventCount = %d, want %d", snap.EventCount(), len(before))
 	}
-	if got := len(st.Run(allEvents())); got != 2*len(ds.Events) {
+	if got := len(st.Run(context.Background(), allEvents())); got != 2*len(ds.Events) {
 		t.Fatalf("store sees %d events after ingest, want %d", got, 2*len(ds.Events))
 	}
 	// A fresh snapshot sees the new world and a newer generation.
@@ -54,7 +54,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	if snap2.Generation() <= snap.Generation() {
 		t.Fatalf("second snapshot generation %d not newer than %d", snap2.Generation(), snap.Generation())
 	}
-	if got := len(snap2.Run(allEvents())); got != 2*len(ds.Events) {
+	if got := len(snap2.Run(context.Background(), allEvents())); got != 2*len(ds.Events) {
 		t.Fatalf("fresh snapshot sees %d events, want %d", got, 2*len(ds.Events))
 	}
 }
@@ -87,7 +87,7 @@ func TestOutOfOrderAddEvent(t *testing.T) {
 	st, _ := buildFixture(Options{})
 	old := st.Snapshot()
 	defer old.Close()
-	oldEvents := old.Run(allEvents())
+	oldEvents := old.Run(context.Background(), allEvents())
 
 	proc := types.EntityID(1) // /bin/worker on agent 1 from the fixture
 	file := types.EntityID(3)
@@ -101,7 +101,7 @@ func TestOutOfOrderAddEvent(t *testing.T) {
 
 	snap := st.Snapshot()
 	defer snap.Close()
-	out := snap.Run(&DataQuery{
+	out := snap.Run(context.Background(), &DataQuery{
 		Agents: []int{1},
 		Window: timeutil.Window{From: 1, To: timeutil.DayMillis},
 		Ops:    types.NewOpSet(types.OpWrite),
@@ -113,7 +113,7 @@ func TestOutOfOrderAddEvent(t *testing.T) {
 		}
 	}
 	// The pre-existing snapshot still drains its original, ordered view.
-	again := old.Run(allEvents())
+	again := old.Run(context.Background(), allEvents())
 	if len(again) != len(oldEvents) {
 		t.Fatalf("old snapshot changed size: %d -> %d", len(oldEvents), len(again))
 	}
@@ -130,7 +130,7 @@ func TestOutOfOrderAddEvent(t *testing.T) {
 // closed must therefore copy the array, never reorder it in place.
 func TestDrainedMatchesSurviveResort(t *testing.T) {
 	st, _ := buildFixture(Options{})
-	got := st.Run(allEvents()) // snapshot acquired and released inside
+	got := st.Run(context.Background(), allEvents()) // snapshot acquired and released inside
 	ids := make([]types.EventID, len(got))
 	for i, m := range got {
 		ids[i] = m.Event.ID
@@ -161,7 +161,7 @@ func TestScanMatchesRun(t *testing.T) {
 		{Agents: []int{1}, Window: timeutil.DayWindow(0), Ops: types.AllOps()},
 	}
 	for qi, q := range queries {
-		want := st.Run(q)
+		want := st.Run(context.Background(), q)
 		cur := st.Scan(context.Background(), q)
 		var got []Match
 		batch := make([]Match, 7) // deliberately small, non-divisor batch
@@ -214,7 +214,7 @@ func TestScanLimitStopsEarly(t *testing.T) {
 		t.Fatalf("limited scan returned %d matches, want 10", len(got))
 	}
 	// Limit semantics must match the materialized path.
-	want := st.Run(q)
+	want := st.Run(context.Background(), q)
 	if len(want) != 10 {
 		t.Fatalf("materialized limited run returned %d matches, want 10", len(want))
 	}
@@ -273,7 +273,7 @@ func TestMultiCursor(t *testing.T) {
 	st, _ := buildFixture(Options{})
 	q1 := &DataQuery{Agents: []int{1}, Ops: types.AllOps()}
 	q2 := &DataQuery{Agents: []int{2}, Ops: types.AllOps()}
-	want := len(st.Run(q1)) + len(st.Run(q2))
+	want := len(st.Run(context.Background(), q1)) + len(st.Run(context.Background(), q2))
 	mc := NewMultiCursor(0,
 		st.Scan(context.Background(), q1),
 		st.Scan(context.Background(), q2))
@@ -337,7 +337,7 @@ func TestConcurrentIngestQuery(t *testing.T) {
 			for i := 0; i < 60; i++ {
 				snap := st.Snapshot()
 				gen := snap.Generation()
-				got := len(snap.Run(allEvents()))
+				got := len(snap.Run(context.Background(), allEvents()))
 				want := base + int(gen-baseGen)*batchSize
 				if got != want {
 					t.Errorf("generation %d: snapshot drained %d matches, want %d", gen, got, want)
@@ -358,7 +358,7 @@ func TestConcurrentIngestQuery(t *testing.T) {
 	if got := st.EventCount(); got != finalWant {
 		t.Fatalf("final event count %d, want %d", got, finalWant)
 	}
-	if got := len(st.Run(allEvents())); got != finalWant {
+	if got := len(st.Run(context.Background(), allEvents())); got != finalWant {
 		t.Fatalf("final scan %d matches, want %d", got, finalWant)
 	}
 }

@@ -151,7 +151,7 @@ type Store struct {
 	// held across the notification; readers (snapshots, queries) take only
 	// mu and are never blocked behind observer work.
 	tapMu sync.Mutex
-	obs   IngestObserver
+	obs   IngestObserver // aiql:guarded-by tapMu
 
 	mu         sync.RWMutex
 	entities   map[types.EntityID]*types.Entity
@@ -178,17 +178,17 @@ type Store struct {
 	// leaf lock: taken briefly under tapMu (or the persistent store's
 	// walMu), never while holding mu, never across apply work.
 	replMu         sync.Mutex
-	repl           map[replKey]*replShard
-	replApplied    uint64
-	replDuplicates uint64
+	repl           map[replKey]*replShard // aiql:guarded-by replMu
+	replApplied    uint64                 // aiql:guarded-by replMu
+	replDuplicates uint64                 // aiql:guarded-by replMu
 
 	// scanStats counts cold-scan block traffic (atomic: incremented from
 	// producer goroutines).
 	scanStats scanCounters
 	// coldErr latches the first cold-decode failure observed by a thaw, so
 	// the persistent layer can surface corruption discovered off the read
-	// path. Guarded by mu.
-	coldErr error
+	// path.
+	coldErr error // aiql:guarded-by mu
 }
 
 // scanCounters aggregates zone-map and hot-path effectiveness across all
@@ -616,9 +616,9 @@ func (s *Store) Scan(ctx context.Context, q *DataQuery) Cursor {
 
 // Run is the materializing adapter over Scan — the single canonical
 // "execute a data query" entry point for callers that want the whole
-// result at once.
-func (s *Store) Run(q *DataQuery) []Match {
-	c := s.Scan(context.Background(), q)
+// result at once. Canceling ctx aborts the scan between batches.
+func (s *Store) Run(ctx context.Context, q *DataQuery) []Match {
+	c := s.Scan(ctx, q)
 	defer c.Close()
 	return Drain(c)
 }

@@ -79,7 +79,7 @@ func TestSpatialPruning(t *testing.T) {
 		ObjType:  types.EntityFile,
 		Ops:      types.NewOpSet(types.OpWrite),
 	}
-	out := st.Run(q)
+	out := st.Run(context.Background(), q)
 	if len(out) != 100 { // 50 writes x 2 days on agent 2
 		t.Fatalf("matches = %d, want 100", len(out))
 	}
@@ -98,7 +98,7 @@ func TestTemporalPruning(t *testing.T) {
 		ObjType:  types.EntityFile,
 		Ops:      types.NewOpSet(types.OpWrite),
 	}
-	out := st.Run(q)
+	out := st.Run(context.Background(), q)
 	if len(out) != 150 { // 50 writes x 3 agents on day 1
 		t.Fatalf("matches = %d, want 150", len(out))
 	}
@@ -119,7 +119,7 @@ func TestSubWindowBinarySearch(t *testing.T) {
 		ObjType:  types.EntityFile,
 		Ops:      types.NewOpSet(types.OpWrite),
 	}
-	out := st.Run(q)
+	out := st.Run(context.Background(), q)
 	if len(out) != 30 {
 		t.Fatalf("matches = %d, want 30", len(out))
 	}
@@ -133,7 +133,7 @@ func TestEntityPredicateViaIndex(t *testing.T) {
 		ObjType:  types.EntityNetwork,
 		Ops:      types.NewOpSet(types.OpConnect),
 	}
-	out := st.Run(q)
+	out := st.Run(context.Background(), q)
 	if len(out) != 6 { // 1 connect x 3 agents x 2 days
 		t.Fatalf("matches = %d, want 6", len(out))
 	}
@@ -152,7 +152,7 @@ func TestWildcardPredicateNeedsScan(t *testing.T) {
 		ObjType:  types.EntityFile,
 		Ops:      types.NewOpSet(types.OpWrite),
 	}
-	if got := len(st.Run(q)); got != 300 {
+	if got := len(st.Run(context.Background(), q)); got != 300 {
 		t.Fatalf("wildcard matches = %d, want 300", got)
 	}
 }
@@ -173,7 +173,7 @@ func TestAllowedSetsConstrainExecution(t *testing.T) {
 		ObjType:     types.EntityFile,
 		Ops:         types.NewOpSet(types.OpWrite),
 	}
-	out := st.Run(q)
+	out := st.Run(context.Background(), q)
 	if len(out) != 100 {
 		t.Fatalf("matches = %d, want 100", len(out))
 	}
@@ -184,7 +184,7 @@ func TestAllowedSetsConstrainExecution(t *testing.T) {
 	}
 	// Allowed set with predicate conflict yields nothing.
 	q.SubjPred = pred.NewCond(types.AttrExeName, pred.CmpEq, "/bin/sh")
-	if got := len(st.Run(q)); got != 0 {
+	if got := len(st.Run(context.Background(), q)); got != 0 {
 		t.Fatalf("conflicting allowed set + pred matched %d", got)
 	}
 }
@@ -197,12 +197,12 @@ func TestEvtPredAndLimit(t *testing.T) {
 		Ops:      types.NewOpSet(types.OpWrite),
 		EvtPred:  pred.NewCond(types.EvtAttrAmount, pred.CmpGe, "140"),
 	}
-	out := st.Run(q)
+	out := st.Run(context.Background(), q)
 	if len(out) != 60 { // k in [40,50) x 3 agents x 2 days
 		t.Fatalf("amount filter matches = %d, want 60", len(out))
 	}
 	q.Limit = 7
-	if got := len(st.Run(q)); got != 7 {
+	if got := len(st.Run(context.Background(), q)); got != 7 {
 		t.Fatalf("limit ignored: %d", got)
 	}
 }
@@ -231,7 +231,7 @@ func TestOptionTogglesPreserveResults(t *testing.T) {
 	for vi, opts := range variants {
 		st, _ := buildFixture(opts)
 		for qi, q := range queries {
-			ids := matchIDs(st.Run(q))
+			ids := matchIDs(st.Run(context.Background(), q))
 			if vi == 0 {
 				baseline = append(baseline, ids)
 				continue
@@ -275,7 +275,7 @@ func TestOutOfOrderIngestResorts(t *testing.T) {
 		st.AddEvent(&types.Event{ID: types.EventID(i), AgentID: 1, Subject: 1, Object: 2,
 			Op: types.OpWrite, Start: int64(i * 1000), Seq: uint64(i)})
 	}
-	out := st.Run(&DataQuery{SubjType: types.EntityProcess, ObjType: types.EntityFile,
+	out := st.Run(context.Background(), &DataQuery{SubjType: types.EntityProcess, ObjType: types.EntityFile,
 		Ops: types.NewOpSet(types.OpWrite)})
 	if len(out) != 5 {
 		t.Fatalf("matches = %d", len(out))
@@ -361,7 +361,7 @@ func TestScanEquivalenceProperty(t *testing.T) {
 		if rng.Intn(3) == 0 {
 			q.Ops = types.NewOpSet(types.OpWrite)
 		}
-		got := matchIDs(st.Run(q))
+		got := matchIDs(st.Run(context.Background(), q))
 		want := naive(q)
 		if !equalIDs(got, want) {
 			t.Fatalf("trial %d: store returned %d events, naive filter %d (query %+v)",
@@ -383,10 +383,10 @@ func TestForceScanEquivalence(t *testing.T) {
 		if opRaw%2 == 0 {
 			q.ObjType = types.EntityFile
 		}
-		a := matchIDs(st.Run(q))
+		a := matchIDs(st.Run(context.Background(), q))
 		forced := *q
 		forced.ForceScan = true
-		b := matchIDs(st.Run(&forced))
+		b := matchIDs(st.Run(context.Background(), &forced))
 		return equalIDs(a, b)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -396,7 +396,7 @@ func TestForceScanEquivalence(t *testing.T) {
 
 func TestEmptyStore(t *testing.T) {
 	st := New(Options{})
-	out := st.Run(&DataQuery{SubjType: types.EntityProcess, Ops: types.AllOps()})
+	out := st.Run(context.Background(), &DataQuery{SubjType: types.EntityProcess, Ops: types.AllOps()})
 	if len(out) != 0 {
 		t.Errorf("empty store returned %d matches", len(out))
 	}
@@ -433,7 +433,7 @@ func TestPreEpochPartitioning(t *testing.T) {
 
 	dayQ := *base
 	dayQ.Window = timeutil.DayWindow(-1)
-	out := st.Run(&dayQ)
+	out := st.Run(context.Background(), &dayQ)
 	if len(out) != 2 {
 		t.Fatalf("day -1 query found %d events, want 2", len(out))
 	}
@@ -445,7 +445,7 @@ func TestPreEpochPartitioning(t *testing.T) {
 
 	straddle := *base
 	straddle.Window = timeutil.Window{From: -10, To: 10}
-	if out := st.Run(&straddle); len(out) != 2 {
+	if out := st.Run(context.Background(), &straddle); len(out) != 2 {
 		t.Fatalf("epoch-straddling query found %d events, want 2 (t=-1 and t=0)", len(out))
 	}
 
@@ -453,12 +453,12 @@ func TestPreEpochPartitioning(t *testing.T) {
 	// above": it must match nothing rather than fabricate a day range.
 	empty := *base
 	empty.Window = timeutil.Window{From: -10, To: 0}
-	if out := st.Run(&empty); len(out) != 1 {
+	if out := st.Run(context.Background(), &empty); len(out) != 1 {
 		t.Fatalf("window [-10,0) found %d events, want 1 (t=-1)", len(out))
 	}
 	halfBuilt := *base
 	halfBuilt.Window = timeutil.Window{From: 10, To: 0}
-	if out := st.Run(&halfBuilt); len(out) != 0 {
+	if out := st.Run(context.Background(), &halfBuilt); len(out) != 0 {
 		t.Fatalf("empty window {10,0} found %d events, want 0", len(out))
 	}
 }

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -71,6 +72,8 @@ type rule struct {
 	m           *Matcher
 	id          string
 	src         string
+	ctx         context.Context // rule lifetime; canceled by Matcher.Delete
+	cancel      context.CancelFunc
 	plan        *engine.Plan
 	windowMs    int64
 	patternOnly int  // -1 = all patterns; >= 0 restricts to one (raw mode)
@@ -255,7 +258,7 @@ func (r *rule) backfill(snap *storage.Snapshot) {
 		if sub.Window.Empty() {
 			continue
 		}
-		ms := snap.Run(&sub)
+		ms := snap.Run(r.ctx, &sub)
 		sort.Slice(ms, func(i, j int) bool {
 			if ms[i].Event.Start != ms[j].Event.Start {
 				return ms[i].Event.Start < ms[j].Event.Start

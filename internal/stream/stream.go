@@ -31,6 +31,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -264,9 +265,16 @@ func (m *Matcher) Register(spec RuleSpec) (*RuleInfo, error) {
 		windowMs = m.opts.DefaultWindow.Milliseconds()
 	}
 
+	// A standing rule outlives whichever request registered it, so its
+	// cancellation root is its own lifetime: Delete cancels the context,
+	// aborting an in-flight backfill scan mid-partition.
+	ctx, cancel := context.WithCancel(context.Background()) //aiql:ignore ctxflow -- rule lifetime root; canceled by Delete, no caller context outlives a standing rule
+
 	r := &rule{
 		m:           m,
 		src:         spec.Query,
+		ctx:         ctx,
+		cancel:      cancel,
 		plan:        plan,
 		windowMs:    windowMs,
 		patternOnly: patternOnly,
@@ -351,6 +359,7 @@ func (m *Matcher) Delete(id string) bool {
 	m.rebuildIndexLocked()
 	m.mu.Unlock()
 
+	r.cancel()
 	r.mu.Lock()
 	r.deleted = true
 	for s := range r.subs {

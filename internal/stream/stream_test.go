@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -515,13 +517,13 @@ func TestRuleLifecycleErrors(t *testing.T) {
 	if _, err := m.Register(RuleSpec{ID: "b", Query: `proc p read file f return p`}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Register(RuleSpec{ID: "c", Query: `proc p read file f return p`}); err != ErrTooManyRules {
+	if _, err := m.Register(RuleSpec{ID: "c", Query: `proc p read file f return p`}); !errors.Is(err, ErrTooManyRules) {
 		t.Errorf("rule limit not enforced: %v", err)
 	}
 	if !m.Delete("a") || m.Delete("a") {
 		t.Error("delete semantics broken")
 	}
-	if _, _, err := m.Subscribe("a", 0); err != ErrUnknownRule {
+	if _, _, err := m.Subscribe("a", 0); !errors.Is(err, ErrUnknownRule) {
 		t.Errorf("subscribe to deleted rule: %v", err)
 	}
 	if got := len(m.Rules()); got != 1 {
@@ -606,7 +608,7 @@ func TestStreamAgainstGeneratedScenario(t *testing.T) {
 	defer sub.Close()
 	st.Ingest(ds)
 
-	want := st.Run(&storage.DataQuery{
+	want := st.Run(context.Background(), &storage.DataQuery{
 		SubjType: types.EntityProcess, ObjType: types.EntityFile,
 		ObjPred: pred.NewCond(types.AttrName, pred.CmpEq, "%id_rsa"),
 		Ops:     types.NewOpSet(types.OpRead),

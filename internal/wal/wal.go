@@ -77,11 +77,11 @@ type Log struct {
 	opts Options
 
 	mu          sync.Mutex
-	active      *os.File
-	activeInfo  FileInfo
-	activeFirst uint64 // seq the active file is named for
-	sealed      []FileInfo
-	nextSeq     uint64
+	active      *os.File   // aiql:guarded-by mu
+	activeInfo  FileInfo   // aiql:guarded-by mu
+	activeFirst uint64     // seq the active file is named for; aiql:guarded-by mu
+	sealed      []FileInfo // aiql:guarded-by mu
+	nextSeq     uint64     // aiql:guarded-by mu
 }
 
 // Open scans dir (creating it if needed), validates every file, truncates
@@ -314,6 +314,9 @@ func (l *Log) Rotate() ([]FileInfo, error) {
 	return out, nil
 }
 
+// sealActiveLocked syncs, closes and records the active file.
+//
+// aiql:locked mu
 func (l *Log) sealActiveLocked() error {
 	if err := l.active.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
@@ -335,6 +338,8 @@ func (l *Log) sealActiveLocked() error {
 }
 
 // rotateLocked seals the current file if any and opens the next one.
+//
+// aiql:locked mu
 func (l *Log) rotateLocked() error {
 	if l.active != nil {
 		if err := l.sealActiveLocked(); err != nil {
@@ -399,6 +404,12 @@ func replayFile(info FileInfo, after uint64, fn func(uint64, []byte) error) erro
 		seq := binary.LittleEndian.Uint64(rh[0:8])
 		n := binary.LittleEndian.Uint32(rh[8:12])
 		crc := binary.LittleEndian.Uint32(rh[12:16])
+		// Replay runs after Open validated the file, but the bytes are
+		// re-read here: bound the length again rather than trust the disk
+		// twice (corruption must error, never drive an allocation).
+		if n > MaxRecordBytes {
+			return fmt.Errorf("wal: %s: implausible record length %d on replay at offset %d", info.Path, n, read)
+		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(f, payload); err != nil {
 			return fmt.Errorf("wal: %s: replay read: %w", info.Path, err)
