@@ -20,6 +20,7 @@ import (
 	"aiql/internal/gen"
 	"aiql/internal/graphstore"
 	"aiql/internal/mpp"
+	"aiql/internal/obs"
 	"aiql/internal/parser"
 	"aiql/internal/pred"
 	"aiql/internal/queries"
@@ -475,6 +476,65 @@ func BenchmarkHotScanLike(b *testing.B) {
 			}
 			if cfg.name == "scalar" && ss.HotBatches != 0 {
 				b.Fatal("scalar run used the batch path")
+			}
+		})
+	}
+}
+
+// BenchmarkTraceOverhead pins the cost of the scan-path trace hook on the
+// hot LIKE workload from BenchmarkHotScanLike. "bare" ablates the hook
+// entirely (Options.DisableScanSpans — no span lookup, no counter fold);
+// "disabled" is the production default with no trace on the context, i.e.
+// one context lookup per scan and nil-safe no-op span calls; "enabled"
+// carries a live span so the block counters fold into it on cursor close.
+// CI runs this with -count and gates disabled ≤ 1.02× bare via benchregress
+// -ratio: instrumentation nobody turned on must stay free on the hot path.
+func BenchmarkTraceOverhead(b *testing.B) {
+	ds := benchDataset()
+	q := &storage.DataQuery{
+		SubjType: types.EntityProcess,
+		SubjPred: pred.NewCond(types.AttrExeName, pred.CmpEq, "%e%"),
+		ObjType:  types.EntityFile,
+		Ops:      types.NewOpSet(types.OpRead, types.OpWrite),
+		EvtPred:  pred.NewCond(types.EvtAttrAmount, pred.CmpGe, "60000"),
+	}
+	for _, cfg := range []struct {
+		name string
+		opts storage.Options
+		ctx  func() context.Context
+	}{
+		{"bare", storage.Options{DisableScanSpans: true}, context.Background},
+		{"disabled", storage.Options{}, context.Background},
+		{"enabled", storage.Options{}, func() context.Context {
+			tr := obs.NewTrace("")
+			return obs.WithSpan(obs.WithTrace(context.Background(), tr), tr.Span("bench"))
+		}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			st := storage.New(cfg.opts)
+			st.Ingest(ds)
+			ctx := cfg.ctx()
+			count := func() int {
+				qc := *q
+				cur := st.Scan(ctx, &qc)
+				defer cur.Close()
+				total := 0
+				batch := make([]storage.Match, storage.ScanBatchSize)
+				for {
+					n := cur.Next(batch)
+					if n == 0 {
+						return total
+					}
+					total += n
+				}
+			}
+			if count() == 0 {
+				b.Fatal("LIKE scan matched nothing")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = count()
 			}
 		})
 	}

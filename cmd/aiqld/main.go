@@ -67,6 +67,7 @@ import (
 	"aiql/internal/engine"
 	"aiql/internal/gen"
 	"aiql/internal/mpp"
+	"aiql/internal/obs"
 	"aiql/internal/server"
 	"aiql/internal/storage"
 	"aiql/internal/trace"
@@ -99,6 +100,8 @@ func main() {
 		maxRules      = flag.Int("max-rules", 64, "maximum registered continuous-query rules (POST /rules)")
 		streamBuf     = flag.Int("stream-buffer", 256, "per-subscriber emission buffer and per-rule replay ring; a subscriber a full buffer behind is disconnected")
 		pprofAddr     = flag.String("pprof", "", "listen address for net/http/pprof profiling endpoints (e.g. localhost:6060); empty = disabled. Kept off the query listener so profiling is never exposed with the service port")
+		logFormat     = flag.String("log-format", "", "structured request logging to stderr: text or json; empty = request logging off. Every line carries the request's trace ID")
+		slowLogSize   = flag.Int("slow-log", 0, "slow-query log capacity served at GET /debug/slow (0 = default 32, negative = off)")
 	)
 	flag.Parse()
 
@@ -114,13 +117,40 @@ func main() {
 	srvOpts := server.Options{
 		PlanCacheSize: *planCache, ResultCacheSize: *resCache,
 		MaxRules: *maxRules, StreamBuffer: *streamBuf,
+		SlowLogSize: *slowLogSize,
 	}
+	if *logFormat != "" {
+		format, err := obs.ParseLogFormat(*logFormat)
+		if err != nil {
+			fatalf("-log-format: %v", err)
+		}
+		srvOpts.Logger = obs.NewLogger(os.Stderr, format)
+	}
+
+	// The listener opens before recovery and catch-up, behind a boot gate:
+	// orchestrators see /healthz 200 (alive) and /readyz 503 with the boot
+	// stage while the store is being rebuilt, and no query can observe the
+	// half-recovered state. The real handler swaps in once boot completes.
+	gate := server.NewGate("starting")
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           gate,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "aiqld (%s) listening on %s (POST /query, POST /ingest, GET /stats, GET /metrics, GET /readyz)\n", *role, ln.Addr())
 
 	var srv *server.Server
 	var durable *storage.Persistent
 	switch *role {
 	case "single", "worker":
 		if *dataDir != "" {
+			gate.SetStage("wal-recovery")
 			var err error
 			srv, durable, err = openDurable(*dataDir, durableConfig{
 				sync: *walSync, flush: *walFlush, compactIv: *compactIv, compactTh: *compactTh,
@@ -130,6 +160,7 @@ func main() {
 				fatalf("%v", err)
 			}
 		} else {
+			gate.SetStage("load-dataset")
 			ds, err := loadDataset(*data, *generate, genCfg, *role == "worker")
 			if err != nil {
 				fatalf("%v", err)
@@ -151,11 +182,12 @@ func main() {
 		}
 		if *catchupFrom != "" {
 			// Pull replicated batches this store missed while it was down,
-			// before the listener opens — queries never see the half-caught-up
-			// state.
+			// before the gate opens the query routes — queries never see the
+			// half-caught-up state, and /readyz names the stage meanwhile.
 			if durable == nil {
 				fatalf("-catchup-from requires -data-dir (the WAL is the replication log)")
 			}
+			gate.SetStage("catch-up")
 			shards, err := splitShards(*catchupShards)
 			if err != nil {
 				fatalf("-catchup-shards: %v", err)
@@ -193,6 +225,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		if ds != nil {
+			gate.SetStage("scatter-ingest")
 			stats := ds.Stats()
 			fmt.Fprintf(os.Stderr, "scattering %d events / %d entities across %d workers...\n",
 				stats.Events, stats.Entities, len(urls))
@@ -206,17 +239,11 @@ func main() {
 		fatalf("unknown -role %q (want single, worker, or coordinator)", *role)
 	}
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	gate.Ready(srv.Handler())
+	fmt.Fprintf(os.Stderr, "aiqld (%s) ready\n", *role)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "aiqld (%s) listening on %s (POST /query, POST /ingest, GET /stats, GET /healthz)\n", *role, *addr)
 
 	// closeDurable is the shutdown path every exit must take when the store
 	// is disk-backed: it flushes the group-commit WAL buffer (Close syncs

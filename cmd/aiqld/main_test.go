@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -84,7 +85,7 @@ func TestDaemonServesQueries(t *testing.T) {
 	base := "http://" + addr
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		resp, err := http.Get(base + "/healthz")
+		resp, err := http.Get(base + "/readyz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
@@ -92,7 +93,7 @@ func TestDaemonServesQueries(t *testing.T) {
 			}
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("daemon never became healthy; stderr:\n%s", stderr.String())
+			t.Fatalf("daemon never became ready; stderr:\n%s", stderr.String())
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
@@ -113,8 +114,10 @@ func TestDaemonServesQueries(t *testing.T) {
 	}
 }
 
-// startDaemon boots the binary with args, waits for /healthz, and returns
-// the base URL plus the running command (so the caller can SIGKILL it).
+// startDaemon boots the binary with args, waits for /readyz (the boot gate
+// answers /healthz 200 the moment the listener opens, but the query routes
+// only come up when recovery finishes), and returns the base URL plus the
+// running command (so the caller can SIGKILL it).
 func startDaemon(t *testing.T, bin string, args ...string) (string, *exec.Cmd) {
 	t.Helper()
 	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
@@ -131,7 +134,7 @@ func startDaemon(t *testing.T, bin string, args ...string) (string, *exec.Cmd) {
 	base := "http://" + addr
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		resp, err := http.Get(base + "/healthz")
+		resp, err := http.Get(base + "/readyz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
@@ -139,7 +142,7 @@ func startDaemon(t *testing.T, bin string, args ...string) (string, *exec.Cmd) {
 			}
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("daemon never became healthy; stderr:\n%s", stderr.String())
+			t.Fatalf("daemon never became ready; stderr:\n%s", stderr.String())
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
@@ -364,6 +367,7 @@ func normalizeResult(body string) string {
 	delete(doc, "elapsed_ms")
 	delete(doc, "plan_cached")
 	delete(doc, "result_cached")
+	delete(doc, "trace_id")
 	out, err := json.Marshal(doc)
 	if err != nil {
 		return body
@@ -425,6 +429,103 @@ func TestWorkersFlagErrorsExitNonZero(t *testing.T) {
 		if !strings.Contains(string(out), tc.want) {
 			t.Errorf("%s: output missing %q:\n%s", tc.name, tc.want, out)
 		}
+	}
+}
+
+// TestReadyzGatesBoot pins the boot-gate contract: while the daemon is
+// still replaying catch-up history, /healthz answers 200 (the process is
+// alive) but /readyz answers 503 naming the stage, and /query is refused —
+// no request can observe the half-caught-up store. Once the peer's ship
+// stream completes, /readyz flips to 200 and queries serve. The catch-up
+// peer is a stub whose /walship response is held open until the test has
+// observed the unready state, so the window is deterministic, not a race.
+func TestReadyzGatesBoot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping daemon boot")
+	}
+	bin := buildAiqld(t)
+
+	release := make(chan struct{})
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/walship") {
+			http.NotFound(w, r)
+			return
+		}
+		<-release // hold the stream until the test saw /readyz 503
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"kind":"end","count":0}`)
+	}))
+	defer peer.Close()
+
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	cmd := exec.Command(bin,
+		"-addr", addr, "-role", "worker", "-shard", "0",
+		"-data-dir", t.TempDir(), "-catchup-from", peer.URL)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	base := "http://" + addr
+
+	// Wait for the listener (healthz 200 from the gate), then assert the
+	// unready state while catch-up is provably still in flight.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("listener never opened; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during catch-up returned %s, want 503: %s", resp.Status, body)
+	}
+	if !strings.Contains(string(body), "catch-up") {
+		t.Errorf("/readyz 503 body does not name the boot stage: %s", body)
+	}
+	resp, err = http.Post(base+"/query", "text/plain", strings.NewReader("proc p read file f return p, f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/query during catch-up returned %s, want 503", resp.Status)
+	}
+
+	// Let catch-up finish; the daemon must become ready and serve queries.
+	close(release)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became ready after catch-up; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := queryBody(t, base, "proc p read file f return p, f"); !strings.Contains(got, `"columns"`) {
+		t.Errorf("post-ready query is not a result document: %s", got)
 	}
 }
 

@@ -67,6 +67,47 @@ func TestCheckNsOpRegression(t *testing.T) {
 	}
 }
 
+// TestParseBenchKeepsMinOfRepeats: with `-count N` the same benchmark name
+// appears N times; the parser must keep the fastest (least-interfered) run
+// so the tight ratio gate doesn't flake on scheduler noise.
+func TestParseBenchKeepsMinOfRepeats(t *testing.T) {
+	out := "BenchmarkX/a 5 300 ns/op 100 B/op 1 allocs/op\n" +
+		"BenchmarkX/a 5 210 ns/op 90 B/op 1 allocs/op\n" +
+		"BenchmarkX/a 5 250 ns/op 110 B/op 1 allocs/op\n"
+	ns, err := ParseBenchNsOp(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns["BenchmarkX/a"] != 210 {
+		t.Errorf("ns/op min of repeats = %v, want 210", ns["BenchmarkX/a"])
+	}
+	bop, err := ParseBenchBOp(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bop["BenchmarkX/a"] != 90 {
+		t.Errorf("B/op min of repeats = %v, want 90", bop["BenchmarkX/a"])
+	}
+}
+
+func TestCheckNsOpRatio(t *testing.T) {
+	measured := map[string]float64{"Bench/on": 1010, "Bench/off": 1000}
+	if err := CheckNsOpRatio(measured, "Bench/on", "Bench/off", 1.02); err != nil {
+		t.Errorf("1.01× within a 1.02× gate: %v", err)
+	}
+	measured["Bench/on"] = 1030
+	err := CheckNsOpRatio(measured, "Bench/on", "Bench/off", 1.02)
+	if err == nil || !strings.Contains(err.Error(), "Bench/on") {
+		t.Errorf("1.03× past a 1.02× gate not flagged: %v", err)
+	}
+	if err := CheckNsOpRatio(measured, "Bench/gone", "Bench/off", 1.02); err == nil {
+		t.Error("missing numerator accepted")
+	}
+	if err := CheckNsOpRatio(measured, "Bench/on", "Bench/gone", 1.02); err == nil {
+		t.Error("missing denominator accepted")
+	}
+}
+
 func TestParseBaselineRejectsMalformed(t *testing.T) {
 	if _, err := ParseBaseline(strings.NewReader("name extra 12\n")); err == nil {
 		t.Error("three-field line accepted")

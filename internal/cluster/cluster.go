@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"aiql/internal/mpp"
+	"aiql/internal/obs"
 	"aiql/internal/storage"
 	"aiql/internal/trace"
 	"aiql/internal/types"
@@ -216,7 +217,15 @@ func (c *Coordinator) Scan(ctx context.Context, q *storage.DataQuery) storage.Cu
 	if err != nil {
 		return storage.NewErrCursor(err)
 	}
+	// Under a trace, the fan-out gets a "gather" span and each worker leg
+	// hangs off it (remote.go); the span ends when the gather cursor closes,
+	// so its duration covers the whole merge.
+	gspan := obs.SpanFromContext(ctx).Child("gather")
+	gspan.Add("workers_pruned", int64(len(c.workers)-len(targets)))
 	cctx, cancel := context.WithCancel(ctx)
+	if gspan != nil {
+		cctx = obs.WithSpan(cctx, gspan)
+	}
 	cs := make([]storage.Cursor, len(targets))
 	for i, shard := range targets {
 		c.requests.Add(1)
@@ -243,6 +252,8 @@ func (c *Coordinator) Scan(ctx context.Context, q *storage.DataQuery) storage.Cu
 		cs:      cs,
 		workers: len(c.workers),
 		limit:   q.Limit,
+		span:    gspan,
+		traceID: obs.TraceID(ctx),
 	}
 }
 
@@ -323,7 +334,7 @@ func (c *Coordinator) Ingest(ctx context.Context, ds *types.Dataset) error {
 	}
 	if len(failed) > 0 {
 		c.failures.Add(uint64(len(failed)))
-		return &PartialError{Op: "ingest", Workers: n, Contacted: n, Failed: failed}
+		return &PartialError{Op: "ingest", Workers: n, Contacted: n, TraceID: obs.TraceID(ctx), Failed: failed}
 	}
 	return nil
 }
@@ -374,6 +385,9 @@ func (c *Coordinator) ingestWorker(ctx context.Context, worker int, ds *types.Da
 		return err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceIDHeader, id)
+	}
 	req.Header.Set("X-Aiql-Repl-Epoch", tag.Epoch)
 	req.Header.Set("X-Aiql-Repl-Shard", fmt.Sprint(tag.Shard))
 	req.Header.Set("X-Aiql-Repl-Seq", fmt.Sprint(tag.Seq))
@@ -439,6 +453,8 @@ type gatherCursor struct {
 	cur     int
 	limit   int
 	emitted int
+	span    *obs.Span // the scan's "gather" span; nil when untraced
+	traceID string
 	err     error
 	done    bool
 }
@@ -495,9 +511,15 @@ func (g *gatherCursor) finish(err error) {
 	switch {
 	case len(failed) > 0:
 		g.coord.failures.Add(uint64(len(failed)))
-		g.err = &PartialError{Op: "scan", Workers: g.workers, Contacted: len(g.cs), Failed: failed}
+		g.err = &PartialError{Op: "scan", Workers: g.workers, Contacted: len(g.cs), TraceID: g.traceID, Failed: failed}
 	case err != nil:
 		// Not a worker failure: context cancellation or an encode error.
 		g.err = err
 	}
+	g.span.Add("rows", int64(g.emitted))
+	g.span.Add("workers_contacted", int64(len(g.cs)))
+	if g.err != nil {
+		g.span.Set("error", g.err.Error())
+	}
+	g.span.End()
 }

@@ -34,14 +34,22 @@ type PartialError struct {
 	// Workers is the cluster size; Contacted is the post-pruning fan-out.
 	Workers   int
 	Contacted int
+	// TraceID is the request's trace ID when the operation was traced — the
+	// same ID the failed workers logged, so a partial failure can be chased
+	// across every process it touched.
+	TraceID string
 	// Failed holds one entry per failed worker.
 	Failed []*WorkerError
 }
 
 func (e *PartialError) Error() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cluster %s: %d of %d contacted workers failed (%d in cluster): ",
+	fmt.Fprintf(&b, "cluster %s: %d of %d contacted workers failed (%d in cluster)",
 		e.Op, len(e.Failed), e.Contacted, e.Workers)
+	if e.TraceID != "" {
+		fmt.Fprintf(&b, " [trace %s]", e.TraceID)
+	}
+	b.WriteString(": ")
 	for i, f := range e.Failed {
 		if i > 0 {
 			b.WriteString("; ")

@@ -65,6 +65,11 @@ func (f *failoverCursor) open() {
 	w := f.attempts[f.next]
 	f.next++
 	f.cur = newRemoteCursor(f.ctx, f.coord.client, f.coord.workers[w], f.shard, w, f.body)
+	if f.next > 1 {
+		// A retry leg: the trace shows both the failed primary leg and this
+		// replica leg, with the replica marked as the failover.
+		f.cur.span.Set("failover", "true")
+	}
 }
 
 func (f *failoverCursor) Next(batch []storage.Match) int {

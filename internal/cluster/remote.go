@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
+	"aiql/internal/obs"
 	"aiql/internal/storage"
 	"aiql/internal/types"
 )
@@ -41,8 +43,11 @@ type remoteCursor struct {
 
 	rows   int
 	sawHdr bool
-	err    error
-	done   bool
+	// span is the worker leg's trace span (nil when untraced); ended with
+	// the leg's row count when the cursor finishes.
+	span *obs.Span
+	err  error
+	done bool
 }
 
 type respOrErr struct {
@@ -64,6 +69,12 @@ func newRemoteCursor(ctx context.Context, client *http.Client, worker string, sh
 		respCh:    make(chan respOrErr, 1),
 		entities:  make(map[types.EntityID]*types.Entity),
 	}
+	// Each leg gets its own child span under the scan's gather span, and the
+	// request carries the trace ID so the worker's logs and spans share it.
+	c.span = obs.SpanFromContext(ctx).Child("worker")
+	c.span.Set("worker", worker)
+	c.span.Set("shard", strconv.Itoa(shard))
+	traceID := obs.TraceID(ctx)
 	// The goroutine sends on its own captured copy of the channel: the
 	// consumer side nils c.respCh when it is done with it, and the send
 	// must not observe that write. The buffer of 1 lets the goroutine exit
@@ -78,6 +89,9 @@ func newRemoteCursor(ctx context.Context, client *http.Client, worker string, sh
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("Accept", "application/x-ndjson")
+		if traceID != "" {
+			req.Header.Set(obs.TraceIDHeader, traceID)
+		}
 		resp, err := client.Do(req)
 		ch <- respOrErr{resp: resp, err: err}
 	}()
@@ -229,6 +243,11 @@ func (c *remoteCursor) finish(err error) {
 	if err != nil && c.err == nil {
 		c.err = err
 	}
+	c.span.Add("rows", int64(c.rows))
+	if c.err != nil {
+		c.span.Set("error", c.err.Error())
+	}
+	c.span.End()
 	c.cancel()
 	if c.body != nil {
 		c.body.Close()

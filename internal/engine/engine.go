@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"aiql/internal/ast"
+	"aiql/internal/obs"
 	"aiql/internal/parser"
 	"aiql/internal/pred"
 	"aiql/internal/storage"
@@ -186,6 +187,19 @@ func (e *Engine) runOn(ctx context.Context, plan *Plan, b Backend) (*Result, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// When the request carries a trace, hang this execution's spans off it:
+	// under the caller's span when one is set (the server's execute stage),
+	// at the trace root otherwise. A nil trace makes every span nil and every
+	// span method a no-op, so untraced queries pay one context lookup here
+	// and nothing per stage.
+	var execSpan *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		execSpan = parent.Child("execute")
+	} else {
+		execSpan = obs.FromContext(ctx).Span("execute")
+	}
+	execSpan.Set("strategy", e.opts.Strategy.String())
+	defer execSpan.End()
 	// Pin one snapshot for the whole execution when running over a mutable
 	// store, so every data query of a multi-pattern plan sees the same
 	// generation — otherwise an ingest landing mid-execution could join
@@ -193,7 +207,9 @@ func (e *Engine) runOn(ctx context.Context, plan *Plan, b Backend) (*Result, err
 	// pass a Snapshot, like aiqld, pinned already; the MPP cluster snapshots
 	// per segment scan, a consistency gap sharding will have to close.)
 	if st, ok := b.(*storage.Store); ok {
+		pin := execSpan.Child("snapshot-pin")
 		snap := st.Snapshot()
+		pin.End()
 		defer snap.Close()
 		b = snap
 	}
@@ -202,6 +218,7 @@ func (e *Engine) runOn(ctx context.Context, plan *Plan, b Backend) (*Result, err
 		backend: b,
 		plan:    plan,
 		ctx:     ctx,
+		span:    execSpan,
 		bud:     &budget{maxTuples: e.opts.MaxTuples, maxPairs: e.opts.MaxPairs, noHash: e.opts.NoHashJoin, ctx: ctx},
 	}
 	if plan.Slide != nil {
@@ -242,6 +259,7 @@ type execution struct {
 	backend   Backend
 	plan      *Plan
 	ctx       context.Context
+	span      *obs.Span // the run's trace span; nil (no-op) when untraced
 	bud       *budget
 	limit     int // storage-level row limit (planScanLimit), 0 if none
 	queries   int
@@ -329,10 +347,56 @@ func (x *execution) buildQuery(idx int, pc *patternConstraint) *storage.DataQuer
 }
 
 // scanPattern opens a cursor over one pattern's data query. The caller owns
-// the cursor (Close on early exit; Err after exhaustion).
+// the cursor (Close on early exit; Err after exhaustion). Under a trace the
+// scan gets its own span: the storage layer folds block counters into it via
+// the context, and the span ends when the cursor closes, so its duration
+// covers the drain, not just the open.
 func (x *execution) scanPattern(idx int, pc *patternConstraint) storage.Cursor {
 	x.queries++
-	return x.scanDataQuery(x.buildQuery(idx, pc))
+	ctx := x.ctx
+	span := x.span.Child("scan")
+	if span != nil {
+		span.Set("pattern", strconv.Itoa(idx))
+		if pc != nil {
+			span.Set("constrained", "true")
+		}
+		ctx = obs.WithSpan(ctx, span)
+	}
+	cur := x.scanDataQuery(ctx, x.buildQuery(idx, pc))
+	if span != nil {
+		cur = &spanCursor{inner: cur, span: span}
+	}
+	return cur
+}
+
+// spanCursor ends a scan span when its cursor closes, tagging the rows
+// streamed. Cursors are single-consumer, so the plain counter is safe.
+type spanCursor struct {
+	inner storage.Cursor
+	span  *obs.Span
+	rows  int64
+	done  bool
+}
+
+func (c *spanCursor) Next(batch []storage.Match) int {
+	n := c.inner.Next(batch)
+	c.rows += int64(n)
+	return n
+}
+
+func (c *spanCursor) Err() error { return c.inner.Err() }
+
+func (c *spanCursor) Close() {
+	c.inner.Close()
+	if c.done {
+		return
+	}
+	c.done = true
+	c.span.Add("rows", c.rows)
+	if err := c.inner.Err(); err != nil {
+		c.span.Set("error", err.Error())
+	}
+	c.span.End()
 }
 
 // runPattern materializes one pattern's full match set — used where the
@@ -359,23 +423,23 @@ const maxSplitDays = 366
 // into per-day sub-scans when enabled (paper Sec. 5.2, "Time Window
 // Partition"). Every sub-scan's producers start immediately, so the days
 // are searched in parallel while the consumer drains them in order.
-func (x *execution) scanDataQuery(q *storage.DataQuery) storage.Cursor {
+func (x *execution) scanDataQuery(ctx context.Context, q *storage.DataQuery) storage.Cursor {
 	if ds, ok := x.backend.(DaySplitting); ok && !ds.SplitDays() {
-		return x.backend.Scan(x.ctx, q)
+		return x.backend.Scan(ctx, q)
 	}
 	if x.eng.opts.DisableSplitDays || q.Window.Unbounded() ||
 		q.Window.Duration() > maxSplitDays*timeutil.DayMillis {
-		return x.backend.Scan(x.ctx, q)
+		return x.backend.Scan(ctx, q)
 	}
 	days := timeutil.SplitByDay(q.Window)
 	if len(days) <= 1 {
-		return x.backend.Scan(x.ctx, q)
+		return x.backend.Scan(ctx, q)
 	}
 	cs := make([]storage.Cursor, len(days))
 	for i := range days {
 		sub := *q
 		sub.Window = days[i]
-		cs[i] = x.backend.Scan(x.ctx, &sub)
+		cs[i] = x.backend.Scan(ctx, &sub)
 	}
 	return storage.NewMultiCursor(q.Limit, cs...)
 }

@@ -121,7 +121,7 @@ func (x *execution) relationshipSchedule() (*tupleSet, error) {
 				replaceVals(M, ta, ts)
 			} else {
 				rels := coveredRels(func(p int) bool { return ta.has(p) || tb.has(p) })
-				ts, err := joinTuples(ta, tb, plan, rels, x.bud)
+				ts, err := x.joinTuples(ta, tb, rels)
 				if err != nil {
 					return nil, err
 				}
@@ -200,7 +200,10 @@ func (x *execution) sortedJoins() []int {
 // mergeAll reduces the pattern→tupleSet map to a single set covering every
 // pattern.
 func (x *execution) mergeAll(M []*tupleSet) (*tupleSet, error) {
+	span := x.span.Child("merge")
+	defer span.End()
 	var acc *tupleSet
+	merged := 0
 	seen := make(map[*tupleSet]bool)
 	for _, ts := range M {
 		if ts == nil || seen[ts] {
@@ -211,13 +214,34 @@ func (x *execution) mergeAll(M []*tupleSet) (*tupleSet, error) {
 			acc = ts
 			continue
 		}
-		merged, err := joinTuples(acc, ts, x.plan, nil, x.bud)
+		next, err := joinTuples(acc, ts, x.plan, nil, x.bud)
 		if err != nil {
 			return nil, err
 		}
-		acc = x.note(merged)
+		merged++
+		acc = x.note(next)
+	}
+	span.Add("sets_merged", int64(merged))
+	if acc != nil {
+		span.Add("rows_out", int64(len(acc.rows)))
 	}
 	return acc, nil
+}
+
+// joinTuples is the traced form of the free joinTuples: a materialized
+// two-set join under its own span.
+func (x *execution) joinTuples(ta, tb *tupleSet, relIdx []int) (*tupleSet, error) {
+	span := x.span.Child("join")
+	span.Set("kind", "materialized")
+	pairsBefore := x.bud.pairs
+	ts, err := joinTuples(ta, tb, x.plan, relIdx, x.bud)
+	span.Add("rows_in", int64(len(ta.rows)+len(tb.rows)))
+	if ts != nil {
+		span.Add("rows_out", int64(len(ts.rows)))
+	}
+	span.Add("pairs", x.bud.pairs-pairsBefore)
+	span.End()
+	return ts, err
 }
 
 // replaceVals implements Algorithm 1's replaceVals(M, T, T'): every pattern
@@ -273,7 +297,7 @@ func (x *execution) assembleInOrder(results [][]storage.Match) (*tupleSet, error
 		next := newTupleSet(i, results[i])
 		cover := func(p int) bool { return acc.has(p) || p == i }
 		rels := applicableJoins(plan.Joins, cover, applied)
-		merged, err := joinTuples(acc, next, plan, rels, x.bud)
+		merged, err := x.joinTuples(acc, next, rels)
 		if err != nil {
 			return nil, err
 		}

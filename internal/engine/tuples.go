@@ -319,7 +319,16 @@ func joinTuples(ta, tb *tupleSet, plan *Plan, relIdx []int, bud *budget) (*tuple
 // arena and per-row hit lists, and rows are emitted by walking ts in order.
 func (x *execution) joinStream(ts *tupleSet, pattern int, pc *patternConstraint, relIdx []int) (*tupleSet, error) {
 	plan, bud := x.plan, x.bud
+	span := x.span.Child("join")
+	span.Set("kind", "stream")
+	pairsBefore := bud.pairs
 	out := &tupleSet{cols: make(map[int]int, len(ts.cols)+1)}
+	defer func() {
+		span.Add("rows_in", int64(len(ts.rows)))
+		span.Add("rows_out", int64(len(out.rows)))
+		span.Add("pairs", bud.pairs-pairsBefore)
+		span.End()
+	}()
 	for p, c := range ts.cols {
 		out.cols[p] = c
 	}

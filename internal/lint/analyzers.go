@@ -8,6 +8,7 @@ func All() []*Analyzer {
 		CursorClose,
 		ErrCmp,
 		LockGuard,
+		ObsReg,
 		WallClock,
 	}
 }

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsReg statically enforces what obs.Registry enforces with panics at
+// runtime: metric names are snake_case, carry the unit suffix their kind
+// demands (counters _total; histograms _seconds/_bytes; gauges _seconds,
+// _bytes, _ratio or _count), and each name is registered exactly once per
+// package. Catching a malformed or duplicated name here turns a
+// first-scrape panic into a vet finding.
+//
+// Names built by concatenation are checked on their literal fragments:
+// every string literal in the name expression must be snake_case, and when
+// the rightmost fragment is a literal long enough to settle the question,
+// the unit-suffix rule applies to it too. Fully dynamic names (a plain
+// variable) are left to the runtime check. Duplicate detection covers only
+// fully constant names.
+var ObsReg = &Analyzer{
+	Name: "obsreg",
+	Doc:  "obs metric names must be snake_case, unit-suffixed, and registered once",
+	Run:  runObsReg,
+}
+
+// obsRegMethods maps each obs.Registry registration method to the metric
+// kind it registers.
+var obsRegMethods = map[string]string{
+	"Counter":      "counter",
+	"CounterFunc":  "counter",
+	"CounterVec":   "counter",
+	"Gauge":        "gauge",
+	"GaugeFunc":    "gauge",
+	"GaugeVec":     "gauge",
+	"GaugeVecFunc": "gauge",
+	"Histogram":    "histogram",
+}
+
+// obsSuffixes lists the unit suffixes each metric kind accepts.
+var obsSuffixes = map[string][]string{
+	"counter":   {"_total"},
+	"histogram": {"_seconds", "_bytes"},
+	"gauge":     {"_seconds", "_bytes", "_ratio", "_count"},
+}
+
+func runObsReg(pass *Pass) error {
+	registered := make(map[string]token.Position)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, method := obsRegCall(pass, call)
+			if kind == "" || len(call.Args) == 0 {
+				return true
+			}
+			checkMetricName(pass, call.Args[0], kind, registered)
+			checkLabelNames(pass, call, method)
+			return true
+		})
+	}
+	return nil
+}
+
+// obsRegCall reports the metric kind ("counter", "gauge", "histogram")
+// and method name when call is a registration method on the obs package's
+// Registry, else "".
+func obsRegCall(pass *Pass, call *ast.CallExpr) (kind, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	kind, ok = obsRegMethods[sel.Sel.Name]
+	if !ok {
+		return "", ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	path := pathOf(fn)
+	if path != "obs" && !strings.HasSuffix(path, "/obs") {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return "", ""
+	}
+	return kind, sel.Sel.Name
+}
+
+// checkMetricName validates the name argument of a registration call.
+func checkMetricName(pass *Pass, arg ast.Expr, kind string, registered map[string]token.Position) {
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		name := constant.StringVal(tv.Value)
+		if !obsSnakeCase(name, true) {
+			pass.Reportf(arg.Pos(), "metric name %q is not snake_case", name)
+			return
+		}
+		if !hasAnySuffix(name, obsSuffixes[kind]) {
+			pass.Reportf(arg.Pos(), "%s %q must end in %s", kind, name, suffixList(kind))
+			return
+		}
+		if first, dup := registered[name]; dup {
+			pass.Reportf(arg.Pos(), "metric %q already registered at %s; every series needs exactly one owner", name, first)
+			return
+		}
+		registered[name] = pass.Fset.Position(arg.Pos())
+		return
+	}
+	// Non-constant name: check the literal fragments of a concatenation.
+	frags := literalFragments(arg)
+	for i, frag := range frags {
+		if !obsSnakeCase(frag.val, i == 0 && frag.leading) {
+			pass.Reportf(frag.pos, "metric name fragment %q is not snake_case", frag.val)
+			return
+		}
+	}
+	if len(frags) == 0 {
+		return // fully dynamic; the runtime registration check covers it
+	}
+	last := frags[len(frags)-1]
+	if !last.trailing || hasAnySuffix(last.val, obsSuffixes[kind]) {
+		return
+	}
+	// The fragment could still be the tail of an allowed suffix split
+	// across operands; only report when it is long enough to decide.
+	for _, s := range obsSuffixes[kind] {
+		if strings.HasSuffix(s, last.val) {
+			return
+		}
+	}
+	pass.Reportf(last.pos, "%s name ending %q must end in %s", kind, last.val, suffixList(kind))
+}
+
+// checkLabelNames validates the literal label names of Vec registrations.
+func checkLabelNames(pass *Pass, call *ast.CallExpr, method string) {
+	var labelExprs []ast.Expr
+	switch method {
+	case "CounterVec", "GaugeVec":
+		if len(call.Args) > 2 {
+			labelExprs = call.Args[2:]
+		}
+	case "GaugeVecFunc":
+		if len(call.Args) > 2 {
+			if lit, ok := call.Args[2].(*ast.CompositeLit); ok {
+				labelExprs = lit.Elts
+			}
+		}
+	default:
+		return
+	}
+	for _, e := range labelExprs {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			continue
+		}
+		if l := constant.StringVal(tv.Value); !obsSnakeCase(l, true) {
+			pass.Reportf(e.Pos(), "label name %q is not snake_case", l)
+		}
+	}
+}
+
+// nameFragment is one string literal inside a metric-name expression.
+type nameFragment struct {
+	val      string
+	pos      token.Pos
+	leading  bool // literal is the leftmost operand of the concatenation
+	trailing bool // literal is the rightmost operand of the concatenation
+}
+
+// literalFragments collects the string literals of a + concatenation in
+// source order, noting whether each sits at the expression's edge.
+func literalFragments(e ast.Expr) []nameFragment {
+	return appendFragments(nil, e, true, true)
+}
+
+func appendFragments(out []nameFragment, e ast.Expr, leading, trailing bool) []nameFragment {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return appendFragments(out, e.X, leading, trailing)
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return out
+		}
+		out = appendFragments(out, e.X, leading, false)
+		return appendFragments(out, e.Y, false, trailing)
+	case *ast.BasicLit:
+		if e.Kind == token.STRING {
+			val := e.Value
+			if len(val) >= 2 {
+				val = val[1 : len(val)-1] // strip quotes; names never need escapes
+			}
+			out = append(out, nameFragment{val: val, pos: e.Pos(), leading: leading, trailing: trailing})
+		}
+	}
+	return out
+}
+
+// obsSnakeCase mirrors the registry's runtime check: lowercase letters,
+// digits and underscores, starting with a letter. For an interior
+// fragment the leading-letter rule is waived (mustLead false).
+func obsSnakeCase(s string, mustLead bool) bool {
+	if s == "" {
+		return !mustLead
+	}
+	if mustLead && (s[0] < 'a' || s[0] > 'z') {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func hasAnySuffix(s string, suffixes []string) bool {
+	for _, suf := range suffixes {
+		if strings.HasSuffix(s, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func suffixList(kind string) string {
+	switch kind {
+	case "counter":
+		return "_total"
+	case "histogram":
+		return "_seconds or _bytes"
+	default:
+		return "_seconds, _bytes, _ratio or _count"
+	}
+}

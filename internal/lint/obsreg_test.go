@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"aiql/internal/lint"
+	"aiql/internal/lint/linttest"
+)
+
+func TestObsReg(t *testing.T) {
+	linttest.Run(t, "aiql/internal/lint/testdata/src/obsfix", lint.ObsReg)
+}

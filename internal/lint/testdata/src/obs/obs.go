@@ -1,0 +1,57 @@
+// Package obs is a miniature mirror of the real metrics registry surface,
+// just enough for the obsreg fixtures to type-check: the analyzer tracks
+// the registration methods of any Registry type from a package whose
+// import path ends in /obs.
+package obs
+
+// Registry registers metric families.
+type Registry struct{}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{}
+
+// Inc adds one.
+func (c *Counter) Inc() {}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {}
+
+// Histogram counts observations into buckets.
+type Histogram struct{}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{}
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+
+// CounterFunc registers a scrape-time counter.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge { return &Gauge{} }
+
+// GaugeFunc registers a scrape-time gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}
+
+// Histogram registers a histogram.
+func (r *Registry) Histogram(name, help string, buckets ...float64) *Histogram { return &Histogram{} }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec { return &CounterVec{} }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec { return &GaugeVec{} }
+
+// GaugeVecFunc registers a scrape-time labeled gauge family.
+func (r *Registry) GaugeVecFunc(name, help string, labels []string, fn func(emit func([]string, float64))) {
+}

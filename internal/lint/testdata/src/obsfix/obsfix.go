@@ -1,0 +1,59 @@
+// Package obsfix exercises the obsreg analyzer: metric names registered
+// on an obs.Registry must be snake_case, carry their kind's unit suffix,
+// and be registered exactly once per package.
+package obsfix
+
+import "aiql/internal/lint/testdata/src/obs"
+
+const queryDurName = "aiql_query_duration_seconds"
+
+// clean registrations: every kind, every accepted suffix, a named
+// constant, a constant concatenation, and a dynamic prefix whose literal
+// fragments are well-formed.
+func clean(r *obs.Registry, prefix string) {
+	r.Counter("aiql_queries_total", "queries served")
+	r.CounterFunc("aiql_ingest_batches_total", "batches", func() float64 { return 0 })
+	r.Gauge("aiql_wal_depth_bytes", "wal backlog")
+	r.GaugeFunc("aiql_uptime_seconds", "uptime", func() float64 { return 0 })
+	r.Gauge("aiql_store_events_count", "events held")
+	r.GaugeFunc("aiql_cache_hit_ratio", "hit ratio", func() float64 { return 0 })
+	r.Histogram(queryDurName, "latency")
+	r.Histogram("aiql_batch_size_bytes", "batch sizes")
+	r.CounterVec("aiql_http_requests_total", "requests", "route", "code")
+	r.GaugeVecFunc("aiql_repl_watermark_count", "watermarks", []string{"epoch", "shard"}, func(emit func([]string, float64)) {})
+	r.Counter("aiql_"+"scans_total", "constant concatenation")
+	r.CounterFunc(prefix+"hits_total", "dynamic prefix, literal tail", func() float64 { return 0 })
+	r.GaugeFunc(prefix+"size_count", "dynamic prefix, gauge tail", func() float64 { return 0 })
+}
+
+// badSuffixes miss the unit suffix their kind demands.
+func badSuffixes(r *obs.Registry, prefix string) {
+	r.Counter("aiql_queries_count", "count is a gauge suffix")                            // want `obsreg: counter "aiql_queries_count" must end in _total`
+	r.Gauge("aiql_wal_depth", "no unit at all")                                           // want `obsreg: gauge "aiql_wal_depth" must end in _seconds, _bytes, _ratio or _count`
+	r.Histogram("aiql_query_latency_total", "total is for counters")                      // want `obsreg: histogram "aiql_query_latency_total" must end in _seconds or _bytes`
+	r.CounterFunc(prefix+"misses_count", "bad literal tail", func() float64 { return 0 }) // want `obsreg: counter name ending "misses_count" must end in _total`
+}
+
+// badCasing breaks the snake_case rule.
+func badCasing(r *obs.Registry, prefix string) {
+	r.Counter("aiqlQueries_total", "camelCase")                                     // want `obsreg: metric name "aiqlQueries_total" is not snake_case`
+	r.Gauge("aiql-wal-depth_bytes", "kebab-case")                                   // want `obsreg: metric name "aiql-wal-depth_bytes" is not snake_case`
+	r.CounterFunc(prefix+"Hits_total", "bad fragment", func() float64 { return 0 }) // want `obsreg: metric name fragment "Hits_total" is not snake_case`
+	r.CounterVec("aiql_scatter_legs_total", "bad label", "Worker")                  // want `obsreg: label name "Worker" is not snake_case`
+}
+
+// duplicated registers the same name twice; the second site is the bug.
+func duplicated(r *obs.Registry) {
+	r.Counter("aiql_dup_total", "first owner")
+	r.CounterFunc("aiql_dup_total", "second owner", func() float64 { return 0 }) // want `obsreg: metric "aiql_dup_total" already registered at .*obsfix.go:\d+:\d+; every series needs exactly one owner`
+}
+
+// dynamic names are left to the runtime registration check; no finding.
+func dynamic(r *obs.Registry, name string) {
+	r.Counter(name, "fully dynamic")
+}
+
+// annotated uses the trailing directive form.
+func annotated(r *obs.Registry) {
+	r.Counter("aiql_legacy_scan", "grandfathered") //aiql:ignore obsreg -- fixture: trailing-directive form
+}

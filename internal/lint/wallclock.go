@@ -25,6 +25,9 @@ func runWallClock(pass *Pass) error {
 	if strings.Contains(pass.Pkg.Path(), "timeutil") {
 		return nil // the clock abstraction itself
 	}
+	if strings.HasSuffix(pass.Pkg.Path(), "/obs") {
+		return nil // the observability layer is the designated wallclock edge
+	}
 	for _, f := range pass.Files {
 		if isTestFile(pass.Fset, f) {
 			continue

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"aiql/internal/obs"
 	"aiql/internal/storage"
 	"aiql/internal/types"
 )
@@ -141,6 +142,12 @@ func (c *Cluster) Scan(ctx context.Context, q *storage.DataQuery) storage.Cursor
 	c.scans.Add(1)
 	c.segmentsScanned.Add(uint64(len(targets)))
 	c.segmentsEliminated.Add(uint64(len(c.segs) - len(targets)))
+	// Segment elimination lands on the request's scan span; the per-segment
+	// stores fold their block counters into the same span via ctx.
+	if span := obs.SpanFromContext(ctx); span != nil {
+		span.Add("segments_scanned", int64(len(targets)))
+		span.Add("segments_eliminated", int64(len(c.segs)-len(targets)))
+	}
 	cs := make([]storage.Cursor, len(targets))
 	for i, seg := range targets {
 		cs[i] = c.segs[seg].Scan(ctx, q)

@@ -1,0 +1,22 @@
+package obs
+
+import "time"
+
+// obs is the designated observability clock edge: library packages (wal,
+// storage, engine) are barred from reading the wall clock directly by the
+// wallclock analyzer, so durations destined for metrics or trace spans are
+// measured through these helpers. They must never feed query semantics —
+// time windows come from the query, not the clock.
+
+// Now returns the current time (monotonic-clock bearing) for an
+// observability measurement.
+func Now() time.Time {
+	//aiql:ignore wallclock -- obs is the observability clock edge by design
+	return time.Now()
+}
+
+// Since returns the elapsed time since start.
+func Since(start time.Time) time.Duration {
+	//aiql:ignore wallclock -- obs is the observability clock edge by design
+	return time.Since(start)
+}

@@ -1,0 +1,44 @@
+package obs
+
+import "context"
+
+type traceKey struct{}
+type spanKey struct{}
+
+// WithTrace returns a context carrying the trace. Instrumented layers below
+// (engine, storage, cluster) recover it with FromContext.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil. All Trace methods are
+// nil-safe, so callers may use the result unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// TraceID returns the context's trace ID, or "".
+func TraceID(ctx context.Context) string {
+	return FromContext(ctx).ID()
+}
+
+// WithSpan returns a context carrying the current span — the parent under
+// which a lower layer should attach its own detail (a storage scan folding
+// block counters into the engine's data-query span, a coordinator hanging
+// worker legs off the merge span).
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the context's current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}

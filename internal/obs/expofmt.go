@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a strict parser for
+// the Prometheus text format the registry writes. It exists so tests (and
+// the CI soak/failover scrapes) can validate a /metrics payload — every
+// series well-formed, typed, and unique — without importing a Prometheus
+// client library.
+
+// Sample is one parsed series sample.
+type Sample struct {
+	// Name is the sample's metric name as exposed (histograms expose
+	// name_bucket/name_sum/name_count under their family).
+	Name string
+	// Labels are the sample's label pairs, sorted by key.
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the sample's identity: name plus sorted labels.
+func (s *Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Exposition is a parsed /metrics payload.
+type Exposition struct {
+	// Types maps family name to its declared TYPE.
+	Types map[string]string
+	// Help maps family name to its HELP line.
+	Help map[string]string
+	// Samples holds every sample line in order.
+	Samples []*Sample
+}
+
+// Value returns the value of the series with the given name and label
+// pairs (k1, v1, k2, v2, ...), and whether it exists.
+func (e *Exposition) Value(name string, kv ...string) (float64, bool) {
+	want := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		want[kv[i]] = kv[i+1]
+	}
+	for _, s := range e.Samples {
+		if s.Name != name || len(s.Labels) != len(want) {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParseExposition parses a Prometheus text-format payload strictly:
+//   - every sample's family must have a preceding # TYPE line;
+//   - metric and label names must be well-formed;
+//   - no duplicate series (same name + label set);
+//   - values must parse as floats.
+//
+// It returns an error describing the first violation.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string), Help: make(map[string]string)}
+	seen := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !metricName(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP metric name %q", lineNo, name)
+			}
+			if _, dup := exp.Help[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+			}
+			exp.Help[name] = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			if !metricName(name) {
+				return nil, fmt.Errorf("line %d: malformed TYPE metric name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := exp.Types[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			exp.Types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(s.Name, exp.Types)
+		if fam == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, s.Name)
+		}
+		key := s.Key()
+		if prev, dup := seen[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s (first at line %d)", lineNo, key, prev)
+		}
+		seen[key] = lineNo
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// familyOf resolves a sample name to its declared family: exact match, or
+// the histogram sub-series suffixes.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+func parseSample(line string) (*Sample, error) {
+	s := &Sample{}
+	rest := line
+	brace := strings.IndexByte(line, '{')
+	sp := strings.IndexByte(line, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		s.Name = line[:brace]
+		end := strings.LastIndexByte(line, '}')
+		if end < brace {
+			return nil, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(line[brace+1 : end])
+		if err != nil {
+			return nil, err
+		}
+		s.Labels = labels
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		if sp < 0 {
+			return nil, fmt.Errorf("no value in sample %q", line)
+		}
+		s.Name = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	if !metricName(s.Name) {
+		return nil, fmt.Errorf("malformed metric name %q", s.Name)
+	}
+	// A timestamp may follow the value; the registry never writes one, but
+	// accept it for generality.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return nil, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad sample value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		name := s[i : i+eq]
+		if !labelName(name) {
+			return nil, fmt.Errorf("malformed label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", name)
+		}
+		i++
+		var b strings.Builder
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label value", s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", name)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = b.String()
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels in %q", s)
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+func metricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if i > 0 {
+			ok = ok || (c >= '0' && c <= '9')
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func labelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if i > 0 {
+			ok = ok || (c >= '0' && c <= '9')
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

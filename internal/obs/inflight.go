@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// InflightQuery is one live query registered for /debug/queries. Rows is
+// updated by the streaming writer as rows leave the process, so an analyst
+// can tell "still scanning" from "streaming a huge result".
+type InflightQuery struct {
+	id    uint64
+	trace *Trace
+	query string
+	start time.Time
+	rows  atomic.Int64
+	reg   *Inflight
+}
+
+// AddRows notes rows handed to the client so far.
+func (q *InflightQuery) AddRows(n int) {
+	if q == nil {
+		return
+	}
+	q.rows.Add(int64(n))
+}
+
+// Trace returns the query's trace (nil when tracing was off).
+func (q *InflightQuery) Trace() *Trace {
+	if q == nil {
+		return nil
+	}
+	return q.trace
+}
+
+// Done removes the query from the registry.
+func (q *InflightQuery) Done() {
+	if q == nil {
+		return
+	}
+	q.reg.remove(q.id)
+}
+
+// Inflight tracks the queries currently executing in this process.
+type Inflight struct {
+	mu     sync.Mutex
+	nextID uint64
+	live   map[uint64]*InflightQuery
+}
+
+// NewInflight creates an empty in-flight registry.
+func NewInflight() *Inflight {
+	return &Inflight{live: make(map[uint64]*InflightQuery)}
+}
+
+// Register adds a query; the caller must Done() it when finished. A nil
+// registry returns a nil query (all methods no-op).
+func (r *Inflight) Register(tr *Trace, query string) *InflightQuery {
+	if r == nil {
+		return nil
+	}
+	const maxQueryLen = 4096
+	if len(query) > maxQueryLen {
+		query = query[:maxQueryLen] + "…"
+	}
+	start := tr.Start()
+	if start.IsZero() {
+		//aiql:ignore wallclock -- in-flight elapsed time is observability wall time by design
+		start = time.Now()
+	}
+	q := &InflightQuery{trace: tr, query: query, start: start, reg: r}
+	r.mu.Lock()
+	r.nextID++
+	q.id = r.nextID
+	r.live[q.id] = q
+	r.mu.Unlock()
+	return q
+}
+
+func (r *Inflight) remove(id uint64) {
+	r.mu.Lock()
+	delete(r.live, id)
+	r.mu.Unlock()
+}
+
+// Len returns the number of live queries.
+func (r *Inflight) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.live)
+}
+
+// InflightJSON is the wire form of one live query in /debug/queries.
+type InflightJSON struct {
+	TraceID   string  `json:"trace_id,omitempty"`
+	Query     string  `json:"query"`
+	Start     string  `json:"start"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+	Rows      int64   `json:"rows_streamed"`
+	// Spans lists the stages recorded so far — for a coordinator query the
+	// worker legs show up here while they are still streaming.
+	Spans []*SpanJSON `json:"spans,omitempty"`
+}
+
+// Snapshot renders the live queries, oldest first.
+func (r *Inflight) Snapshot() []*InflightJSON {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	live := make([]*InflightQuery, 0, len(r.live))
+	for _, q := range r.live {
+		live = append(live, q)
+	}
+	r.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool {
+		if !live[i].start.Equal(live[j].start) {
+			return live[i].start.Before(live[j].start)
+		}
+		return live[i].id < live[j].id
+	})
+	out := make([]*InflightJSON, len(live))
+	for i, q := range live {
+		j := &InflightJSON{
+			TraceID: q.trace.ID(),
+			Query:   q.query,
+			Start:   FormatStart(q.start),
+			//aiql:ignore wallclock -- in-flight elapsed time is observability wall time by design
+			ElapsedMs: float64(time.Since(q.start).Microseconds()) / 1000,
+			Rows:      q.rows.Load(),
+		}
+		if snap := q.trace.Snapshot(); snap != nil {
+			j.Spans = snap.Spans
+		}
+		out[i] = j
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry exercises every metric kind the registry offers.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("aiql_test_events_total", "Events observed.")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // dropped: counters stay monotonic
+	r.CounterFunc("aiql_test_func_total", "Func counter.", func() float64 { return 42 })
+	g := r.Gauge("aiql_test_depth_bytes", "Queue depth.")
+	g.Set(100)
+	g.Add(-25)
+	r.GaugeFunc("aiql_test_live_count", "Live things.", func() float64 { return 7 })
+	h := r.Histogram("aiql_test_latency_seconds", "Latency.", 0.01, 0.1, 1)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // lands only in +Inf
+	cv := r.CounterVec("aiql_test_requests_total", "Requests by path.", "path", "code")
+	cv.With("/query", "200").Add(3)
+	cv.With("/query", "500").Inc()
+	cv.With(`/we"ird\path`, "200").Inc() // exercises label escaping
+	gv := r.GaugeVec("aiql_test_lag_count", "Lag by shard.", "shard")
+	gv.With("0").Set(5)
+	gv.With("1").Set(9)
+	r.GaugeVecFunc("aiql_test_watermark_count", "Watermarks.", []string{"shard"}, func(emit func([]string, float64)) {
+		emit([]string{"a"}, 1)
+		emit([]string{"b"}, 2)
+	})
+	return r
+}
+
+// TestExpositionRoundTrip is the parser-roundtrip required by the issue:
+// render the registry, then strictly parse it back — every metric name and
+// label well-formed, every family typed, no duplicate series.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := buildTestRegistry()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	exp, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\npayload:\n%s", err, b.String())
+	}
+
+	wantTypes := map[string]string{
+		"aiql_test_events_total":    "counter",
+		"aiql_test_func_total":      "counter",
+		"aiql_test_depth_bytes":     "gauge",
+		"aiql_test_live_count":      "gauge",
+		"aiql_test_latency_seconds": "histogram",
+		"aiql_test_requests_total":  "counter",
+		"aiql_test_lag_count":       "gauge",
+		"aiql_test_watermark_count": "gauge",
+	}
+	for name, typ := range wantTypes {
+		if exp.Types[name] != typ {
+			t.Errorf("family %s: type %q, want %q", name, exp.Types[name], typ)
+		}
+		if exp.Help[name] == "" {
+			t.Errorf("family %s: missing HELP", name)
+		}
+	}
+
+	checks := []struct {
+		name string
+		kv   []string
+		want float64
+	}{
+		{"aiql_test_events_total", nil, 3},
+		{"aiql_test_func_total", nil, 42},
+		{"aiql_test_depth_bytes", nil, 75},
+		{"aiql_test_live_count", nil, 7},
+		{"aiql_test_requests_total", []string{"path", "/query", "code", "200"}, 3},
+		{"aiql_test_requests_total", []string{"path", "/query", "code", "500"}, 1},
+		{"aiql_test_requests_total", []string{"path", `/we"ird\path`, "code", "200"}, 1},
+		{"aiql_test_lag_count", []string{"shard", "1"}, 9},
+		{"aiql_test_watermark_count", []string{"shard", "b"}, 2},
+		{"aiql_test_latency_seconds_count", nil, 4},
+		{"aiql_test_latency_seconds_bucket", []string{"le", "0.01"}, 1},
+		{"aiql_test_latency_seconds_bucket", []string{"le", "0.1"}, 2},
+		{"aiql_test_latency_seconds_bucket", []string{"le", "1"}, 3},
+		{"aiql_test_latency_seconds_bucket", []string{"le", "+Inf"}, 4},
+	}
+	for _, c := range checks {
+		v, ok := exp.Value(c.name, c.kv...)
+		if !ok {
+			t.Errorf("series %s%v missing", c.name, c.kv)
+			continue
+		}
+		if v != c.want {
+			t.Errorf("series %s%v = %v, want %v", c.name, c.kv, v, c.want)
+		}
+	}
+	if sum, ok := exp.Value("aiql_test_latency_seconds_sum"); !ok || math.Abs(sum-5.555) > 1e-9 {
+		t.Errorf("histogram sum = %v ok=%v, want 5.555", sum, ok)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("aiql_cum_seconds", "c", 1, 2, 3)
+	for _, v := range []float64{0.5, 1.5, 2.5, 10} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WriteTo(&b)
+	exp, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, le := range []string{"1", "2", "3", "+Inf"} {
+		v, ok := exp.Value("aiql_cum_seconds_bucket", "le", le)
+		if !ok {
+			t.Fatalf("bucket le=%s missing", le)
+		}
+		if v < prev {
+			t.Fatalf("buckets not cumulative: le=%s is %v after %v", le, v, prev)
+		}
+		prev = v
+	}
+	if prev != 4 {
+		t.Fatalf("+Inf bucket = %v, want 4", prev)
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	f()
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aiql_ok_total", "ok")
+	mustPanic(t, "duplicate name", func() { r.Gauge("aiql_ok_total", "dup") })
+	mustPanic(t, "counter without _total", func() { r.Counter("aiql_bad_counter", "x") })
+	mustPanic(t, "histogram without unit", func() { r.Histogram("aiql_bad_hist_total", "x") })
+	mustPanic(t, "gauge without unit", func() { r.Gauge("aiql_bad_gauge", "x") })
+	mustPanic(t, "camelCase name", func() { r.Counter("aiqlBadName_total", "x") })
+	mustPanic(t, "leading digit", func() { r.Counter("1aiql_total", "x") })
+	mustPanic(t, "bad label name", func() { r.CounterVec("aiql_lbl_total", "x", "BadLabel") })
+	mustPanic(t, "vec without labels", func() { r.CounterVec("aiql_nolbl_total", "x") })
+	mustPanic(t, "non-increasing buckets", func() { r.Histogram("aiql_buck_seconds", "x", 1, 1) })
+	mustPanic(t, "wrong label arity", func() {
+		v := r.CounterVec("aiql_arity_total", "x", "a", "b")
+		v.With("only-one")
+	})
+}
+
+func TestServeHTTPContentType(t *testing.T) {
+	r := buildTestRegistry()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	ct := rec.Header().Get("Content-Type")
+	if !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if _, err := ParseExposition(strings.NewReader(rec.Body.String())); err != nil {
+		t.Fatalf("served body does not parse: %v", err)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	bad := []struct{ name, payload string }{
+		{"untyped sample", "aiql_x_total 1\n"},
+		{"duplicate series", "# TYPE aiql_x_total counter\naiql_x_total 1\naiql_x_total 2\n"},
+		{"duplicate TYPE", "# TYPE aiql_x_total counter\n# TYPE aiql_x_total counter\n"},
+		{"bad metric name", "# TYPE aiql_x_total counter\naiql-x-total 1\n"},
+		{"bad value", "# TYPE aiql_x_total counter\naiql_x_total pizza\n"},
+		{"unterminated labels", "# TYPE aiql_x_total counter\naiql_x_total{a=\"b\" 1\n"},
+		{"unknown type", "# TYPE aiql_x_total widget\n"},
+	}
+	for _, c := range bad {
+		if _, err := ParseExposition(strings.NewReader(c.payload)); err == nil {
+			t.Errorf("%s: parsed without error", c.name)
+		}
+	}
+}
+
+func TestNilMetricOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(1)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("aiql_conc_total", "c")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if c.Value() != 8000 {
+		t.Fatalf("concurrent count = %v, want 8000", c.Value())
+	}
+}

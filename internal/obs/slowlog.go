@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one completed query in the slow log.
+type SlowEntry struct {
+	TraceID string `json:"trace_id"`
+	// Query is the normalized query source (truncated to a sane length at
+	// insertion so a pathological query cannot bloat the log).
+	Query string `json:"query"`
+	// Start is when the query began, RFC3339 with millisecond precision.
+	Start  string     `json:"start"`
+	DurMs  float64    `json:"dur_ms"`
+	Rows   int        `json:"rows"`
+	Error  string     `json:"error,omitempty"`
+	Cached bool       `json:"result_cached,omitempty"`
+	Trace  *TraceJSON `json:"trace,omitempty"`
+}
+
+// SlowLog is a bounded in-memory log of the N slowest queries seen, with
+// their span trees. Insertion is O(log n) against a min-heap on duration;
+// a query faster than the current floor is rejected in O(1) once the log
+// is full, so the steady-state cost on the query path is one mutex and a
+// compare.
+type SlowLog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []*SlowEntry // min-heap by DurMs: entries[0] is the fastest kept
+	dropped uint64
+}
+
+// NewSlowLog creates a slow log keeping the n slowest queries (default 32
+// when n <= 0).
+func NewSlowLog(n int) *SlowLog {
+	if n <= 0 {
+		n = 32
+	}
+	return &SlowLog{cap: n}
+}
+
+// maxSlowQueryLen bounds the stored query text per entry.
+const maxSlowQueryLen = 4096
+
+// Record offers a completed query to the log. It is kept if the log has
+// room or the query is slower than the current fastest kept entry.
+func (l *SlowLog) Record(e *SlowEntry) {
+	if l == nil || e == nil {
+		return
+	}
+	if len(e.Query) > maxSlowQueryLen {
+		e.Query = e.Query[:maxSlowQueryLen] + "…"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		l.up(len(l.entries) - 1)
+		return
+	}
+	if e.DurMs <= l.entries[0].DurMs {
+		l.dropped++
+		return
+	}
+	l.dropped++
+	l.entries[0] = e
+	l.down(0)
+}
+
+// Snapshot returns the kept entries, slowest first.
+func (l *SlowLog) Snapshot() []*SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]*SlowEntry, len(l.entries))
+	copy(out, l.entries)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DurMs > out[j].DurMs })
+	return out
+}
+
+// Len returns the number of kept entries.
+func (l *SlowLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+func (l *SlowLog) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if l.entries[p].DurMs <= l.entries[i].DurMs {
+			return
+		}
+		l.entries[p], l.entries[i] = l.entries[i], l.entries[p]
+		i = p
+	}
+}
+
+func (l *SlowLog) down(i int) {
+	n := len(l.entries)
+	for {
+		small := i
+		if c := 2*i + 1; c < n && l.entries[c].DurMs < l.entries[small].DurMs {
+			small = c
+		}
+		if c := 2*i + 2; c < n && l.entries[c].DurMs < l.entries[small].DurMs {
+			small = c
+		}
+		if small == i {
+			return
+		}
+		l.entries[i], l.entries[small] = l.entries[small], l.entries[i]
+		i = small
+	}
+}
+
+// FormatStart renders a query start time for SlowEntry.Start.
+func FormatStart(t time.Time) string {
+	return t.UTC().Format("2006-01-02T15:04:05.000Z")
+}

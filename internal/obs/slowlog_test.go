@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogKeepsNSlowest(t *testing.T) {
+	l := NewSlowLog(3)
+	for _, d := range []float64{5, 1, 9, 2, 7, 3, 8} {
+		l.Record(&SlowEntry{TraceID: "t", Query: "q", DurMs: d})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	snap := l.Snapshot()
+	got := []float64{snap[0].DurMs, snap[1].DurMs, snap[2].DurMs}
+	want := []float64{9, 8, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slowest-first = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSlowLogNilAndDefaults(t *testing.T) {
+	var l *SlowLog
+	l.Record(&SlowEntry{DurMs: 1}) // no panic
+	if l.Len() != 0 || l.Snapshot() != nil {
+		t.Fatal("nil slow log should be empty")
+	}
+	if NewSlowLog(0).cap != 32 {
+		t.Fatal("default capacity should be 32")
+	}
+}
+
+func TestSlowLogTruncatesQuery(t *testing.T) {
+	l := NewSlowLog(1)
+	l.Record(&SlowEntry{Query: strings.Repeat("x", maxSlowQueryLen+100), DurMs: 1})
+	q := l.Snapshot()[0].Query
+	if len(q) > maxSlowQueryLen+len("…") {
+		t.Fatalf("query not truncated: %d bytes", len(q))
+	}
+	if !strings.HasSuffix(q, "…") {
+		t.Fatal("truncated query should end with ellipsis")
+	}
+}
+
+func TestInflightRegistry(t *testing.T) {
+	r := NewInflight()
+	tr := NewTrace("live-1")
+	leg := tr.Span("scan")
+	q := r.Register(tr, "ProcessEvent p")
+	q2 := r.Register(nil, "second")
+	if r.Len() != 2 {
+		t.Fatalf("len = %d, want 2", r.Len())
+	}
+	q.AddRows(40)
+	q.AddRows(2)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	if snap[0].TraceID != "live-1" || snap[0].Rows != 42 {
+		t.Fatalf("first entry = %+v", snap[0])
+	}
+	// The live trace's spans are visible mid-flight.
+	if len(snap[0].Spans) != 1 || snap[0].Spans[0].Name != "scan" {
+		t.Fatalf("mid-flight spans = %+v", snap[0].Spans)
+	}
+	leg.End()
+	q.Done()
+	q2.Done()
+	if r.Len() != 0 {
+		t.Fatalf("len after Done = %d", r.Len())
+	}
+
+	var nilReg *Inflight
+	nq := nilReg.Register(tr, "x")
+	if nq != nil {
+		t.Fatal("nil registry should return nil query")
+	}
+	nq.AddRows(1)
+	nq.Done()
+	if nilReg.Snapshot() != nil || nilReg.Len() != 0 {
+		t.Fatal("nil registry should be empty")
+	}
+}
+
+func TestLoggerText(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LogText)
+	ctx := WithTrace(context.Background(), NewTrace("abc123"))
+	l.Log(ctx, "query done", "dur_ms", 12.5, "path", "/query it", "rows", 3)
+	line := b.String()
+	if !strings.Contains(line, "trace=abc123") {
+		t.Fatalf("line missing trace id: %q", line)
+	}
+	if !strings.Contains(line, "dur_ms=12.5") || !strings.Contains(line, `path="/query it"`) {
+		t.Fatalf("line = %q", line)
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LogJSON)
+	ctx := WithTrace(context.Background(), NewTrace("jsontrace"))
+	l.Log(ctx, "ingest", "events", 100)
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &obj); err != nil {
+		t.Fatalf("line is not JSON: %v (%q)", err, b.String())
+	}
+	if obj["msg"] != "ingest" || obj["trace"] != "jsontrace" || obj["events"] != float64(100) {
+		t.Fatalf("obj = %v", obj)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, obj["time"].(string)); err != nil {
+		t.Fatalf("bad time field: %v", err)
+	}
+}
+
+func TestLoggerNilAndParse(t *testing.T) {
+	var l *Logger
+	l.Log(context.Background(), "dropped") // no panic
+
+	if f, err := ParseLogFormat(""); err != nil || f != LogText {
+		t.Fatal("empty format should be text")
+	}
+	if f, err := ParseLogFormat("json"); err != nil || f != LogJSON {
+		t.Fatal("json format should parse")
+	}
+	if _, err := ParseLogFormat("xml"); err == nil {
+		t.Fatal("unknown format should error")
+	}
+}

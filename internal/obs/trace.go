@@ -1,0 +1,280 @@
+// Package obs is aiql's dependency-free observability layer: request-scoped
+// traces with cheap spans, a hand-rolled Prometheus-style metrics registry,
+// a bounded slow-query log, an in-flight request registry, and a structured
+// logger that stamps every line with its trace ID.
+//
+// The package is built on the standard library alone and imports nothing
+// from the rest of the repo, so every layer — storage, WAL, engine, cluster,
+// server — may depend on it without cycles.
+//
+// Tracing is strictly opt-in per request: a context without a trace costs
+// one context lookup and a nil check at each instrumentation site, and every
+// method on a nil *Trace or nil *Span is a no-op, so the hot scan kernel
+// pays nothing when tracing is off (BenchmarkTraceOverhead pins this).
+// Spans are per-stage, never per-row: a query records on the order of ten
+// spans (parse, plan, one per data query, join, merge, per-worker legs), not
+// one per matching event.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceIDHeader is the HTTP header that carries a trace ID between the
+// client, the coordinator, and the workers. The server edge accepts a
+// well-formed incoming ID (so one investigation is greppable across every
+// process it touched) or mints a fresh one.
+const TraceIDHeader = "X-Aiql-Trace"
+
+// NewTraceID mints a 16-hex-character random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively unreachable; a fixed fallback
+		// ID keeps tracing best-effort rather than fatal.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether s is acceptable as an externally supplied
+// trace ID: 1–64 characters drawn from [a-zA-Z0-9_-]. Anything else is
+// discarded and re-minted, so a hostile header cannot smuggle log-breaking
+// bytes into every annotated line.
+func ValidTraceID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Trace is one request's span collection. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops), so instrumentation
+// sites never need to branch on "is tracing on".
+type Trace struct {
+	id    string
+	start time.Time //aiql:ignore wallclock -- obs is the observability clock edge; span timing is wall time by design
+
+	mu    sync.Mutex
+	spans []*Span
+	next  int
+}
+
+// NewTrace creates a trace with the given ID (minting one if empty).
+func NewTrace(id string) *Trace {
+	if !ValidTraceID(id) {
+		id = NewTraceID()
+	}
+	//aiql:ignore wallclock -- trace start is observability wall time by design
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns the trace's start time.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Span is one timed stage of a trace. Counters are additive (several
+// sub-scans of one data query fold into the same span); attributes are
+// last-write-wins strings.
+type Span struct {
+	tr     *Trace
+	id     int
+	parent int // -1 for a root span
+
+	name  string
+	begin time.Time
+
+	mu       sync.Mutex
+	durNanos int64
+	ended    bool
+	counters map[string]int64
+	attrs    map[string]string
+}
+
+// Span opens a root-level span. End it (or EndWithDuration it) when the
+// stage completes; an un-ended span renders with a zero duration.
+func (t *Trace) Span(name string) *Span {
+	return t.newSpan(name, -1)
+}
+
+func (t *Trace) newSpan(name string, parent int) *Span {
+	if t == nil {
+		return nil
+	}
+	//aiql:ignore wallclock -- span timing is observability wall time by design
+	s := &Span{tr: t, parent: parent, name: name, begin: time.Now()}
+	t.mu.Lock()
+	s.id = t.next
+	t.next++
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.id)
+}
+
+// End records the span's wall-clock duration since it was opened. Repeated
+// Ends keep the first recorded duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	//aiql:ignore wallclock -- span timing is observability wall time by design
+	d := time.Since(s.begin)
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.durNanos = d.Nanoseconds()
+	}
+	s.mu.Unlock()
+}
+
+// EndWithDuration records an explicit duration — used by cursor-shaped
+// stages whose cost is the time spent inside Next calls, not the wall time
+// between open and close (which would charge the consumer's think time to
+// the producer).
+func (s *Span) EndWithDuration(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.durNanos = d.Nanoseconds()
+	}
+	s.mu.Unlock()
+}
+
+// Add accumulates a counter on the span.
+func (s *Span) Add(counter string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64, 4)
+	}
+	s.counters[counter] += v
+	s.mu.Unlock()
+}
+
+// Set records a string attribute on the span (last write wins).
+func (s *Span) Set(attr, val string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[attr] = val
+	s.mu.Unlock()
+}
+
+// SpanJSON is the wire form of one span in a rendered trace tree.
+type SpanJSON struct {
+	Name string `json:"name"`
+	// StartMs is the span's offset from the trace start; DurMs its
+	// duration. Both in milliseconds with microsecond precision.
+	StartMs  float64           `json:"start_ms"`
+	DurMs    float64           `json:"dur_ms"`
+	Counters map[string]int64  `json:"counters,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanJSON       `json:"children,omitempty"`
+}
+
+// TraceJSON is the wire form of a whole trace: the optional "trace" block
+// of a query response, and the slow-log entry payload.
+type TraceJSON struct {
+	ID    string      `json:"id"`
+	DurMs float64     `json:"dur_ms"`
+	Spans []*SpanJSON `json:"spans,omitempty"`
+}
+
+// Snapshot renders the trace's current span tree. Safe to call while spans
+// are still being recorded (an in-flight query inspected via
+// /debug/queries); un-ended spans report a zero duration.
+func (t *Trace) Snapshot() *TraceJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	nodes := make([]*SpanJSON, len(spans))
+	var total float64
+	for i, s := range spans {
+		s.mu.Lock()
+		node := &SpanJSON{
+			Name:    s.name,
+			StartMs: float64(s.begin.Sub(t.start).Microseconds()) / 1000,
+			DurMs:   float64(s.durNanos) / 1e6,
+		}
+		if len(s.counters) > 0 {
+			node.Counters = make(map[string]int64, len(s.counters))
+			for k, v := range s.counters {
+				node.Counters[k] = v
+			}
+		}
+		if len(s.attrs) > 0 {
+			node.Attrs = make(map[string]string, len(s.attrs))
+			for k, v := range s.attrs {
+				node.Attrs[k] = v
+			}
+		}
+		s.mu.Unlock()
+		nodes[i] = node
+		if end := node.StartMs + node.DurMs; end > total {
+			total = end
+		}
+	}
+	out := &TraceJSON{ID: t.id, DurMs: total}
+	for i, s := range spans {
+		if s.parent >= 0 && s.parent < len(nodes) {
+			nodes[s.parent].Children = append(nodes[s.parent].Children, nodes[i])
+		} else {
+			out.Spans = append(out.Spans, nodes[i])
+		}
+	}
+	sortSpans(out.Spans)
+	return out
+}
+
+func sortSpans(spans []*SpanJSON) {
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartMs < spans[j].StartMs })
+	for _, s := range spans {
+		sortSpans(s.Children)
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNilTraceAndSpanAreNoOps(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatalf("nil trace ID = %q, want empty", tr.ID())
+	}
+	if !tr.Start().IsZero() {
+		t.Fatal("nil trace start should be zero")
+	}
+	if tr.Snapshot() != nil {
+		t.Fatal("nil trace snapshot should be nil")
+	}
+	s := tr.Span("anything")
+	if s != nil {
+		t.Fatal("span of nil trace should be nil")
+	}
+	// Every span method must be callable on nil.
+	s.End()
+	s.EndWithDuration(time.Second)
+	s.Add("rows", 5)
+	s.Set("k", "v")
+	if c := s.Child("child"); c != nil {
+		t.Fatal("child of nil span should be nil")
+	}
+}
+
+func TestNewTraceIDFormat(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("trace IDs %q/%q not 16 chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two minted IDs collided: %q", a)
+	}
+	if !ValidTraceID(a) {
+		t.Fatalf("minted ID %q not valid", a)
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	for _, ok := range []string{"a", "abc-DEF_123", "0123456789abcdef"} {
+		if !ValidTraceID(ok) {
+			t.Errorf("ValidTraceID(%q) = false, want true", ok)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", "new\nline", string(long), "ünïcode"} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestNewTraceMintsOnInvalidID(t *testing.T) {
+	tr := NewTrace("bad id!")
+	if !ValidTraceID(tr.ID()) {
+		t.Fatalf("trace with invalid input ID got %q", tr.ID())
+	}
+	tr2 := NewTrace("client-supplied-1")
+	if tr2.ID() != "client-supplied-1" {
+		t.Fatalf("valid client ID not kept: got %q", tr2.ID())
+	}
+}
+
+func TestSnapshotBuildsSpanTree(t *testing.T) {
+	tr := NewTrace("tree-test")
+	root := tr.Span("query")
+	parse := root.Child("parse")
+	parse.End()
+	scan := root.Child("scan")
+	scan.Add("rows", 10)
+	scan.Add("rows", 5)
+	scan.Set("partition", "2024-01-01")
+	scan.EndWithDuration(25 * time.Millisecond)
+	root.End()
+
+	snap := tr.Snapshot()
+	if snap.ID != "tree-test" {
+		t.Fatalf("snapshot ID = %q", snap.ID)
+	}
+	if len(snap.Spans) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(snap.Spans))
+	}
+	q := snap.Spans[0]
+	if q.Name != "query" || len(q.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want query with 2", q.Name, len(q.Children))
+	}
+	// Children sorted by start time: parse opened before scan.
+	if q.Children[0].Name != "parse" || q.Children[1].Name != "scan" {
+		t.Fatalf("children order = [%s %s]", q.Children[0].Name, q.Children[1].Name)
+	}
+	sc := q.Children[1]
+	if sc.Counters["rows"] != 15 {
+		t.Fatalf("scan rows counter = %d, want 15 (additive)", sc.Counters["rows"])
+	}
+	if sc.Attrs["partition"] != "2024-01-01" {
+		t.Fatalf("scan attrs = %v", sc.Attrs)
+	}
+	if sc.DurMs != 25 {
+		t.Fatalf("EndWithDuration span dur = %vms, want 25", sc.DurMs)
+	}
+	if snap.DurMs <= 0 {
+		t.Fatalf("trace DurMs = %v, want > 0", snap.DurMs)
+	}
+}
+
+func TestSnapshotMidFlight(t *testing.T) {
+	tr := NewTrace("")
+	open := tr.Span("still-running")
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1 || snap.Spans[0].DurMs != 0 {
+		t.Fatalf("un-ended span should render zero duration, got %+v", snap.Spans[0])
+	}
+	open.End()
+	open.End() // second End keeps the first duration
+	d := tr.Snapshot().Spans[0].DurMs
+	open.EndWithDuration(99 * time.Second)
+	if got := tr.Snapshot().Spans[0].DurMs; got != d {
+		t.Fatalf("duration changed after re-End: %v -> %v", d, got)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil || TraceID(ctx) != "" || SpanFromContext(ctx) != nil {
+		t.Fatal("empty context should carry no trace/span")
+	}
+	tr := NewTrace("ctx-id")
+	ctx = WithTrace(ctx, tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext did not round-trip the trace")
+	}
+	if TraceID(ctx) != "ctx-id" {
+		t.Fatalf("TraceID(ctx) = %q", TraceID(ctx))
+	}
+	s := tr.Span("stage")
+	ctx = WithSpan(ctx, s)
+	if SpanFromContext(ctx) != s {
+		t.Fatal("SpanFromContext did not round-trip the span")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("")
+	root := tr.Span("root")
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				c := root.Child("leg")
+				c.Add("n", 1)
+				c.End()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	root.End()
+	snap := tr.Snapshot()
+	if got := len(snap.Spans[0].Children); got != 800 {
+		t.Fatalf("got %d children, want 800", got)
+	}
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Gate fronts a listener while the server behind it boots. aiqld opens its
+// listener before WAL recovery and catch-up replay finish, so orchestrators
+// can distinguish "starting" from "dead": while gated, /healthz answers 200
+// (the process is alive), /readyz answers 503 with the current boot stage,
+// and every other route answers 503 — no request can observe a
+// half-recovered store. Ready swaps in the real handler atomically; from
+// then on the gate is a single atomic load of indirection per request.
+type Gate struct {
+	mu    sync.Mutex
+	stage string
+	h     atomic.Value // http.Handler, set once by Ready
+}
+
+// NewGate creates a gate reporting the given boot stage (e.g.
+// "wal-recovery").
+func NewGate(stage string) *Gate {
+	return &Gate{stage: stage}
+}
+
+// SetStage updates the boot stage reported by /readyz (e.g. advancing from
+// "wal-recovery" to "catch-up").
+func (g *Gate) SetStage(stage string) {
+	g.mu.Lock()
+	g.stage = stage
+	g.mu.Unlock()
+}
+
+// Ready installs the real handler; all subsequent requests route to it.
+func (g *Gate) Ready(h http.Handler) {
+	g.h.Store(h)
+}
+
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := g.h.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	g.mu.Lock()
+	stage := g.stage
+	g.mu.Unlock()
+	switch r.URL.Path {
+	case "/healthz":
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case "/readyz":
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unready", "stage": stage})
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server starting: " + stage})
+	}
+}

@@ -50,11 +50,13 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"aiql/internal/cluster"
 	"aiql/internal/engine"
+	"aiql/internal/obs"
 	"aiql/internal/storage"
 	"aiql/internal/stream"
 	"aiql/internal/trace"
@@ -79,6 +81,12 @@ type Options struct {
 	// replay ring (default 256); a subscriber a full buffer behind is
 	// disconnected.
 	StreamBuffer int
+	// SlowLogSize bounds the slow-query log served at /debug/slow (default
+	// 32 entries; negative disables the log).
+	SlowLogSize int
+	// Logger, when set, receives structured per-request log lines stamped
+	// with each request's trace ID. Nil disables request logging.
+	Logger *obs.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -91,7 +99,19 @@ func (o Options) withDefaults() Options {
 	if o.MaxIngestBytes == 0 {
 		o.MaxIngestBytes = 256 << 20
 	}
+	if o.SlowLogSize == 0 {
+		o.SlowLogSize = 32
+	}
 	return o
+}
+
+// newSlowLog maps the option to a slow log: nil (all methods no-op) when
+// disabled.
+func newSlowLog(n int) *obs.SlowLog {
+	if n < 0 {
+		return nil
+	}
+	return obs.NewSlowLog(n)
 }
 
 // Server serves AIQL queries over a shared store and engine — or, in
@@ -111,6 +131,20 @@ type Server struct {
 	ingests     atomic.Uint64
 	scans       atomic.Uint64
 	subscribers atomic.Int64
+
+	// Observability plane: structured request logs, the slow-query log
+	// (/debug/slow), the in-flight registry (/debug/queries), and the
+	// Prometheus-style metrics registry (/metrics). The registry is built
+	// once, on the first Handler call, so it sees the server's final mode
+	// (durable, coordinator, worker shard) regardless of construction order.
+	logger    *obs.Logger
+	slow      *obs.SlowLog
+	inflight  *obs.Inflight
+	obsOnce   sync.Once
+	metrics   *obs.Registry
+	queryDur  *obs.Histogram
+	ingestDur *obs.Histogram
+	httpReqs  *obs.CounterVec
 }
 
 // New creates a service over an existing store and engine. The store's
@@ -128,6 +162,9 @@ func New(st *storage.Store, eng *engine.Engine, opts Options) *Server {
 		maxIngest: opts.MaxIngestBytes,
 		shard:     -1,
 		started:   time.Now(), //aiql:ignore wallclock -- uptime reporting is operational, not query-determinism-sensitive
+		logger:    opts.Logger,
+		slow:      newSlowLog(opts.SlowLogSize),
+		inflight:  obs.NewInflight(),
 	}
 	st.SetIngestObserver(s.matcher.OnIngest)
 	return s
@@ -150,6 +187,9 @@ func NewCoordinator(coord *cluster.Coordinator, eng *engine.Engine, opts Options
 		maxIngest: opts.MaxIngestBytes,
 		shard:     -1,
 		started:   time.Now(), //aiql:ignore wallclock -- uptime reporting is operational, not query-determinism-sensitive
+		logger:    opts.Logger,
+		slow:      newSlowLog(opts.SlowLogSize),
+		inflight:  obs.NewInflight(),
 	}
 }
 
@@ -172,13 +212,21 @@ func NewPersistent(p *storage.Persistent, eng *engine.Engine, opts Options) (*Se
 	return s, nil
 }
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes, wrapped in the trace
+// middleware: every request gets a trace ID (accepted from X-Aiql-Trace or
+// minted), echoed on the response and carried in the request context for
+// the layers below.
 func (s *Server) Handler() http.Handler {
+	s.obsOnce.Do(s.buildMetrics)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /debug/slow", s.handleDebugSlow)
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("POST /rules", s.handleRuleCreate)
 	mux.HandleFunc("GET /rules", s.handleRuleList)
 	mux.HandleFunc("DELETE /rules/{id}", s.handleRuleDelete)
@@ -193,7 +241,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /walship", s.handleWalShip)
 		mux.HandleFunc("POST /catchup", s.handleCatchup)
 	}
-	return mux
+	return s.withObs(mux)
 }
 
 // QueryResponse is the JSON reply to /query.
@@ -210,35 +258,52 @@ type QueryResponse struct {
 	// result cache without touching the store.
 	ResultCached bool    `json:"result_cached"`
 	ElapsedMs    float64 `json:"elapsed_ms"`
+	// TraceID identifies this request's trace, for correlating the reply
+	// with server logs, /debug/slow entries and worker-side spans.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the request's span tree — how the elapsed time divides
+	// across parse/plan, snapshot pin, per-pattern scans (with block-level
+	// skip counters), joins, the merge, and per-worker legs on a
+	// coordinator. Present only when the client asked (?trace=1 or
+	// {"trace": true}).
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // queryRequest is the JSON form of a /query body.
 type queryRequest struct {
 	Query string `json:"query"`
+	// Trace asks for the span tree in the response.
+	Trace bool `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	src, err := readQuery(w, r)
+	src, wantTrace, err := readQuery(w, r)
 	if err != nil {
 		status := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		httpError(w, status, err)
+		s.httpTraceError(w, r, status, err)
 		return
 	}
 	s.queries.Add(1)
-	//aiql:ignore wallclock -- request latency metric for /stats, observability only
-	start := time.Now()
+	ctx := r.Context()
+	tr := obs.FromContext(ctx)
+	iq := s.inflight.Register(tr, engine.Normalize(src))
+	defer iq.Done()
+	start := obs.Now()
 	var resp *QueryResponse
 	if s.coord != nil {
-		resp, err = s.executeCluster(r.Context(), src)
+		resp, err = s.executeCluster(ctx, src)
 	} else {
-		resp, err = s.execute(r.Context(), src)
+		resp, err = s.execute(ctx, src)
 	}
+	dur := obs.Since(start)
+	s.queryDur.Observe(dur.Seconds())
 	if err != nil {
-		if r.Context().Err() != nil {
+		s.recordQuery(ctx, tr, src, dur, 0, false, err)
+		if ctx.Err() != nil {
 			// The client disconnected and the engine aborted; nobody is
 			// listening for a reply.
 			return
@@ -253,15 +318,46 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// fault.
 			status = http.StatusBadGateway
 		}
-		httpError(w, status, err)
+		s.httpTraceError(w, r, status, err)
 		return
 	}
-	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	resp.ElapsedMs = float64(dur.Microseconds()) / 1000
+	resp.TraceID = tr.ID()
+	iq.AddRows(resp.RowCount)
+	s.recordQuery(ctx, tr, src, dur, resp.RowCount, resp.ResultCached, nil)
+	if wantTrace || r.URL.Query().Get("trace") == "1" {
+		resp.Trace = tr.Snapshot()
+	}
 	if ndjsonRequested(r) {
 		writeNDJSON(w, resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordQuery feeds a completed query to the slow log and the request log.
+func (s *Server) recordQuery(ctx context.Context, tr *obs.Trace, src string, dur time.Duration, rows int, cached bool, err error) {
+	durMs := float64(dur.Microseconds()) / 1000
+	e := &obs.SlowEntry{
+		TraceID: tr.ID(),
+		Query:   engine.Normalize(src),
+		Start:   obs.FormatStart(tr.Start()),
+		DurMs:   durMs,
+		Rows:    rows,
+		Cached:  cached,
+		Trace:   tr.Snapshot(),
+	}
+	if err != nil {
+		e.Error = err.Error()
+	}
+	s.slow.Record(e)
+	if s.logger != nil {
+		kv := []any{"dur_ms", durMs, "rows", rows, "cached", cached}
+		if err != nil {
+			kv = append(kv, "error", err.Error())
+		}
+		s.logger.Log(ctx, "query", kv...)
+	}
 }
 
 // execute runs one query through both caches: result cache, then plan
@@ -270,6 +366,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // "did an ingest race with my execution?" re-check is gone: a result
 // computed from a snapshot is correct for that generation by construction.
 func (s *Server) execute(ctx context.Context, src string) (*QueryResponse, error) {
+	tr := obs.FromContext(ctx)
 	key := engine.Normalize(src)
 	// Cache-hit hot path: a generation read is a shared RLock, so repeated
 	// queries never pay snapshot acquisition (an exclusive lock plus
@@ -278,9 +375,15 @@ func (s *Server) execute(ctx context.Context, src string) (*QueryResponse, error
 	if res, ok := s.results.Get(key, gen); ok {
 		// Peek, not Get: report the plan cache's true state without
 		// perturbing its hit/miss counters.
+		sp := tr.Span("result-cache")
+		sp.Set("hit", "true")
+		sp.End()
 		return queryResponse(res, s.plans.Contains(key), true), nil
 	}
+	plan := tr.Span("plan")
 	pq, planCached, err := s.preparedPlan(key, src)
+	plan.Set("cached", strconv.FormatBool(planCached))
+	plan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +425,10 @@ func (s *Server) preparedPlan(key, src string) (*engine.PreparedQuery, bool, err
 // the coordinator noticing, so there is no generation that could validate
 // a cached result.
 func (s *Server) executeCluster(ctx context.Context, src string) (*QueryResponse, error) {
+	plan := obs.FromContext(ctx).Span("plan")
 	pq, planCached, err := s.preparedPlan(engine.Normalize(src), src)
+	plan.Set("cached", strconv.FormatBool(planCached))
+	plan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -361,8 +467,45 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.scans.Add(1)
-
+	// A scan leg shows up in this worker's inspection plane too: the
+	// coordinator's trace ID rode in on the request header, so the leg's
+	// /debug entries here correlate with the coordinator's worker spans.
+	ctx := r.Context()
+	tr := obs.FromContext(ctx)
+	span := tr.Span("scan-serve")
+	span.Set("shard", strconv.Itoa(wq.Shard))
+	ctx = obs.WithSpan(ctx, span)
+	iq := s.inflight.Register(tr, "(scan) shard="+strconv.Itoa(wq.Shard))
+	start := obs.Now()
+	rows := 0
 	var cur storage.Cursor
+	// Registered before the cursor's deferred Close so it runs after it:
+	// closing the cursor folds the store's block counters into the span,
+	// and the slow-log snapshot must include them.
+	defer func() {
+		iq.Done()
+		span.Add("rows", int64(rows))
+		if cur != nil && cur.Err() != nil {
+			span.Set("error", cur.Err().Error())
+		}
+		span.End()
+		dur := obs.Since(start)
+		e := &obs.SlowEntry{
+			TraceID: tr.ID(),
+			Query:   "(scan) shard=" + strconv.Itoa(wq.Shard),
+			Start:   obs.FormatStart(tr.Start()),
+			DurMs:   float64(dur.Microseconds()) / 1000,
+			Rows:    rows,
+			Trace:   tr.Snapshot(),
+		}
+		if cur != nil && cur.Err() != nil {
+			e.Error = cur.Err().Error()
+		}
+		s.slow.Record(e)
+		if s.logger != nil {
+			s.logger.Log(r.Context(), "scan", "shard", wq.Shard, "dur_ms", e.DurMs, "rows", rows)
+		}
+	}()
 	if wq.NShards > 0 {
 		// Replicated cluster: this store holds two shards' data (its own
 		// plus the one it replicates), and the coordinator asked for one.
@@ -371,13 +514,13 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		limit := q.Limit
 		q.Limit = 0
 		cur = &shardFilterCursor{
-			inner:   s.store.Scan(r.Context(), q),
+			inner:   s.store.Scan(ctx, q),
 			shard:   wq.Shard,
 			nshards: wq.NShards,
 			limit:   limit,
 		}
 	} else {
-		cur = s.store.Scan(r.Context(), q)
+		cur = s.store.Scan(ctx, q)
 	}
 	defer cur.Close()
 
@@ -397,13 +540,13 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	flush()
 
 	sentEnts := make(map[uint64]struct{})
-	rows := 0
 	batch := make([]storage.Match, storage.ScanBatchSize)
 	for {
 		n := cur.Next(batch)
 		if n == 0 {
 			break
 		}
+		iq.AddRows(n)
 		for _, m := range batch[:n] {
 			if _, ok := sentEnts[uint64(m.Subj.ID)]; !ok {
 				sentEnts[uint64(m.Subj.ID)] = struct{}{}
@@ -461,13 +604,15 @@ func ndjsonRequested(r *http.Request) bool {
 // streamHeader is the first NDJSON line: everything QueryResponse carries
 // except the rows, which follow one per line as JSON arrays.
 type streamHeader struct {
-	Columns      []string `json:"columns"`
-	RowCount     int      `json:"row_count"`
-	DataQueries  int      `json:"data_queries"`
-	TuplesMax    int      `json:"tuples_max"`
-	PlanCached   bool     `json:"plan_cached"`
-	ResultCached bool     `json:"result_cached"`
-	ElapsedMs    float64  `json:"elapsed_ms"`
+	Columns      []string       `json:"columns"`
+	RowCount     int            `json:"row_count"`
+	DataQueries  int            `json:"data_queries"`
+	TuplesMax    int            `json:"tuples_max"`
+	PlanCached   bool           `json:"plan_cached"`
+	ResultCached bool           `json:"result_cached"`
+	ElapsedMs    float64        `json:"elapsed_ms"`
+	TraceID      string         `json:"trace_id,omitempty"`
+	Trace        *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // writeNDJSON writes a result as newline-delimited JSON, flushing every
@@ -489,6 +634,8 @@ func writeNDJSON(w http.ResponseWriter, resp *QueryResponse) {
 		PlanCached:   resp.PlanCached,
 		ResultCached: resp.ResultCached,
 		ElapsedMs:    resp.ElapsedMs,
+		TraceID:      resp.TraceID,
+		Trace:        resp.Trace,
 	})
 	flusher, _ := w.(http.Flusher)
 	for i, row := range resp.Rows {
@@ -516,30 +663,31 @@ func queryResponse(res *engine.Result, planCached, resultCached bool) *QueryResp
 	}
 }
 
-// readQuery extracts the AIQL source from a /query body: a JSON object for
-// application/json, the raw body otherwise. Bodies over 1 MiB are rejected
-// rather than truncated — a silently clipped query could still parse and
-// would then execute as a different query than the client sent.
-func readQuery(w http.ResponseWriter, r *http.Request) (string, error) {
+// readQuery extracts the AIQL source from a /query body (and whether the
+// client asked for the trace block): a JSON object for application/json,
+// the raw body otherwise. Bodies over 1 MiB are rejected rather than
+// truncated — a silently clipped query could still parse and would then
+// execute as a different query than the client sent.
+func readQuery(w http.ResponseWriter, r *http.Request) (string, bool, error) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		return "", fmt.Errorf("read body: %w", err)
+		return "", false, fmt.Errorf("read body: %w", err)
 	}
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if ct == "application/json" {
 		var req queryRequest
 		if err := json.Unmarshal(body, &req); err != nil {
-			return "", fmt.Errorf("parse request: %w", err)
+			return "", false, fmt.Errorf("parse request: %w", err)
 		}
 		if strings.TrimSpace(req.Query) == "" {
-			return "", fmt.Errorf("empty query")
+			return "", false, fmt.Errorf("empty query")
 		}
-		return req.Query, nil
+		return req.Query, req.Trace, nil
 	}
 	if strings.TrimSpace(string(body)) == "" {
-		return "", fmt.Errorf("empty query")
+		return "", false, fmt.Errorf("empty query")
 	}
-	return string(body), nil
+	return string(body), false, nil
 }
 
 // IngestResponse is the JSON reply to /ingest.
@@ -568,13 +716,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		httpError(w, status, err)
+		s.httpTraceError(w, r, status, err)
 		return
 	}
+	start := obs.Now()
+	defer func() {
+		s.ingestDur.Observe(obs.Since(start).Seconds())
+	}()
 	if s.coord != nil {
 		// Scatter the batch across the worker shards by placement.
 		if err := s.coord.Ingest(r.Context(), ds); err != nil {
-			httpError(w, http.StatusBadGateway, err)
+			s.httpTraceError(w, r, http.StatusBadGateway, err)
 			return
 		}
 		s.ingests.Add(1)

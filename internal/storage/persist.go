@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aiql/internal/obs"
 	"aiql/internal/types"
 	"aiql/internal/wal"
 )
@@ -116,7 +117,11 @@ type Persistent struct {
 	bg          sync.WaitGroup
 	closeOnce   sync.Once
 	compactions atomic.Uint64
-	replayed    atomic.Uint64 // WAL records replayed at open
+	// compactNanos is the cumulative wall time spent inside Compact calls
+	// that produced a segment — the scrape-side input for compaction-latency
+	// monitoring.
+	compactNanos atomic.Int64
+	replayed     atomic.Uint64 // WAL records replayed at open
 
 	// crashHook, when set (tests only), is called at named points inside
 	// Compact; returning an error abandons the compaction at exactly that
@@ -459,6 +464,7 @@ func (p *Persistent) Sync() error {
 func (p *Persistent) Compact() error {
 	p.compactMu.Lock()
 	defer p.compactMu.Unlock()
+	start := obs.Now()
 	p.segMu.Lock()
 	covered := p.coveredSeq
 	p.segMu.Unlock()
@@ -536,6 +542,7 @@ func (p *Persistent) Compact() error {
 	p.coveredSeq = last
 	p.segMu.Unlock()
 	p.compactions.Add(1)
+	p.compactNanos.Add(int64(obs.Since(start)))
 	// The consumed WAL records may carry replication tags; once the files
 	// are deleted the sidecar is the only durable copy of those tags, so
 	// it must land first. On failure the WAL files stay (recovery re-scans
@@ -704,6 +711,13 @@ type DurabilityStats struct {
 	Loaded      bool   `json:"loaded"`
 	Replayed    uint64 `json:"replayed"`
 	Compactions uint64 `json:"compactions"`
+	// CompactionNanos is the cumulative wall time spent producing segments;
+	// WALFsyncs and WALFsyncNanos count the log's fsync calls and their
+	// cumulative duration. Together they put numbers on the durability
+	// machinery's two costs: the per-commit fsync and the periodic fold.
+	CompactionNanos int64  `json:"compaction_nanos"`
+	WALFsyncs       uint64 `json:"wal_fsyncs"`
+	WALFsyncNanos   int64  `json:"wal_fsync_nanos"`
 }
 
 // DurabilityStats reports the persistence counters.
@@ -722,7 +736,7 @@ func (p *Persistent) DurabilityStats() DurabilityStats {
 	}
 	covered := p.coveredSeq
 	p.segMu.Unlock()
-	return DurabilityStats{
+	st := DurabilityStats{
 		WALRecords:    records,
 		WALBytes:      bytes,
 		Segments:      segs,
@@ -735,4 +749,7 @@ func (p *Persistent) DurabilityStats() DurabilityStats {
 		Replayed:      p.replayed.Load(),
 		Compactions:   p.compactions.Load(),
 	}
+	st.CompactionNanos = p.compactNanos.Load()
+	st.WALFsyncs, st.WALFsyncNanos = p.log.SyncStats()
+	return st
 }

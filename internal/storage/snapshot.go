@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"aiql/internal/obs"
 	"aiql/internal/pred"
 	"aiql/internal/timeutil"
 	"aiql/internal/types"
@@ -205,6 +206,31 @@ func (sn *Snapshot) scan(ctx context.Context, q *DataQuery, onClose func()) Curs
 		}
 	}
 
+	// When the request carries a trace span, fold this scan's block traffic
+	// into it as the delta of the store-wide counters over the cursor's
+	// lifetime. The delta is approximate when scans run concurrently (the
+	// counters are store-global), which is the documented trade for keeping
+	// the per-block hot path free of per-scan bookkeeping.
+	var span *obs.Span
+	if !sn.opts.DisableScanSpans {
+		span = obs.SpanFromContext(ctx)
+	}
+	if span != nil {
+		before := sn.store.ScanStats()
+		prev := onClose
+		onClose = func() {
+			after := sn.store.ScanStats()
+			span.Add("blocks_considered", after.BlocksConsidered-before.BlocksConsidered)
+			span.Add("blocks_skipped", after.BlocksSkipped-before.BlocksSkipped)
+			span.Add("blocks_decoded", after.BlocksDecoded-before.BlocksDecoded)
+			span.Add("attr_zone_skips", after.AttrZoneSkips-before.AttrZoneSkips)
+			span.Add("hot_batches", after.HotBatches-before.HotBatches)
+			span.Add("dict_verdict_hits", after.DictVerdictHits-before.DictVerdictHits)
+			span.Add("thaws", after.Thaws-before.Thaws)
+			prev()
+		}
+	}
+
 	var subjCand, objCand map[types.EntityID]struct{}
 	if !q.ForceScan {
 		subjCand = sn.candidateSet(q.SubjType, q.SubjPred, q.SubjAllowed)
@@ -219,6 +245,8 @@ func (sn *Snapshot) scan(ctx context.Context, q *DataQuery, onClose func()) Curs
 	}
 
 	parts := sn.selectPartitions(q)
+	span.Add("partitions_scanned", int64(len(parts)))
+	span.Add("partitions_pruned", int64(len(sn.parts)-len(parts)))
 	if len(parts) == 0 {
 		return newSliceCursor(nil, onClose)
 	}

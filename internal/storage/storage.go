@@ -63,6 +63,11 @@ type Options struct {
 	// through the batch kernel and dictionary verdict bitmaps. Results are
 	// identical; the hot/columnar differential test runs on this toggle.
 	DisableHotColumnar bool
+	// DisableScanSpans ablates the per-scan trace hook (the span lookup and
+	// counter fold in Snapshot.scan). It exists so BenchmarkTraceOverhead can
+	// measure the disabled-tracing path against a genuinely uninstrumented
+	// scan; production code never sets it.
+	DisableScanSpans bool
 	// Workers bounds scan parallelism; 0 means GOMAXPROCS.
 	Workers int
 }

@@ -33,6 +33,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"aiql/internal/obs"
 )
 
 const (
@@ -82,6 +85,12 @@ type Log struct {
 	activeFirst uint64     // seq the active file is named for; aiql:guarded-by mu
 	sealed      []FileInfo // aiql:guarded-by mu
 	nextSeq     uint64     // aiql:guarded-by mu
+
+	// fsync accounting (atomic: read by the metrics scrape without the
+	// lock): how many fsyncs the log issued on its append path and their
+	// cumulative duration — the observable cost of the durability contract.
+	fsyncs     atomic.Uint64
+	fsyncNanos atomic.Int64
 }
 
 // Open scans dir (creating it if needed), validates every file, truncates
@@ -292,10 +301,28 @@ func (l *Log) Sync() error {
 	if l.active == nil {
 		return nil
 	}
-	if err := l.active.Sync(); err != nil {
+	if err := l.syncActive(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	return nil
+}
+
+// syncActive fsyncs the active file under the timing counters. Callers hold
+// mu and have checked active != nil.
+//
+// aiql:locked mu
+func (l *Log) syncActive() error {
+	start := obs.Now()
+	err := l.active.Sync()
+	l.fsyncs.Add(1)
+	l.fsyncNanos.Add(int64(obs.Since(start)))
+	return err
+}
+
+// SyncStats reports how many fsyncs the log has issued and their cumulative
+// duration in nanoseconds.
+func (l *Log) SyncStats() (count uint64, nanos int64) {
+	return l.fsyncs.Load(), l.fsyncNanos.Load()
 }
 
 // Rotate seals the active file (sync + close) and arranges for the next
@@ -318,7 +345,7 @@ func (l *Log) Rotate() ([]FileInfo, error) {
 //
 // aiql:locked mu
 func (l *Log) sealActiveLocked() error {
-	if err := l.active.Sync(); err != nil {
+	if err := l.syncActive(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := l.active.Close(); err != nil {
@@ -490,7 +517,7 @@ func (l *Log) Close() error {
 	if l.active == nil {
 		return nil
 	}
-	err := l.active.Sync()
+	err := l.syncActive()
 	if cerr := l.active.Close(); err == nil {
 		err = cerr
 	}
